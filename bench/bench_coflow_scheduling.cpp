@@ -1,0 +1,100 @@
+// E17 — Host-side coflow scheduling over the ADCP fabric: releasing a mix
+// of small and large shuffles in SEBF order (smallest effective bottleneck
+// first, Varys) vs FIFO arrival order. Average coflow completion time is
+// the classic win; the switch is the same in both runs.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "coflow/scheduler.hpp"
+#include "coflow/tracker.hpp"
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "workload/db_shuffle.hpp"
+
+namespace {
+
+using namespace adcp;
+
+struct Outcome {
+  double avg_cct_us = 0.0;
+  double max_cct_us = 0.0;
+};
+
+Outcome run(coflow::OrderPolicy policy) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  core::ShuffleOptions opts;
+  opts.partition_owners = 8;
+  sw.load_program(core::shuffle_program(cfg, opts));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  coflow::CoflowTracker tracker;
+  fabric.set_tracker(&tracker);
+
+  // Five shuffles of very different sizes, "arriving" in pessimal order
+  // (largest first).
+  const std::uint32_t sizes[] = {2048, 1024, 512, 128, 32};
+  std::vector<workload::DbShuffleWorkload> shuffles;
+  std::vector<coflow::CoflowDescriptor> descriptors;
+  for (std::size_t i = 0; i < 5; ++i) {
+    workload::DbShuffleParams p;
+    p.servers = 8;
+    p.owners = 8;
+    p.rows_per_server = sizes[i];
+    p.seed = 100 + i;
+    p.coflow_id = static_cast<std::uint16_t>(10 + i);
+    shuffles.emplace_back(p);
+    descriptors.push_back(shuffles.back().descriptor());
+  }
+  for (auto& s : shuffles) s.attach(fabric);
+
+  // Serialize release in the policy's order; each coflow starts when the
+  // previous one's data has been handed to the NICs (host pacing then
+  // interleaves the tails — a simple, honest serialization model).
+  const std::vector<std::size_t> order = coflow::release_order(descriptors, policy);
+  sim::Time release = 0;
+  for (const std::size_t idx : order) {
+    tracker.start(descriptors[idx], release);
+    shuffles[idx].start(sim, fabric, release);
+    // Next release when this coflow's bottleneck volume has drained at 100G.
+    release += sim::serialization_time(descriptors[idx].bottleneck_bytes(), 100.0);
+  }
+  sim.run();
+
+  Outcome o;
+  double sum = 0.0;
+  for (const coflow::CoflowDescriptor& d : descriptors) {
+    const coflow::CoflowRecord* rec = tracker.record(d.id);
+    const double cct = rec != nullptr && rec->complete()
+                           ? static_cast<double>(rec->completion_time()) / sim::kMicrosecond
+                           : -1.0;
+    sum += cct;
+    o.max_cct_us = std::max(o.max_cct_us, cct);
+  }
+  o.avg_cct_us = sum / 5.0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Host-side coflow scheduling over ADCP: 5 shuffles (32..2048 rows/server),\n"
+      "arriving largest-first\n\n");
+  std::printf("%-10s %-18s %-18s\n", "policy", "avg CCT (us)", "max CCT (us)");
+  const Outcome fifo = run(coflow::OrderPolicy::kFifo);
+  const Outcome sebf = run(coflow::OrderPolicy::kSebf);
+  std::printf("%-10s %-18.1f %-18.1f\n", "FIFO", fifo.avg_cct_us, fifo.max_cct_us);
+  std::printf("%-10s %-18.1f %-18.1f\n", "SEBF", sebf.avg_cct_us, sebf.max_cct_us);
+  std::printf(
+      "\nExpected shape: SEBF cuts the AVERAGE completion time (%.1fx here) by\n"
+      "letting the mice finish before the elephants, while the largest coflow's\n"
+      "completion barely changes — the classic Varys result, reproduced on the\n"
+      "coflow-processor fabric.\n",
+      sebf.avg_cct_us > 0 ? fifo.avg_cct_us / sebf.avg_cct_us : 0.0);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E16 — The AQM loop on the ADCP traffic managers: TM2 marks ECN CE above
+// a queue threshold; DCTCP-style senders react. Compared against blind
+// senders (no reaction) across incast degrees: peak shared-buffer
+// occupancy, drops, and completion time.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "workload/dctcp.hpp"
+
+namespace {
+
+using namespace adcp;
+
+struct Outcome {
+  std::uint64_t peak_buffer = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t marks = 0;
+  double makespan_us = 0.0;
+  bool all_complete = true;
+};
+
+Outcome run(std::uint32_t senders, bool react) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 16;
+  cfg.ecn_threshold_bytes = 2000;
+  cfg.tm2_buffer_bytes = 1 << 20;  // finite: blind senders can overrun it
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+
+  std::vector<workload::DctcpFlow> flows;
+  flows.reserve(senders);
+  for (std::uint32_t s = 1; s <= senders; ++s) {
+    workload::DctcpParams p;
+    p.sender = s;
+    p.receiver = 0;
+    p.flow_id = s;
+    p.total_packets = 1500;
+    p.initial_cwnd = 16;
+    p.react_to_ecn = react;
+    flows.emplace_back(p);
+  }
+  for (auto& f : flows) {
+    f.attach(sim, fabric);
+    f.start(sim, fabric);
+  }
+  sim.run();
+
+  Outcome o;
+  o.peak_buffer = sw.tm2().buffer().peak();
+  o.drops = sw.tm2().stats().dropped;
+  o.marks = sw.tm2().stats().ecn_marked;
+  for (auto& f : flows) {
+    o.all_complete = o.all_complete && f.complete();
+    o.makespan_us = std::max(
+        o.makespan_us, static_cast<double>(f.completion_time()) / sim::kMicrosecond);
+  }
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ECN marking + DCTCP reaction on the ADCP TM2 (threshold 2 KB, 1500-pkt flows)\n\n");
+  std::printf("%-8s %-10s %-16s %-10s %-10s %-14s %-10s\n", "incast", "senders",
+              "peak buf (KB)", "drops", "marks", "makespan(us)", "complete");
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    for (const bool react : {false, true}) {
+      const Outcome o = run(n, react);
+      std::printf("%-8s %-10u %-16.1f %-10llu %-10llu %-14.1f %-10s\n",
+                  react ? "DCTCP" : "blind", n,
+                  static_cast<double>(o.peak_buffer) / 1024.0,
+                  static_cast<unsigned long long>(o.drops),
+                  static_cast<unsigned long long>(o.marks), o.makespan_us,
+                  o.all_complete ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\nExpected shape: blind senders grow into deep queues (peak scales with\n"
+      "incast degree); reacting senders hold the queue near the threshold at a\n"
+      "small makespan cost — the marking signal the TM produces is sufficient\n"
+      "for end-host congestion control, with no switch drops needed.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E6 — The §4 feasibility discussion, quantified:
+//   (a) routing congestion: monolithic vs interleaved TM floorplans across
+//       pipeline counts (the paper: spread the TM across the layout);
+//   (b) multi-clock MAT memory: which array widths are achievable per pipe
+//       clock under an SRAM frequency ceiling;
+//   (c) dynamic-power proxy: demultiplexing trades clock for parallelism
+//       at roughly constant power.
+#include <cstdio>
+
+#include "feas/chip.hpp"
+#include "feas/gcell.hpp"
+#include "feas/multiclock.hpp"
+#include "feas/scaling.hpp"
+
+namespace {
+
+using namespace adcp;
+
+void congestion() {
+  std::printf("(a) G-cell routing congestion: monolithic vs interleaved TM (§4)\n");
+  std::printf("%-8s %-22s %-22s %-10s\n", "pipes", "monolithic peak(util)",
+              "interleaved peak(util)", "ratio");
+  for (const std::uint32_t pipes : {8u, 16u, 32u, 64u}) {
+    const auto mono = feas::monolithic_tm_floorplan(pipes, 64, 32.0).route();
+    const auto inter = feas::interleaved_tm_floorplan(pipes, 64, 32.0).route();
+    std::printf("%-8u %-22.2f %-22.2f %-10.2f\n", pipes, mono.peak, inter.peak,
+                mono.peak / inter.peak);
+  }
+  std::printf("Expected shape: monolithic TM congestion grows with pipeline count\n"
+              "(64 pipes at 51.2T per §3.3); interleaving keeps the peak flat.\n\n");
+}
+
+void multiclock() {
+  std::printf("(b) Multi-clock MAT memory: max serial array width (SRAM <= 3.2 GHz)\n");
+  std::printf("%-18s %-16s %-40s\n", "pipe clock (GHz)", "max width", "note");
+  struct Case {
+    double clock;
+    const char* note;
+  };
+  const Case cases[] = {
+      {1.62, "RMT-class clock: serialization infeasible"},
+      {1.19, "ADCP 1.6T demuxed (Table 3)"},
+      {0.80, "ADCP default edge clock"},
+      {0.60, "ADCP 800G demuxed (Table 3)"},
+      {0.30, "deep demux"},
+  };
+  for (const Case& c : cases) {
+    const feas::MultiClockMatModel m{c.clock, 3.2};
+    std::printf("%-18.2f %-16u %-40s\n", c.clock, m.max_width(), c.note);
+  }
+  std::printf("Expected shape: the lower the pipe clock (ADCP demux), the wider the\n"
+              "serial array the same SRAM supports — §4's synergy between the\n"
+              "demultiplexing and the multi-clock option.\n\n");
+
+  std::printf("    width x pipe-clock feasibility grid ('.' feasible, 'X' infeasible):\n");
+  std::printf("    %-10s", "width:");
+  for (const std::uint32_t w : {1u, 2u, 4u, 8u, 16u}) std::printf("%6u", w);
+  std::printf("\n");
+  for (const double clk : {0.30, 0.60, 0.80, 1.19, 1.62}) {
+    std::printf("    %.2f GHz  ", clk);
+    for (const std::uint32_t w : {1u, 2u, 4u, 8u, 16u}) {
+      const feas::MultiClockMatModel m{clk, 3.2};
+      std::printf("%6s", m.feasible(w) ? "." : "X");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void power() {
+  std::printf("(c) Dynamic-power proxy (freq x pipeline count, arbitrary units)\n");
+  std::printf("%-34s %-12s %-10s %-10s\n", "design", "pipes", "clock", "power");
+  const double rmt_pipe = feas::dynamic_power_proxy(1.62, 1);
+  const double adcp_pipe = feas::dynamic_power_proxy(0.60, 1);
+  std::printf("%-34s %-12u %-10.2f %-10.2f\n", "RMT 25.6T pipeline (Table 2)", 8, 1.62,
+              rmt_pipe);
+  std::printf("%-34s %-12u %-10.2f %-10.2f\n", "ADCP 25.6T edge pipe (1:2 demux)", 64,
+              0.60, adcp_pipe);
+  std::printf("Expected shape: each demuxed pipeline clocks %.1fx lower, cutting its\n"
+              "dynamic power proxy %.1fx. The chip has more pipelines in exchange;\n"
+              "the §4 argument is that the LOW clock additionally allows smaller\n"
+              "gates and easier timing closure, which the proxy does not capture.\n",
+              1.62 / 0.60, rmt_pipe / adcp_pipe);
+
+  std::printf("\n(c2) Crossbar area proxy for the parallel-interconnect option:\n");
+  std::printf("%-10s %-14s\n", "width", "area (a.u.)");
+  for (const std::uint32_t w : {4u, 8u, 16u, 32u}) {
+    std::printf("%-10u %-14.0f\n", w, feas::crossbar_area_proxy(w, 8));
+  }
+  std::printf("Expected shape: quadratic in width — why §4 caps practical widths.\n");
+}
+
+}  // namespace
+
+void chip() {
+  std::printf("\n(d) Whole-chip budget proxies at 25.6 Tbps (RMT vs ADCP geometry)\n");
+  std::printf("%-12s %-8s %-8s %-10s %-12s %-12s %-14s\n", "chip", "pipes", "clock",
+              "MAUs", "SRAM(blk)", "power(a.u.)", "xbar area");
+  for (const feas::ChipSpec& spec :
+       {feas::rmt_25t_reference(), feas::adcp_25t_reference()}) {
+    const feas::ChipBudget b = feas::chip_budget(spec);
+    std::printf("%-12s %-8u %-8.2f %-10llu %-12llu %-12.0f %-14.0f\n",
+                spec.name.c_str(), spec.pipelines, spec.clock_ghz,
+                static_cast<unsigned long long>(b.mau_count),
+                static_cast<unsigned long long>(b.sram_blocks), b.dynamic_power,
+                b.interconnect_area);
+  }
+  std::printf(
+      "Expected shape: the ADCP chip carries ~8x the pipelines (demux + central\n"
+      "bank) at ~1/3 the clock — more raw elements, each cheaper per §4's small-\n"
+      "gate argument — plus the array crossbar and the second TM. The budget is\n"
+      "larger but not absurd, which is §4's \"feasible with mitigations\" claim.\n");
+}
+
+int main() {
+  std::printf("§4 feasibility measurements\n\n");
+  congestion();
+  multiclock();
+  power();
+  chip();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E14 — §2 issue 2, the goodput corollary: "These single-input packets are
+// often small and thus have subpar goodput."
+//
+// Analytic column: element payload bytes / wire bytes (incl. 20 B Ethernet
+// preamble+IPG overhead) for k elements per packet. Measured column: the
+// host-observed goodput fraction after forwarding the packets through an
+// ADCP switch (net::Host counts element bytes vs wire bytes).
+#include <cstdio>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace adcp;
+
+double analytic_goodput(std::uint32_t k) {
+  const double payload = static_cast<double>(k) * packet::kIncElementBytes;
+  const double wire = static_cast<double>(packet::inc_packet_bytes(k)) + 20.0;
+  return payload / wire;
+}
+
+double measured_goodput(std::uint32_t k) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 4;
+  core::AdcpSwitch sw(sim, cfg);
+  core::AdcpProgram prog = core::forward_program(cfg);
+  prog.parse = packet::standard_parse_graph(64);  // accept up to 64 lanes
+  sw.load_program(std::move(prog));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  constexpr std::uint32_t kElements = 4096;  // same data volume every row
+  const std::uint32_t packets = kElements / k;
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    spec.inc.flow_id = 1;
+    spec.inc.seq = i;
+    for (std::uint32_t e = 0; e < k; ++e) spec.inc.elements.push_back({i * k + e, e});
+    fabric.host(0).send_inc(spec);
+  }
+  sim.run();
+  const net::Host& sink = fabric.host(1);
+  return static_cast<double>(sink.rx_goodput_bytes()) /
+         static_cast<double>(sink.rx_bytes());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "§2 issue 2: goodput of k-element INC packets (fixed 4096-element volume)\n\n");
+  std::printf("%-6s %-12s %-18s %-20s %-16s\n", "k", "wire bytes", "analytic goodput",
+              "measured (frame)", "vs scalar");
+  const double scalar = analytic_goodput(1);
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    std::printf("%-6u %-12zu %16.1f%% %18.1f%% %14.2fx\n", k,
+                packet::inc_packet_bytes(k), 100.0 * analytic_goodput(k),
+                100.0 * measured_goodput(k), analytic_goodput(k) / scalar);
+  }
+  std::printf(
+      "\nExpected shape: a scalar (k=1) packet moves ~1 useful byte per 10 wire\n"
+      "bytes; 16-element packets recover ~6.7x the goodput — the wire-efficiency\n"
+      "half of the paper's array-processing argument (the key-rate half is E5).\n"
+      "(Measured is per frame byte — slightly above the wire number, which also\n"
+      "charges the 20 B Ethernet preamble/IPG.)\n");
+  return 0;
+}

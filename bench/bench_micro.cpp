@@ -1,0 +1,153 @@
+// E10 — Micro-benchmarks of the simulator substrates (google-benchmark).
+//
+// These measure the *simulator's* own hot paths (host-machine ns/op), not
+// modeled switch time: parser, deparser, tables, stateful ALU, array
+// engine, TM, pipeline advance, and the event kernel.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mat/array_engine.hpp"
+#include "mat/register.hpp"
+#include "mat/table.hpp"
+#include "packet/deparser.hpp"
+#include "packet/headers.hpp"
+#include "packet/parser.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/simulator.hpp"
+#include "tm/traffic_manager.hpp"
+
+namespace {
+
+using namespace adcp;
+
+packet::Packet sample_packet(std::size_t elems) {
+  packet::IncPacketSpec spec;
+  spec.inc.opcode = packet::IncOpcode::kAggUpdate;
+  for (std::size_t i = 0; i < elems; ++i) {
+    spec.inc.elements.push_back({static_cast<std::uint32_t>(i), 1});
+  }
+  return packet::make_inc_packet(spec);
+}
+
+void BM_ParserStandard(benchmark::State& state) {
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  const packet::ParseGraph g = packet::standard_parse_graph(64);
+  const packet::Parser parser(&g);
+  const packet::Packet pkt = sample_packet(elems);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.parse(pkt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParserStandard)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Deparser(benchmark::State& state) {
+  const packet::ParseGraph g = packet::standard_parse_graph(64);
+  const packet::Parser parser(&g);
+  const packet::Deparser dep = packet::standard_deparser();
+  const packet::Packet pkt = sample_packet(16);
+  const packet::ParseResult r = parser.parse(pkt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dep.deparse(r.phv, pkt, r.consumed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Deparser);
+
+void BM_ExactTableLookup(benchmark::State& state) {
+  mat::ExactTable table(65536);
+  for (std::uint64_t k = 0; k < 65536; ++k) table.insert(k, mat::actions::nop());
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(key++ & 0xffff));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactTableLookup);
+
+void BM_LpmLookup(benchmark::State& state) {
+  mat::LpmTable table(1024);
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    table.insert(i << 24, 8, mat::actions::nop());
+    table.insert((i << 24) | (i << 16), 16, mat::actions::nop());
+  }
+  std::uint32_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(key));
+    key += 0x01010101;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LpmLookup);
+
+void BM_RegisterAlu(benchmark::State& state) {
+  mat::RegisterFile regs(65536);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regs.apply(mat::AluOp::kAdd, i++ & 0xffff, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegisterAlu);
+
+void BM_ArrayEngineBatch(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  mat::ArrayEngineConfig cfg;
+  cfg.lane_width = 16;
+  mat::ArrayMatEngine engine(cfg);
+  std::vector<std::uint64_t> keys(width), vals(width, 1);
+  for (std::uint32_t i = 0; i < width; ++i) keys[i] = i;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.update_batch(mat::AluOp::kAdd, keys, vals, cycles));
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_ArrayEngineBatch)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_PipelineProcess(benchmark::State& state) {
+  pipeline::PipelineConfig pc;
+  pc.stage_count = 12;
+  pipeline::Pipeline pipe(pc);
+  packet::Phv phv;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.process(0, phv));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelineProcess);
+
+void BM_TmEnqueueDequeue(benchmark::State& state) {
+  tm::TmConfig cfg;
+  cfg.outputs = 16;
+  cfg.buffer_bytes = 1ull << 30;
+  tm::TrafficManager tm(cfg);
+  const packet::Packet pkt = sample_packet(4);
+  std::uint32_t out = 0;
+  for (auto _ : state) {
+    tm.enqueue(out & 15, 0, pkt);
+    benchmark::DoNotOptimize(tm.dequeue(out & 15));
+    ++out;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TmEnqueueDequeue);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.at(static_cast<sim::Time>(i), [&count] { ++count; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E9 — §4 ablation: parallel interconnect vs multi-clock serialized MAT
+// memory, across array widths and memory-clock multipliers.
+//
+// Drives one array-capable pipeline at saturation with 16-key batches and
+// reports retired keys/s plus stall cycles — making visible exactly when
+// the serialized option stops being "free" (multiplier < batch size) and
+// when it is infeasible outright (required memory clock above the SRAM
+// ceiling, from feas::MultiClockMatModel).
+#include <cstdio>
+
+#include "feas/multiclock.hpp"
+#include "packet/fields.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace {
+
+using namespace adcp;
+
+struct Outcome {
+  double keys_per_sec = 0.0;
+  std::uint64_t stalls = 0;
+};
+
+Outcome run(mat::ArrayEngineMode mode, std::uint32_t width_or_mult, std::uint32_t batch,
+            double clock_ghz) {
+  pipeline::PipelineConfig pc;
+  pc.stage_count = 12;
+  pc.clock_ghz = clock_ghz;
+  pc.stage.array = mat::ArrayEngineConfig{};
+  pc.stage.array->mode = mode;
+  pc.stage.array->lane_width = width_or_mult;
+  pc.stage.array->memory_clock_multiplier = width_or_mult;
+  pipeline::Pipeline pipe(pc);
+  pipe.set_stage_program(0, [batch](packet::Phv& phv, pipeline::Stage& stage) {
+    auto& keys = phv.array(packet::array_fields::kIncKeys);
+    auto& vals = phv.array(packet::array_fields::kIncValues);
+    keys.assign(batch, 3);
+    vals.assign(batch, 1);
+    std::uint64_t cycles = 0;
+    stage.array_engine()->update_batch(mat::AluOp::kAdd, keys, vals, cycles);
+    return cycles;
+  });
+
+  constexpr std::uint64_t kPackets = 100'000;
+  packet::Phv phv;
+  sim::Time last = 0;
+  for (std::uint64_t i = 0; i < kPackets; ++i) last = pipe.process(0, phv).exit;
+  Outcome o;
+  o.keys_per_sec = static_cast<double>(kPackets) * batch /
+                   (static_cast<double>(last) / 1e12);
+  o.stalls = pipe.total_stalls();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kBatch = 16;
+  constexpr double kClock = 0.8;  // ADCP edge/central class
+  const feas::MultiClockMatModel sram{kClock, 3.2};
+
+  std::printf(
+      "§4 ablation: array memory implementations (16-key batches, %.1f GHz pipe,\n"
+      "SRAM ceiling 3.2 GHz)\n\n",
+      kClock);
+  std::printf("%-28s %-10s %-16s %-12s %-14s\n", "implementation", "param",
+              "keys/s", "stalls", "SRAM feasible?");
+
+  for (const std::uint32_t w : {1u, 2u, 4u, 8u, 16u}) {
+    const Outcome o = run(mat::ArrayEngineMode::kParallelInterconnect, w, kBatch, kClock);
+    std::printf("%-28s width=%-4u %-16.3e %-12llu %-14s\n", "parallel interconnect", w,
+                o.keys_per_sec, static_cast<unsigned long long>(o.stalls),
+                "yes (no overclock)");
+  }
+  for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u}) {
+    const Outcome o = run(mat::ArrayEngineMode::kMultiClockSerial, m, kBatch, kClock);
+    std::printf("%-28s mult=%-5u %-16.3e %-12llu %-14s\n", "multi-clock serial", m,
+                o.keys_per_sec, static_cast<unsigned long long>(o.stalls),
+                sram.feasible(m) ? "yes" : "NO (needs >3.2 GHz)");
+  }
+
+  std::printf(
+      "\nExpected shape: both options scale keys/s with their parameter; the\n"
+      "parallel interconnect pays area (width^2 crossbar, see bench_feasibility)\n"
+      "but never overclocks; the serial option is area-cheap but hits the SRAM\n"
+      "ceiling at mult=%u for this pipe clock — the §4 trade-off.\n",
+      sram.max_width() + 1);
+  return 0;
+}

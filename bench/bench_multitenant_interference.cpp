@@ -1,0 +1,83 @@
+// E15 — Tenant isolation in the global partitioned area: how much does a
+// coflow application suffer when an unrelated tenant floods the switch?
+//
+// The aggregation tenant (hosts 0..7) runs alone, then with a background
+// shuffle tenant of increasing volume. Because TM1 placement partitions
+// the central pipelines by application key, interference is confined to
+// shared links/TMs — the aggregation's state and compute are not stolen.
+#include <cstdio>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "workload/db_shuffle.hpp"
+#include "workload/ml_allreduce.hpp"
+
+namespace {
+
+using namespace adcp;
+
+double run(std::uint32_t background_rows_per_server) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 16;
+  cfg.central_pipeline_count = 4;
+  core::AdcpSwitch sw(sim, cfg);
+
+  core::CombinedOptions opts;
+  opts.aggregation.workers = 8;
+  sw.load_program(core::combined_inc_program(cfg, opts));
+  std::vector<packet::PortId> group(8);
+  std::iota(group.begin(), group.end(), 0);
+  sw.set_multicast_group(1, group);
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+
+  workload::MlAllReduceParams agg;
+  agg.workers = 8;
+  agg.vector_len = 256;
+  agg.elems_per_packet = 8;
+  agg.iterations = 1;
+  workload::MlAllReduceWorkload ml(agg);
+  ml.attach(fabric);
+
+  std::optional<workload::DbShuffleWorkload> db;
+  if (background_rows_per_server > 0) {
+    workload::DbShuffleParams shuffle;
+    shuffle.servers = 16;
+    shuffle.owners = 16;
+    shuffle.rows_per_server = background_rows_per_server;
+    db.emplace(shuffle);
+    db->attach(fabric);
+    db->start(sim, fabric);
+  }
+  ml.start(sim, fabric);
+  sim.run();
+
+  return ml.complete() ? static_cast<double>(ml.makespan()) / sim::kMicrosecond : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Tenant interference: 8-worker aggregation CCT vs background shuffle volume\n\n");
+  std::printf("%-28s %-20s %-10s\n", "background (rows/server)", "agg makespan (us)",
+              "slowdown");
+  const double alone = run(0);
+  std::printf("%-28s %-20.2f %-10s\n", "none", alone, "1.00x");
+  for (const std::uint32_t rows : {128u, 512u, 2048u}) {
+    const double with_bg = run(rows);
+    std::printf("%-28u %-20.2f %9.2fx\n", rows, with_bg, with_bg / alone);
+  }
+  std::printf(
+      "\nExpected shape: the slowdown tracks the background's offered volume\n"
+      "roughly linearly — plain link/TM sharing. The aggregation's state and\n"
+      "batch compute are never stolen (its results stay exact; see the\n"
+      "multi-tenant tests), which is the partitioned-area isolation property.\n");
+  return 0;
+}

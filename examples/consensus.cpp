@@ -1,0 +1,78 @@
+// Example: network-sequenced replication (the coordination/consensus class
+// of the paper's §1 list, NOPaxos-style). Three clients fire requests
+// concurrently; the switch's global area assigns each a global sequence
+// number and multicasts it to three replicas, which end up with identical
+// gap-free logs — no leader, one network traversal.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace adcp;
+
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  core::SequencerOptions opts;
+  opts.replica_group = 3;
+  sw.load_program(core::sequencer_program(cfg, opts));
+  const std::vector<packet::PortId> replicas = {0, 1, 2};
+  sw.set_multicast_group(3, replicas);
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 300 * sim::kNanosecond});
+
+  // Replica state machines: log of (order, request).
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> logs(3);
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    fabric.host(replicas[r])
+        .add_rx_callback([&logs, r](net::Host&, const packet::Packet& pkt) {
+          packet::IncHeader inc;
+          if (!packet::decode_inc(pkt, inc)) return;
+          if (inc.opcode != packet::IncOpcode::kOrdered) return;
+          logs[r].push_back({inc.seq, inc.elements.front().key});
+        });
+  }
+
+  // Clients 5..7 propose 20 requests each with jittered timing.
+  sim::Rng rng(2026);
+  constexpr std::uint32_t kPerClient = 20;
+  for (std::uint32_t c = 5; c <= 7; ++c) {
+    for (std::uint32_t r = 0; r < kPerClient; ++r) {
+      packet::IncPacketSpec spec;
+      spec.inc.opcode = packet::IncOpcode::kPropose;
+      spec.inc.worker_id = c;
+      spec.inc.flow_id = c;
+      spec.inc.elements.push_back({c * 1000 + r, 0});
+      fabric.host(c).send_inc(spec, rng.uniform(0, 3000) * sim::kNanosecond);
+    }
+  }
+  sim.run();
+
+  for (auto& log : logs) std::sort(log.begin(), log.end());
+  const bool identical = logs[0] == logs[1] && logs[1] == logs[2];
+  bool gap_free = logs[0].size() == 3 * kPerClient;
+  for (std::size_t i = 0; i < logs[0].size(); ++i) {
+    gap_free = gap_free && logs[0][i].first == i + 1;
+  }
+
+  std::printf("network-sequenced replication: %zu requests from 3 clients\n",
+              logs[0].size());
+  std::printf("replica logs identical: %s\n", identical ? "yes" : "NO");
+  std::printf("sequence gap-free 1..%zu: %s\n", logs[0].size(), gap_free ? "yes" : "NO");
+  std::printf("first five entries: ");
+  for (std::size_t i = 0; i < 5 && i < logs[0].size(); ++i) {
+    std::printf("(%llu -> req %u) ", static_cast<unsigned long long>(logs[0][i].first),
+                logs[0][i].second);
+  }
+  std::printf("\ntotal time: %.2f us (one switch traversal per request)\n",
+              static_cast<double>(sim.now()) / sim::kMicrosecond);
+  return (identical && gap_free) ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Example: graph pattern mining (Table 1, row 3) — BSP supersteps with a
+// global barrier; message volume grows each superstep as patterns expand.
+#include <cstdio>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "workload/graph_bsp.hpp"
+
+int main() {
+  using namespace adcp;
+
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::forward_program(cfg));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 300 * sim::kNanosecond});
+
+  workload::GraphBspParams params;
+  params.hosts = 8;
+  params.supersteps = 5;
+  params.initial_messages_per_host = 64;
+  params.growth = 1.6;  // "increasingly large patterns at each iteration"
+  workload::GraphBspWorkload bsp(params);
+  bsp.attach(fabric);
+  bsp.start(sim, fabric);
+  sim.run();
+
+  std::printf("BSP %s: %u/%u supersteps, %llu messages\n",
+              bsp.complete() ? "complete" : "INCOMPLETE", bsp.completed_supersteps(),
+              params.supersteps, static_cast<unsigned long long>(bsp.messages_delivered()));
+  sim::Time prev = 0;
+  for (std::size_t s = 0; s < bsp.superstep_times().size(); ++s) {
+    const sim::Time t = bsp.superstep_times()[s];
+    std::printf("  superstep %zu: barrier at %8.2f us (+%.2f us)\n", s,
+                static_cast<double>(t) / sim::kMicrosecond,
+                static_cast<double>(t - prev) / sim::kMicrosecond);
+    prev = t;
+  }
+  std::printf("(per-superstep time grows with the frontier, as the paper's\n"
+              " BSP-style exploration predicts)\n");
+  return bsp.complete() ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Example: the paper's running example (ML parameter aggregation) on BOTH
+// architectures, showing what the RMT workarounds cost.
+//
+// RMT cannot colocate a cross-pipeline coflow's state (Fig. 2). We run the
+// three RMT strategies plus ADCP and print delivery coverage, recirculation
+// bandwidth, and makespan.
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "rmt/programs.hpp"
+#include "rmt/rmt_switch.hpp"
+#include "sim/simulator.hpp"
+#include "workload/ml_allreduce.hpp"
+
+namespace {
+
+using namespace adcp;
+
+constexpr std::uint32_t kWorkers = 8;  // spans two RMT ingress pipelines
+
+workload::MlAllReduceParams make_params() {
+  workload::MlAllReduceParams p;
+  p.workers = kWorkers;
+  p.vector_len = 128;
+  p.elems_per_packet = 8;
+  p.iterations = 2;
+  return p;
+}
+
+std::vector<packet::PortId> group() {
+  std::vector<packet::PortId> g(kWorkers);
+  std::iota(g.begin(), g.end(), 0);
+  return g;
+}
+
+void report(const char* name, const workload::MlAllReduceWorkload& wl,
+            std::uint64_t recirc_bytes) {
+  std::printf("%-24s results=%-5llu complete=%-5s recirc=%-8llu makespan=%.2f us\n",
+              name, static_cast<unsigned long long>(wl.results_received()),
+              wl.complete() ? "yes" : "NO",
+              static_cast<unsigned long long>(recirc_bytes),
+              static_cast<double>(wl.makespan()) / sim::kMicrosecond);
+}
+
+void run_rmt(rmt::RmtAggMode mode, const char* name) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 16;
+  cfg.pipeline_count = 4;
+  rmt::RmtSwitch sw(sim, cfg);
+  rmt::RmtAggOptions agg;
+  agg.workers = kWorkers;
+  agg.mode = mode;
+  agg.elems_per_packet = 8;
+  agg.report = std::make_shared<rmt::RmtAggReport>();
+  sw.load_program(rmt::scalar_aggregation_program(cfg, agg));
+  sw.set_multicast_group(1, group());
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceWorkload wl(make_params());
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+  report(name, wl, sw.stats().recirc_bytes);
+}
+
+void run_adcp() {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 16;
+  core::AdcpSwitch sw(sim, cfg);
+  core::AggregationOptions agg;
+  agg.workers = kWorkers;
+  sw.load_program(core::aggregation_program(cfg, agg));
+  sw.set_multicast_group(1, group());
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceWorkload wl(make_params());
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+  report("ADCP global area", wl, 0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Parameter aggregation, %u workers across two RMT pipelines:\n\n", kWorkers);
+  run_rmt(rmt::RmtAggMode::kSamePipe, "RMT same-pipe");
+  run_rmt(rmt::RmtAggMode::kEgressLocal, "RMT egress-local");
+  run_rmt(rmt::RmtAggMode::kRecirculate, "RMT recirculate");
+  run_adcp();
+  std::printf("\nSee bench_fig5_global_area for the full measurement.\n");
+  return 0;
+}

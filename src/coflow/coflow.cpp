@@ -1,0 +1,21 @@
+#include "coflow/coflow.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace adcp::coflow {
+
+std::uint64_t CoflowDescriptor::bottleneck_bytes() const {
+  std::unordered_map<HostId, std::uint64_t> tx;
+  std::unordered_map<HostId, std::uint64_t> rx;
+  for (const FlowSpec& f : flows) {
+    tx[f.src] += f.bytes;
+    rx[f.dst] += f.bytes;
+  }
+  std::uint64_t bottleneck = 0;
+  for (const auto& [h, b] : tx) bottleneck = std::max(bottleneck, b);
+  for (const auto& [h, b] : rx) bottleneck = std::max(bottleneck, b);
+  return bottleneck;
+}
+
+}  // namespace adcp::coflow

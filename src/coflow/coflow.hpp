@@ -1,0 +1,62 @@
+// The coflow abstraction (Chowdhury & Stoica, HotNets '12), which the paper
+// argues switches should treat as the unit of computation.
+//
+// A coflow is a set of flows with shared application semantics: all-to-all
+// parameter exchange, a shuffle, a BSP superstep. These descriptors are
+// pure data — the workloads instantiate them, the switches act on them,
+// and the tracker measures their completion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adcp::coflow {
+
+using CoflowId = std::uint64_t;
+using FlowId = std::uint64_t;
+using HostId = std::uint32_t;
+
+/// Communication patterns of Table 1 in the paper.
+enum class Pattern {
+  kAllToAll,    ///< ML training parameter exchange
+  kShuffle,     ///< DB filter-aggregate-reshuffle
+  kManyToOne,   ///< aggregation toward one consumer
+  kOneToMany,   ///< group communication / broadcast
+  kBsp,         ///< graph pattern mining supersteps
+};
+
+/// One member flow of a coflow.
+struct FlowSpec {
+  FlowId id = 0;
+  HostId src = 0;
+  HostId dst = 0;
+  std::uint64_t bytes = 0;    ///< application payload volume
+  std::uint64_t packets = 0;  ///< wire packets carrying that volume
+};
+
+/// A named set of flows that complete together.
+struct CoflowDescriptor {
+  CoflowId id = 0;
+  std::string name;
+  Pattern pattern = Pattern::kAllToAll;
+  std::vector<FlowSpec> flows;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const FlowSpec& f : flows) sum += f.bytes;
+    return sum;
+  }
+
+  [[nodiscard]] std::uint64_t total_packets() const {
+    std::uint64_t sum = 0;
+    for (const FlowSpec& f : flows) sum += f.packets;
+    return sum;
+  }
+
+  /// The largest per-host send or receive volume — the coflow's intrinsic
+  /// bottleneck (used by SEBF scheduling).
+  [[nodiscard]] std::uint64_t bottleneck_bytes() const;
+};
+
+}  // namespace adcp::coflow

@@ -1,0 +1,20 @@
+#include "coflow/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace adcp::coflow {
+
+std::vector<std::size_t> release_order(const std::vector<CoflowDescriptor>& coflows,
+                                       OrderPolicy policy) {
+  std::vector<std::size_t> order(coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == OrderPolicy::kSebf) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return coflows[a].bottleneck_bytes() < coflows[b].bottleneck_bytes();
+    });
+  }
+  return order;
+}
+
+}  // namespace adcp::coflow

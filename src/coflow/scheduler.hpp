@@ -1,0 +1,25 @@
+// Host-side coflow admission ordering.
+//
+// When several coflows contend, the order they are released matters for
+// average CCT. We provide the two classic baselines — FIFO and SEBF
+// (smallest effective bottleneck first, from Varys) — which the Table-1
+// application bench uses to serialize its workload phases.
+#pragma once
+
+#include <vector>
+
+#include "coflow/coflow.hpp"
+
+namespace adcp::coflow {
+
+/// Orders coflows for release; returns indices into `coflows`.
+enum class OrderPolicy {
+  kFifo,  ///< arrival order
+  kSebf,  ///< smallest bottleneck first
+};
+
+/// Computes the release order of `coflows` under `policy`.
+std::vector<std::size_t> release_order(const std::vector<CoflowDescriptor>& coflows,
+                                       OrderPolicy policy);
+
+}  // namespace adcp::coflow

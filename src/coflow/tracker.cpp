@@ -1,0 +1,71 @@
+#include "coflow/tracker.hpp"
+
+namespace adcp::coflow {
+
+void CoflowTracker::start(const CoflowDescriptor& descriptor, sim::Time start) {
+  Entry e;
+  e.record.descriptor = descriptor;
+  e.record.start = start;
+  for (const FlowSpec& f : descriptor.flows) {
+    e.flows[f.id] = FlowProgress{f.packets, 0};
+    if (f.packets > 0) ++e.incomplete_flows;
+  }
+  records_[descriptor.id] = std::move(e);
+}
+
+void CoflowTracker::deliver(CoflowId coflow, FlowId flow, std::uint64_t bytes, sim::Time when) {
+  const auto it = records_.find(coflow);
+  if (it == records_.end()) return;
+  Entry& e = it->second;
+  const auto fit = e.flows.find(flow);
+  if (fit == e.flows.end()) return;
+  FlowProgress& p = fit->second;
+  if (p.seen >= p.expected) return;  // duplicates beyond expectation: ignore
+  ++p.seen;
+  ++e.record.delivered_packets;
+  e.record.delivered_bytes += bytes;
+  if (p.seen == p.expected) {
+    --e.incomplete_flows;
+    maybe_finish(e, when);
+  }
+}
+
+void CoflowTracker::set_expected_packets(CoflowId coflow, FlowId flow, std::uint64_t packets) {
+  const auto it = records_.find(coflow);
+  if (it == records_.end()) return;
+  Entry& e = it->second;
+  const auto fit = e.flows.find(flow);
+  if (fit == e.flows.end()) return;
+  FlowProgress& p = fit->second;
+  const bool was_complete = p.seen >= p.expected && p.expected > 0;
+  p.expected = packets;
+  const bool now_complete = p.seen >= p.expected && p.expected > 0;
+  if (was_complete && !now_complete) ++e.incomplete_flows;
+  if (!was_complete && now_complete) --e.incomplete_flows;
+}
+
+const CoflowRecord* CoflowTracker::record(CoflowId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second.record;
+}
+
+bool CoflowTracker::all_complete() const {
+  for (const auto& [id, e] : records_) {
+    if (!e.record.complete()) return false;
+  }
+  return true;
+}
+
+std::vector<sim::Time> CoflowTracker::completion_times() const {
+  std::vector<sim::Time> out;
+  for (const auto& [id, e] : records_) {
+    if (e.record.complete()) out.push_back(e.record.completion_time());
+  }
+  return out;
+}
+
+void CoflowTracker::maybe_finish(Entry& e, sim::Time when) {
+  if (e.incomplete_flows == 0 && !e.record.finish) e.record.finish = when;
+}
+
+}  // namespace adcp::coflow

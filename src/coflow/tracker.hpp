@@ -1,0 +1,69 @@
+// Coflow completion tracking.
+//
+// A coflow completes when every member flow has delivered its expected
+// packets to its sink. The tracker records per-coflow start, finish, and
+// the resulting coflow completion time (CCT) — the primary metric of the
+// Table-1 application benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coflow/coflow.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::coflow {
+
+/// Progress and outcome of one tracked coflow.
+struct CoflowRecord {
+  CoflowDescriptor descriptor;
+  sim::Time start = 0;
+  std::optional<sim::Time> finish;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_bytes = 0;
+
+  [[nodiscard]] bool complete() const { return finish.has_value(); }
+  [[nodiscard]] sim::Time completion_time() const { return finish.value_or(0) - start; }
+};
+
+/// Observes packet deliveries and decides coflow completion.
+class CoflowTracker {
+ public:
+  /// Starts tracking `descriptor` as of `start`. Expected packet counts
+  /// come from the descriptor's flows.
+  void start(const CoflowDescriptor& descriptor, sim::Time start);
+
+  /// Records delivery of one packet of `flow` within `coflow` at `when`
+  /// carrying `bytes`. Unknown ids are ignored (background traffic).
+  void deliver(CoflowId coflow, FlowId flow, std::uint64_t bytes, sim::Time when);
+
+  /// Overrides the expected packet count of one flow (e.g. when the switch
+  /// aggregates n updates into 1 result, the sink expects fewer packets).
+  void set_expected_packets(CoflowId coflow, FlowId flow, std::uint64_t packets);
+
+  [[nodiscard]] const CoflowRecord* record(CoflowId id) const;
+  [[nodiscard]] bool all_complete() const;
+  [[nodiscard]] std::size_t tracked() const { return records_.size(); }
+
+  /// Completion times of all finished coflows, in finish order.
+  [[nodiscard]] std::vector<sim::Time> completion_times() const;
+
+ private:
+  struct FlowProgress {
+    std::uint64_t expected = 0;
+    std::uint64_t seen = 0;
+  };
+  struct Entry {
+    CoflowRecord record;
+    std::unordered_map<FlowId, FlowProgress> flows;
+    std::uint64_t incomplete_flows = 0;
+  };
+
+  void maybe_finish(Entry& e, sim::Time when);
+
+  std::unordered_map<CoflowId, Entry> records_;
+};
+
+}  // namespace adcp::coflow

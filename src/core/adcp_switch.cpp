@@ -1,0 +1,311 @@
+#include "core/adcp_switch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "packet/fields.hpp"
+#include "packet/headers.hpp"
+#include "tm/placement.hpp"
+
+namespace adcp::core {
+
+namespace {
+constexpr std::uint32_t kMaxInFlightPerPort = 4;
+
+/// Only INC packets are rewritten from the PHV; anything else is forwarded
+/// byte-identical (the deparser emit program is INC-shaped).
+bool is_inc(const packet::Phv& phv) {
+  return phv.get_or(packet::fields::kUdpDst, 0) == packet::kIncUdpPort;
+}
+}  // namespace
+
+AdcpSwitch::AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config)
+    : sim_(&sim), config_(config) {
+  pipeline::PipelineConfig pc;
+  pc.stage_count = config.edge_stages;
+  pc.clock_ghz = config.edge_clock_ghz;
+  pc.stage = config.edge_stage;
+  for (std::uint32_t i = 0; i < config.edge_pipeline_count(); ++i) {
+    pc.name = "adcp-ingress-" + std::to_string(i);
+    ingress_pipes_.emplace_back(pc);
+    pc.name = "adcp-egress-" + std::to_string(i);
+    egress_pipes_.emplace_back(pc);
+  }
+  pipeline::PipelineConfig cc;
+  cc.stage_count = config.central_stages;
+  cc.clock_ghz = config.central_clock_ghz;
+  cc.stage = config.central_stage;
+  for (std::uint32_t i = 0; i < config.central_pipeline_count; ++i) {
+    cc.name = "adcp-central-" + std::to_string(i);
+    central_pipes_.emplace_back(cc);
+  }
+
+  rx_free_.assign(config.port_count, 0);
+  tx_free_.assign(config.port_count, 0);
+  rr_demux_.assign(config.port_count, 0);
+  central_pending_.assign(config.central_pipeline_count, false);
+  egress_pending_.assign(config.edge_pipeline_count(), false);
+  in_flight_.assign(config.port_count, 0);
+}
+
+void AdcpSwitch::load_program(AdcpProgram program) {
+  assert(program.placement && "AdcpProgram::placement is mandatory (§3.1)");
+  parse_graph_ = std::move(program.parse);
+  parser_.emplace(&parse_graph_);
+  deparser_.emplace(std::move(program.deparse));
+  placement_ = std::move(program.placement);
+  demux_ = std::move(program.demux);
+  egress_demux_ = std::move(program.egress_demux);
+
+  for (std::uint32_t i = 0; i < config_.edge_pipeline_count(); ++i) {
+    if (program.setup_ingress) program.setup_ingress(ingress_pipes_[i], i);
+    if (program.setup_egress) program.setup_egress(egress_pipes_[i], i);
+  }
+  for (std::uint32_t i = 0; i < config_.central_pipeline_count; ++i) {
+    if (program.setup_central) program.setup_central(central_pipes_[i], i);
+  }
+
+  tm::TmConfig t1;
+  t1.outputs = config_.central_pipeline_count;
+  t1.buffer_bytes = config_.tm1_buffer_bytes;
+  t1.alpha = config_.tm1_alpha;
+  t1.make_scheduler = std::move(program.tm1_scheduler);
+  tm1_.emplace(std::move(t1));
+
+  tm::TmConfig t2;
+  t2.outputs = config_.edge_pipeline_count();
+  t2.buffer_bytes = config_.tm2_buffer_bytes;
+  t2.alpha = config_.tm2_alpha;
+  t2.ecn_threshold_bytes = config_.ecn_threshold_bytes;
+  t2.make_scheduler = std::move(program.tm2_scheduler);
+  tm2_.emplace(std::move(t2));
+}
+
+void AdcpSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports) {
+  multicast_[group] = std::move(ports);
+}
+
+void AdcpSwitch::kick_central(std::uint32_t cp) { try_drain_central(cp); }
+
+void AdcpSwitch::inject(packet::PortId port, packet::Packet pkt) {
+  assert(port < config_.port_count);
+  assert(parser_ && "load_program() must be called before traffic");
+  ++stats_.rx_packets;
+  stats_.rx_bytes += pkt.size();
+  pkt.meta.ingress_port = port;
+  pkt.meta.arrival = sim_->now();
+
+  // RX + parse happen at port speed (§3.3: "parsing still needs to be done
+  // at port speed"); only then is the PHV handed to a slower edge pipeline.
+  sim::Time& free = rx_free_[port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(pkt.size(), config_.port_gbps);
+
+  std::uint32_t sub = 0;
+  if (demux_) {
+    sub = demux_(pkt) % config_.demux_factor;
+  } else {
+    sub = rr_demux_[port];
+    rr_demux_[port] = (sub + 1) % config_.demux_factor;
+  }
+  const std::uint32_t edge_pipe = config_.edge_pipe_index(port, sub);
+  sim_->at(free, [this, pkt = std::move(pkt), edge_pipe]() mutable {
+    enter_ingress(std::move(pkt), edge_pipe);
+  });
+}
+
+void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
+  packet::ParseResult pr = parser_->parse(pkt);
+  if (!pr.accepted) {
+    ++stats_.parse_drops;
+    return;
+  }
+  pipeline::Pipeline& ingress = ingress_pipes_[edge_pipe];
+  const pipeline::Transit tr = ingress.process(sim_->now(), pr.phv);
+  sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
+                     consumed = pr.consumed]() mutable {
+    after_ingress(std::move(phv), std::move(pkt), consumed);
+  });
+}
+
+void AdcpSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
+  if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
+    ++stats_.program_drops;
+    return;
+  }
+  packet::Packet out =
+      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+
+  // TM1: application-defined placement over the global partitioned area.
+  const std::uint32_t cp = placement_(out) % config_.central_pipeline_count;
+  tm1_->enqueue(cp, 0, std::move(out));
+  try_drain_central(cp);
+}
+
+void AdcpSwitch::try_drain_central(std::uint32_t cp) {
+  if (central_pending_[cp]) return;
+  if (tm1_->output_packets(cp) == 0) return;
+  central_pending_[cp] = true;
+  sim_->at(sim_->now(), [this, cp] { drain_central(cp); });
+}
+
+void AdcpSwitch::drain_central(std::uint32_t cp) {
+  central_pending_[cp] = false;
+  std::optional<packet::Packet> pkt = tm1_->dequeue(cp);
+  if (!pkt) return;  // empty, or a strict merge is holding back
+
+  packet::ParseResult pr = parser_->parse(*pkt);
+  if (!pr.accepted) {
+    ++stats_.parse_drops;
+    try_drain_central(cp);
+    return;
+  }
+  pr.phv.set(packet::fields::kMetaCentralPipe, cp);
+
+  pipeline::Pipeline& central = central_pipes_[cp];
+  const pipeline::Transit tr = central.process(sim_->now(), pr.phv);
+  sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),
+                     consumed = pr.consumed, cp]() mutable {
+    after_central(std::move(phv), std::move(pkt), consumed, cp);
+  });
+
+  if (tm1_->output_packets(cp) > 0) {
+    central_pending_[cp] = true;
+    sim_->at(std::max(central.next_free(), sim_->now()), [this, cp] { drain_central(cp); });
+  }
+}
+
+void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::size_t consumed,
+                               std::uint32_t cp) {
+  (void)cp;
+  if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
+    ++stats_.program_drops;
+    return;
+  }
+  packet::Packet out =
+      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+
+  const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
+  if (group != 0) {
+    const auto it = multicast_.find(static_cast<std::uint32_t>(group));
+    if (it == multicast_.end() || it->second.empty()) {
+      ++stats_.no_route_drops;
+      return;
+    }
+    for (const packet::PortId port : it->second) {
+      packet::Packet copy = out;
+      copy.meta.egress_port = port;
+      route_to_egress(std::move(copy));
+    }
+    return;
+  }
+
+  const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
+                                          packet::kInvalidPort);
+  if (egress >= config_.port_count) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  out.meta.egress_port = static_cast<packet::PortId>(egress);
+  route_to_egress(std::move(out));
+}
+
+void AdcpSwitch::route_to_egress(packet::Packet pkt) {
+  // TM2 behaves as a classic scheduler. The egress sub-pipeline choice
+  // defaults to a flow-id hash so each flow stays in order across the m:1
+  // TX mux (programs may override via AdcpProgram::egress_demux).
+  const packet::PortId port = pkt.meta.egress_port;
+  std::uint32_t sub = 0;
+  if (egress_demux_) {
+    sub = egress_demux_(pkt) % config_.demux_factor;
+  } else {
+    sub = static_cast<std::uint32_t>(tm::placement::mix(pkt.meta.flow_id) %
+                                     config_.demux_factor);
+  }
+  const std::uint32_t edge_pipe = config_.edge_pipe_index(port, sub);
+  tm2_->enqueue(edge_pipe, 0, std::move(pkt));
+  try_drain_egress(edge_pipe);
+}
+
+void AdcpSwitch::kick_port_egress(std::uint32_t port) {
+  // The in-flight cap is per PORT; freeing a slot may unblock any of the
+  // port's m egress sub-pipelines.
+  for (std::uint32_t sub = 0; sub < config_.demux_factor; ++sub) {
+    try_drain_egress(config_.edge_pipe_index(port, sub));
+  }
+}
+
+void AdcpSwitch::try_drain_egress(std::uint32_t edge_pipe) {
+  if (egress_pending_[edge_pipe]) return;
+  const std::uint32_t port = config_.port_of_edge_pipe(edge_pipe);
+  if (in_flight_[port] >= kMaxInFlightPerPort) return;
+  if (tm2_->output_packets(edge_pipe) == 0) return;
+  egress_pending_[edge_pipe] = true;
+  sim_->at(sim_->now(), [this, edge_pipe] { drain_egress(edge_pipe); });
+}
+
+void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
+  egress_pending_[edge_pipe] = false;
+  const std::uint32_t port = config_.port_of_edge_pipe(edge_pipe);
+  if (in_flight_[port] >= kMaxInFlightPerPort) return;
+  std::optional<packet::Packet> pkt = tm2_->dequeue(edge_pipe);
+  if (!pkt) return;
+
+  packet::ParseResult pr = parser_->parse(*pkt);
+  if (!pr.accepted) {
+    ++stats_.parse_drops;
+    try_drain_egress(edge_pipe);
+    return;
+  }
+  pr.phv.set(packet::fields::kMetaEgressPort, pkt->meta.egress_port);
+
+  pipeline::Pipeline& egress = egress_pipes_[edge_pipe];
+  const pipeline::Transit tr = egress.process(sim_->now(), pr.phv);
+  sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),
+                     consumed = pr.consumed, edge_pipe]() mutable {
+    after_egress(std::move(phv), std::move(pkt), consumed, edge_pipe);
+  });
+
+  if (tm2_->output_packets(edge_pipe) > 0) {
+    egress_pending_[edge_pipe] = true;
+    sim_->at(std::max(egress.next_free(), sim_->now()),
+             [this, edge_pipe] { drain_egress(edge_pipe); });
+  }
+}
+
+void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
+                              std::uint32_t edge_pipe) {
+  const std::uint32_t port = config_.port_of_edge_pipe(edge_pipe);
+  if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
+    ++stats_.program_drops;
+    kick_port_egress(port);
+    return;
+  }
+  packet::Packet out =
+      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+
+  // m:1 mux back onto the port: TX serialization at full port rate. The
+  // packet occupies the small egress FIFO from pipe exit to TX completion.
+  ++in_flight_[port];
+  sim::Time& free = tx_free_[port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(out.size(), config_.port_gbps);
+  sim_->at(free, [this, out = std::move(out), port, edge_pipe]() mutable {
+    ++stats_.tx_packets;
+    stats_.tx_bytes += out.size();
+    if (stats_.first_tx == 0) stats_.first_tx = sim_->now();
+    stats_.last_tx = sim_->now();
+    --in_flight_[port];
+    if (tx_handler_) tx_handler_(port, std::move(out));
+    kick_port_egress(port);
+  });
+}
+
+double AdcpSwitch::achieved_tx_gbps() const {
+  if (stats_.last_tx <= stats_.first_tx) return 0.0;
+  return static_cast<double>(stats_.tx_bytes) * 8.0 * 1000.0 /
+         static_cast<double>(stats_.last_tx - stats_.first_tx);
+}
+
+}  // namespace adcp::core

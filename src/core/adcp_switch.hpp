@@ -1,0 +1,117 @@
+// The Application-Defined Coflow Processor (paper Fig. 4).
+//
+// Data path: RX (port rate) → 1:m demux → edge ingress pipeline (fraction
+// of port rate, §3.3) → TM1 (application placement / merge, §3.1) →
+// central pipeline (global partitioned area; array engine, §3.2) → TM2
+// (classic scheduler) → edge egress pipeline → m:1 mux → TX (port rate).
+//
+// Because TM2 sits after the central pipelines, a result computed in ANY
+// central pipeline can exit through ANY port — the property RMT lacks
+// (Fig. 2 vs Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/program.hpp"
+#include "net/device.hpp"
+#include "sim/simulator.hpp"
+#include "tm/traffic_manager.hpp"
+
+namespace adcp::core {
+
+/// Counters the ADCP switch exposes.
+struct AdcpStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t parse_drops = 0;
+  std::uint64_t program_drops = 0;
+  std::uint64_t no_route_drops = 0;
+  sim::Time first_tx = 0;
+  sim::Time last_tx = 0;
+};
+
+/// A simulated ADCP switch. Construct, load_program, attach a net::Fabric,
+/// drive the Simulator.
+class AdcpSwitch final : public net::SwitchDevice {
+ public:
+  AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config);
+
+  /// Installs the program; must be called before traffic. `program.placement`
+  /// is mandatory.
+  void load_program(AdcpProgram program);
+
+  /// Registers multicast group `group` -> `ports` (selected by central
+  /// programs via kMetaMulticastGroup).
+  void set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports);
+
+  /// Re-attempts draining central pipeline `cp` — call after unblocking a
+  /// strict MergeScheduler (e.g. via mark_flow_done).
+  void kick_central(std::uint32_t cp);
+
+  // SwitchDevice interface.
+  void inject(packet::PortId port, packet::Packet pkt) override;
+  void set_tx_handler(net::TxHandler handler) override { tx_handler_ = std::move(handler); }
+  [[nodiscard]] std::uint32_t port_count() const override { return config_.port_count; }
+  [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
+
+  [[nodiscard]] const AdcpConfig& config() const { return config_; }
+  [[nodiscard]] const AdcpStats& stats() const { return stats_; }
+  tm::TrafficManager& tm1() { return *tm1_; }
+  tm::TrafficManager& tm2() { return *tm2_; }
+  pipeline::Pipeline& central_pipe(std::uint32_t i) { return central_pipes_.at(i); }
+  pipeline::Pipeline& ingress_pipe(std::uint32_t i) { return ingress_pipes_.at(i); }
+  pipeline::Pipeline& egress_pipe(std::uint32_t i) { return egress_pipes_.at(i); }
+  [[nodiscard]] std::uint64_t central_packets(std::uint32_t i) const {
+    return central_pipes_.at(i).packets();
+  }
+
+  /// Achieved egress throughput over [first_tx, last_tx].
+  [[nodiscard]] double achieved_tx_gbps() const;
+
+ private:
+  void enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe);
+  void after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed);
+  void try_drain_central(std::uint32_t cp);
+  void drain_central(std::uint32_t cp);
+  void after_central(packet::Phv phv, packet::Packet original, std::size_t consumed,
+                     std::uint32_t cp);
+  void route_to_egress(packet::Packet pkt);
+  void kick_port_egress(std::uint32_t port);
+  void try_drain_egress(std::uint32_t edge_pipe);
+  void drain_egress(std::uint32_t edge_pipe);
+  void after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
+                    std::uint32_t edge_pipe);
+
+  sim::Simulator* sim_;
+  AdcpConfig config_;
+  std::optional<packet::Parser> parser_;
+  packet::ParseGraph parse_graph_;
+  std::optional<packet::Deparser> deparser_;
+  tm::PlacementFn placement_;
+  DemuxFn demux_;
+  DemuxFn egress_demux_;
+
+  std::vector<pipeline::Pipeline> ingress_pipes_;  // port_count * m
+  std::vector<pipeline::Pipeline> central_pipes_;  // central_pipeline_count
+  std::vector<pipeline::Pipeline> egress_pipes_;   // port_count * m
+  std::optional<tm::TrafficManager> tm1_;          // outputs = central pipes
+  std::optional<tm::TrafficManager> tm2_;          // outputs = egress pipes
+  net::TxHandler tx_handler_;
+  std::unordered_map<std::uint32_t, std::vector<packet::PortId>> multicast_;
+
+  std::vector<sim::Time> rx_free_;            // per port
+  std::vector<sim::Time> tx_free_;            // per port
+  std::vector<std::uint32_t> rr_demux_;       // per port (default demux)
+  std::vector<bool> central_pending_;         // per central pipe
+  std::vector<bool> egress_pending_;          // per edge egress pipe
+  std::vector<std::uint32_t> in_flight_;      // per port (egress pipe -> TX)
+  AdcpStats stats_;
+};
+
+}  // namespace adcp::core

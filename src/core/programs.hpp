@@ -1,0 +1,158 @@
+// Canonical ADCP programs used by the examples, tests, and benches.
+//
+// Address convention used throughout the repository: host i sits on switch
+// port i, and its IPv4 address is 10.0.0.i (0x0a000000 | i). Forwarding
+// programs route on the low byte of kIpDst.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/program.hpp"
+#include "mat/register.hpp"
+#include "mat/sketch.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace adcp::core {
+
+/// Plain L3 forwarding: central stage 0 maps kIpDst's low byte to the
+/// egress port. Placement spreads flows by flow-id hash.
+AdcpProgram forward_program(const AdcpConfig& config);
+
+/// Parameters of the in-network parameter server (the paper's running
+/// example, §1/§3.1/§3.2).
+struct AggregationOptions {
+  /// Contributors per aggregation slot; the result emits when the last one
+  /// arrives (SwitchML-style: the final packet carries the sums out).
+  std::uint32_t workers = 4;
+  /// Multicast group carrying results back to all workers. The switch must
+  /// have the group installed via set_multicast_group.
+  std::uint32_t result_group = 1;
+  /// ALU used to combine contributions (kAdd for gradient sums, kMax etc.).
+  mat::AluOp combine = mat::AluOp::kAdd;
+  /// Place slots across central pipes by key hash (true, the paper's
+  /// example) or keep whole coflows together (false).
+  bool place_by_key = true;
+};
+
+/// In-network aggregation over the global partitioned area: updates are
+/// placed by weight-id hash (TM1), combined by the central array engine in
+/// one batch (§3.2), and the completed result is multicast to any ports via
+/// TM2 (§3.1). Non-final updates are consumed (dropped) by the switch.
+AdcpProgram aggregation_program(const AdcpConfig& config, const AggregationOptions& opts);
+
+/// Data-plane telemetry the KV cache exports to its control plane
+/// (NetCache-style): a Count-Min sketch of miss frequencies plus a bounded
+/// ring of recently missed keys (the sketch answers "how hot", the ring
+/// answers "which keys to ask about" — sketches cannot be enumerated).
+class KvTelemetry {
+ public:
+  explicit KvTelemetry(std::size_t sketch_width = 1024, std::size_t sketch_depth = 4,
+                       std::size_t ring_capacity = 1024)
+      : sketch_(sketch_width, sketch_depth), ring_(ring_capacity, 0) {}
+
+  /// Records one miss of `key`; called from the data plane.
+  void record_miss(std::uint64_t key) {
+    sketch_.update(key);
+    ring_[ring_pos_++ % ring_.size()] = key;
+  }
+
+  [[nodiscard]] const mat::CountMinSketch& sketch() const { return sketch_; }
+  /// Recently missed keys (unordered, may repeat).
+  [[nodiscard]] const std::vector<std::uint64_t>& recent() const { return ring_; }
+  [[nodiscard]] std::uint64_t misses() const { return ring_pos_; }
+
+  void reset() {
+    sketch_.reset();
+    ring_pos_ = 0;
+  }
+
+ private:
+  mat::CountMinSketch sketch_;
+  std::vector<std::uint64_t> ring_;
+  std::size_t ring_pos_ = 0;
+};
+
+/// Options for the key/value cache program.
+struct KvCacheOptions {
+  /// Key universe; placement range-partitions it across the central pipes
+  /// so that a multi-key packet's keys co-locate with their cached state.
+  /// (A per-key hash would scatter one packet's keys across partitions —
+  /// the partitioned-area discipline of §3.1 applies to reads too.)
+  std::uint64_t key_space = 1 << 20;
+  /// Optional miss telemetry for a control-plane agent
+  /// (ctrl::HotKeyController). Sketch updates are charged to the packet.
+  std::shared_ptr<KvTelemetry> telemetry;
+};
+
+/// NetCache-style key/value cache: kRead packets whose keys all hit the
+/// central unified table are answered from register state back to the
+/// requester (kIncWorkerId names the requesting host); any miss forwards
+/// the packet to the backing store (kIpDst). kWrite installs/updates
+/// entries and is acknowledged to the requester.
+AdcpProgram kv_cache_program(const AdcpConfig& config, const KvCacheOptions& opts = {});
+
+/// Switch-initiated group data transfer (Table 1, row 4): kGroupXfer
+/// packets are replicated to the multicast group named by kIncWorkerId;
+/// everything else forwards by IP. Groups are installed on the switch via
+/// set_multicast_group.
+AdcpProgram group_comm_program(const AdcpConfig& config);
+
+/// NetLock-style in-network lock service: kLockAcquire performs a
+/// compare-and-swap on the lock cell named by the packet's first element
+/// key (granted when free or already held by the requester); kLockRelease
+/// clears it (only by the holder). Replies go back to the requester
+/// (kIncWorkerId) as kLockReply with element value 1 on success, 0 on
+/// contention; the current holder id (1-based) rides in kIncSeq. Locks
+/// live in the central register files — the global partitioned area makes
+/// one lock reachable from every port at a fixed one-RTT cost.
+AdcpProgram lock_service_program(const AdcpConfig& config);
+
+/// DB shuffle (filter-aggregate-reshuffle): rows are range-partitioned by
+/// key over `partition_owners` hosts; the central pipe rewrites the
+/// destination so each row reaches its partition owner.
+struct ShuffleOptions {
+  std::uint32_t partition_owners = 4;  ///< hosts 0..n-1 own key ranges
+  std::uint64_t max_key = 1 << 20;
+};
+AdcpProgram shuffle_program(const AdcpConfig& config, const ShuffleOptions& opts);
+
+/// Network sequencer (NOPaxos/NetPaxos-class coordination, §1's consensus
+/// application): every kPropose packet receives the next global sequence
+/// number from a register counter in the central area and is multicast to
+/// the replica group as kOrdered — giving all replicas an identical,
+/// gap-free request order with a single switch pass.
+struct SequencerOptions {
+  /// Multicast group of the replicas (installed via set_multicast_group).
+  std::uint32_t replica_group = 3;
+};
+AdcpProgram sequencer_program(const AdcpConfig& config, const SequencerOptions& opts);
+
+/// Everything at once: the multi-tenant coflow processor.
+///
+/// TM1 placement classes: aggregation coflows place by key hash, shuffle
+/// and KV by key range, locks by lock-id hash, everything else by flow
+/// hash — mirroring what each dedicated program does.
+///
+/// State-sharing caveat: tenants share each central stage's register files
+/// and engine cells (cell = key % cells), exactly as they would share a
+/// physical stage's SRAM. Deployments must give tenants disjoint effective
+/// key ranges (as a controller slicing the key space would); the
+/// simulator enforces nothing here by design.
+struct CombinedOptions {
+  AggregationOptions aggregation;
+  ShuffleOptions shuffle;
+  KvCacheOptions kv;
+};
+
+/// One program serving every INC opcode simultaneously: kAggUpdate →
+/// aggregation, kShuffle → range repartitioning, kRead/kWrite → the KV
+/// cache, kGroupXfer → group multicast, kLockAcquire/kLockRelease → the
+/// lock service, anything else → IP forwarding. This is the paper's end
+/// state: a switch that is a *coflow processor* for many applications at
+/// once, with TM1 placement keeping each application's state partitioned.
+AdcpProgram combined_inc_program(const AdcpConfig& config, const CombinedOptions& opts);
+
+}  // namespace adcp::core

@@ -1,0 +1,47 @@
+#include "ctrl/hotkey.hpp"
+
+#include <algorithm>
+
+namespace adcp::ctrl {
+
+HotKeyController::HotKeyController(HotKeyControllerConfig config,
+                                   std::shared_ptr<core::KvTelemetry> telemetry,
+                                   core::AdcpSwitch& sw, StoreLookup store)
+    : config_(config),
+      telemetry_(std::move(telemetry)),
+      switch_(&sw),
+      store_(std::move(store)) {}
+
+void HotKeyController::start(sim::Simulator& sim) {
+  handle_ = sim.every(config_.period, [this] { poll(); });
+}
+
+void HotKeyController::poll() {
+  ++polls_;
+  const auto& ring = telemetry_->recent();
+  const std::size_t filled =
+      std::min<std::size_t>(ring.size(), static_cast<std::size_t>(telemetry_->misses()));
+  std::size_t budget = config_.install_budget_per_poll;
+
+  for (std::size_t i = 0; i < filled && budget > 0; ++i) {
+    const std::uint64_t key = ring[i];
+    if (installed_.contains(key)) continue;
+    if (telemetry_->sketch().estimate(key) < config_.hot_threshold) continue;
+
+    // Install into the central pipeline owning the key's range — the same
+    // mapping the program's placement uses, so reads find it.
+    const std::uint64_t clamped = std::min(key, config_.key_space - 1);
+    const auto cp = static_cast<std::uint32_t>(
+        clamped * switch_->config().central_pipeline_count / config_.key_space);
+    mat::ArrayMatEngine* engine = switch_->central_pipe(cp).stage(0).array_engine();
+    if (engine == nullptr) return;
+    const std::uint64_t cell = key % engine->registers().size();
+    if (!engine->insert(key, cell)) continue;  // cache full
+    engine->registers().poke(static_cast<std::size_t>(cell), store_(key));
+    installed_.insert(key);
+    ++installs_;
+    --budget;
+  }
+}
+
+}  // namespace adcp::ctrl

@@ -1,0 +1,66 @@
+// Control-plane agent for the in-network KV cache (NetCache's control
+// loop): periodically poll the data plane's miss telemetry, pick keys whose
+// estimated miss rate crosses a threshold, fetch their values from the
+// authoritative store, and install them into the central pipeline that
+// owns their key range.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::ctrl {
+
+/// Fetches the authoritative value for a key (models the backing store
+/// lookup the real controller performs over its management channel).
+using StoreLookup = std::function<std::uint32_t(std::uint64_t key)>;
+
+/// Controller policy knobs.
+struct HotKeyControllerConfig {
+  /// Sketch estimate at which a key is considered hot.
+  std::uint64_t hot_threshold = 32;
+  /// Poll period.
+  sim::Time period = 10 * sim::kMicrosecond;
+  /// Keys installed per poll at most (management-channel budget).
+  std::size_t install_budget_per_poll = 64;
+  /// Must equal the KvCacheOptions::key_space the program was built with.
+  std::uint64_t key_space = 1 << 20;
+};
+
+/// The agent. Construct, then start(); it re-polls until the simulation
+/// ends or stop() is called.
+class HotKeyController {
+ public:
+  HotKeyController(HotKeyControllerConfig config, std::shared_ptr<core::KvTelemetry> telemetry,
+                   core::AdcpSwitch& sw, StoreLookup store);
+
+  /// Begins periodic polling on `sim`.
+  void start(sim::Simulator& sim);
+  void stop() { handle_.cancel(); }
+
+  /// One poll pass (also callable directly from tests).
+  void poll();
+
+  [[nodiscard]] std::uint64_t installs() const { return installs_; }
+  [[nodiscard]] std::uint64_t polls() const { return polls_; }
+  [[nodiscard]] bool installed(std::uint64_t key) const {
+    return installed_.contains(key);
+  }
+
+ private:
+  HotKeyControllerConfig config_;
+  std::shared_ptr<core::KvTelemetry> telemetry_;
+  core::AdcpSwitch* switch_;
+  StoreLookup store_;
+  sim::EventHandle handle_;
+  std::unordered_set<std::uint64_t> installed_;
+  std::uint64_t installs_ = 0;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace adcp::ctrl

@@ -1,0 +1,85 @@
+// Whole-chip budget comparison (paper §4: "supporting the features
+// described ... require packing additional logic in the switch chip").
+//
+// First-order element/SRAM/power accounting for a switch geometry, used to
+// compare an RMT reference chip against the ADCP chip that replaces it at
+// the same aggregate throughput. Everything is a proxy (no technology
+// node), but the RATIOS — more pipelines, lower clock, one extra TM, flat
+// SRAM — are exactly the §4 argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "feas/multiclock.hpp"
+
+namespace adcp::feas {
+
+/// Geometry of one chip.
+struct ChipSpec {
+  std::string name;
+  std::uint32_t pipelines = 8;          ///< total pipelines (all banks)
+  std::uint32_t stages_per_pipeline = 12;
+  std::uint32_t maus_per_stage = 16;
+  double clock_ghz = 1.62;
+  std::uint32_t traffic_managers = 1;   ///< ADCP has 2 (§3.1)
+  std::uint32_t sram_blocks_per_stage = 80;
+  /// Array-interconnect width of array-capable stages (0 = none).
+  std::uint32_t array_width = 0;
+  /// How many of the pipelines carry the array interconnect.
+  std::uint32_t array_pipelines = 0;
+};
+
+/// Derived budget numbers.
+struct ChipBudget {
+  std::uint64_t mau_count = 0;
+  std::uint64_t sram_blocks = 0;
+  double dynamic_power = 0.0;      ///< proxy units (elements x GHz)
+  double interconnect_area = 0.0;  ///< crossbar proxy units
+};
+
+/// Computes the budget of `spec`.
+inline ChipBudget chip_budget(const ChipSpec& spec) {
+  ChipBudget b;
+  b.mau_count = static_cast<std::uint64_t>(spec.pipelines) * spec.stages_per_pipeline *
+                spec.maus_per_stage;
+  b.sram_blocks = static_cast<std::uint64_t>(spec.pipelines) * spec.stages_per_pipeline *
+                  spec.sram_blocks_per_stage;
+  // TMs contribute roughly one pipeline's worth of logic each.
+  const std::uint64_t tm_elements = static_cast<std::uint64_t>(spec.traffic_managers) *
+                                    spec.stages_per_pipeline * spec.maus_per_stage;
+  b.dynamic_power = dynamic_power_proxy(spec.clock_ghz, b.mau_count + tm_elements);
+  if (spec.array_width > 0) {
+    b.interconnect_area = crossbar_area_proxy(spec.array_width, 8) *
+                          static_cast<double>(spec.array_pipelines) *
+                          spec.stages_per_pipeline;
+  }
+  return b;
+}
+
+/// The RMT reference chip at 25.6 Tbps (Table 2 row 4 geometry: 8 pipelines
+/// x 1.62 GHz, ingress+egress share the pipeline count convention).
+inline ChipSpec rmt_25t_reference() {
+  ChipSpec s;
+  s.name = "RMT 25.6T";
+  s.pipelines = 16;  // 8 ingress + 8 egress
+  s.clock_ghz = 1.62;
+  s.traffic_managers = 1;
+  return s;
+}
+
+/// The ADCP chip at the same 25.6 Tbps: 32 ports demuxed 1:2 on each side
+/// (64 edge pipes per direction at 0.60 GHz) plus 8 central pipelines at
+/// 1.0 GHz carrying the 16-lane array interconnect.
+inline ChipSpec adcp_25t_reference() {
+  ChipSpec s;
+  s.name = "ADCP 25.6T";
+  s.pipelines = 64 + 64 + 8;
+  s.clock_ghz = 0.60;  // edge clock dominates the count; central modeled below
+  s.traffic_managers = 2;
+  s.array_width = 16;
+  s.array_pipelines = 8;
+  return s;
+}
+
+}  // namespace adcp::feas

@@ -1,0 +1,108 @@
+#include "feas/gcell.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace adcp::feas {
+
+GcellGrid::GcellGrid(std::uint32_t width, std::uint32_t height, double capacity)
+    : width_(width), height_(height), capacity_(capacity) {
+  assert(width > 0 && height > 0 && capacity > 0.0);
+}
+
+std::size_t GcellGrid::add_block(Block block) {
+  assert(block.x + block.w <= width_ && block.y + block.h <= height_);
+  blocks_.push_back(std::move(block));
+  return blocks_.size() - 1;
+}
+
+void GcellGrid::add_net(Net net) {
+  assert(net.from < blocks_.size() && net.to < blocks_.size());
+  nets_.push_back(net);
+}
+
+CongestionReport GcellGrid::route() const {
+  std::vector<double> demand(static_cast<std::size_t>(width_) * height_, 0.0);
+  const auto cell = [&](std::uint32_t x, std::uint32_t y) -> double& {
+    return demand[static_cast<std::size_t>(y) * width_ + x];
+  };
+
+  for (const Net& net : nets_) {
+    const Block& a = blocks_[net.from];
+    const Block& b = blocks_[net.to];
+    const auto ax = static_cast<std::uint32_t>(std::min<double>(a.cx(), width_ - 1));
+    const auto ay = static_cast<std::uint32_t>(std::min<double>(a.cy(), height_ - 1));
+    const auto bx = static_cast<std::uint32_t>(std::min<double>(b.cx(), width_ - 1));
+    const auto by = static_cast<std::uint32_t>(std::min<double>(b.cy(), height_ - 1));
+    // L route: horizontal at ay from ax to bx, then vertical at bx.
+    const auto [x0, x1] = std::minmax(ax, bx);
+    for (std::uint32_t x = x0; x <= x1; ++x) cell(x, ay) += net.wires;
+    const auto [y0, y1] = std::minmax(ay, by);
+    for (std::uint32_t y = y0; y <= y1; ++y) cell(bx, y) += net.wires;
+  }
+
+  CongestionReport report;
+  double sum = 0.0;
+  for (std::uint32_t y = 0; y < height_; ++y) {
+    for (std::uint32_t x = 0; x < width_; ++x) {
+      const double util = cell(x, y) / capacity_;
+      sum += util;
+      if (util > report.peak) {
+        report.peak = util;
+        report.hot_x = x;
+        report.hot_y = y;
+      }
+      if (util > 1.0) ++report.overflowed_cells;
+    }
+  }
+  report.mean = sum / (static_cast<double>(width_) * height_);
+  return report;
+}
+
+GcellGrid monolithic_tm_floorplan(std::uint32_t pipes, std::uint32_t wires_per_pipe,
+                                  double cell_capacity) {
+  // Pipelines ring a single central TM block; every bundle converges on it.
+  const std::uint32_t side = std::max<std::uint32_t>(16, pipes * 2);
+  GcellGrid grid(side, side, cell_capacity);
+  const std::uint32_t tm_w = side / 4;
+  const std::size_t tm = grid.add_block(
+      Block{"tm", side / 2 - tm_w / 2, side / 2 - tm_w / 2, tm_w, tm_w});
+
+  for (std::uint32_t i = 0; i < pipes; ++i) {
+    // Spread pipeline blocks along the left and right edges.
+    const bool left = (i % 2) == 0;
+    const std::uint32_t row = (i / 2) * std::max<std::uint32_t>(1, (side - 2) / ((pipes + 1) / 2 + 1)) + 1;
+    const std::size_t p = grid.add_block(Block{"pipe-" + std::to_string(i),
+                                               left ? 0 : side - 2,
+                                               std::min(row, side - 2), 2, 2});
+    grid.add_net(Net{p, tm, wires_per_pipe});
+  }
+  return grid;
+}
+
+GcellGrid interleaved_tm_floorplan(std::uint32_t pipes, std::uint32_t wires_per_pipe,
+                                   double cell_capacity) {
+  // One TM slice sits beside each pipeline; slices chain via a thin ring
+  // (1/8 of the bundle width models the shared-memory interconnect).
+  const std::uint32_t side = std::max<std::uint32_t>(16, pipes * 2);
+  GcellGrid grid(side, side, cell_capacity);
+  std::vector<std::size_t> slices;
+  for (std::uint32_t i = 0; i < pipes; ++i) {
+    const std::uint32_t row =
+        std::min(i * std::max<std::uint32_t>(2, side / (pipes + 1)) + 1, side - 2);
+    const std::size_t p =
+        grid.add_block(Block{"pipe-" + std::to_string(i), 2, row, 2, 2});
+    const std::size_t s =
+        grid.add_block(Block{"tm-slice-" + std::to_string(i), 5, row, 2, 2});
+    grid.add_net(Net{p, s, wires_per_pipe});
+    slices.push_back(s);
+  }
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    grid.add_net(Net{slices[i - 1], slices[i],
+                     std::max<std::uint32_t>(1, wires_per_pipe / 8)});
+  }
+  return grid;
+}
+
+}  // namespace adcp::feas

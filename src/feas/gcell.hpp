@@ -1,0 +1,83 @@
+// G-cell routing-congestion estimation (paper §4).
+//
+// §4 describes how EDA tools measure congestion: the floorplan is gridded
+// into g-cells and each cell's congestion is the wire demand through it
+// versus its track capacity, with hot spots forming around heavily shared
+// IP blocks (the traffic managers). This module implements that estimator:
+// place rectangular blocks, route each net as an L (HPWL decomposition),
+// accumulate per-cell demand, and report peak/overflow. The bench compares
+// a monolithic TM floorplan against the interleaved one §4 recommends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adcp::feas {
+
+/// A placed rectangular block (pipeline, TM slice, ...).
+struct Block {
+  std::string name;
+  std::uint32_t x = 0, y = 0;      ///< lower-left g-cell
+  std::uint32_t w = 1, h = 1;      ///< extent in g-cells
+
+  [[nodiscard]] double cx() const { return x + w / 2.0; }
+  [[nodiscard]] double cy() const { return y + h / 2.0; }
+};
+
+/// A bundle of `wires` parallel signal wires between two blocks.
+struct Net {
+  std::size_t from = 0;  ///< block index
+  std::size_t to = 0;    ///< block index
+  std::uint32_t wires = 1;
+};
+
+/// Congestion outcome.
+struct CongestionReport {
+  double peak = 0.0;        ///< max demand/capacity over all cells
+  double mean = 0.0;
+  std::uint32_t overflowed_cells = 0;  ///< cells with demand > capacity
+  std::uint32_t hot_x = 0, hot_y = 0;  ///< location of the peak
+};
+
+/// The gridded floorplan.
+class GcellGrid {
+ public:
+  /// `capacity`: routing tracks available per g-cell per direction.
+  GcellGrid(std::uint32_t width, std::uint32_t height, double capacity);
+
+  /// Adds a block; returns its index for nets.
+  std::size_t add_block(Block block);
+
+  /// Adds a wire bundle between two placed blocks.
+  void add_net(Net net);
+
+  /// Routes every net as an L between block centers (horizontal leg then
+  /// vertical), accumulating demand, and reports congestion.
+  [[nodiscard]] CongestionReport route() const;
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+  double capacity_;
+  std::vector<Block> blocks_;
+  std::vector<Net> nets_;
+};
+
+/// Builds the ADCP floorplan with a MONOLITHIC traffic manager: one big TM
+/// block in the center, all `pipes` edge/central pipelines connected to it
+/// with `wires_per_pipe` wires each.
+GcellGrid monolithic_tm_floorplan(std::uint32_t pipes, std::uint32_t wires_per_pipe,
+                                  double cell_capacity);
+
+/// Builds the floorplan §4 recommends: the TM is split into `pipes` slices
+/// interleaved with the pipelines, so each bundle only travels to its
+/// neighbouring slice (plus a thin inter-slice ring).
+GcellGrid interleaved_tm_floorplan(std::uint32_t pipes, std::uint32_t wires_per_pipe,
+                                   double cell_capacity);
+
+}  // namespace adcp::feas

@@ -1,0 +1,56 @@
+// Multi-clock MAT-memory feasibility and area/power proxies (paper §4).
+//
+// §4's serialized option clocks the unified MAT memory `width`× faster
+// than the pipeline so `width` lookups retire per pipe cycle. SRAM macros
+// have a hard frequency ceiling, so the achievable array width is bounded;
+// the parallel-interconnect option avoids the ceiling but pays crossbar
+// area that grows with width².
+#pragma once
+
+#include <cstdint>
+
+namespace adcp::feas {
+
+/// The serialized (multi-clock) design option.
+struct MultiClockMatModel {
+  double pipe_clock_ghz = 1.0;
+  double sram_max_ghz = 3.2;  ///< typical high-speed SRAM macro ceiling
+
+  /// Memory clock needed to retire `width` lookups per pipe cycle.
+  [[nodiscard]] double required_memory_ghz(std::uint32_t width) const {
+    return pipe_clock_ghz * static_cast<double>(width);
+  }
+
+  /// True when the SRAM macro can be clocked fast enough for `width`.
+  [[nodiscard]] bool feasible(std::uint32_t width) const {
+    return required_memory_ghz(width) <= sram_max_ghz;
+  }
+
+  /// Largest array width the memory clock allows.
+  [[nodiscard]] std::uint32_t max_width() const {
+    return static_cast<std::uint32_t>(sram_max_ghz / pipe_clock_ghz);
+  }
+
+  /// Lookups retired per pipe cycle for a requested `width` (saturates at
+  /// the memory-clock bound; the remainder serializes into extra cycles).
+  [[nodiscard]] std::uint32_t lookups_per_cycle(std::uint32_t width) const {
+    const auto bound = max_width();
+    return width < bound ? width : bound;
+  }
+};
+
+/// First-order dynamic-power proxy: P ∝ C·V²·f; with C scaled by the
+/// element count (stages × MAUs) and V fixed, relative power between two
+/// designs reduces to elements × frequency.
+[[nodiscard]] inline double dynamic_power_proxy(double clock_ghz, std::uint64_t elements) {
+  return clock_ghz * static_cast<double>(elements);
+}
+
+/// Crossbar area proxy for the parallel-interconnect option: ports² per
+/// crosspoint (a width-W lookup interconnect over B memory banks).
+[[nodiscard]] inline double crossbar_area_proxy(std::uint32_t width, std::uint32_t banks) {
+  return static_cast<double>(width) * static_cast<double>(width) *
+         static_cast<double>(banks);
+}
+
+}  // namespace adcp::feas

@@ -1,0 +1,66 @@
+#include "feas/scaling.hpp"
+
+namespace adcp::feas {
+
+std::vector<DesignPoint> table2_design_points() {
+  // Columns fixed by the paper: throughput, port speed, #pipelines,
+  // ports/pipeline, and the clock ceiling the designers accepted. The
+  // min-packet column is what the model derives.
+  struct Fixed {
+    double tbps;
+    double port_gbps;
+    std::uint32_t pipelines;
+    double ports_per_pipe;
+    double clock_ghz;
+  };
+  const Fixed rows[] = {
+      {0.64, 10.0, 1, 64.0, 0.95},
+      {6.4, 100.0, 4, 16.0, 1.25},
+      {12.8, 400.0, 4, 8.0, 1.62},
+      {25.6, 800.0, 8, 8.0, 1.62},
+      {51.2, 1600.0, 8, 4.0, 1.62},
+  };
+  std::vector<DesignPoint> out;
+  for (const Fixed& r : rows) {
+    DesignPoint p;
+    p.switch_tbps = r.tbps;
+    p.port_gbps = r.port_gbps;
+    p.pipelines = r.pipelines;
+    p.ports_per_pipeline = r.ports_per_pipe;
+    p.clock_ghz = r.clock_ghz;
+    p.min_packet_bytes =
+        ScalingModel::min_packet_bytes(r.ports_per_pipe, r.port_gbps, r.clock_ghz);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<DesignPoint> table3_design_points() {
+  // Table 3 contrasts, per port speed, the RMT-style multiplexed design
+  // (big packets, 1.62 GHz) with the ADCP 1:2 demultiplexed one (84 B
+  // packets, derived clock).
+  struct Fixed {
+    double port_gbps;
+    double ports_per_pipe;
+    std::uint32_t packet_bytes;
+  };
+  const Fixed rows[] = {
+      {800.0, 8.0, 495},
+      {800.0, 0.5, 84},
+      {1600.0, 4.0, 495},
+      {1600.0, 0.5, 84},
+  };
+  std::vector<DesignPoint> out;
+  for (const Fixed& r : rows) {
+    DesignPoint p;
+    p.port_gbps = r.port_gbps;
+    p.ports_per_pipeline = r.ports_per_pipe;
+    p.min_packet_bytes = r.packet_bytes;
+    p.clock_ghz =
+        ScalingModel::required_clock_ghz(r.ports_per_pipe, r.port_gbps, r.packet_bytes);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace adcp::feas

@@ -1,0 +1,77 @@
+// Port-multiplexing scalability arithmetic (paper §2 issue 3 and §3.3;
+// Tables 2 and 3).
+//
+// The governing identity for a line-rate pipeline that retires one packet
+// per clock:
+//
+//   pps_per_pipeline = (ports_per_pipeline × port_rate) / (packet_bytes × 8)
+//   clock_ghz       >= pps_per_pipeline / 1e9
+//
+// The paper's tables quote packet sizes as *wire* bytes (84 B = minimum
+// Ethernet frame 64 B + 20 B preamble/IPG), so no overhead adjustment is
+// applied here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adcp::feas {
+
+/// One switch design point (a row of Table 2 or Table 3).
+struct DesignPoint {
+  double switch_tbps = 0.0;        ///< aggregate throughput (0 = per-port row)
+  double port_gbps = 0.0;
+  std::uint32_t pipelines = 0;     ///< 0 when the row is per-port (Table 3)
+  double ports_per_pipeline = 0.0; ///< < 1 means demultiplexed (ADCP, §3.3)
+  std::uint32_t min_packet_bytes = 0;
+  double clock_ghz = 0.0;
+};
+
+/// The scaling identities, each solving for one unknown.
+class ScalingModel {
+ public:
+  /// Gbps entering one pipeline.
+  static double pipeline_gbps(double ports_per_pipeline, double port_gbps) {
+    return ports_per_pipeline * port_gbps;
+  }
+
+  /// Packets/s one pipeline must retire at line rate.
+  static double required_pps(double ports_per_pipeline, double port_gbps,
+                             std::uint32_t packet_bytes) {
+    return pipeline_gbps(ports_per_pipeline, port_gbps) * 1e9 /
+           (static_cast<double>(packet_bytes) * 8.0);
+  }
+
+  /// Clock (GHz) for one packet per cycle at line rate.
+  static double required_clock_ghz(double ports_per_pipeline, double port_gbps,
+                                   std::uint32_t packet_bytes) {
+    return required_pps(ports_per_pipeline, port_gbps, packet_bytes) / 1e9;
+  }
+
+  /// Smallest packet (wire bytes) a pipeline can sustain at line rate given
+  /// a clock ceiling.
+  static std::uint32_t min_packet_bytes(double ports_per_pipeline, double port_gbps,
+                                        double clock_ghz) {
+    const double bytes = pipeline_gbps(ports_per_pipeline, port_gbps) / (8.0 * clock_ghz);
+    return static_cast<std::uint32_t>(bytes + 0.9999);  // round up: smaller loses line rate
+  }
+
+  /// Largest multiplexing factor that keeps `packet_bytes` line-rate under a
+  /// clock ceiling.
+  static double max_ports_per_pipeline(double port_gbps, std::uint32_t packet_bytes,
+                                       double clock_ghz) {
+    return clock_ghz * 8.0 * static_cast<double>(packet_bytes) / port_gbps;
+  }
+};
+
+/// The five configurations of paper Table 2, with min_packet_bytes and
+/// clock derived from the model (matching the paper's printed values to
+/// within rounding).
+std::vector<DesignPoint> table2_design_points();
+
+/// The four configurations of paper Table 3 (800G/1.6T, mux 8:1 / 4:1 vs
+/// demux 1:2), with the clock derived from the model.
+std::vector<DesignPoint> table3_design_points();
+
+}  // namespace adcp::feas

@@ -1,0 +1,40 @@
+#include "mat/register.hpp"
+
+#include <algorithm>
+
+namespace adcp::mat {
+
+std::uint64_t RegisterFile::apply(AluOp op, std::size_t index, std::uint64_t operand) {
+  assert(index < cells_.size());
+  ++transactions_;
+  std::uint64_t& cell = cells_[index];
+  switch (op) {
+    case AluOp::kRead:
+      return cell;
+    case AluOp::kWrite: {
+      const std::uint64_t old = cell;
+      cell = operand;
+      return old;
+    }
+    case AluOp::kAdd:
+      cell += operand;
+      return cell;
+    case AluOp::kMax:
+      cell = std::max(cell, operand);
+      return cell;
+    case AluOp::kMin:
+      cell = std::min(cell, operand);
+      return cell;
+    case AluOp::kCas: {
+      const std::uint64_t old = cell;
+      if (cell == 0) cell = operand;
+      return old;
+    }
+    case AluOp::kAndOr:
+      cell = (cell & (operand >> 32)) | (operand & 0xffff'ffffULL);
+      return cell;
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace adcp::mat

@@ -1,0 +1,60 @@
+// Stateful registers and their ALU.
+//
+// Registers are the "stateful processing" of the paper's title: arrays of
+// cells that persist across packets, updated by a read-modify-write ALU as
+// a packet passes the stage. Exactly one RMW per cell per packet — the
+// discipline real RMT stages enforce.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace adcp::mat {
+
+/// Operations the stateful ALU supports.
+enum class AluOp {
+  kRead,    ///< result = cell
+  kWrite,   ///< cell = operand; result = old value
+  kAdd,     ///< cell += operand; result = new value
+  kMax,     ///< cell = max(cell, operand); result = new value
+  kMin,     ///< cell = min(cell, operand); result = new value
+  kCas,     ///< if cell == 0 then cell = operand; result = old value
+  kAndOr,   ///< cell = (cell & hi32(operand)) | lo32(operand); result = new
+};
+
+/// A register array within a stage.
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::size_t cells) : cells_(cells, 0) {}
+
+  /// Applies `op` to cell `index` with `operand`; returns the op's result.
+  std::uint64_t apply(AluOp op, std::size_t index, std::uint64_t operand);
+
+  /// Direct read without an ALU transaction (control-plane access).
+  [[nodiscard]] std::uint64_t peek(std::size_t index) const {
+    assert(index < cells_.size());
+    return cells_[index];
+  }
+
+  /// Control-plane write.
+  void poke(std::size_t index, std::uint64_t value) {
+    assert(index < cells_.size());
+    cells_[index] = value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  /// Number of ALU transactions performed (for occupancy accounting).
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
+
+  void fill(std::uint64_t value) {
+    for (auto& c : cells_) c = value;
+  }
+
+ private:
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace adcp::mat

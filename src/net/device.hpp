@@ -1,0 +1,31 @@
+// The interface every simulated switch exposes to the network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "packet/packet.hpp"
+
+namespace adcp::net {
+
+/// Called when the last bit of `pkt` leaves TX `port`.
+using TxHandler = std::function<void(packet::PortId port, packet::Packet pkt)>;
+
+/// A switch as seen from its ports. Implemented by rmt::RmtSwitch and
+/// core::AdcpSwitch.
+class SwitchDevice {
+ public:
+  virtual ~SwitchDevice() = default;
+
+  /// Delivers a packet whose first bit reaches RX `port` at the simulator's
+  /// current time. The device charges RX serialization internally.
+  virtual void inject(packet::PortId port, packet::Packet pkt) = 0;
+
+  /// Installs the egress callback (replacing any previous one).
+  virtual void set_tx_handler(TxHandler handler) = 0;
+
+  [[nodiscard]] virtual std::uint32_t port_count() const = 0;
+  [[nodiscard]] virtual double port_gbps() const = 0;
+};
+
+}  // namespace adcp::net

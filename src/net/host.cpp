@@ -1,0 +1,82 @@
+#include "net/host.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace adcp::net {
+
+sim::Time Host::send(packet::Packet pkt, sim::Time earliest) {
+  const sim::Time start = std::max({sim_->now(), nic_free_, earliest});
+  nic_free_ = start + link_.serialize(pkt.size());
+  ++tx_packets_;
+  tx_bytes_ += pkt.size();
+  pkt.meta.ingress_port = port_;
+
+  // The switch sees the first bit after propagation — unless the link
+  // lottery eats the packet.
+  const sim::Time arrival = start + link_.propagation;
+  if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
+    ++link_drops_;
+    return arrival;
+  }
+  sim_->at(arrival, [this, pkt = std::move(pkt)]() mutable {
+    device_->inject(port_, std::move(pkt));
+  });
+  return arrival;
+}
+
+sim::Time Host::send_inc(const packet::IncPacketSpec& spec, sim::Time earliest) {
+  return send(packet::make_inc_packet(spec), earliest);
+}
+
+void Host::deliver_from_switch(packet::Packet pkt) {
+  if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
+    ++link_drops_;
+    return;
+  }
+  sim_->after(link_.propagation, [this, pkt = std::move(pkt)]() mutable {
+    ++rx_packets_;
+    rx_bytes_ += pkt.size();
+    last_rx_ = sim_->now();
+    if (pkt.size() > packet::kEthernetBytes + 1 &&
+        pkt.data.read(12, 2) == packet::kEtherTypeIpv4 &&
+        (pkt.data.read(packet::kEthernetBytes + 1, 1) & 0x3) == 0x3) {
+      ++rx_ecn_marked_;
+    }
+
+    packet::IncHeader inc;
+    if (packet::decode_inc(pkt, inc)) {
+      rx_goodput_bytes_ += inc.elements.size() * packet::kIncElementBytes;
+      auto& highest = highest_seq_[inc.flow_id];
+      if (inc.seq < highest) {
+        ++rx_reordered_;
+      } else {
+        highest = inc.seq;
+      }
+      if (tracker_ != nullptr) {
+        tracker_->deliver(inc.coflow_id, inc.flow_id, pkt.size(), sim_->now());
+      }
+    } else if (tracker_ != nullptr && pkt.meta.coflow_id != 0) {
+      tracker_->deliver(pkt.meta.coflow_id, pkt.meta.flow_id, pkt.size(), sim_->now());
+    }
+
+    for (const RxCallback& cb : rx_callbacks_) cb(*this, pkt);
+  });
+}
+
+Fabric::Fabric(sim::Simulator& sim, SwitchDevice& device, Link link, std::uint64_t seed)
+    : rng_(seed) {
+  hosts_.reserve(device.port_count());
+  for (std::uint32_t p = 0; p < device.port_count(); ++p) {
+    hosts_.emplace_back(p, p, link, sim, device, &rng_);
+  }
+  device.set_tx_handler([this](packet::PortId port, packet::Packet pkt) {
+    if (port < hosts_.size()) hosts_[port].deliver_from_switch(std::move(pkt));
+  });
+}
+
+void Fabric::set_tracker(coflow::CoflowTracker* tracker) {
+  for (Host& h : hosts_) h.set_tracker(tracker);
+}
+
+}  // namespace adcp::net

@@ -1,0 +1,121 @@
+// End hosts: paced senders and measuring sinks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coflow/coflow.hpp"
+#include "coflow/tracker.hpp"
+#include "net/device.hpp"
+#include "net/link.hpp"
+#include "packet/headers.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace adcp::net {
+
+/// A server attached to one switch port. Sends packets paced at its link
+/// rate and measures what it receives (bytes, packets, per-flow ordering,
+/// coflow completion via an optional shared tracker).
+class Host {
+ public:
+  /// Optional application hook invoked on every received packet.
+  using RxCallback = std::function<void(Host&, const packet::Packet&)>;
+
+  Host(coflow::HostId id, packet::PortId port, Link link, sim::Simulator& sim,
+       SwitchDevice& device, sim::Rng* rng = nullptr)
+      : id_(id), port_(port), link_(link), sim_(&sim), device_(&device), rng_(rng) {}
+
+  /// Queues `pkt` for transmission no earlier than `earliest`; the NIC
+  /// serializes packets back to back at the link rate. Returns the time the
+  /// packet's first bit enters the switch port.
+  sim::Time send(packet::Packet pkt, sim::Time earliest = 0);
+
+  /// Convenience: builds an INC packet from `spec` and sends it.
+  sim::Time send_inc(const packet::IncPacketSpec& spec, sim::Time earliest = 0);
+
+  /// Called by the fabric when the switch finished transmitting to us;
+  /// accounts the packet after propagation delay.
+  void deliver_from_switch(packet::Packet pkt);
+
+  /// Replaces all RX callbacks with `cb`.
+  void set_rx_callback(RxCallback cb) {
+    rx_callbacks_.clear();
+    rx_callbacks_.push_back(std::move(cb));
+  }
+
+  /// Adds an RX callback alongside existing ones (multi-tenant hosts: each
+  /// application registers its own sink).
+  void add_rx_callback(RxCallback cb) { rx_callbacks_.push_back(std::move(cb)); }
+  /// Attaches a (shared) coflow tracker that receives delivery events.
+  void set_tracker(coflow::CoflowTracker* tracker) { tracker_ = tracker; }
+
+  [[nodiscard]] coflow::HostId id() const { return id_; }
+  [[nodiscard]] packet::PortId port() const { return port_; }
+  [[nodiscard]] const Link& link() const { return link_; }
+
+  [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
+  [[nodiscard]] std::uint64_t rx_bytes() const { return rx_bytes_; }
+  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+  /// INC element payload bytes received (goodput numerator).
+  [[nodiscard]] std::uint64_t rx_goodput_bytes() const { return rx_goodput_bytes_; }
+  /// Packets that arrived with a sequence number lower than an already
+  /// delivered one of the same flow (reordering metric for the TM1 merge
+  /// ablation).
+  [[nodiscard]] std::uint64_t rx_reordered() const { return rx_reordered_; }
+  /// Packets delivered with the IP ECN field marked CE (congestion).
+  [[nodiscard]] std::uint64_t rx_ecn_marked() const { return rx_ecn_marked_; }
+  /// Packets lost on this host's links (either direction).
+  [[nodiscard]] std::uint64_t link_drops() const { return link_drops_; }
+  [[nodiscard]] sim::Time last_rx_time() const { return last_rx_; }
+
+ private:
+  coflow::HostId id_;
+  packet::PortId port_;
+  Link link_;
+  sim::Simulator* sim_;
+  SwitchDevice* device_;
+  sim::Rng* rng_;  // not owned; shared by the fabric (null = lossless)
+  std::vector<RxCallback> rx_callbacks_;
+  coflow::CoflowTracker* tracker_ = nullptr;
+
+  sim::Time nic_free_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  std::uint64_t rx_goodput_bytes_ = 0;
+  std::uint64_t rx_reordered_ = 0;
+  std::uint64_t rx_ecn_marked_ = 0;
+  std::uint64_t link_drops_ = 0;
+  sim::Time last_rx_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> highest_seq_;  // flow -> seq
+};
+
+/// Wires one host to every port of a switch and dispatches TX packets back
+/// to the owning host.
+class Fabric {
+ public:
+  /// Creates `device.port_count()` hosts, host i on port i. `seed` drives
+  /// the link-loss lottery when the link has a nonzero loss_rate.
+  Fabric(sim::Simulator& sim, SwitchDevice& device, Link link,
+         std::uint64_t seed = 0xfab21c);
+
+  Host& host(std::size_t i) { return hosts_.at(i); }
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+
+  /// Installs `tracker` on every host.
+  void set_tracker(coflow::CoflowTracker* tracker);
+
+  std::vector<Host>& hosts() { return hosts_; }
+
+ private:
+  sim::Rng rng_;
+  std::vector<Host> hosts_;
+};
+
+}  // namespace adcp::net

@@ -1,0 +1,24 @@
+// Point-to-point link timing.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace adcp::net {
+
+/// A full-duplex link: rate plus propagation delay, with optional random
+/// loss (models dirty optics / FEC escape; applied independently per
+/// direction by the fabric).
+struct Link {
+  double gbps = 100.0;
+  sim::Time propagation = 500 * sim::kNanosecond;  ///< ~100 m of fiber
+  double loss_rate = 0.0;  ///< per-packet drop probability in [0, 1)
+
+  /// Serialization time for `bytes` on this link.
+  [[nodiscard]] sim::Time serialize(std::uint64_t bytes) const {
+    return sim::serialization_time(bytes, gbps);
+  }
+};
+
+}  // namespace adcp::net

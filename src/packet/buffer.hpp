@@ -1,0 +1,64 @@
+// Raw byte buffer with network-order (big-endian) accessors.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adcp::packet {
+
+/// Growable byte buffer. All multi-byte reads/writes are big-endian, as on
+/// the wire. Out-of-range access is a programming error (asserted).
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t size) : bytes_(size, 0) {}
+  explicit Buffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+  void resize(std::size_t n) { bytes_.resize(n, 0); }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+  [[nodiscard]] std::span<std::uint8_t> bytes() { return bytes_; }
+
+  /// Reads `width` bytes (1..8) at `offset` as a big-endian unsigned value.
+  [[nodiscard]] std::uint64_t read(std::size_t offset, std::size_t width) const {
+    assert(width >= 1 && width <= 8 && offset + width <= bytes_.size());
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < width; ++i) v = (v << 8) | bytes_[offset + i];
+    return v;
+  }
+
+  /// Writes the low `width` bytes of `value` big-endian at `offset`.
+  void write(std::size_t offset, std::size_t width, std::uint64_t value) {
+    assert(width >= 1 && width <= 8 && offset + width <= bytes_.size());
+    for (std::size_t i = 0; i < width; ++i) {
+      bytes_[offset + width - 1 - i] = static_cast<std::uint8_t>(value & 0xff);
+      value >>= 8;
+    }
+  }
+
+  /// Appends the low `width` bytes of `value` big-endian; returns the offset
+  /// the value was written at.
+  std::size_t append(std::size_t width, std::uint64_t value) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + width);
+    write(at, width, value);
+    return at;
+  }
+
+  /// Appends raw bytes.
+  void append_bytes(std::span<const std::uint8_t> src) {
+    bytes_.insert(bytes_.end(), src.begin(), src.end());
+  }
+
+  bool operator==(const Buffer&) const = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace adcp::packet

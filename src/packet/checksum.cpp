@@ -1,0 +1,39 @@
+#include "packet/checksum.hpp"
+
+#include "packet/headers.hpp"
+
+namespace adcp::packet {
+
+std::uint16_t internet_checksum(const Buffer& buf, std::size_t offset, std::size_t len) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>(buf.read(offset + i, 2));
+  }
+  if (i < len) {
+    sum += static_cast<std::uint32_t>(buf.read(offset + i, 1)) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+namespace {
+constexpr std::size_t kIpOffset = kEthernetBytes;
+constexpr std::size_t kChecksumOffset = kIpOffset + 10;
+}  // namespace
+
+void write_ipv4_checksum(Packet& pkt) {
+  if (pkt.data.size() < kIpOffset + kIpv4Bytes) return;
+  pkt.data.write(kChecksumOffset, 2, 0);
+  const std::uint16_t sum = internet_checksum(pkt.data, kIpOffset, kIpv4Bytes);
+  pkt.data.write(kChecksumOffset, 2, sum);
+}
+
+bool verify_ipv4_checksum(const Packet& pkt) {
+  if (pkt.data.size() < kIpOffset + kIpv4Bytes) return false;
+  // Summing the header INCLUDING the stored checksum must yield zero
+  // (i.e. the folded complement is 0).
+  return internet_checksum(pkt.data, kIpOffset, kIpv4Bytes) == 0;
+}
+
+}  // namespace adcp::packet

@@ -1,0 +1,28 @@
+// Internet checksum (RFC 1071) utilities for the IPv4 header.
+//
+// The simulators do not verify checksums on the hot path (the INC programs
+// rewrite headers every hop and Tofino-class chips recompute in the
+// deparser), but the utilities let tests and tools produce and validate
+// wire-correct packets.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/buffer.hpp"
+#include "packet/packet.hpp"
+
+namespace adcp::packet {
+
+/// One's-complement sum over `len` bytes at `offset` (RFC 1071), folded to
+/// 16 bits. Odd lengths are padded with a zero byte, per the RFC.
+std::uint16_t internet_checksum(const Buffer& buf, std::size_t offset, std::size_t len);
+
+/// Computes the IPv4 header checksum of the packet's IP header (assumed at
+/// the standard offset after Ethernet, 20 bytes, checksum field zeroed
+/// during summation) and writes it into the header.
+void write_ipv4_checksum(Packet& pkt);
+
+/// True if the packet's IPv4 header checksum is currently valid.
+[[nodiscard]] bool verify_ipv4_checksum(const Packet& pkt);
+
+}  // namespace adcp::packet

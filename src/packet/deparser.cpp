@@ -1,0 +1,80 @@
+#include "packet/deparser.hpp"
+
+#include <algorithm>
+
+#include "packet/fields.hpp"
+#include "packet/headers.hpp"
+
+namespace adcp::packet {
+
+Packet Deparser::deparse(const Phv& phv, const Packet& original,
+                         std::size_t payload_offset) const {
+  Packet out;
+  out.meta = original.meta;
+  Buffer& b = out.data;
+
+  for (const EmitOp& op : ops_) {
+    if (const auto* s = std::get_if<EmitScalar>(&op)) {
+      b.append(s->width, phv.get_or(s->src, 0));
+    } else if (const auto* c = std::get_if<EmitConst>(&op)) {
+      b.append(c->width, c->value);
+    } else if (const auto* a = std::get_if<EmitArray>(&op)) {
+      std::size_t count = 0;
+      for (const EmitArray::Lane& lane : a->lanes) {
+        count = std::max(count, phv.array(lane.src).size());
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        for (const EmitArray::Lane& lane : a->lanes) {
+          const auto arr = phv.array(lane.src);
+          b.append(lane.width, i < arr.size() ? arr[i] : 0);
+        }
+      }
+    }
+  }
+
+  if (payload_offset < original.data.size()) {
+    b.append_bytes(original.data.bytes().subspan(payload_offset));
+  }
+
+  // Keep PHV-derived metadata coherent.
+  if (phv.has(fields::kIncFlowId)) out.meta.flow_id = phv.get(fields::kIncFlowId);
+  if (phv.has(fields::kIncCoflowId)) out.meta.coflow_id = phv.get(fields::kIncCoflowId);
+  if (phv.get_or(fields::kMetaDrop, 0) != 0) out.meta.drop = true;
+  return out;
+}
+
+Deparser standard_deparser() {
+  // Assembles exactly the layout of make_inc_packet(). Length fields are
+  // emitted as placeholders here; deposit via a final fix-up is handled by
+  // re-deriving them from the element count field, which the pipeline
+  // program is responsible for keeping equal to the array size (the
+  // standard programs in src/core do this).
+  std::vector<EmitOp> ops;
+  ops.push_back(EmitScalar{fields::kEthDst, 6});
+  ops.push_back(EmitScalar{fields::kEthSrc, 6});
+  ops.push_back(EmitScalar{fields::kEthType, 2});
+  ops.push_back(EmitConst{0x45, 1});
+  ops.push_back(EmitScalar{fields::kIpTos, 1});
+  ops.push_back(EmitScalar{fields::kIpLen, 2});
+  ops.push_back(EmitConst{0, 2});
+  ops.push_back(EmitConst{0x4000, 2});
+  ops.push_back(EmitScalar{fields::kIpTtl, 1});
+  ops.push_back(EmitScalar{fields::kIpProto, 1});
+  ops.push_back(EmitConst{0, 2});
+  ops.push_back(EmitScalar{fields::kIpSrc, 4});
+  ops.push_back(EmitScalar{fields::kIpDst, 4});
+  ops.push_back(EmitScalar{fields::kUdpSrc, 2});
+  ops.push_back(EmitScalar{fields::kUdpDst, 2});
+  ops.push_back(EmitScalar{fields::kUdpLen, 2});
+  ops.push_back(EmitConst{0, 2});
+  ops.push_back(EmitScalar{fields::kIncOpcode, 1});
+  ops.push_back(EmitScalar{fields::kIncElemCount, 1});
+  ops.push_back(EmitScalar{fields::kIncCoflowId, 2});
+  ops.push_back(EmitScalar{fields::kIncFlowId, 4});
+  ops.push_back(EmitScalar{fields::kIncSeq, 4});
+  ops.push_back(EmitScalar{fields::kIncWorkerId, 4});
+  ops.push_back(EmitArray{{{array_fields::kIncKeys, 4}, {array_fields::kIncValues, 4}}});
+  return Deparser{std::move(ops)};
+}
+
+}  // namespace adcp::packet

@@ -1,0 +1,18 @@
+// Human-readable packet summaries for debugging, logging, and examples.
+#pragma once
+
+#include <string>
+
+#include "packet/packet.hpp"
+
+namespace adcp::packet {
+
+/// One-line summary, e.g.
+///   "84B 10.0.0.1->10.0.0.5 INC AggUpdate cf=7 flow=3 seq=2 elems=8 [CE]"
+/// Non-IP and non-INC packets degrade gracefully to what is parseable.
+std::string describe(const Packet& pkt);
+
+/// Canonical name of an INC opcode ("AggUpdate", "LockAcquire", ...).
+std::string opcode_name(std::uint8_t opcode);
+
+}  // namespace adcp::packet

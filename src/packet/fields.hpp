@@ -1,0 +1,87 @@
+// Field identifiers for the packet header vector (PHV).
+//
+// A PHV slot is identified by a small integer. The well-known protocol
+// fields used throughout the repository are enumerated here; programs are
+// free to use the `user*` slots for application scalars.
+#pragma once
+
+#include <cstdint>
+
+namespace adcp::packet {
+
+/// Identifies one scalar slot in a PHV.
+using FieldId = std::uint16_t;
+
+/// Identifies one array slot in a PHV (separate id space from scalars).
+using ArrayFieldId = std::uint16_t;
+
+/// Capacity of the scalar portion of a PHV. Real RMT PHVs carry a few
+/// hundred bytes of scalars; 64 eight-byte slots is comparable.
+inline constexpr std::size_t kMaxScalarFields = 64;
+
+/// Capacity of the array portion of a PHV (an ADCP extension, §3.2).
+inline constexpr std::size_t kMaxArrayFields = 4;
+
+namespace fields {
+// Ethernet
+inline constexpr FieldId kEthDst = 0;
+inline constexpr FieldId kEthSrc = 1;
+inline constexpr FieldId kEthType = 2;
+// IPv4 (simplified header)
+inline constexpr FieldId kIpSrc = 3;
+inline constexpr FieldId kIpDst = 4;
+inline constexpr FieldId kIpProto = 5;
+/// DSCP/ECN byte; the low two bits are the ECN field (0b11 = CE,
+/// congestion experienced — set by a traffic manager under pressure).
+inline constexpr FieldId kIpTos = 18;
+inline constexpr FieldId kIpTtl = 6;
+inline constexpr FieldId kIpLen = 7;
+// UDP
+inline constexpr FieldId kUdpSrc = 8;
+inline constexpr FieldId kUdpDst = 9;
+inline constexpr FieldId kUdpLen = 10;
+// INC: the in-network-computing application header (see headers.hpp)
+inline constexpr FieldId kIncOpcode = 11;
+inline constexpr FieldId kIncElemCount = 12;
+inline constexpr FieldId kIncCoflowId = 13;
+inline constexpr FieldId kIncFlowId = 14;
+inline constexpr FieldId kIncSeq = 15;
+inline constexpr FieldId kIncWorkerId = 16;
+// Intrinsic metadata (not on the wire; set by the switch)
+inline constexpr FieldId kMetaIngressPort = 24;
+inline constexpr FieldId kMetaEgressPort = 25;
+inline constexpr FieldId kMetaCentralPipe = 26;  // ADCP TM1 placement result
+inline constexpr FieldId kMetaMulticastGroup = 27;
+inline constexpr FieldId kMetaDrop = 28;  // nonzero => drop at end of pipe
+/// Nonzero => send the packet through the recirculation path instead of TX
+/// (RMT's only way to reshuffle flows across pipelines, §1/§3.1).
+inline constexpr FieldId kMetaRecirc = 29;
+/// How many recirculation passes this packet has already made (read-only
+/// for programs; lets them terminate multi-pass algorithms).
+inline constexpr FieldId kMetaRecircPass = 30;
+// Application scratch: 32 slots, ids 32..63.
+inline constexpr FieldId kUser0 = 32;
+inline constexpr FieldId kUser1 = 33;
+inline constexpr FieldId kUser2 = 34;
+inline constexpr FieldId kUser3 = 35;
+inline constexpr std::size_t kUserFieldCount = 32;
+
+/// The i-th application scratch slot (i < kUserFieldCount). RMT programs
+/// that unroll a k-element array into scalars use these — and run out of
+/// them, which is part of the paper's Fig.-3 argument.
+constexpr FieldId user_field(std::size_t i) {
+  return static_cast<FieldId>(32 + i);
+}
+}  // namespace fields
+
+namespace array_fields {
+/// Keys carried by an INC packet (one per data element).
+inline constexpr ArrayFieldId kIncKeys = 0;
+/// Values carried by an INC packet (parallel to kIncKeys).
+inline constexpr ArrayFieldId kIncValues = 1;
+/// Scratch array for program use.
+inline constexpr ArrayFieldId kUserArray0 = 2;
+inline constexpr ArrayFieldId kUserArray1 = 3;
+}  // namespace array_fields
+
+}  // namespace adcp::packet

@@ -1,0 +1,42 @@
+// Packet: wire bytes plus switch-internal metadata.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/buffer.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::packet {
+
+/// Port index within a switch.
+using PortId = std::uint32_t;
+inline constexpr PortId kInvalidPort = ~PortId{0};
+
+/// Metadata carried alongside the wire bytes while a packet is inside a
+/// simulated device. None of this is serialized.
+struct Metadata {
+  PortId ingress_port = kInvalidPort;
+  PortId egress_port = kInvalidPort;
+  /// For multicast: resolved list of egress ports (takes precedence over
+  /// egress_port when non-empty).
+  std::vector<PortId> egress_ports;
+  sim::Time arrival = 0;         ///< time the first bit hit the RX port
+  std::uint32_t recirculations = 0;  ///< how many recirculation passes so far
+  /// Ingress program requested a recirculation pass; honored after the
+  /// egress pipeline (the recirculation port hangs off the egress side).
+  bool recirc_request = false;
+  std::uint64_t flow_id = 0;
+  std::uint64_t coflow_id = 0;
+  bool drop = false;
+};
+
+/// A simulated packet. Value-semantic; moves are cheap.
+struct Packet {
+  Buffer data;
+  Metadata meta;
+
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+};
+
+}  // namespace adcp::packet

@@ -1,0 +1,77 @@
+// Packet Header Vector.
+//
+// In RMT the PHV is the register file passed between stages; its elements
+// are scalars extracted from the packet. The ADCP extension (§3.2 of the
+// paper) is that a PHV may additionally carry *arrays* — e.g. the k keys of
+// a key/value batch — so that a stage's match-action units can match all
+// elements at once instead of one scalar per packet.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "packet/fields.hpp"
+
+namespace adcp::packet {
+
+/// The register file flowing through a pipeline. Value-semantic.
+class Phv {
+ public:
+  /// Sets scalar field `id`.
+  void set(FieldId id, std::uint64_t value) {
+    assert(id < kMaxScalarFields);
+    scalars_[id] = value;
+    valid_[id] = true;
+  }
+
+  /// Reads scalar field `id`; the field must be valid.
+  [[nodiscard]] std::uint64_t get(FieldId id) const {
+    assert(id < kMaxScalarFields && valid_[id]);
+    return scalars_[id];
+  }
+
+  /// Reads scalar field `id`, or `fallback` if it was never set.
+  [[nodiscard]] std::uint64_t get_or(FieldId id, std::uint64_t fallback) const {
+    assert(id < kMaxScalarFields);
+    return valid_[id] ? scalars_[id] : fallback;
+  }
+
+  [[nodiscard]] bool has(FieldId id) const {
+    assert(id < kMaxScalarFields);
+    return valid_[id];
+  }
+
+  /// Invalidates a scalar field.
+  void clear(FieldId id) {
+    assert(id < kMaxScalarFields);
+    valid_[id] = false;
+  }
+
+  /// Mutable access to array field `id` (created empty on first touch).
+  std::vector<std::uint64_t>& array(ArrayFieldId id) {
+    assert(id < kMaxArrayFields);
+    return arrays_[id];
+  }
+
+  /// Read-only view of array field `id`.
+  [[nodiscard]] std::span<const std::uint64_t> array(ArrayFieldId id) const {
+    assert(id < kMaxArrayFields);
+    return arrays_[id];
+  }
+
+  /// Count of valid scalar fields.
+  [[nodiscard]] std::size_t valid_count() const { return valid_.count(); }
+
+  bool operator==(const Phv&) const = default;
+
+ private:
+  std::array<std::uint64_t, kMaxScalarFields> scalars_{};
+  std::bitset<kMaxScalarFields> valid_;
+  std::array<std::vector<std::uint64_t>, kMaxArrayFields> arrays_;
+};
+
+}  // namespace adcp::packet

@@ -1,0 +1,49 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adcp::pipeline {
+
+Pipeline::Pipeline(const PipelineConfig& config)
+    : config_(config), period_(sim::period_from_ghz(config.clock_ghz)) {
+  stages_.reserve(config.stage_count);
+  programs_.reserve(config.stage_count);
+  for (std::uint32_t i = 0; i < config.stage_count; ++i) {
+    stages_.emplace_back(i, config.stage);
+    programs_.push_back(default_stage_program());
+  }
+}
+
+void Pipeline::set_stage_program(std::uint32_t index, StageProgram program) {
+  programs_.at(index) = std::move(program);
+}
+
+void Pipeline::set_program_all(const StageProgram& program) {
+  for (auto& p : programs_) p = program;
+}
+
+Transit Pipeline::process(sim::Time now, packet::Phv& phv) {
+  Transit t;
+  t.enter = std::max(now, next_free_);
+
+  std::uint64_t latency_cycles = 0;
+  std::uint64_t max_service = 1;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const std::uint64_t service = std::max<std::uint64_t>(1, programs_[i](phv, stages_[i]));
+    latency_cycles += service;
+    max_service = std::max(max_service, service);
+    t.stall_cycles += service - 1;
+  }
+
+  t.cycles = latency_cycles;
+  t.exit = t.enter + latency_cycles * period_;
+  // The next PHV can enter once the slowest stage has drained one slot.
+  next_free_ = t.enter + max_service * period_;
+  busy_ += max_service * period_;
+  ++packets_;
+  total_stalls_ += t.stall_cycles;
+  return t;
+}
+
+}  // namespace adcp::pipeline

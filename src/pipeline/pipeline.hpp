@@ -1,0 +1,81 @@
+// A clocked sequence of stages.
+//
+// Timing model: a synchronous pipeline admits one PHV per cycle unless some
+// stage stalls (service > 1 cycle), in which case the inter-departure time
+// is the *maximum* stage service and the latency is the *sum* of stage
+// services — the standard pipeline occupancy model. The clock frequency is
+// per-pipeline, which is the crux of the paper: RMT must raise it with port
+// speed (Table 2), ADCP lowers it by demultiplexing (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/stage.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::pipeline {
+
+/// Static shape of a pipeline.
+struct PipelineConfig {
+  std::string name = "pipe";
+  std::uint32_t stage_count = 12;
+  double clock_ghz = 1.25;
+  StageConfig stage;
+};
+
+/// Result of pushing one PHV through a pipeline.
+struct Transit {
+  sim::Time enter = 0;  ///< when the pipeline accepted the PHV
+  sim::Time exit = 0;   ///< when the PHV leaves the last stage
+  std::uint64_t cycles = 0;  ///< total latency in pipe cycles
+  std::uint64_t stall_cycles = 0;  ///< cycles beyond 1 across all stages
+};
+
+/// A pipeline instance with its occupancy state.
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineConfig& config);
+
+  /// Installs a program on stage `index` (replacing the default).
+  void set_stage_program(std::uint32_t index, StageProgram program);
+
+  /// Installs the same program on every stage.
+  void set_program_all(const StageProgram& program);
+
+  /// Runs `phv` through all stages starting no earlier than `now`,
+  /// respecting the pipeline's admission capacity (1 PHV per max-service
+  /// cycles). Mutates the PHV and returns the transit timing.
+  Transit process(sim::Time now, packet::Phv& phv);
+
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+  [[nodiscard]] sim::Time period() const { return period_; }
+  [[nodiscard]] double clock_ghz() const { return config_.clock_ghz; }
+  [[nodiscard]] std::uint32_t depth() const { return config_.stage_count; }
+
+  Stage& stage(std::uint32_t index) { return stages_.at(index); }
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+
+  /// PHVs processed so far.
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  /// Sum of all stall cycles charged.
+  [[nodiscard]] std::uint64_t total_stalls() const { return total_stalls_; }
+  /// Time the admission slot was busy (for utilization reporting).
+  [[nodiscard]] sim::Time busy_time() const { return busy_; }
+  /// Earliest time the pipeline can accept the next PHV.
+  [[nodiscard]] sim::Time next_free() const { return next_free_; }
+
+ private:
+  PipelineConfig config_;
+  sim::Time period_;
+  std::vector<Stage> stages_;
+  std::vector<StageProgram> programs_;
+  sim::Time next_free_ = 0;
+  sim::Time busy_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t total_stalls_ = 0;
+};
+
+}  // namespace adcp::pipeline

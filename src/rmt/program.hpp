@@ -1,0 +1,32 @@
+// Program model for the RMT switch.
+//
+// An RMT program supplies the parse graph, the deparser, and hooks that
+// configure each pipeline's stages (tables, registers, stage programs).
+// During processing, programs steer packets by writing intrinsic metadata
+// fields: kMetaEgressPort / kMetaMulticastGroup for forwarding, kMetaDrop,
+// and kMetaRecirc to request a recirculation pass.
+#pragma once
+
+#include <functional>
+
+#include "packet/deparser.hpp"
+#include "packet/parser.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace adcp::rmt {
+
+/// Configures one pipeline's stages at install time. `index` is the
+/// pipeline number; programs can give different pipelines different tables.
+using PipelineSetup = std::function<void(pipeline::Pipeline& pipe, std::uint32_t index)>;
+
+/// A complete RMT data-plane program.
+struct RmtProgram {
+  /// RMT parsers deliver scalars only; standard_parse_graph(0) leaves INC
+  /// elements in the payload (the paper's scalar restriction).
+  packet::ParseGraph parse = packet::standard_parse_graph(0);
+  packet::Deparser deparse = packet::standard_deparser();
+  PipelineSetup setup_ingress;  ///< optional; default leaves stages empty
+  PipelineSetup setup_egress;   ///< optional
+};
+
+}  // namespace adcp::rmt

@@ -1,0 +1,87 @@
+// Canonical RMT programs: the *workarounds* an RMT switch must use for the
+// coflow applications that ADCP runs natively. Each workaround embodies one
+// of the paper's complaints:
+//
+//  * kSamePipe      — restructure the deployment so every participant sits
+//                     on ONE ingress pipeline (limits scale to the ports of
+//                     a single pipe; Fig. 2's ingress-convergence case).
+//  * kRecirculate   — funnel flows into the state-holding pipeline via the
+//                     recirculation path (every packet pays a second pass
+//                     and recirculation bandwidth; §1 issue 1).
+//  * kEgressLocal   — compute on the egress pipeline (only half the stages,
+//                     and results can only exit that pipeline's ports;
+//                     Fig. 2's egress case).
+//
+// Scalar restriction (§2 issue 2, Fig. 3): the RMT parser delivers
+// scalars, so a packet carrying k elements is unrolled into k scalar PHV
+// fields, each needing its own MAU/table copy, and the stateful updates
+// serialize (k cycles instead of ADCP's ceil(k/width)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mat/register.hpp"
+#include "packet/deparser.hpp"
+#include "packet/parser.hpp"
+#include "rmt/config.hpp"
+#include "rmt/program.hpp"
+
+namespace adcp::rmt {
+
+/// Plain L3 forwarding on the ingress pipelines (low byte of dst IP = port).
+RmtProgram forward_program(const RmtConfig& config);
+
+/// Group data transfer: kGroupXfer packets multicast to the group named by
+/// kIncWorkerId (groups installed via set_multicast_group); everything else
+/// forwards by IP. RMT's TM supports multicast natively, so this Table-1
+/// pattern needs no workaround — it is the baseline both switches share.
+RmtProgram group_comm_program(const RmtConfig& config);
+
+/// Parse graph that unrolls exactly `elems` INC elements into scalar user
+/// fields: element i's key -> user_field(2i), value -> user_field(2i+1).
+/// Packets carrying a different element count are rejected. `elems` must
+/// fit the scalar PHV (2*elems <= kUserFieldCount).
+packet::ParseGraph scalar_unrolled_parse_graph(std::size_t elems);
+
+/// Deparser matching scalar_unrolled_parse_graph(elems).
+packet::Deparser scalar_unrolled_deparser(std::size_t elems);
+
+/// How the RMT parameter server converges its coflow (see file comment).
+enum class RmtAggMode { kSamePipe, kRecirculate, kEgressLocal };
+
+/// Install-time and runtime facts the benches read back.
+struct RmtAggReport {
+  bool tables_installed = true;     ///< false if SRAM ran out (Fig. 3)
+  std::uint32_t sram_blocks_used = 0;  ///< mapping-table blocks in the agg stage
+  std::uint64_t aggregated_packets = 0;
+  std::uint64_t results_emitted = 0;
+  std::uint64_t misrouted_drops = 0;
+};
+
+/// Parameter-server options for the RMT workarounds.
+struct RmtAggOptions {
+  std::uint32_t workers = 4;
+  std::uint32_t result_group = 1;
+  mat::AluOp combine = mat::AluOp::kAdd;
+  RmtAggMode mode = RmtAggMode::kRecirculate;
+  /// Port whose pipeline holds the aggregation state.
+  packet::PortId agg_port = 0;
+  /// Elements unrolled per packet (1 = the scalar-packet design the paper
+  /// says applications are forced into).
+  std::uint32_t elems_per_packet = 1;
+  /// Install one weight-id mapping table copy per element (Fig. 3
+  /// replication); measured via `report->sram_blocks_used`.
+  bool install_mapping_tables = false;
+  /// SRAM blocks one copy of the mapping table occupies.
+  std::uint32_t mapping_table_blocks = 8;
+  /// Entries one mapping table copy can hold.
+  std::size_t mapping_table_capacity = 4096;
+  /// Sink for install/runtime facts; created by the caller.
+  std::shared_ptr<RmtAggReport> report;
+};
+
+/// The RMT parameter server under the selected workaround.
+RmtProgram scalar_aggregation_program(const RmtConfig& config, const RmtAggOptions& opts);
+
+}  // namespace adcp::rmt

@@ -1,0 +1,231 @@
+#include "rmt/rmt_switch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "packet/fields.hpp"
+#include "packet/headers.hpp"
+
+namespace adcp::rmt {
+
+namespace {
+/// Packets allowed between egress-pipe exit and TX completion per port —
+/// a small egress FIFO so TX back-pressures the TM realistically.
+constexpr std::uint32_t kMaxInFlightPerPort = 4;
+
+/// Only INC packets are rewritten from the PHV; anything else is forwarded
+/// byte-identical (the deparser emit program is INC-shaped).
+bool is_inc(const packet::Phv& phv) {
+  return phv.get_or(packet::fields::kUdpDst, 0) == packet::kIncUdpPort;
+}
+}  // namespace
+
+RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config)
+    : sim_(&sim), config_(config) {
+  assert(config.port_count % config.pipeline_count == 0);
+  pipeline::PipelineConfig pc;
+  pc.stage_count = config.stages_per_pipeline;
+  pc.clock_ghz = config.clock_ghz;
+  pc.stage = config.stage;
+  for (std::uint32_t i = 0; i < config.pipeline_count; ++i) {
+    pc.name = "rmt-ingress-" + std::to_string(i);
+    ingress_pipes_.emplace_back(pc);
+    pc.name = "rmt-egress-" + std::to_string(i);
+    egress_pipes_.emplace_back(pc);
+  }
+  tm::TmConfig tc;
+  tc.outputs = config.port_count;
+  tc.buffer_bytes = config.tm_buffer_bytes;
+  tc.alpha = config.tm_alpha;
+  tc.ecn_threshold_bytes = config.ecn_threshold_bytes;
+  tm_.emplace(std::move(tc));
+
+  rx_free_.assign(config.port_count, 0);
+  tx_free_.assign(config.port_count, 0);
+  recirc_free_.assign(config.pipeline_count, 0);
+  drain_pending_.assign(config.port_count, false);
+  in_flight_.assign(config.port_count, 0);
+}
+
+void RmtSwitch::load_program(RmtProgram program) {
+  parse_graph_ = std::move(program.parse);
+  parser_.emplace(&parse_graph_);
+  deparser_.emplace(std::move(program.deparse));
+  for (std::uint32_t i = 0; i < config_.pipeline_count; ++i) {
+    if (program.setup_ingress) program.setup_ingress(ingress_pipes_[i], i);
+    if (program.setup_egress) program.setup_egress(egress_pipes_[i], i);
+  }
+}
+
+void RmtSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports) {
+  multicast_[group] = std::move(ports);
+}
+
+void RmtSwitch::inject(packet::PortId port, packet::Packet pkt) {
+  assert(port < config_.port_count);
+  assert(parser_ && "load_program() must be called before traffic");
+  ++stats_.rx_packets;
+  stats_.rx_bytes += pkt.size();
+  pkt.meta.ingress_port = port;
+  pkt.meta.arrival = sim_->now();
+
+  // RX serialization at port speed; the parser runs at port speed too
+  // (paper §3.3), so the packet is PHV-ready when its last bit lands.
+  sim::Time& free = rx_free_[port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(pkt.size(), config_.port_gbps);
+  sim_->at(free, [this, pkt = std::move(pkt)]() mutable { enter_ingress(std::move(pkt)); });
+}
+
+void RmtSwitch::enter_ingress(packet::Packet pkt) {
+  packet::ParseResult pr = parser_->parse(pkt);
+  if (!pr.accepted) {
+    ++stats_.parse_drops;
+    return;
+  }
+  pr.phv.set(packet::fields::kMetaRecircPass, pkt.meta.recirculations);
+
+  const std::uint32_t pipe = config_.pipeline_of_port(pkt.meta.ingress_port);
+  pipeline::Pipeline& ingress = ingress_pipes_[pipe];
+  const pipeline::Transit tr = ingress.process(sim_->now(), pr.phv);
+  sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
+                     consumed = pr.consumed]() mutable {
+    after_ingress(std::move(phv), std::move(pkt), consumed);
+  });
+}
+
+void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
+  if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
+    ++stats_.program_drops;
+    return;
+  }
+  // Deparsing preserves metadata (recirculation count included).
+  packet::Packet out =
+      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+  out.meta.drop = false;
+
+  const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
+  if (group != 0) {
+    const auto it = multicast_.find(static_cast<std::uint32_t>(group));
+    if (it == multicast_.end() || it->second.empty()) {
+      ++stats_.no_route_drops;
+      return;
+    }
+    tm_->enqueue_multicast(it->second, 0, out);
+    for (const packet::PortId p : it->second) try_drain(p);
+    return;
+  }
+
+  const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
+                                          packet::kInvalidPort);
+  if (egress >= config_.port_count) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  out.meta.egress_port = static_cast<packet::PortId>(egress);
+  if (phv.get_or(packet::fields::kMetaRecirc, 0) != 0) out.meta.recirc_request = true;
+  tm_->enqueue(static_cast<std::uint32_t>(egress), 0, std::move(out));
+  try_drain(static_cast<packet::PortId>(egress));
+}
+
+void RmtSwitch::try_drain(packet::PortId port) {
+  if (drain_pending_[port]) return;
+  if (in_flight_[port] >= kMaxInFlightPerPort) return;
+  if (tm_->output_packets(port) == 0) return;
+  drain_pending_[port] = true;
+  sim_->at(sim_->now(), [this, port] { drain(port); });
+}
+
+void RmtSwitch::drain(packet::PortId port) {
+  drain_pending_[port] = false;
+  if (in_flight_[port] >= kMaxInFlightPerPort) return;
+  std::optional<packet::Packet> pkt = tm_->dequeue(port);
+  if (!pkt) return;
+
+  packet::ParseResult pr = parser_->parse(*pkt);
+  if (!pr.accepted) {
+    ++stats_.parse_drops;
+    try_drain(port);
+    return;
+  }
+  pr.phv.set(packet::fields::kMetaEgressPort, port);
+  pr.phv.set(packet::fields::kMetaRecircPass, pkt->meta.recirculations);
+
+  const std::uint32_t pipe = config_.pipeline_of_port(port);
+  pipeline::Pipeline& egress = egress_pipes_[pipe];
+  const pipeline::Transit tr = egress.process(sim_->now(), pr.phv);
+  sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),
+                     consumed = pr.consumed, port]() mutable {
+    after_egress(std::move(phv), std::move(pkt), consumed, port);
+  });
+
+  // Keep the egress pipe fed: attempt the next dequeue when it can admit
+  // another PHV.
+  if (tm_->output_packets(port) > 0) {
+    drain_pending_[port] = true;
+    sim_->at(std::max(egress.next_free(), sim_->now()), [this, port] { drain(port); });
+  }
+}
+
+void RmtSwitch::after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
+                             packet::PortId port) {
+  if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
+    ++stats_.program_drops;
+    try_drain(port);
+    return;
+  }
+  const bool recirc_requested = original.meta.recirc_request;
+  packet::Packet out =
+      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+
+  const bool recirc = recirc_requested ||
+                      phv.get_or(packet::fields::kMetaRecirc, 0) != 0;
+  if (recirc) {
+    recirculate(std::move(out), config_.pipeline_of_port(port));
+    try_drain(port);
+    return;
+  }
+
+  // Only now does the packet occupy the small egress FIFO awaiting TX.
+  ++in_flight_[port];
+  sim::Time& free = tx_free_[port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(out.size(), config_.port_gbps);
+  sim_->at(free, [this, out = std::move(out), port]() mutable {
+    ++stats_.tx_packets;
+    stats_.tx_bytes += out.size();
+    if (stats_.first_tx == 0) stats_.first_tx = sim_->now();
+    stats_.last_tx = sim_->now();
+    --in_flight_[port];
+    if (tx_handler_) tx_handler_(port, std::move(out));
+    try_drain(port);
+  });
+}
+
+void RmtSwitch::recirculate(packet::Packet pkt, std::uint32_t pipe) {
+  pkt.meta.recirc_request = false;
+  ++pkt.meta.recirculations;
+  if (pkt.meta.recirculations > config_.max_recirculations) {
+    ++stats_.recirc_limit_drops;
+    return;
+  }
+  ++stats_.recirculations;
+  stats_.recirc_bytes += pkt.size();
+
+  // The recirculation port re-serializes the packet into the target
+  // pipeline at recirc_gbps — this is the bandwidth tax of §1 issue 1.
+  sim::Time& free = recirc_free_[pipe];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(pkt.size(), config_.recirc_gbps);
+  pkt.meta.ingress_port = pipe * config_.ports_per_pipeline();
+  sim_->at(free, [this, pkt = std::move(pkt)]() mutable { enter_ingress(std::move(pkt)); });
+}
+
+double RmtSwitch::achieved_tx_gbps() const {
+  if (stats_.last_tx <= stats_.first_tx) return 0.0;
+  return static_cast<double>(stats_.tx_bytes) * 8.0 * 1000.0 /
+         static_cast<double>(stats_.last_tx - stats_.first_tx);
+}
+
+}  // namespace adcp::rmt

@@ -1,0 +1,100 @@
+// The classic RMT switch of the paper's Figure 1, as a discrete-event model.
+//
+// Data path: RX serialization → parser → ingress pipeline (shared by the
+// port's group) → traffic manager (output-buffered shared memory, one queue
+// per egress port) → egress pipeline (re-parse, egress stages) → deparse →
+// TX serialization. Plus the recirculation path: the only RMT mechanism for
+// re-shuffling a flow to a different pipeline, at the cost of a second full
+// pass and recirculation-port bandwidth (paper §1, issue 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/device.hpp"
+#include "packet/deparser.hpp"
+#include "packet/parser.hpp"
+#include "pipeline/pipeline.hpp"
+#include "rmt/config.hpp"
+#include "rmt/program.hpp"
+#include "sim/simulator.hpp"
+#include "tm/traffic_manager.hpp"
+
+namespace adcp::rmt {
+
+/// Counters the switch exposes to benches and tests.
+struct RmtStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t parse_drops = 0;
+  std::uint64_t program_drops = 0;
+  std::uint64_t no_route_drops = 0;
+  std::uint64_t recirculations = 0;
+  std::uint64_t recirc_bytes = 0;
+  std::uint64_t recirc_limit_drops = 0;
+  sim::Time first_tx = 0;
+  sim::Time last_tx = 0;
+};
+
+/// A simulated RMT switch. Construct, install a program, attach a Fabric
+/// (net::Fabric wires hosts and the TX handler), then drive the Simulator.
+class RmtSwitch final : public net::SwitchDevice {
+ public:
+  RmtSwitch(sim::Simulator& sim, const RmtConfig& config);
+
+  /// Installs `program`: builds parser/deparser and runs the setup hooks on
+  /// every ingress and egress pipeline. Call before injecting traffic.
+  void load_program(RmtProgram program);
+
+  /// Registers multicast group `group` -> `ports` (programs select it via
+  /// kMetaMulticastGroup).
+  void set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports);
+
+  // SwitchDevice interface.
+  void inject(packet::PortId port, packet::Packet pkt) override;
+  void set_tx_handler(net::TxHandler handler) override { tx_handler_ = std::move(handler); }
+  [[nodiscard]] std::uint32_t port_count() const override { return config_.port_count; }
+  [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
+
+  [[nodiscard]] const RmtConfig& config() const { return config_; }
+  [[nodiscard]] const RmtStats& stats() const { return stats_; }
+  [[nodiscard]] const tm::TrafficManager& traffic_manager() const { return *tm_; }
+  pipeline::Pipeline& ingress_pipe(std::uint32_t i) { return ingress_pipes_.at(i); }
+  pipeline::Pipeline& egress_pipe(std::uint32_t i) { return egress_pipes_.at(i); }
+
+  /// Achieved egress throughput over the interval [first_tx, last_tx].
+  [[nodiscard]] double achieved_tx_gbps() const;
+
+ private:
+  void enter_ingress(packet::Packet pkt);
+  void after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed);
+  void after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
+                    packet::PortId port);
+  void recirculate(packet::Packet pkt, std::uint32_t pipe);
+  void try_drain(packet::PortId port);
+  void drain(packet::PortId port);
+
+  sim::Simulator* sim_;
+  RmtConfig config_;
+  std::optional<packet::Parser> parser_;
+  packet::ParseGraph parse_graph_;
+  std::optional<packet::Deparser> deparser_;
+  std::vector<pipeline::Pipeline> ingress_pipes_;
+  std::vector<pipeline::Pipeline> egress_pipes_;
+  std::optional<tm::TrafficManager> tm_;
+  net::TxHandler tx_handler_;
+  std::unordered_map<std::uint32_t, std::vector<packet::PortId>> multicast_;
+
+  std::vector<sim::Time> rx_free_;      // per port
+  std::vector<sim::Time> tx_free_;      // per port
+  std::vector<sim::Time> recirc_free_;  // per pipeline
+  std::vector<bool> drain_pending_;     // per port
+  std::vector<std::uint32_t> in_flight_;  // per port: between egress pipe and TX
+  RmtStats stats_;
+};
+
+}  // namespace adcp::rmt

@@ -1,0 +1,90 @@
+#include "rtc/programs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "packet/fields.hpp"
+#include "packet/headers.hpp"
+
+namespace adcp::rtc {
+
+namespace {
+
+using packet::Phv;
+using packet::fields::kIncOpcode;
+using packet::fields::kIncSeq;
+using packet::fields::kIpDst;
+using packet::fields::kMetaDrop;
+using packet::fields::kMetaEgressPort;
+using packet::fields::kMetaMulticastGroup;
+
+constexpr std::uint64_t opcode(packet::IncOpcode op) {
+  return static_cast<std::uint64_t>(op);
+}
+
+void route_by_ip(Phv& phv, std::uint32_t ports) {
+  const std::uint64_t host = phv.get_or(kIpDst, 0) & 0xff;
+  if (host < ports) {
+    phv.set(kMetaEgressPort, host);
+  } else {
+    phv.set(kMetaDrop, 1);
+  }
+}
+
+}  // namespace
+
+RtcProgram forward_program(const RtcConfig& config) {
+  RtcProgram prog;
+  const std::uint32_t ports = config.port_count;
+  prog.run = [ports](Phv& phv, SharedState&, const RtcConfig& cfg) -> std::uint64_t {
+    route_by_ip(phv, ports);
+    return kForwardBaseCycles + cfg.memory_access_cycles;  // one FIB access
+  };
+  return prog;
+}
+
+RtcProgram aggregation_program(const RtcAggregationOptions& opts) {
+  RtcProgram prog;
+  prog.run = [opts](Phv& phv, SharedState& state, const RtcConfig& cfg) -> std::uint64_t {
+    if (phv.get_or(kIncOpcode, 0) != opcode(packet::IncOpcode::kAggUpdate)) {
+      route_by_ip(phv, 256);
+      return kForwardBaseCycles + cfg.memory_access_cycles;
+    }
+    auto& keys = phv.array(packet::array_fields::kIncKeys);
+    auto& values = phv.array(packet::array_fields::kIncValues);
+
+    // One shared-memory RMW per element, plus the slot counter.
+    std::uint64_t cycles = kAggBaseCycles;
+    std::vector<std::uint64_t> sums(keys.size(), 0);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::size_t cell = keys[i] % state.registers.size();
+      sums[i] = state.registers.apply(opts.combine, cell,
+                                      i < values.size() ? values[i] : 0);
+      cycles += cfg.memory_access_cycles;
+    }
+    // Slot counters live in the engine's register bank to keep them apart
+    // from the sums.
+    const std::size_t slot = static_cast<std::size_t>(phv.get_or(kIncSeq, 0)) %
+                             state.engine.registers().size();
+    const std::uint64_t arrived = state.engine.registers().apply(mat::AluOp::kAdd, slot, 1);
+    cycles += cfg.memory_access_cycles;
+
+    if (arrived < opts.workers) {
+      phv.set(kMetaDrop, 1);
+      return cycles;
+    }
+    values.assign(sums.begin(), sums.end());
+    for (const std::uint64_t key : keys) {
+      state.registers.apply(mat::AluOp::kWrite, key % state.registers.size(), 0);
+      cycles += cfg.memory_access_cycles;
+    }
+    state.engine.registers().apply(mat::AluOp::kWrite, slot, 0);
+    cycles += cfg.memory_access_cycles;
+    phv.set(kIncOpcode, opcode(packet::IncOpcode::kAggResult));
+    phv.set(kMetaMulticastGroup, opts.result_group);
+    return cycles;
+  };
+  return prog;
+}
+
+}  // namespace adcp::rtc

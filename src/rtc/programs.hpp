@@ -1,0 +1,33 @@
+// Canonical run-to-completion programs. Cycle costs follow the software-
+// switch shape: a fixed per-packet base plus one shared-memory access per
+// table/register touch (RtcConfig::memory_access_cycles each).
+#pragma once
+
+#include <cstdint>
+
+#include "mat/register.hpp"
+#include "rtc/rtc_switch.hpp"
+
+namespace adcp::rtc {
+
+/// Per-packet base cost of the forwarding fast path (header processing,
+/// next-hop resolution) — calibrated to a lean software data plane.
+inline constexpr std::uint64_t kForwardBaseCycles = 60;
+/// Extra base cost of the aggregation path (slot bookkeeping, branches).
+inline constexpr std::uint64_t kAggBaseCycles = 40;
+
+/// Plain L3 forwarding (low byte of dst IP = port): base + 1 table access.
+RtcProgram forward_program(const RtcConfig& config);
+
+/// Parameter-server aggregation over the shared memory. Functionally
+/// identical to core::aggregation_program — shared memory means the coflow
+/// converges with no recirculation or placement tricks — but every element
+/// costs a shared-memory access, so throughput is pool-bound.
+struct RtcAggregationOptions {
+  std::uint32_t workers = 4;
+  std::uint32_t result_group = 1;
+  mat::AluOp combine = mat::AluOp::kAdd;
+};
+RtcProgram aggregation_program(const RtcAggregationOptions& opts);
+
+}  // namespace adcp::rtc

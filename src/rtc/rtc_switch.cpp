@@ -1,0 +1,142 @@
+#include "rtc/rtc_switch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "packet/fields.hpp"
+#include "packet/headers.hpp"
+
+namespace adcp::rtc {
+
+namespace {
+bool is_inc(const packet::Phv& phv) {
+  return phv.get_or(packet::fields::kUdpDst, 0) == packet::kIncUdpPort;
+}
+}  // namespace
+
+RtcSwitch::RtcSwitch(sim::Simulator& sim, const RtcConfig& config)
+    : sim_(&sim), config_(config) {
+  rx_free_.assign(config.port_count, 0);
+  tx_free_.assign(config.port_count, 0);
+  proc_free_.assign(config.processors, 0);
+}
+
+void RtcSwitch::load_program(RtcProgram program) {
+  assert(program.run && "RtcProgram::run is mandatory");
+  parse_graph_ = std::move(program.parse);
+  parser_.emplace(&parse_graph_);
+  deparser_.emplace(std::move(program.deparse));
+  run_ = std::move(program.run);
+}
+
+void RtcSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports) {
+  multicast_[group] = std::move(ports);
+}
+
+void RtcSwitch::inject(packet::PortId port, packet::Packet pkt) {
+  assert(port < config_.port_count);
+  assert(parser_ && "load_program() must be called before traffic");
+  ++stats_.rx_packets;
+  pkt.meta.ingress_port = port;
+
+  sim::Time& free = rx_free_[port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(pkt.size(), config_.port_gbps);
+  sim_->at(free, [this, pkt = std::move(pkt)]() mutable {
+    pkt.meta.arrival = sim_->now();  // fully received; enters the dispatcher
+    if (dispatch_queue_.packets() >= config_.dispatch_queue_packets) {
+      ++stats_.queue_drops;
+      return;
+    }
+    dispatch_queue_.push(std::move(pkt));
+    try_dispatch();
+  });
+}
+
+void RtcSwitch::try_dispatch() {
+  while (!dispatch_queue_.empty()) {
+    const auto it = std::min_element(proc_free_.begin(), proc_free_.end());
+    if (*it > sim_->now()) {
+      // Every processor is busy; wake when the earliest frees up.
+      if (!dispatch_pending_) {
+        dispatch_pending_ = true;
+        sim_->at(*it, [this] {
+          dispatch_pending_ = false;
+          try_dispatch();
+        });
+      }
+      return;
+    }
+
+    packet::Packet pkt = *dispatch_queue_.pop();
+    const sim::Time queued_at = pkt.meta.arrival;
+    packet::ParseResult pr = parser_->parse(pkt);
+    if (!pr.accepted) {
+      ++stats_.parse_drops;
+      continue;
+    }
+
+    const std::uint64_t work = run_(pr.phv, shared_, config_);
+    const sim::Time busy = (work + config_.dispatch_cycles) *
+                           sim::period_from_ghz(config_.clock_ghz);
+    *it = sim_->now() + busy;
+    sim_->at(*it, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
+                   consumed = pr.consumed, queued_at]() mutable {
+      finish(std::move(phv), std::move(pkt), consumed, queued_at);
+      try_dispatch();
+    });
+  }
+}
+
+void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t consumed,
+                       sim::Time queued_at) {
+  latency_.record(static_cast<double>(sim_->now() - queued_at));
+  if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
+    ++stats_.program_drops;
+    return;
+  }
+  packet::Packet out =
+      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+
+  std::vector<packet::PortId> dests;
+  if (const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
+      group != 0) {
+    const auto it = multicast_.find(static_cast<std::uint32_t>(group));
+    if (it == multicast_.end() || it->second.empty()) {
+      ++stats_.no_route_drops;
+      return;
+    }
+    dests = it->second;
+  } else {
+    const std::uint64_t egress =
+        phv.get_or(packet::fields::kMetaEgressPort, packet::kInvalidPort);
+    if (egress >= config_.port_count) {
+      ++stats_.no_route_drops;
+      return;
+    }
+    dests.push_back(static_cast<packet::PortId>(egress));
+  }
+
+  for (const packet::PortId port : dests) {
+    packet::Packet copy = dests.size() == 1 ? std::move(out) : out;
+    copy.meta.egress_port = port;
+    sim::Time& free = tx_free_[port];
+    const sim::Time start = std::max(sim_->now(), free);
+    free = start + sim::serialization_time(copy.size(), config_.port_gbps);
+    sim_->at(free, [this, copy = std::move(copy), port]() mutable {
+      ++stats_.tx_packets;
+      stats_.tx_bytes += copy.size();
+      if (stats_.first_tx == 0) stats_.first_tx = sim_->now();
+      stats_.last_tx = sim_->now();
+      if (tx_handler_) tx_handler_(port, std::move(copy));
+    });
+  }
+}
+
+double RtcSwitch::achieved_tx_gbps() const {
+  if (stats_.last_tx <= stats_.first_tx) return 0.0;
+  return static_cast<double>(stats_.tx_bytes) * 8.0 * 1000.0 /
+         static_cast<double>(stats_.last_tx - stats_.first_tx);
+}
+
+}  // namespace adcp::rtc

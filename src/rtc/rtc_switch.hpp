@@ -1,0 +1,110 @@
+// The run-to-completion switch model (BMv2 / Trio / dRMT class).
+//
+// Data path: RX serialization → central dispatch queue → first available
+// processor runs the program to completion over SHARED state → TX
+// serialization. Latency is program-dependent and variable (queueing at
+// the dispatcher); throughput caps at the processor pool, not at a
+// pipeline clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mat/array_engine.hpp"
+#include "mat/register.hpp"
+#include "net/device.hpp"
+#include "packet/deparser.hpp"
+#include "packet/parser.hpp"
+#include "rtc/config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "tm/queue.hpp"
+
+namespace adcp::rtc {
+
+/// The memory every processor shares — registers for stateful programs and
+/// an array engine for batch operations. Because it is one pool (not
+/// per-pipeline), any coflow converges here by construction; the cost is
+/// the per-access cycles in RtcConfig.
+struct SharedState {
+  mat::RegisterFile registers{1 << 16};
+  mat::ArrayMatEngine engine{mat::ArrayEngineConfig{}};
+};
+
+/// A run-to-completion program: transforms the PHV against the shared
+/// state and returns the processor cycles consumed (memory accesses are
+/// charged by the program via config.memory_access_cycles). Forwarding
+/// metadata fields steer the packet exactly as on the other switches.
+using RtcProgramFn =
+    std::function<std::uint64_t(packet::Phv&, SharedState&, const RtcConfig&)>;
+
+/// A complete RTC program.
+struct RtcProgram {
+  packet::ParseGraph parse = packet::standard_parse_graph(64);
+  packet::Deparser deparse = packet::standard_deparser();
+  RtcProgramFn run;  ///< REQUIRED
+};
+
+/// Counters the RTC switch exposes.
+struct RtcStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t parse_drops = 0;
+  std::uint64_t program_drops = 0;
+  std::uint64_t no_route_drops = 0;
+  std::uint64_t queue_drops = 0;  ///< dispatch queue overflow
+  sim::Time first_tx = 0;
+  sim::Time last_tx = 0;
+};
+
+/// A simulated run-to-completion switch.
+class RtcSwitch final : public net::SwitchDevice {
+ public:
+  RtcSwitch(sim::Simulator& sim, const RtcConfig& config);
+
+  void load_program(RtcProgram program);
+  void set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports);
+
+  // SwitchDevice interface.
+  void inject(packet::PortId port, packet::Packet pkt) override;
+  void set_tx_handler(net::TxHandler handler) override { tx_handler_ = std::move(handler); }
+  [[nodiscard]] std::uint32_t port_count() const override { return config_.port_count; }
+  [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
+
+  [[nodiscard]] const RtcConfig& config() const { return config_; }
+  [[nodiscard]] const RtcStats& stats() const { return stats_; }
+  SharedState& shared() { return shared_; }
+  /// Per-packet residence time (RX done -> TX start), picoseconds.
+  [[nodiscard]] const sim::Histogram& latency() const { return latency_; }
+  [[nodiscard]] double achieved_tx_gbps() const;
+
+ private:
+  void try_dispatch();
+  void finish(packet::Phv phv, packet::Packet original, std::size_t consumed,
+              sim::Time queued_at);
+
+  sim::Simulator* sim_;
+  RtcConfig config_;
+  std::optional<packet::Parser> parser_;
+  packet::ParseGraph parse_graph_;
+  std::optional<packet::Deparser> deparser_;
+  RtcProgramFn run_;
+  SharedState shared_;
+  net::TxHandler tx_handler_;
+  std::unordered_map<std::uint32_t, std::vector<packet::PortId>> multicast_;
+
+  std::vector<sim::Time> rx_free_;    // per port
+  std::vector<sim::Time> tx_free_;    // per port
+  std::vector<sim::Time> proc_free_;  // per processor
+  tm::PacketQueue dispatch_queue_;
+  bool dispatch_pending_ = false;
+  RtcStats stats_;
+  sim::Histogram latency_;
+};
+
+}  // namespace adcp::rtc
+

@@ -1,0 +1,25 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adcp::sim {
+
+Zipf::Zipf(std::size_t n, double skew) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace adcp::sim

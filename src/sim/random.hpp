@@ -1,0 +1,73 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that any
+// run — test, example, or benchmark — is exactly reproducible.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace adcp::sim {
+
+/// Seedable random source with the distributions the workloads need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'ad09'c0f1'0e55ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Picks a uniformly random element index for a container of `size` items.
+  std::size_t index(std::size_t size) {
+    assert(size > 0);
+    return static_cast<std::size_t>(uniform(0, size - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed integer sampler over [0, n); higher `skew` concentrates
+/// probability on low ranks. Used by the key-value workloads (NetCache-style
+/// skewed key popularity). Probabilities are precomputed so sampling is O(log n).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double skew);
+
+  /// Draws one rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace adcp::sim

@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace adcp::sim {
+
+EventHandle Simulator::at(Time at, Callback fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle{std::move(alive)};
+}
+
+EventHandle Simulator::every(Time period, Callback fn) {
+  return every(period, period, std::move(fn));
+}
+
+EventHandle Simulator::every(Time period, Time phase, Callback fn) {
+  assert(period > 0 && "periodic task needs a positive period");
+  auto alive = std::make_shared<bool>(true);
+  // The recursive lambda owns the user callback; the shared alive flag is
+  // checked before every firing so cancel() stops the chain.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), alive, tick]() {
+    if (!*alive) return;
+    fn();
+    if (!*alive) return;
+    queue_.push(Event{now_ + period, next_seq_++, *tick, alive});
+  };
+  queue_.push(Event{now_ + phase, next_seq_++, *tick, alive});
+  return EventHandle{std::move(alive)};
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.alive && !*ev.alive) continue;  // cancelled; discard silently
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!stopped_ && step()) ++executed;
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past cancelled events to find the next live one.
+    if (const Event& top = queue_.top(); top.alive && !*top.alive) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    if (step()) ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace adcp::sim

@@ -1,0 +1,101 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is deliberately small: a time-ordered queue of callbacks and a
+// run loop. Everything else in the repository (pipelines, traffic managers,
+// links, hosts) is built as callbacks that reschedule themselves. Events at
+// equal timestamps fire in scheduling order (FIFO), which keeps runs fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace adcp::sim {
+
+/// Cancellation handle for a scheduled event or periodic task. Destroying the
+/// handle does NOT cancel the event; call `cancel()` explicitly.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+
+  /// Prevents the event (and, for periodic tasks, all future firings) from
+  /// running. Safe to call multiple times or on a default-constructed handle.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event has not been cancelled (it may have already fired).
+  [[nodiscard]] bool active() const { return alive_ && *alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+/// A deterministic discrete-event simulator.
+///
+/// Typical use:
+///   Simulator sim;
+///   sim.after(10 * kNanosecond, [&] { ... });
+///   sim.run();
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Starts at 0.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventHandle at(Time at, Callback fn);
+
+  /// Schedules `fn` after `delay` picoseconds.
+  EventHandle after(Time delay, Callback fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` every `period` picoseconds, first firing at
+  /// `now() + phase` (default: one full period from now). Returns a handle
+  /// that cancels all future firings.
+  EventHandle every(Time period, Callback fn);
+  EventHandle every(Time period, Time phase, Callback fn);
+
+  /// Runs until the event queue drains or `stop()` is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs until simulation time would exceed `deadline` (events exactly at
+  /// the deadline still run). Returns the number of events executed.
+  std::uint64_t run_until(Time deadline);
+
+  /// Executes the single earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events waiting (including cancelled ones not yet discarded).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace adcp::sim

@@ -1,0 +1,98 @@
+// Measurement primitives shared by all simulators and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace adcp::sim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Running mean / min / max / count over double samples (Welford's online
+/// algorithm for the variance).
+class Summary {
+ public:
+  void record(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double total() const { return sum_; }
+  void reset() { *this = Summary{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile histogram: keeps all samples (fine for simulation scale)
+/// and answers arbitrary quantiles. Samples are sorted lazily.
+class Histogram {
+ public:
+  void record(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  /// q in [0, 1]; e.g. 0.5 = median, 0.99 = p99. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  void reset() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Converts a (count, elapsed picoseconds) pair into common rate units.
+struct Rate {
+  std::uint64_t count = 0;
+  Time elapsed = 0;
+
+  [[nodiscard]] double per_second() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(count) * 1e12 / static_cast<double>(elapsed);
+  }
+  /// Billions per second — the paper quotes packet rates in Bpps and key
+  /// rates in Bops/s.
+  [[nodiscard]] double giga_per_second() const { return per_second() / 1e9; }
+};
+
+/// Bytes-over-time rate in Gbps.
+struct Throughput {
+  std::uint64_t bytes = 0;
+  Time elapsed = 0;
+
+  [[nodiscard]] double gbps() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(bytes) * 8.0 * 1e12 /
+                              (static_cast<double>(elapsed) * 1e9);
+  }
+};
+
+}  // namespace adcp::sim

@@ -1,0 +1,39 @@
+// Simulation time base.
+//
+// All simulators in this repository share a single integer time base of
+// picoseconds. Picoseconds are fine enough to represent every clock the
+// paper discusses (0.6 GHz .. 2.38 GHz, i.e. periods of 420 .. 1667 ps)
+// without accumulating floating-point drift across billions of cycles.
+#pragma once
+
+#include <cstdint>
+
+namespace adcp::sim {
+
+/// Absolute simulation time or a duration, in picoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000;
+inline constexpr Time kMicrosecond = 1'000'000;
+inline constexpr Time kMillisecond = 1'000'000'000;
+inline constexpr Time kSecond = 1'000'000'000'000;
+
+/// Converts a clock frequency in GHz to its period in picoseconds,
+/// rounded to the nearest picosecond. 1.25 GHz -> 800 ps.
+constexpr Time period_from_ghz(double ghz) {
+  return static_cast<Time>(1000.0 / ghz + 0.5);
+}
+
+/// Converts a period in picoseconds back to GHz.
+constexpr double ghz_from_period(Time period_ps) {
+  return 1000.0 / static_cast<double>(period_ps);
+}
+
+/// Time to serialize `bytes` onto a link of `gbps` gigabits per second.
+/// 84 bytes at 10 Gbps -> 67'200 ps.
+constexpr Time serialization_time(std::uint64_t bytes, double gbps) {
+  return static_cast<Time>(static_cast<double>(bytes) * 8.0 / gbps * 1000.0 + 0.5);
+}
+
+}  // namespace adcp::sim

@@ -1,0 +1,64 @@
+// Event tracing to CSV.
+//
+// Any component can log structured rows (time + event + key/value fields)
+// to a TraceLog; benches and tests attach one when they want a replayable
+// record (e.g. for external plotting). Disabled-by-default and zero-cost
+// when no sink is attached.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace adcp::sim {
+
+/// An append-only CSV trace: fixed columns (time_ps, event) plus free-form
+/// detail columns supplied per row.
+class TraceLog {
+ public:
+  /// In-memory trace.
+  TraceLog() = default;
+
+  /// Records one event.
+  void record(Time at, std::string event, std::string detail = {}) {
+    rows_.push_back(Row{at, std::move(event), std::move(detail)});
+  }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  struct Row {
+    Time at;
+    std::string event;
+    std::string detail;
+  };
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+  /// Serializes to CSV ("time_ps,event,detail\n" header included).
+  [[nodiscard]] std::string to_csv() const {
+    std::ostringstream out;
+    out << "time_ps,event,detail\n";
+    for (const Row& r : rows_) {
+      out << r.at << ',' << r.event << ',' << r.detail << '\n';
+    }
+    return out.str();
+  }
+
+  /// Writes the CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << to_csv();
+    return static_cast<bool>(f);
+  }
+
+  void clear() { rows_.clear(); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace adcp::sim

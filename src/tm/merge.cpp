@@ -1,0 +1,57 @@
+#include "tm/merge.hpp"
+
+namespace adcp::tm {
+
+void MergeScheduler::mark_flow_done(std::uint64_t flow_id) {
+  flows_[flow_id].done = true;
+}
+
+void MergeScheduler::enqueue(std::uint32_t /*klass*/, packet::Packet pkt) {
+  flows_[pkt.meta.flow_id].queue.push(std::move(pkt));
+}
+
+bool MergeScheduler::blocked() const {
+  if (mode_ != MergeMode::kStrict || empty()) return false;
+  // A live flow with no head could still deliver the smallest key, so a
+  // strict merge holds everything back until that flow shows a head (or is
+  // marked done).
+  for (const auto& [id, st] : flows_) {
+    if (st.queue.empty() && !st.done) return true;
+  }
+  return false;
+}
+
+std::optional<packet::Packet> MergeScheduler::dequeue() {
+  if (empty()) return std::nullopt;
+  if (mode_ == MergeMode::kStrict) {
+    for (const auto& [id, st] : flows_) {
+      if (st.queue.empty() && !st.done) return std::nullopt;  // must wait
+    }
+  }
+  FlowState* best = nullptr;
+  std::uint64_t best_key = 0;
+  for (auto& [id, st] : flows_) {
+    if (st.queue.empty()) continue;
+    const std::uint64_t key = key_fn_(*st.queue.front());
+    if (best == nullptr || key < best_key) {
+      best = &st;
+      best_key = key;
+    }
+  }
+  return best->queue.pop();
+}
+
+bool MergeScheduler::empty() const {
+  for (const auto& [id, st] : flows_) {
+    if (!st.queue.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t MergeScheduler::packets() const {
+  std::size_t n = 0;
+  for (const auto& [id, st] : flows_) n += st.queue.packets();
+  return n;
+}
+
+}  // namespace adcp::tm

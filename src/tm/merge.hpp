@@ -1,0 +1,70 @@
+// Order-preserving merge scheduling (paper §3.1).
+//
+// The paper proposes widening TM semantics beyond classic scheduling: the
+// first ADCP traffic manager "could keep a sort order while it merges flows
+// that are themselves sorted" — not general-purpose sorting, just a merge.
+// This scheduler holds one queue per flow and always releases the globally
+// smallest head according to an application-provided sort key.
+//
+// Two modes:
+//  * strict  — a packet is released only when every registered, unfinished
+//    flow has a head to compare against (true merge: output is globally
+//    sorted even with skewed arrivals). Can idle while waiting.
+//  * eager   — merges among the heads currently present (work-conserving;
+//    may misorder across flows with skewed arrivals). This is the ablation
+//    point bench_tm_merge_ablation measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "packet/packet.hpp"
+#include "tm/queue.hpp"
+#include "tm/scheduler.hpp"
+
+namespace adcp::tm {
+
+/// Extracts the application sort key from a packet (e.g. the INC sequence
+/// number or the first element key).
+using SortKeyFn = std::function<std::uint64_t(const packet::Packet&)>;
+
+/// Merge policy; see file comment.
+enum class MergeMode { kStrict, kEager };
+
+/// Scheduler that merges per-flow sorted streams into one sorted stream.
+/// Flows are identified by packet metadata `flow_id`.
+class MergeScheduler final : public Scheduler {
+ public:
+  MergeScheduler(SortKeyFn key_fn, MergeMode mode = MergeMode::kStrict)
+      : key_fn_(std::move(key_fn)), mode_(mode) {}
+
+  /// Declares a flow that will participate in the merge (strict mode waits
+  /// for it). Unregistered flows are auto-registered on first enqueue.
+  void register_flow(std::uint64_t flow_id) { flows_.try_emplace(flow_id); }
+
+  /// Declares that `flow_id` will send no more packets; strict mode stops
+  /// waiting for it once its queue drains.
+  void mark_flow_done(std::uint64_t flow_id);
+
+  void enqueue(std::uint32_t klass, packet::Packet pkt) override;
+  std::optional<packet::Packet> dequeue() override;
+  [[nodiscard]] bool empty() const override;
+  [[nodiscard]] std::size_t packets() const override;
+
+  /// True when strict mode is currently blocked waiting on some flow.
+  [[nodiscard]] bool blocked() const;
+
+ private:
+  struct FlowState {
+    PacketQueue queue;
+    bool done = false;
+  };
+
+  SortKeyFn key_fn_;
+  MergeMode mode_;
+  std::map<std::uint64_t, FlowState> flows_;
+};
+
+}  // namespace adcp::tm

@@ -1,0 +1,57 @@
+#include "tm/pifo.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "packet/headers.hpp"
+
+namespace adcp::tm {
+
+void PifoScheduler::enqueue(std::uint32_t /*klass*/, packet::Packet pkt) {
+  const std::uint64_t rank = rank_(pkt);
+  if (queue_.size() >= depth_) {
+    // Full: keep the best `depth_` packets overall.
+    auto worst = std::prev(queue_.end());
+    if (worst->first.first <= rank) {
+      ++overflow_drops_;  // arrival is the worst: drop it
+      return;
+    }
+    queue_.erase(worst);
+    ++overflow_drops_;
+  }
+  queue_.emplace(std::make_pair(rank, arrival_seq_++), std::move(pkt));
+}
+
+std::optional<packet::Packet> PifoScheduler::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  auto it = queue_.begin();
+  packet::Packet pkt = std::move(it->second);
+  queue_.erase(it);
+  return pkt;
+}
+
+namespace ranks {
+
+RankFn fifo() {
+  auto next = std::make_shared<std::uint64_t>(0);
+  return [next](const packet::Packet&) { return (*next)++; };
+}
+
+RankFn by_seq() {
+  return [](const packet::Packet& pkt) -> std::uint64_t {
+    packet::IncHeader inc;
+    return packet::decode_inc(pkt, inc) ? inc.seq : std::numeric_limits<std::uint64_t>::max();
+  };
+}
+
+RankFn by_coflow_bytes(
+    std::shared_ptr<const std::map<std::uint64_t, std::uint64_t>> sizes) {
+  return [sizes = std::move(sizes)](const packet::Packet& pkt) -> std::uint64_t {
+    const auto it = sizes->find(pkt.meta.coflow_id);
+    return it == sizes->end() ? std::numeric_limits<std::uint64_t>::max() : it->second;
+  };
+}
+
+}  // namespace ranks
+
+}  // namespace adcp::tm

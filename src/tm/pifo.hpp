@@ -1,0 +1,69 @@
+// PIFO: programmable packet scheduling (Sivaraman et al., SIGCOMM'16).
+//
+// The paper's §5 calls the programmable scheduler an "intriguing
+// opportunity ... especially in an architecture like the one proposed here
+// that heavily relies on multiple shared memory schedulers". A PIFO
+// (push-in first-out) queue admits packets at an application-computed rank
+// and always releases the minimum-rank packet; rank functions turn it into
+// SRPT, SEBF-in-the-switch, deadline scheduling, etc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "packet/packet.hpp"
+#include "tm/scheduler.hpp"
+
+namespace adcp::tm {
+
+/// Computes a packet's scheduling rank; LOWER ranks dequeue first. Ties
+/// break in arrival order.
+using RankFn = std::function<std::uint64_t(const packet::Packet&)>;
+
+/// A bounded push-in first-out queue behind the Scheduler interface.
+class PifoScheduler final : public Scheduler {
+ public:
+  /// `depth`: maximum resident packets (hardware PIFOs are depth-bounded);
+  /// when full, the WORST-ranked resident packet is evicted if the arrival
+  /// ranks better, otherwise the arrival itself is dropped.
+  explicit PifoScheduler(RankFn rank, std::size_t depth = 16'384)
+      : rank_(std::move(rank)), depth_(depth) {}
+
+  void enqueue(std::uint32_t klass, packet::Packet pkt) override;
+  std::optional<packet::Packet> dequeue() override;
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
+
+  /// Packets discarded by the depth bound.
+  [[nodiscard]] std::uint64_t overflow_drops() const { return overflow_drops_; }
+
+ private:
+  RankFn rank_;
+  std::size_t depth_;
+  std::uint64_t arrival_seq_ = 0;
+  std::uint64_t overflow_drops_ = 0;
+  // (rank, arrival) -> packet; begin() is the scheduling minimum.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, packet::Packet> queue_;
+};
+
+namespace ranks {
+
+/// FIFO expressed as a rank (arrival order): the identity baseline.
+RankFn fifo();
+
+/// Rank = the packet's INC sequence number (in-order release of a sorted
+/// key space).
+RankFn by_seq();
+
+/// Smallest-coflow-first: rank = the total bytes of the packet's coflow,
+/// looked up in a table the control plane maintains (SEBF inside the
+/// switch). Unknown coflows rank last.
+RankFn by_coflow_bytes(std::shared_ptr<const std::map<std::uint64_t, std::uint64_t>> sizes);
+
+}  // namespace ranks
+
+}  // namespace adcp::tm

@@ -1,0 +1,44 @@
+// FIFO packet queue with byte/packet accounting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "packet/packet.hpp"
+
+namespace adcp::tm {
+
+/// Simple FIFO of packets; tracks bytes for shared-buffer accounting.
+class PacketQueue {
+ public:
+  void push(packet::Packet pkt) {
+    bytes_ += pkt.size();
+    items_.push_back(std::move(pkt));
+  }
+
+  /// Removes and returns the head, or nullopt when empty.
+  std::optional<packet::Packet> pop() {
+    if (items_.empty()) return std::nullopt;
+    packet::Packet pkt = std::move(items_.front());
+    items_.pop_front();
+    bytes_ -= pkt.size();
+    return pkt;
+  }
+
+  /// Peeks the head without removing it; nullptr when empty.
+  [[nodiscard]] const packet::Packet* front() const {
+    return items_.empty() ? nullptr : &items_.front();
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t packets() const { return items_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::deque<packet::Packet> items_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace adcp::tm

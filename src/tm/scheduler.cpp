@@ -1,0 +1,79 @@
+#include "tm/scheduler.hpp"
+
+#include <algorithm>
+
+namespace adcp::tm {
+
+void StrictPriorityScheduler::enqueue(std::uint32_t klass, packet::Packet pkt) {
+  const std::size_t idx = std::min<std::size_t>(klass, queues_.size() - 1);
+  queues_[idx].push(std::move(pkt));
+}
+
+std::optional<packet::Packet> StrictPriorityScheduler::dequeue() {
+  for (PacketQueue& q : queues_) {
+    if (!q.empty()) return q.pop();
+  }
+  return std::nullopt;
+}
+
+bool StrictPriorityScheduler::empty() const {
+  return std::all_of(queues_.begin(), queues_.end(),
+                     [](const PacketQueue& q) { return q.empty(); });
+}
+
+std::size_t StrictPriorityScheduler::packets() const {
+  std::size_t n = 0;
+  for (const PacketQueue& q : queues_) n += q.packets();
+  return n;
+}
+
+void DrrScheduler::enqueue(std::uint32_t klass, packet::Packet pkt) {
+  const std::size_t idx = std::min<std::size_t>(klass, queues_.size() - 1);
+  queues_[idx].push(std::move(pkt));
+}
+
+std::optional<packet::Packet> DrrScheduler::dequeue() {
+  if (empty()) return std::nullopt;
+  // Textbook DRR, one packet per call: a class receives one quantum when
+  // the round first arrives at it, is served for as long as its deficit
+  // covers its head, then the round moves on.
+  const std::size_t budget = 2 * queues_.size() * queues_.size();
+  for (std::size_t scanned = 0; scanned < budget; ++scanned) {
+    PacketQueue& q = queues_[round_];
+    if (q.empty()) {
+      deficits_[round_] = 0;  // idle classes do not bank credit
+      fresh_visit_ = true;
+      round_ = (round_ + 1) % queues_.size();
+      continue;
+    }
+    if (fresh_visit_) {
+      deficits_[round_] += quantum_;
+      fresh_visit_ = false;
+    }
+    if (const packet::Packet* head = q.front(); deficits_[round_] >= head->size()) {
+      deficits_[round_] -= head->size();
+      return q.pop();
+    }
+    fresh_visit_ = true;
+    round_ = (round_ + 1) % queues_.size();
+  }
+  // Degenerate quanta (far smaller than any packet): serve the first
+  // non-empty queue to stay work conserving.
+  for (PacketQueue& q : queues_) {
+    if (!q.empty()) return q.pop();
+  }
+  return std::nullopt;
+}
+
+bool DrrScheduler::empty() const {
+  return std::all_of(queues_.begin(), queues_.end(),
+                     [](const PacketQueue& q) { return q.empty(); });
+}
+
+std::size_t DrrScheduler::packets() const {
+  std::size_t n = 0;
+  for (const PacketQueue& q : queues_) n += q.packets();
+  return n;
+}
+
+}  // namespace adcp::tm

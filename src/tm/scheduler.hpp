@@ -1,0 +1,81 @@
+// Per-output scheduling disciplines.
+//
+// Each traffic-manager output owns one Scheduler instance that arbitrates
+// among that output's class queues. FIFO, strict priority, and deficit
+// round robin cover what commercial TMs ship; the ADCP-specific
+// order-preserving merge lives in merge.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "tm/queue.hpp"
+
+namespace adcp::tm {
+
+/// Arbitrates one output's queues. `klass` selects a queue within the
+/// scheduler (traffic class); implementations may ignore it.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Stores a packet in class `klass`.
+  virtual void enqueue(std::uint32_t klass, packet::Packet pkt) = 0;
+
+  /// Removes and returns the next packet per the discipline; nullopt when
+  /// all queues are empty.
+  virtual std::optional<packet::Packet> dequeue() = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t packets() const = 0;
+};
+
+/// Single FIFO; ignores the class.
+class FifoScheduler final : public Scheduler {
+ public:
+  void enqueue(std::uint32_t, packet::Packet pkt) override { q_.push(std::move(pkt)); }
+  std::optional<packet::Packet> dequeue() override { return q_.pop(); }
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::size_t packets() const override { return q_.packets(); }
+
+ private:
+  PacketQueue q_;
+};
+
+/// Lower class index = higher priority; class >= n maps to the lowest.
+class StrictPriorityScheduler final : public Scheduler {
+ public:
+  explicit StrictPriorityScheduler(std::uint32_t classes) : queues_(classes) {}
+
+  void enqueue(std::uint32_t klass, packet::Packet pkt) override;
+  std::optional<packet::Packet> dequeue() override;
+  [[nodiscard]] bool empty() const override;
+  [[nodiscard]] std::size_t packets() const override;
+
+ private:
+  std::vector<PacketQueue> queues_;
+};
+
+/// Deficit round robin: byte-fair service among classes.
+class DrrScheduler final : public Scheduler {
+ public:
+  DrrScheduler(std::uint32_t classes, std::uint64_t quantum_bytes)
+      : queues_(classes), deficits_(classes, 0), quantum_(quantum_bytes) {}
+
+  void enqueue(std::uint32_t klass, packet::Packet pkt) override;
+  std::optional<packet::Packet> dequeue() override;
+  [[nodiscard]] bool empty() const override;
+  [[nodiscard]] std::size_t packets() const override;
+
+ private:
+  std::vector<PacketQueue> queues_;
+  std::vector<std::uint64_t> deficits_;
+  std::uint64_t quantum_;
+  std::size_t round_ = 0;  // class currently being served
+  bool fresh_visit_ = true;  // next arrival at round_ grants one quantum
+};
+
+}  // namespace adcp::tm

@@ -1,0 +1,67 @@
+// Shared-memory buffer admission with dynamic per-queue thresholds.
+//
+// The RMT traffic manager is an output-buffered shared-memory element
+// (paper §2, citing Arpaci & Copeland). We implement the classic dynamic
+// threshold scheme: a queue may hold at most `alpha × free_bytes`, so
+// heavily loaded queues cannot starve the rest.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+namespace adcp::tm {
+
+/// Byte-granular shared buffer accountant. Not a container — queues hold
+/// the packets; this tracks and polices their byte usage.
+class SharedBuffer {
+ public:
+  /// `capacity_bytes`: total buffer; `alpha`: dynamic threshold factor
+  /// (queue limit = alpha * remaining free bytes).
+  explicit SharedBuffer(std::uint64_t capacity_bytes, double alpha = 1.0)
+      : capacity_(capacity_bytes), alpha_(alpha) {}
+
+  /// True if queue `q` may accept `bytes` more. Does not reserve.
+  [[nodiscard]] bool admits(std::uint32_t q, std::uint64_t bytes) const {
+    if (used_ + bytes > capacity_) return false;
+    const double limit = alpha_ * static_cast<double>(capacity_ - used_);
+    const auto it = per_queue_.find(q);
+    const std::uint64_t queue_used = it == per_queue_.end() ? 0 : it->second;
+    return static_cast<double>(queue_used + bytes) <= limit;
+  }
+
+  /// Reserves `bytes` for queue `q`; returns false (reserving nothing) when
+  /// the dynamic threshold rejects it.
+  bool reserve(std::uint32_t q, std::uint64_t bytes) {
+    if (!admits(q, bytes)) return false;
+    used_ += bytes;
+    per_queue_[q] += bytes;
+    peak_ = used_ > peak_ ? used_ : peak_;
+    return true;
+  }
+
+  /// Returns `bytes` from queue `q` to the pool.
+  void release(std::uint32_t q, std::uint64_t bytes) {
+    auto it = per_queue_.find(q);
+    assert(it != per_queue_.end() && it->second >= bytes && used_ >= bytes);
+    it->second -= bytes;
+    used_ -= bytes;
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+  [[nodiscard]] std::uint64_t queue_used(std::uint32_t q) const {
+    const auto it = per_queue_.find(q);
+    return it == per_queue_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  double alpha_;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_ = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> per_queue_;
+};
+
+}  // namespace adcp::tm

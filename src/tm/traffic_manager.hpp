@@ -1,0 +1,92 @@
+// Output-buffered shared-memory traffic manager.
+//
+// A TM owns one scheduler per output (an output feeds either an egress
+// pipeline, a central pipeline, or a TX port depending on where the TM sits)
+// and polices all queues against one shared buffer. Multicast replicates
+// the packet to each requested output, charging the buffer per copy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "tm/scheduler.hpp"
+#include "tm/shared_buffer.hpp"
+
+namespace adcp::tm {
+
+/// Builds the scheduler for output `i`; lets different outputs (or
+/// different TMs — e.g. ADCP's TM1 vs TM2) use different disciplines.
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>(std::uint32_t output)>;
+
+/// TM sizing and policy.
+struct TmConfig {
+  std::uint32_t outputs = 4;
+  std::uint64_t buffer_bytes = 32ull << 20;  ///< shared packet buffer
+  double alpha = 1.0;                        ///< dynamic threshold factor
+  SchedulerFactory make_scheduler;           ///< defaults to FIFO per output
+  /// When > 0, packets enqueued while their output already holds more than
+  /// this many bytes get their IP ECN field marked CE (congestion
+  /// experienced) — standard switch AQM signaling.
+  std::uint64_t ecn_threshold_bytes = 0;
+};
+
+/// Counters a TM exposes.
+struct TmStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;  ///< shared-buffer admission failures
+  std::uint64_t dequeued = 0;
+  std::uint64_t multicast_copies = 0;
+  std::uint64_t ecn_marked = 0;
+};
+
+/// The traffic manager proper. Passive: the surrounding switch model calls
+/// enqueue when a pipeline emits a packet and dequeue when the downstream
+/// element can accept one.
+class TrafficManager {
+ public:
+  explicit TrafficManager(TmConfig config);
+
+  /// Enqueues `pkt` for `output` in traffic class `klass`. Returns false
+  /// (counting a drop) when the shared buffer rejects it.
+  bool enqueue(std::uint32_t output, std::uint32_t klass, packet::Packet pkt);
+
+  /// Replicates `pkt` to every output in `outputs` (multicast / group
+  /// transfer). Copies that fail admission are dropped individually;
+  /// returns the number of copies enqueued.
+  std::size_t enqueue_multicast(std::span<const std::uint32_t> outputs, std::uint32_t klass,
+                                const packet::Packet& pkt);
+
+  /// Next packet for `output` per its discipline; nullopt when the output
+  /// has nothing releasable (empty, or a strict merge is waiting).
+  std::optional<packet::Packet> dequeue(std::uint32_t output);
+
+  [[nodiscard]] bool output_empty(std::uint32_t output) const {
+    return schedulers_.at(output)->empty();
+  }
+  [[nodiscard]] std::size_t output_packets(std::uint32_t output) const {
+    return schedulers_.at(output)->packets();
+  }
+  [[nodiscard]] std::uint32_t outputs() const { return static_cast<std::uint32_t>(schedulers_.size()); }
+
+  /// Direct access for policies that need scheduler-specific calls
+  /// (e.g. MergeScheduler::register_flow).
+  Scheduler& scheduler(std::uint32_t output) { return *schedulers_.at(output); }
+
+  [[nodiscard]] const TmStats& stats() const { return stats_; }
+  [[nodiscard]] const SharedBuffer& buffer() const { return buffer_; }
+
+ private:
+  void maybe_mark_ecn(std::uint32_t output, packet::Packet& pkt);
+
+  SharedBuffer buffer_;
+  std::uint64_t ecn_threshold_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  TmStats stats_;
+};
+
+}  // namespace adcp::tm

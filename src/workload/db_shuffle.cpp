@@ -1,0 +1,86 @@
+#include "workload/db_shuffle.hpp"
+
+#include "packet/headers.hpp"
+
+namespace adcp::workload {
+
+DbShuffleWorkload::DbShuffleWorkload(DbShuffleParams params) : params_(params) {
+  sim::Rng rng(params_.seed);
+  sim::Zipf zipf(1 << 12, params_.zipf_skew > 0 ? params_.zipf_skew : 0.0);
+  keys_.assign(params_.servers, std::vector<std::vector<std::uint64_t>>(params_.owners));
+  for (std::uint32_t s = 0; s < params_.servers; ++s) {
+    for (std::uint32_t r = 0; r < params_.rows_per_server; ++r) {
+      std::uint64_t key;
+      if (params_.zipf_skew > 0) {
+        key = zipf.sample(rng) * (params_.max_key >> 12);
+      } else {
+        key = rng.uniform(0, params_.max_key - 1);
+      }
+      keys_[s][params_.owner_of(key)].push_back(key);
+    }
+  }
+}
+
+coflow::CoflowDescriptor DbShuffleWorkload::descriptor() const {
+  coflow::CoflowDescriptor d;
+  d.id = params_.coflow_id;
+  d.name = "db-shuffle";
+  d.pattern = coflow::Pattern::kShuffle;
+  for (std::uint32_t s = 0; s < params_.servers; ++s) {
+    for (std::uint32_t o = 0; o < params_.owners; ++o) {
+      if (keys_[s][o].empty()) continue;
+      coflow::FlowSpec f;
+      f.id = s * params_.owners + o + 1;
+      f.src = s;
+      f.dst = o;
+      f.packets = (keys_[s][o].size() + params_.rows_per_packet - 1) / params_.rows_per_packet;
+      f.bytes = f.packets * packet::inc_packet_bytes(params_.rows_per_packet);
+      d.flows.push_back(f);
+    }
+  }
+  return d;
+}
+
+void DbShuffleWorkload::attach(net::Fabric& fabric) {
+  for (std::uint32_t o = 0; o < params_.owners; ++o) {
+    fabric.host(o).add_rx_callback([this, o](net::Host& host, const packet::Packet& pkt) {
+      packet::IncHeader inc;
+      if (!packet::decode_inc(pkt, inc)) return;
+      if (inc.opcode != packet::IncOpcode::kShuffle) return;
+      for (const packet::IncElement& e : inc.elements) {
+        if (params_.owner_of(e.key) == o) {
+          ++rows_delivered_;
+        } else {
+          ++misrouted_rows_;
+        }
+      }
+      last_delivery_ = host.last_rx_time();
+    });
+  }
+}
+
+void DbShuffleWorkload::start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when) {
+  (void)sim;
+  for (std::uint32_t s = 0; s < params_.servers; ++s) {
+    for (std::uint32_t o = 0; o < params_.owners; ++o) {
+      const auto& bucket = keys_[s][o];
+      std::uint32_t seq = 0;
+      for (std::size_t at = 0; at < bucket.size(); at += params_.rows_per_packet) {
+        packet::IncPacketSpec spec;
+        spec.ip_dst = 0x0a000000 | o;  // also routable without the program
+        spec.inc.opcode = packet::IncOpcode::kShuffle;
+        spec.inc.coflow_id = params_.coflow_id;
+        spec.inc.flow_id = s * params_.owners + o + 1;
+        spec.inc.seq = seq++;
+        spec.inc.worker_id = s;
+        for (std::size_t i = at; i < bucket.size() && i < at + params_.rows_per_packet; ++i) {
+          spec.inc.elements.push_back({static_cast<std::uint32_t>(bucket[i]),
+                                       static_cast<std::uint32_t>(bucket[i] & 0xffff)});
+        }
+        fabric.host(s).send_inc(spec, when);
+      }
+    }
+  }
+}
+
+}  // namespace adcp::workload

@@ -1,0 +1,69 @@
+// Database analytics shuffle (Table 1, row 2): filter-aggregate-reshuffle.
+//
+// Each server holds rows keyed in [0, max_key); the shuffle repartitions
+// them so that owner o receives exactly the keys in its range. Rows are
+// bucketed per destination partition and packed `rows_per_packet` per
+// packet, so the switch's range-partitioning program can route a whole
+// packet by its first key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coflow/coflow.hpp"
+#include "coflow/tracker.hpp"
+#include "net/host.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::workload {
+
+struct DbShuffleParams {
+  std::uint32_t servers = 8;
+  std::uint32_t owners = 8;  ///< partition owners = hosts 0..owners-1
+  std::uint32_t rows_per_server = 512;
+  std::uint32_t rows_per_packet = 8;
+  std::uint64_t max_key = 1 << 20;
+  double zipf_skew = 0.0;  ///< 0 = uniform keys
+  std::uint64_t seed = 1;
+  std::uint16_t coflow_id = 7;
+
+  [[nodiscard]] std::uint32_t owner_of(std::uint64_t key) const {
+    return static_cast<std::uint32_t>(key * owners / max_key);
+  }
+};
+
+/// Generates, sends, and verifies one shuffle coflow.
+class DbShuffleWorkload {
+ public:
+  explicit DbShuffleWorkload(DbShuffleParams params);
+
+  /// The shuffle as a coflow descriptor (flow per server->owner pair with
+  /// its exact packet count) — register with a CoflowTracker for CCT.
+  [[nodiscard]] coflow::CoflowDescriptor descriptor() const;
+
+  /// Installs verifying RX callbacks on the owner hosts.
+  void attach(net::Fabric& fabric);
+
+  /// Schedules all servers' sends starting at `when`.
+  void start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when = 0);
+
+  [[nodiscard]] std::uint64_t rows_delivered() const { return rows_delivered_; }
+  /// Rows that arrived at a host outside their key range (must stay 0).
+  [[nodiscard]] std::uint64_t misrouted_rows() const { return misrouted_rows_; }
+  [[nodiscard]] std::uint64_t total_rows() const {
+    return static_cast<std::uint64_t>(params_.servers) * params_.rows_per_server;
+  }
+  [[nodiscard]] bool complete() const { return rows_delivered_ >= total_rows(); }
+  [[nodiscard]] sim::Time makespan() const { return last_delivery_; }
+
+ private:
+  DbShuffleParams params_;
+  /// keys_[server][owner] = that server's keys destined to that owner.
+  std::vector<std::vector<std::vector<std::uint64_t>>> keys_;
+  std::uint64_t rows_delivered_ = 0;
+  std::uint64_t misrouted_rows_ = 0;
+  sim::Time last_delivery_ = 0;
+};
+
+}  // namespace adcp::workload

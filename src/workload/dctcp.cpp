@@ -1,0 +1,127 @@
+#include "workload/dctcp.hpp"
+
+#include <algorithm>
+
+#include "packet/headers.hpp"
+
+namespace adcp::workload {
+
+namespace {
+bool ce_marked(const packet::Packet& pkt) {
+  return pkt.data.size() > packet::kEthernetBytes + 1 &&
+         pkt.data.read(12, 2) == packet::kEtherTypeIpv4 &&
+         (pkt.data.read(packet::kEthernetBytes + 1, 1) & 0x3) == 0x3;
+}
+}  // namespace
+
+void DctcpFlow::attach(sim::Simulator& sim, net::Fabric& fabric) {
+  sim_ = &sim;
+  fabric_ = &fabric;
+
+  // Receiver: echo every data packet's CE bit in an ack.
+  fabric.host(params_.receiver)
+      .add_rx_callback([this](net::Host& host, const packet::Packet& pkt) {
+        packet::IncHeader inc;
+        if (!packet::decode_inc(pkt, inc)) return;
+        if (inc.opcode != packet::IncOpcode::kData || inc.flow_id != params_.flow_id) {
+          return;
+        }
+        packet::IncPacketSpec ack;
+        ack.ip_dst = 0x0a000000 | params_.sender;
+        ack.inc.opcode = packet::IncOpcode::kAck;
+        ack.inc.flow_id = params_.flow_id;
+        ack.inc.seq = inc.seq;
+        ack.inc.elements.push_back({inc.seq, ce_marked(pkt) ? 1u : 0u});
+        host.send_inc(ack);
+      });
+
+  // Sender: window accounting and the DCTCP alpha update.
+  fabric.host(params_.sender)
+      .add_rx_callback([this](net::Host& host, const packet::Packet& pkt) {
+        packet::IncHeader inc;
+        if (!packet::decode_inc(pkt, inc)) return;
+        if (inc.opcode != packet::IncOpcode::kAck || inc.flow_id != params_.flow_id) {
+          return;
+        }
+        // Duplicate acks (from retransmitted data) are ignored.
+        if (outstanding_.erase(static_cast<std::uint32_t>(inc.seq)) == 0) return;
+        ++acked_;
+        ++window_acks_;
+        const bool marked = !inc.elements.empty() && inc.elements[0].value == 1;
+        if (marked) {
+          ++window_marks_;
+          ++marked_acks_;
+        }
+
+        if (window_acks_ >= cwnd_) {
+          // One window's worth of feedback: apply the DCTCP update.
+          const double fraction =
+              static_cast<double>(window_marks_) / static_cast<double>(window_acks_);
+          alpha_ = (1.0 - params_.gain) * alpha_ + params_.gain * fraction;
+          if (params_.react_to_ecn && window_marks_ > 0) {
+            cwnd_ = std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(cwnd_ * (1.0 - alpha_ / 2.0)));
+          } else {
+            cwnd_ = std::min(params_.max_cwnd, cwnd_ + 1);
+          }
+          cwnd_trace_.record(cwnd_);
+          window_acks_ = 0;
+          window_marks_ = 0;
+        }
+
+        if (acked_ >= params_.total_packets && done_at_ == 0) {
+          done_at_ = host.last_rx_time();
+          rto_timer_.cancel();
+        }
+        pump(*fabric_);
+      });
+}
+
+void DctcpFlow::start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when) {
+  sim_ = &sim;
+  fabric_ = &fabric;
+  sim.at(when, [this, &fabric] { pump(fabric); });
+  if (params_.rto > 0) {
+    rto_timer_ = sim.every(params_.rto, [this] { check_rto(); });
+  }
+}
+
+void DctcpFlow::check_rto() {
+  if (complete()) {
+    rto_timer_.cancel();
+    return;
+  }
+  if (outstanding_.empty()) return;
+  if (acked_ != acked_at_last_rto_check_) {
+    // Progress since the last check: the clock keeps ticking.
+    acked_at_last_rto_check_ = acked_;
+    return;
+  }
+  // Stalled for a full RTO: resend everything unacked (go-back-N).
+  for (const std::uint32_t seq : outstanding_) {
+    send_seq(*fabric_, seq);
+    ++retransmits_;
+  }
+}
+
+void DctcpFlow::send_seq(net::Fabric& fabric, std::uint32_t seq) {
+  packet::IncPacketSpec spec;
+  spec.ip_dst = 0x0a000000 | params_.receiver;
+  spec.inc.opcode = packet::IncOpcode::kData;
+  spec.inc.flow_id = params_.flow_id;
+  spec.inc.seq = seq;
+  spec.inc.worker_id = params_.sender;
+  spec.inc.elements.push_back({seq, 0});
+  spec.pad_to = params_.packet_pad;
+  fabric.host(params_.sender).send_inc(spec);
+}
+
+void DctcpFlow::pump(net::Fabric& fabric) {
+  while (outstanding_.size() < cwnd_ && next_seq_ < params_.total_packets) {
+    const auto seq = static_cast<std::uint32_t>(next_seq_++);
+    outstanding_.insert(seq);
+    send_seq(fabric, seq);
+  }
+}
+
+}  // namespace adcp::workload

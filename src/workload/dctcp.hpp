@@ -1,0 +1,80 @@
+// DCTCP-style congestion-controlled bulk transfer.
+//
+// Closes the AQM loop the traffic managers' ECN marking opens: the
+// receiver echoes each data packet's CE bit in an ack; the sender keeps an
+// EWMA `alpha` of the marked fraction per window and scales its congestion
+// window by (1 - alpha/2) on marked windows, +1 per clean window
+// (Alizadeh et al., SIGCOMM'10, simplified to packet granularity).
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace adcp::workload {
+
+struct DctcpParams {
+  std::uint32_t sender = 1;
+  std::uint32_t receiver = 0;
+  std::uint64_t total_packets = 400;
+  std::uint32_t packet_pad = 300;     ///< wire bytes per data packet
+  std::uint32_t initial_cwnd = 10;    ///< packets in flight
+  std::uint32_t max_cwnd = 256;
+  double gain = 1.0 / 16.0;           ///< DCTCP g
+  std::uint32_t flow_id = 1;
+  /// If false, the sender ignores ECN entirely (the blind baseline).
+  bool react_to_ecn = true;
+  /// Retransmission timeout: if no ack arrives for this long while data is
+  /// outstanding, every unacked packet is resent (go-back-N style). 0
+  /// disables retransmission (lossless fabrics).
+  sim::Time rto = 100 * sim::kMicrosecond;
+};
+
+/// One congestion-controlled flow between two fabric hosts.
+class DctcpFlow {
+ public:
+  explicit DctcpFlow(DctcpParams params) : params_(params), cwnd_(params.initial_cwnd) {}
+
+  /// Installs the receiver's ack generator and the sender's ack handler.
+  void attach(sim::Simulator& sim, net::Fabric& fabric);
+
+  /// Sends the initial window at `when`.
+  void start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when = 0);
+
+  [[nodiscard]] bool complete() const { return acked_ >= params_.total_packets; }
+  [[nodiscard]] sim::Time completion_time() const { return done_at_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] std::uint32_t cwnd() const { return cwnd_; }
+  [[nodiscard]] std::uint64_t marked_acks() const { return marked_acks_; }
+  /// Packets resent after a retransmission timeout.
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  /// Congestion-window samples recorded once per window.
+  [[nodiscard]] const sim::Summary& cwnd_trace() const { return cwnd_trace_; }
+
+ private:
+  void pump(net::Fabric& fabric);  ///< sends while outstanding < cwnd
+  void send_seq(net::Fabric& fabric, std::uint32_t seq);
+  void check_rto();
+
+  DctcpParams params_;
+  net::Fabric* fabric_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
+  sim::EventHandle rto_timer_;
+  std::uint32_t cwnd_;
+  double alpha_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t acked_at_last_rto_check_ = 0;
+  std::set<std::uint32_t> outstanding_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t window_acks_ = 0;
+  std::uint64_t window_marks_ = 0;
+  std::uint64_t marked_acks_ = 0;
+  sim::Time done_at_ = 0;
+  sim::Summary cwnd_trace_;
+};
+
+}  // namespace adcp::workload

@@ -1,0 +1,75 @@
+#include "workload/graph_bsp.hpp"
+
+#include <cmath>
+
+#include "packet/headers.hpp"
+
+namespace adcp::workload {
+
+std::uint64_t GraphBspWorkload::messages_in_step(std::uint32_t step) const {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(params_.initial_messages_per_host) *
+      std::pow(params_.growth, static_cast<double>(step)));
+}
+
+void GraphBspWorkload::attach(net::Fabric& fabric) {
+  for (std::uint32_t h = 0; h < params_.hosts; ++h) {
+    fabric.host(h).add_rx_callback([this](net::Host& host, const packet::Packet& pkt) {
+      packet::IncHeader inc;
+      if (!packet::decode_inc(pkt, inc)) return;
+      if (inc.opcode != packet::IncOpcode::kBspStep) return;
+      (void)host;
+      delivered_ += inc.elements.size();
+      if (inc.coflow_id == params_.coflow_base + current_step_) {
+        step_delivered_ += inc.elements.size();
+        if (step_delivered_ >= step_expected_) {
+          // Barrier reached: record and launch the next superstep.
+          superstep_times_.push_back(sim_->now());
+          ++completed_supersteps_;
+          const std::uint32_t next = current_step_ + 1;
+          if (next < params_.supersteps) {
+            sim_->at(sim_->now(), [this, next] { launch_superstep(*sim_, *fabric_, next); });
+          }
+        }
+      }
+    });
+  }
+}
+
+void GraphBspWorkload::start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when) {
+  sim_ = &sim;
+  fabric_ = &fabric;
+  sim.at(when, [this, &sim, &fabric] { launch_superstep(sim, fabric, 0); });
+}
+
+void GraphBspWorkload::launch_superstep(sim::Simulator& sim, net::Fabric& fabric,
+                                        std::uint32_t step) {
+  (void)sim;
+  current_step_ = step;
+  step_delivered_ = 0;
+  const std::uint64_t per_host = messages_in_step(step);
+  step_expected_ = per_host * params_.hosts;
+
+  for (std::uint32_t h = 0; h < params_.hosts; ++h) {
+    std::uint64_t sent = 0;
+    std::uint32_t seq = 0;
+    while (sent < per_host) {
+      packet::IncPacketSpec spec;
+      // Frontier messages scatter to a random peer partition.
+      const auto peer = static_cast<std::uint32_t>(rng_.uniform(0, params_.hosts - 1));
+      spec.ip_dst = 0x0a000000 | peer;
+      spec.inc.opcode = packet::IncOpcode::kBspStep;
+      spec.inc.coflow_id = static_cast<std::uint16_t>(params_.coflow_base + step);
+      spec.inc.flow_id = (step + 1ull) * 100 + h;
+      spec.inc.seq = seq++;
+      spec.inc.worker_id = h;
+      for (std::uint32_t i = 0; i < params_.elems_per_packet && sent < per_host; ++i, ++sent) {
+        const auto vertex = static_cast<std::uint32_t>(rng_.uniform(0, 1 << 20));
+        spec.inc.elements.push_back({vertex, static_cast<std::uint32_t>(step)});
+      }
+      fabric.host(h).send_inc(spec);
+    }
+  }
+}
+
+}  // namespace adcp::workload

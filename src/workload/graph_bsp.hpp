@@ -1,0 +1,66 @@
+// Graph pattern mining, BSP style (Table 1, row 3).
+//
+// The graph is partitioned across hosts; each superstep every host sends
+// frontier messages to peers, then a global barrier gates the next
+// superstep. The workload drives the barrier itself: when all messages of
+// superstep s are delivered, it schedules superstep s+1. Message volume
+// grows per superstep ("increasingly large patterns") by `growth`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::workload {
+
+struct GraphBspParams {
+  std::uint32_t hosts = 8;
+  std::uint32_t supersteps = 4;
+  std::uint32_t initial_messages_per_host = 64;  ///< superstep-0 out-degree
+  double growth = 1.5;   ///< message multiplier per superstep
+  std::uint32_t elems_per_packet = 8;
+  std::uint64_t seed = 2;
+  std::uint16_t coflow_base = 300;  ///< coflow id of superstep s = base + s
+};
+
+/// Drives the BSP exchange and records per-superstep completion times.
+class GraphBspWorkload {
+ public:
+  explicit GraphBspWorkload(GraphBspParams params) : params_(params), rng_(params.seed) {}
+
+  /// Installs counting RX callbacks; must precede start().
+  void attach(net::Fabric& fabric);
+
+  /// Launches superstep 0 at `when`; later supersteps self-schedule at the
+  /// barrier.
+  void start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when = 0);
+
+  [[nodiscard]] bool complete() const { return completed_supersteps_ >= params_.supersteps; }
+  [[nodiscard]] std::uint32_t completed_supersteps() const { return completed_supersteps_; }
+  /// Barrier time of each completed superstep.
+  [[nodiscard]] const std::vector<sim::Time>& superstep_times() const { return superstep_times_; }
+  [[nodiscard]] sim::Time makespan() const {
+    return superstep_times_.empty() ? 0 : superstep_times_.back();
+  }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  void launch_superstep(sim::Simulator& sim, net::Fabric& fabric, std::uint32_t step);
+  [[nodiscard]] std::uint64_t messages_in_step(std::uint32_t step) const;
+
+  GraphBspParams params_;
+  sim::Rng rng_;
+  sim::Simulator* sim_ = nullptr;
+  net::Fabric* fabric_ = nullptr;
+  std::uint32_t current_step_ = 0;
+  std::uint64_t step_expected_ = 0;
+  std::uint64_t step_delivered_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint32_t completed_supersteps_ = 0;
+  std::vector<sim::Time> superstep_times_;
+};
+
+}  // namespace adcp::workload

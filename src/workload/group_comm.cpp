@@ -1,0 +1,47 @@
+#include "workload/group_comm.hpp"
+
+#include <algorithm>
+
+#include "packet/headers.hpp"
+
+namespace adcp::workload {
+
+void GroupCommWorkload::attach(net::Fabric& fabric) {
+  received_.assign(params_.group.size(), 0);
+  for (std::size_t i = 0; i < params_.group.size(); ++i) {
+    fabric.host(params_.group[i])
+        .add_rx_callback([this, i](net::Host& host, const packet::Packet& pkt) {
+          packet::IncHeader inc;
+          if (!packet::decode_inc(pkt, inc)) return;
+          if (inc.opcode != packet::IncOpcode::kGroupXfer) return;
+          ++received_[i];
+          last_delivery_ = host.last_rx_time();
+        });
+  }
+}
+
+void GroupCommWorkload::start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when) {
+  (void)sim;
+  for (std::uint32_t t = 0; t < params_.transfers; ++t) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a0000fe;  // resolved by the group program, not by IP
+    spec.inc.opcode = packet::IncOpcode::kGroupXfer;
+    spec.inc.coflow_id = params_.coflow_id;
+    spec.inc.flow_id = 500 + params_.initiator;
+    spec.inc.seq = t;
+    spec.inc.worker_id = params_.group_id;  // names the target group
+    for (std::uint32_t i = 0; i < params_.elems_per_packet; ++i) {
+      spec.inc.elements.push_back({t * 100 + i, i});
+    }
+    fabric.host(params_.initiator).send_inc(spec, when);
+  }
+}
+
+bool GroupCommWorkload::complete() const {
+  // Before attach() there are no member counters yet — not complete.
+  if (received_.size() != params_.group.size()) return false;
+  return std::all_of(received_.begin(), received_.end(),
+                     [this](std::uint64_t n) { return n >= params_.transfers; });
+}
+
+}  // namespace adcp::workload

@@ -1,0 +1,45 @@
+// Group communication (Table 1, row 4): switch-initiated group data
+// transfer — one initiator pushes data, the switch replicates it to every
+// group member (Zero-sided-RDMA-style shuffling without receiver
+// involvement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::workload {
+
+struct GroupCommParams {
+  std::uint32_t initiator = 0;
+  std::vector<std::uint32_t> group = {1, 3, 5, 7};  ///< receiving hosts
+  std::uint32_t group_id = 2;       ///< multicast group installed on the switch
+  std::uint32_t transfers = 32;     ///< packets the initiator pushes
+  std::uint32_t elems_per_packet = 16;
+  std::uint16_t coflow_id = 9;
+};
+
+/// Drives and verifies one group transfer.
+class GroupCommWorkload {
+ public:
+  explicit GroupCommWorkload(GroupCommParams params) : params_(std::move(params)) {}
+
+  void attach(net::Fabric& fabric);
+  void start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when = 0);
+
+  /// Packets received per group member, in group order.
+  [[nodiscard]] const std::vector<std::uint64_t>& per_member_received() const {
+    return received_;
+  }
+  [[nodiscard]] bool complete() const;
+  [[nodiscard]] sim::Time makespan() const { return last_delivery_; }
+
+ private:
+  GroupCommParams params_;
+  std::vector<std::uint64_t> received_;
+  sim::Time last_delivery_ = 0;
+};
+
+}  // namespace adcp::workload

@@ -1,0 +1,77 @@
+#include "workload/kv.hpp"
+
+#include "packet/headers.hpp"
+
+namespace adcp::workload {
+
+void KvWorkload::attach(net::Fabric& fabric) {
+  for (std::uint32_t c = 0; c < params_.clients; ++c) {
+    fabric.host(c).add_rx_callback([this](net::Host& host, const packet::Packet& pkt) {
+      packet::IncHeader inc;
+      if (!packet::decode_inc(pkt, inc)) return;
+      if (inc.opcode != packet::IncOpcode::kAggResult) return;  // reply marker
+      ++cache_replies_;
+      for (const packet::IncElement& e : inc.elements) {
+        if (e.value != params_.value_of(e.key)) ++wrong_values_;
+      }
+      if (inc.seq < send_time_.size() && send_time_[inc.seq] != 0) {
+        reply_latency_.record(
+            static_cast<double>(host.last_rx_time() - send_time_[inc.seq]));
+      }
+    });
+  }
+  fabric.host(params_.server_host)
+      .add_rx_callback([this](net::Host&, const packet::Packet& pkt) {
+        packet::IncHeader inc;
+        if (!packet::decode_inc(pkt, inc)) return;
+        if (inc.opcode == packet::IncOpcode::kRead) ++server_misses_;
+      });
+}
+
+void KvWorkload::start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when,
+                       sim::Time warm_gap) {
+  (void)sim;
+  // Phase 1: install the hottest keys (ranks 0..cached_keys-1).
+  for (std::uint32_t k = 0; k < params_.cached_keys; ++k) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000000 | params_.server_host;
+    spec.inc.opcode = packet::IncOpcode::kWrite;
+    spec.inc.flow_id = 900;
+    spec.inc.seq = k;
+    spec.inc.worker_id = 0;  // ack back to client 0
+    spec.inc.elements.push_back({k, params_.value_of(k)});
+    fabric.host(0).send_inc(spec, when);
+  }
+
+  // Phase 2: skewed reads. Keys are Zipf ranks, so the hottest (= cached)
+  // keys dominate; packets pack keys from the same residue class so a
+  // whole packet either hits or misses coherently in the common case.
+  sim::Zipf zipf(params_.key_space, params_.zipf_skew);
+  const sim::Time phase2 = when + warm_gap;
+  send_time_.assign(params_.reads, 0);
+  for (std::uint32_t r = 0; r < params_.reads; ++r) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000000 | params_.server_host;
+    spec.inc.opcode = packet::IncOpcode::kRead;
+    const std::uint32_t client = r % params_.clients;
+    spec.inc.flow_id = 1000 + client;
+    spec.inc.seq = r;
+    spec.inc.worker_id = client;
+    const auto base = static_cast<std::uint32_t>(zipf.sample(rng_));
+    for (std::uint32_t i = 0; i < params_.keys_per_packet; ++i) {
+      // Stay within the same cached/uncached side as `base` so multi-key
+      // packets exercise all-hit vs any-miss deterministically.
+      const std::uint32_t key =
+          base < params_.cached_keys
+              ? (base + i) % params_.cached_keys
+              : params_.cached_keys +
+                    (base - params_.cached_keys + i) %
+                        (params_.key_space - params_.cached_keys);
+      spec.inc.elements.push_back({key, 0});
+    }
+    const sim::Time sent = fabric.host(client).send_inc(spec, phase2);
+    send_time_[r] = sent;
+  }
+}
+
+}  // namespace adcp::workload

@@ -1,0 +1,62 @@
+// Key/value cache traffic (NetCache-style): clients read skewed keys; the
+// switch answers hot keys from its unified match memory and forwards
+// misses to the backing store.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace adcp::workload {
+
+struct KvParams {
+  std::uint32_t clients = 4;        ///< hosts 0..clients-1 issue reads
+  std::uint32_t server_host = 7;    ///< backing store for misses
+  std::uint32_t key_space = 4096;
+  std::uint32_t cached_keys = 256;  ///< hottest keys installed in the switch
+  std::uint32_t reads = 2000;
+  std::uint32_t keys_per_packet = 1;
+  double zipf_skew = 0.99;
+  std::uint64_t seed = 3;
+
+  /// The canonical cached value for `key` (installed and verified).
+  [[nodiscard]] std::uint32_t value_of(std::uint32_t key) const { return key * 7 + 1; }
+};
+
+/// Drives warm-up writes, then the read phase, and verifies every reply.
+class KvWorkload {
+ public:
+  explicit KvWorkload(KvParams params) : params_(params), rng_(params.seed) {}
+
+  void attach(net::Fabric& fabric);
+
+  /// Phase 1 at `when`: client 0 writes the `cached_keys` hottest keys.
+  /// Phase 2 at `when + warm_gap`: clients issue `reads` read packets.
+  void start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when = 0,
+             sim::Time warm_gap = 50 * sim::kMicrosecond);
+
+  [[nodiscard]] std::uint64_t cache_replies() const { return cache_replies_; }
+  [[nodiscard]] std::uint64_t wrong_values() const { return wrong_values_; }
+  [[nodiscard]] std::uint64_t server_misses() const { return server_misses_; }
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t total = cache_replies_ + server_misses_;
+    return total == 0 ? 0.0 : static_cast<double>(cache_replies_) / static_cast<double>(total);
+  }
+  /// Client-observed read latencies (cache replies only), picoseconds.
+  [[nodiscard]] const sim::Histogram& reply_latency() const { return reply_latency_; }
+
+ private:
+  KvParams params_;
+  sim::Rng rng_;
+  std::uint64_t cache_replies_ = 0;
+  std::uint64_t wrong_values_ = 0;
+  std::uint64_t server_misses_ = 0;
+  sim::Histogram reply_latency_;
+  std::vector<sim::Time> send_time_;  // seq -> send timestamp
+};
+
+}  // namespace adcp::workload

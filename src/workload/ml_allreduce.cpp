@@ -1,0 +1,60 @@
+#include "workload/ml_allreduce.hpp"
+
+#include "packet/headers.hpp"
+
+namespace adcp::workload {
+
+void MlAllReduceWorkload::attach(net::Fabric& fabric) {
+  for (std::uint32_t w = 0; w < params_.workers; ++w) {
+    fabric.host(w).add_rx_callback([this](net::Host& host, const packet::Packet& pkt) {
+      packet::IncHeader inc;
+      if (!packet::decode_inc(pkt, inc)) return;
+      if (inc.opcode != packet::IncOpcode::kAggResult) return;
+      ++results_received_;
+      last_result_ = host.last_rx_time();
+      for (const packet::IncElement& e : inc.elements) {
+        if (e.value != params_.expected_sum(e.key)) ++bad_sums_;
+      }
+    });
+  }
+}
+
+void MlAllReduceWorkload::start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when) {
+  (void)sim;
+  const std::uint32_t chunks = params_.packets_per_worker_per_iteration();
+  for (std::uint32_t iter = 0; iter < params_.iterations; ++iter) {
+    for (std::uint32_t w = 0; w < params_.workers; ++w) {
+      for (std::uint32_t c = 0; c < chunks; ++c) {
+        packet::IncPacketSpec spec;
+        spec.ip_dst = 0x0a0000fe;  // "the switch" — consumed, never routed
+        spec.inc.opcode = packet::IncOpcode::kAggUpdate;
+        spec.inc.coflow_id = static_cast<std::uint16_t>(params_.coflow_base + iter);
+        spec.inc.flow_id = (iter + 1ull) * 1000 + w;
+        // Slot ids are globally unique across iterations so that rounds can
+        // overlap in flight without mixing.
+        spec.inc.seq = iter * chunks + c;
+        spec.inc.worker_id = w;
+        const std::uint32_t first = c * params_.elems_per_packet;
+        for (std::uint32_t i = 0;
+             i < params_.elems_per_packet && first + i < params_.vector_len; ++i) {
+          // Distinct key space per iteration: slots reset after emission.
+          const std::uint64_t key =
+              static_cast<std::uint64_t>(iter) * params_.vector_len + first + i;
+          spec.inc.elements.push_back(
+              {static_cast<std::uint32_t>(key),
+               static_cast<std::uint32_t>(params_.contribution(w, key))});
+        }
+        fabric.host(w).send_inc(spec, when);
+      }
+    }
+  }
+}
+
+bool MlAllReduceWorkload::complete() const {
+  const std::uint64_t expected = static_cast<std::uint64_t>(params_.workers) *
+                                 params_.packets_per_worker_per_iteration() *
+                                 params_.iterations;
+  return results_received_ >= expected;
+}
+
+}  // namespace adcp::workload

@@ -1,0 +1,72 @@
+// ML training parameter aggregation (Table 1, row 1; the paper's running
+// example).
+//
+// W workers each contribute a vector of `vector_len` weight values per
+// iteration, packed `elems_per_packet` at a time. The switch aggregates
+// each slot and multicasts the completed sums to every worker. The
+// workload validates every received sum against the analytic expectation
+// and reports iteration completion times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::workload {
+
+struct MlAllReduceParams {
+  std::uint32_t workers = 8;
+  std::uint32_t vector_len = 256;       ///< weights per iteration
+  std::uint32_t elems_per_packet = 8;   ///< array width on the wire
+  std::uint32_t iterations = 2;
+  std::uint16_t coflow_base = 100;      ///< coflow id of iteration i = base + i
+  /// Worker w's contribution for weight `key` (must match what the bench
+  /// checks): (w + 1) * (key % 97 + 3).
+  [[nodiscard]] std::uint64_t contribution(std::uint32_t worker, std::uint64_t key) const {
+    return (worker + 1ull) * (key % 97 + 3);
+  }
+  [[nodiscard]] std::uint64_t expected_sum(std::uint64_t key) const {
+    std::uint64_t sum = 0;
+    for (std::uint32_t w = 0; w < workers; ++w) sum += contribution(w, key);
+    return sum;
+  }
+  [[nodiscard]] std::uint32_t packets_per_worker_per_iteration() const {
+    return (vector_len + elems_per_packet - 1) / elems_per_packet;
+  }
+};
+
+/// Drives the parameter-server workload over an already-programmed switch.
+/// Workers are `fabric.host(0..workers-1)`; the switch program must consume
+/// kAggUpdate and multicast kAggResult to a group containing the workers.
+class MlAllReduceWorkload {
+ public:
+  explicit MlAllReduceWorkload(MlAllReduceParams params) : params_(params) {}
+
+  /// Installs result-validating RX callbacks on the worker hosts.
+  void attach(net::Fabric& fabric);
+
+  /// Schedules every worker's sends for all iterations starting at `when`.
+  void start(sim::Simulator& sim, net::Fabric& fabric, sim::Time when = 0);
+
+  /// Results received so far across all workers.
+  [[nodiscard]] std::uint64_t results_received() const { return results_received_; }
+  /// Result packets whose sums did not match the analytic expectation.
+  [[nodiscard]] std::uint64_t bad_sums() const { return bad_sums_; }
+  /// True once every worker saw every slot of every iteration.
+  [[nodiscard]] bool complete() const;
+  /// Time the last result arrived anywhere.
+  [[nodiscard]] sim::Time makespan() const { return last_result_; }
+
+  [[nodiscard]] const MlAllReduceParams& params() const { return params_; }
+
+ private:
+  MlAllReduceParams params_;
+  std::uint64_t results_received_ = 0;
+  std::uint64_t bad_sums_ = 0;
+  sim::Time last_result_ = 0;
+};
+
+}  // namespace adcp::workload

@@ -1,0 +1,24 @@
+#include "workload/synthetic.hpp"
+
+#include "packet/headers.hpp"
+
+namespace adcp::workload {
+
+void run_permutation_traffic(net::Fabric& fabric, const SyntheticParams& params,
+                             sim::Time when) {
+  const auto hosts = static_cast<std::uint32_t>(fabric.size());
+  for (std::uint32_t s = 0; s < hosts; ++s) {
+    const std::uint32_t d = (s + params.stride) % hosts;
+    for (std::uint32_t i = 0; i < params.packets_per_host; ++i) {
+      packet::IncPacketSpec spec;
+      spec.ip_dst = 0x0a000000 | d;
+      spec.inc.opcode = packet::IncOpcode::kPlain;
+      spec.inc.flow_id = s + 1;
+      spec.inc.seq = i;
+      spec.pad_to = params.packet_bytes;
+      fabric.host(s).send_inc(spec, when);
+    }
+  }
+}
+
+}  // namespace adcp::workload

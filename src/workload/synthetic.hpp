@@ -1,0 +1,28 @@
+// Synthetic line-rate stressors used by the Table-2/Table-3 validation
+// benches: every host blasts fixed-size packets at full link rate toward a
+// fixed permutation of destinations, so the switch's pipelines — not the
+// hosts — are the bottleneck under test.
+#pragma once
+
+#include <cstdint>
+
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::workload {
+
+struct SyntheticParams {
+  /// Total wire bytes per packet (padded INC packet).
+  std::uint32_t packet_bytes = 84;
+  /// Packets each host sends.
+  std::uint32_t packets_per_host = 200;
+  /// Destination = (source + stride) mod hosts; a permutation keeps every
+  /// port busy without output contention.
+  std::uint32_t stride = 1;
+};
+
+/// Schedules the permutation traffic; hosts pace at their NIC rate.
+void run_permutation_traffic(net::Fabric& fabric, const SyntheticParams& params,
+                             sim::Time when = 0);
+
+}  // namespace adcp::workload

@@ -1,0 +1,101 @@
+#include "workload/trace.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace adcp::workload {
+
+std::string Trace::to_csv() const {
+  std::ostringstream out;
+  out << "time_ps,src_host,dst_ip,opcode,coflow,flow,seq,worker,pad,elems\n";
+  for (const TraceEntry& e : entries_) {
+    out << e.at << ',' << e.src_host << ',' << e.dst_ip << ','
+        << static_cast<unsigned>(e.spec.inc.opcode) << ',' << e.spec.inc.coflow_id << ','
+        << e.spec.inc.flow_id << ',' << e.spec.inc.seq << ',' << e.spec.inc.worker_id
+        << ',' << e.spec.pad_to << ',';
+    for (std::size_t i = 0; i < e.spec.inc.elements.size(); ++i) {
+      if (i > 0) out << ';';
+      out << e.spec.inc.elements[i].key << ':' << e.spec.inc.elements[i].value;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, sep)) out.push_back(field);
+  // Trailing empty field (line ends with the separator).
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+}  // namespace
+
+bool Trace::from_csv(const std::string& csv) {
+  entries_.clear();
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::vector<std::string> cols = split(line, ',');
+    if (cols.size() != 10) return false;
+
+    std::uint64_t v[9];
+    for (int i = 0; i < 9; ++i) {
+      if (!parse_u64(cols[static_cast<std::size_t>(i)], v[i])) return false;
+    }
+    TraceEntry e;
+    e.at = v[0];
+    e.src_host = static_cast<std::uint32_t>(v[1]);
+    e.dst_ip = static_cast<std::uint32_t>(v[2]);
+    e.spec.ip_dst = e.dst_ip;
+    e.spec.inc.opcode = static_cast<packet::IncOpcode>(v[3]);
+    e.spec.inc.coflow_id = static_cast<std::uint16_t>(v[4]);
+    e.spec.inc.flow_id = static_cast<std::uint32_t>(v[5]);
+    e.spec.inc.seq = static_cast<std::uint32_t>(v[6]);
+    e.spec.inc.worker_id = static_cast<std::uint32_t>(v[7]);
+    e.spec.pad_to = static_cast<std::size_t>(v[8]);
+
+    if (!cols[9].empty()) {
+      for (const std::string& pair : split(cols[9], ';')) {
+        const std::vector<std::string> kv = split(pair, ':');
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+        if (kv.size() != 2 || !parse_u64(kv[0], key) || !parse_u64(kv[1], value)) {
+          return false;
+        }
+        e.spec.inc.elements.push_back(
+            {static_cast<std::uint32_t>(key), static_cast<std::uint32_t>(value)});
+      }
+    }
+    entries_.push_back(std::move(e));
+  }
+  return true;
+}
+
+void Trace::replay(net::Fabric& fabric) const {
+  for (const TraceEntry& e : entries_) {
+    packet::IncPacketSpec spec = e.spec;
+    spec.ip_dst = e.dst_ip;
+    fabric.host(e.src_host).send_inc(spec, e.at);
+  }
+}
+
+}  // namespace adcp::workload

@@ -1,0 +1,59 @@
+// Trace-driven workloads: record a packet schedule to a portable CSV,
+// replay it later (or elsewhere) against any switch. This is the standard
+// methodology for evaluating switch designs against captured traffic, and
+// it lets every experiment in this repository be exported and re-driven.
+//
+// CSV columns: time_ps,src_host,dst_ip,opcode,coflow,flow,seq,worker,pad,elems
+// where elems is a ';'-separated list of key:value pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::workload {
+
+/// One scheduled packet of a trace.
+struct TraceEntry {
+  sim::Time at = 0;               ///< earliest send time at the source NIC
+  std::uint32_t src_host = 0;
+  std::uint32_t dst_ip = 0;
+  packet::IncPacketSpec spec;     ///< dst_ip is copied into spec.ip_dst
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+/// An ordered packet schedule with CSV (de)serialization. The CSV carries
+/// the INC-relevant fields only (Ethernet/IP/UDP defaults are canonical);
+/// `spec.ip_dst` is normalized to `dst_ip` on add so traces compare and
+/// replay consistently.
+class Trace {
+ public:
+  void add(TraceEntry entry) {
+    entry.spec.ip_dst = entry.dst_ip;
+    entries_.push_back(std::move(entry));
+  }
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Serializes to the CSV format above (header line included).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Parses a CSV produced by to_csv(). Returns false on malformed input
+  /// (the trace is left partially populated up to the bad line).
+  bool from_csv(const std::string& csv);
+
+  /// Schedules every entry against `fabric` (hosts pace at NIC rate).
+  void replay(net::Fabric& fabric) const;
+
+  bool operator==(const Trace&) const = default;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace adcp::workload

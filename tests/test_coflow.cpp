@@ -1,0 +1,121 @@
+// Unit tests for the coflow abstraction, tracker, and release ordering.
+#include <gtest/gtest.h>
+
+#include "coflow/coflow.hpp"
+#include "coflow/scheduler.hpp"
+#include "coflow/tracker.hpp"
+
+namespace adcp::coflow {
+namespace {
+
+CoflowDescriptor two_flow_coflow(CoflowId id) {
+  CoflowDescriptor d;
+  d.id = id;
+  d.name = "test";
+  d.flows.push_back(FlowSpec{1, 0, 2, 1000, 10});
+  d.flows.push_back(FlowSpec{2, 1, 2, 500, 5});
+  return d;
+}
+
+TEST(CoflowDescriptor, Totals) {
+  const CoflowDescriptor d = two_flow_coflow(1);
+  EXPECT_EQ(d.total_bytes(), 1500u);
+  EXPECT_EQ(d.total_packets(), 15u);
+}
+
+TEST(CoflowDescriptor, BottleneckIsMaxEndpointVolume) {
+  const CoflowDescriptor d = two_flow_coflow(1);
+  // Host 2 receives 1500 bytes — the bottleneck.
+  EXPECT_EQ(d.bottleneck_bytes(), 1500u);
+
+  CoflowDescriptor spread;
+  spread.flows.push_back(FlowSpec{1, 0, 1, 700, 1});
+  spread.flows.push_back(FlowSpec{2, 2, 3, 400, 1});
+  EXPECT_EQ(spread.bottleneck_bytes(), 700u);
+}
+
+TEST(CoflowTracker, CompletesWhenAllFlowsDeliver) {
+  CoflowTracker t;
+  t.start(two_flow_coflow(5), 100);
+  for (int i = 0; i < 10; ++i) t.deliver(5, 1, 100, 200 + i);
+  EXPECT_FALSE(t.record(5)->complete());
+  for (int i = 0; i < 5; ++i) t.deliver(5, 2, 100, 300 + i);
+  ASSERT_TRUE(t.record(5)->complete());
+  EXPECT_EQ(t.record(5)->completion_time(), 304u - 100u);
+  EXPECT_TRUE(t.all_complete());
+}
+
+TEST(CoflowTracker, IgnoresUnknownIds) {
+  CoflowTracker t;
+  t.start(two_flow_coflow(5), 0);
+  t.deliver(99, 1, 100, 10);   // unknown coflow
+  t.deliver(5, 99, 100, 10);   // unknown flow
+  EXPECT_EQ(t.record(5)->delivered_packets, 0u);
+}
+
+TEST(CoflowTracker, ExtraDeliveriesBeyondExpectationIgnored) {
+  CoflowTracker t;
+  CoflowDescriptor d;
+  d.id = 1;
+  d.flows.push_back(FlowSpec{1, 0, 1, 100, 2});
+  t.start(d, 0);
+  for (int i = 0; i < 5; ++i) t.deliver(1, 1, 50, 10 + i);
+  EXPECT_EQ(t.record(1)->delivered_packets, 2u);
+  EXPECT_EQ(t.record(1)->finish.value(), 11u);
+}
+
+TEST(CoflowTracker, SetExpectedPacketsReshapesCompletion) {
+  CoflowTracker t;
+  CoflowDescriptor d;
+  d.id = 1;
+  d.flows.push_back(FlowSpec{1, 0, 1, 100, 10});
+  t.start(d, 0);
+  t.set_expected_packets(1, 1, 2);  // switch aggregation shrinks the flow
+  t.deliver(1, 1, 50, 5);
+  t.deliver(1, 1, 50, 6);
+  EXPECT_TRUE(t.record(1)->complete());
+}
+
+TEST(CoflowTracker, CompletionTimesInFinishOrder) {
+  CoflowTracker t;
+  CoflowDescriptor a;
+  a.id = 1;
+  a.flows.push_back(FlowSpec{1, 0, 1, 10, 1});
+  CoflowDescriptor b;
+  b.id = 2;
+  b.flows.push_back(FlowSpec{1, 0, 1, 10, 1});
+  t.start(a, 0);
+  t.start(b, 0);
+  t.deliver(2, 1, 10, 50);
+  EXPECT_FALSE(t.all_complete());
+  t.deliver(1, 1, 10, 80);
+  EXPECT_TRUE(t.all_complete());
+  EXPECT_EQ(t.completion_times().size(), 2u);
+}
+
+TEST(ReleaseOrder, FifoKeepsArrivalOrder) {
+  std::vector<CoflowDescriptor> cfs = {two_flow_coflow(1), two_flow_coflow(2)};
+  const auto order = release_order(cfs, OrderPolicy::kFifo);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ReleaseOrder, SebfPutsSmallestBottleneckFirst) {
+  CoflowDescriptor big;
+  big.id = 1;
+  big.flows.push_back(FlowSpec{1, 0, 1, 10'000, 1});
+  CoflowDescriptor small;
+  small.id = 2;
+  small.flows.push_back(FlowSpec{1, 0, 1, 100, 1});
+  const auto order = release_order({big, small}, OrderPolicy::kSebf);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(ReleaseOrder, SebfIsStableOnTies) {
+  CoflowDescriptor a = two_flow_coflow(1);
+  CoflowDescriptor b = two_flow_coflow(2);
+  const auto order = release_order({a, b}, OrderPolicy::kSebf);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace adcp::coflow

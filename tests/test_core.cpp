@@ -1,0 +1,291 @@
+// ADCP-specific tests: port demultiplexing, TM1 placement and merge
+// scheduling, the global partitioned area's any-port property, and array
+// stalls under serialized memory.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "sim/simulator.hpp"
+#include "tm/merge.hpp"
+
+namespace adcp::core {
+namespace {
+
+AdcpConfig small_config() {
+  AdcpConfig cfg;
+  cfg.port_count = 8;
+  cfg.demux_factor = 2;
+  cfg.central_pipeline_count = 4;
+  return cfg;
+}
+
+TEST(AdcpConfig, EdgePipeGeometry) {
+  const AdcpConfig cfg = small_config();
+  EXPECT_EQ(cfg.edge_pipeline_count(), 16u);
+  EXPECT_EQ(cfg.edge_pipe_index(3, 1), 7u);
+  EXPECT_EQ(cfg.port_of_edge_pipe(7), 3u);
+}
+
+TEST(AdcpConfig, EdgeClockRequirementScalesWithDemux) {
+  AdcpConfig cfg = small_config();
+  cfg.port_gbps = 800.0;
+  cfg.demux_factor = 2;
+  // Table 3 row 2: 800G demux 1:2 at 84 B -> 0.60 GHz.
+  EXPECT_NEAR(cfg.edge_required_clock_ghz(64), 0.595, 0.01);
+  cfg.demux_factor = 1;
+  EXPECT_NEAR(cfg.edge_required_clock_ghz(64), 1.19, 0.01);
+}
+
+TEST(AdcpSwitch, RoundRobinDemuxBalancesEdgePipes) {
+  sim::Simulator sim;
+  const AdcpConfig cfg = small_config();
+  AdcpSwitch sw(sim, cfg);
+  sw.load_program(forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    spec.inc.flow_id = 1;
+    spec.inc.seq = i;
+    fabric.host(0).send_inc(spec);
+  }
+  sim.run();
+
+  // Port 0's two sub-pipelines split the stream evenly.
+  EXPECT_EQ(sw.ingress_pipe(0).packets(), 20u);
+  EXPECT_EQ(sw.ingress_pipe(1).packets(), 20u);
+  EXPECT_EQ(sw.ingress_pipe(2).packets(), 0u);  // port 1 untouched
+}
+
+TEST(AdcpSwitch, CustomDemuxFunction) {
+  sim::Simulator sim;
+  const AdcpConfig cfg = small_config();
+  AdcpSwitch sw(sim, cfg);
+  AdcpProgram prog = forward_program(cfg);
+  // All packets into sub-pipe 1.
+  prog.demux = [](const packet::Packet&) { return 1u; };
+  sw.load_program(std::move(prog));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    fabric.host(0).send_inc(spec);
+  }
+  sim.run();
+  EXPECT_EQ(sw.ingress_pipe(0).packets(), 0u);
+  EXPECT_EQ(sw.ingress_pipe(1).packets(), 10u);
+}
+
+TEST(AdcpSwitch, PlacementDirectsCoflowToOnePipe) {
+  sim::Simulator sim;
+  const AdcpConfig cfg = small_config();
+  AdcpSwitch sw(sim, cfg);
+  AdcpProgram prog = forward_program(cfg);
+  prog.placement = tm::placement::by_coflow_hash(cfg.central_pipeline_count);
+  sw.load_program(std::move(prog));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  // One coflow from many ports: all its packets must share a central pipe.
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001 | ((s + 1) % 8);
+    spec.inc.coflow_id = 55;
+    spec.inc.flow_id = s;
+    fabric.host(s).send_inc(spec);
+  }
+  sim.run();
+
+  std::uint32_t pipes_used = 0;
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    if (sw.central_packets(cp) > 0) ++pipes_used;
+  }
+  EXPECT_EQ(pipes_used, 1u);
+}
+
+TEST(AdcpSwitch, GlobalAreaReachesAnyPortFromAnyPipe) {
+  // The Fig.-5 property: wherever TM1 placed the data, TM2 can deliver the
+  // result to every port — exercised by placing everything on central pipe
+  // 0 and fanning out to all 8 ports.
+  sim::Simulator sim;
+  const AdcpConfig cfg = small_config();
+  AdcpSwitch sw(sim, cfg);
+  AdcpProgram prog = forward_program(cfg);
+  prog.placement = [](const packet::Packet&) { return 0u; };  // pin to pipe 0
+  sw.load_program(std::move(prog));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000000 | d;
+    spec.inc.flow_id = d + 1;
+    fabric.host((d + 1) % 8).send_inc(spec);
+  }
+  sim.run();
+
+  EXPECT_EQ(sw.central_packets(0), 8u);
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    EXPECT_EQ(fabric.host(d).rx_packets(), 1u) << "port " << d;
+  }
+}
+
+std::uint64_t inc_seq_key(const packet::Packet& pkt) {
+  packet::IncHeader inc;
+  return packet::decode_inc(pkt, inc) ? inc.seq : 0;
+}
+
+TEST(AdcpSwitch, Tm1StrictMergeDeliversGloballySorted) {
+  sim::Simulator sim;
+  AdcpConfig cfg = small_config();
+  cfg.central_pipeline_count = 1;  // single merge point
+  AdcpSwitch sw(sim, cfg);
+
+  AdcpProgram prog = forward_program(cfg);
+  prog.placement = [](const packet::Packet&) { return 0u; };
+  prog.tm1_scheduler = [](std::uint32_t) {
+    return std::make_unique<tm::MergeScheduler>(inc_seq_key, tm::MergeMode::kStrict);
+  };
+  // The merged stream spans flows; pin it to one egress sub-pipeline so
+  // the m:1 TX mux cannot interleave it out of order.
+  prog.egress_demux = [](const packet::Packet&) { return 0u; };
+  sw.load_program(std::move(prog));
+  auto& merge = dynamic_cast<tm::MergeScheduler&>(sw.tm1().scheduler(0));
+  merge.register_flow(1);
+  merge.register_flow(2);
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  std::vector<std::uint64_t> seen;
+  fabric.host(7).set_rx_callback([&seen](net::Host&, const packet::Packet& pkt) {
+    packet::IncHeader inc;
+    if (packet::decode_inc(pkt, inc)) seen.push_back(inc.seq);
+  });
+
+  // Flow 1 from host 0 (even seqs), flow 2 from host 1 (odd seqs), both to
+  // host 7; each flow is sorted but host 1 starts later.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000007;
+    spec.inc.flow_id = 1;
+    spec.inc.seq = 2 * i;
+    fabric.host(0).send_inc(spec);
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000007;
+    spec.inc.flow_id = 2;
+    spec.inc.seq = 2 * i + 1;
+    fabric.host(1).send_inc(spec, 5 * sim::kMicrosecond);  // late starter
+  }
+  sim.run_until(20 * sim::kMicrosecond);
+  // Flows never "finish" on the wire; close them and drain.
+  merge.mark_flow_done(1);
+  merge.mark_flow_done(2);
+  sw.kick_central(0);
+  sim.run();
+
+  ASSERT_EQ(seen.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(fabric.host(7).rx_reordered(), 0u);
+}
+
+TEST(AdcpSwitch, SerializedArrayMemoryStallsCentralPipe) {
+  const auto run = [](mat::ArrayEngineMode mode, std::uint32_t mult) {
+    sim::Simulator sim;
+    AdcpConfig cfg = small_config();
+    cfg.central_pipeline_count = 1;
+    cfg.central_stage.array->mode = mode;
+    cfg.central_stage.array->memory_clock_multiplier = mult;
+    AdcpSwitch sw(sim, cfg);
+    AggregationOptions agg;
+    agg.workers = 8;
+    agg.place_by_key = false;
+    sw.load_program(aggregation_program(cfg, agg));
+    std::vector<packet::PortId> all(8);
+    std::iota(all.begin(), all.end(), 0);
+    sw.set_multicast_group(1, all);
+    net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+    for (std::uint32_t w = 0; w < 8; ++w) {
+      for (std::uint32_t c = 0; c < 16; ++c) {
+        packet::IncPacketSpec spec;
+        spec.inc.opcode = packet::IncOpcode::kAggUpdate;
+        spec.inc.coflow_id = 1;
+        spec.inc.flow_id = w;
+        spec.inc.seq = c;
+        spec.inc.worker_id = w;
+        for (std::uint32_t e = 0; e < 16; ++e) {
+          spec.inc.elements.push_back({c * 16 + e, w + 1});
+        }
+        fabric.host(w).send_inc(spec);
+      }
+    }
+    sim.run();
+    return sw.central_pipe(0).total_stalls();
+  };
+
+  const std::uint64_t parallel = run(mat::ArrayEngineMode::kParallelInterconnect, 1);
+  const std::uint64_t serial_x4 = run(mat::ArrayEngineMode::kMultiClockSerial, 4);
+  // Parallel: a 16-batch retires in one cycle; the only stalls are the
+  // clear pass on each of the 16 result emissions.
+  EXPECT_EQ(parallel, 16u);
+  // Serial at 4 lookups/cycle: every update stalls 3 cycles (and the 16
+  // emissions stall 7) -> 112*3 + 16*7 = 448.
+  EXPECT_EQ(serial_x4, 448u);
+  EXPECT_GT(serial_x4, 4 * parallel);
+}
+
+TEST(AdcpSwitch, KvCapacityBoundsCachedKeys) {
+  sim::Simulator sim;
+  AdcpConfig cfg = small_config();
+  cfg.central_pipeline_count = 1;
+  cfg.central_stage.array->table_capacity = 4;  // tiny cache
+  AdcpSwitch sw(sim, cfg);
+  sw.load_program(kv_cache_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  std::uint64_t read_hits = 0;
+  std::uint64_t write_acks = 0;
+  fabric.host(0).set_rx_callback([&](net::Host&, const packet::Packet& pkt) {
+    packet::IncHeader inc;
+    if (!packet::decode_inc(pkt, inc)) return;
+    if (inc.opcode == packet::IncOpcode::kAggResult) ++read_hits;
+    if (inc.opcode == packet::IncOpcode::kWrite) ++write_acks;
+  });
+  std::uint64_t server_rx = 0;
+  fabric.host(7).set_rx_callback(
+      [&](net::Host&, const packet::Packet&) { ++server_rx; });
+
+  // Write 8 keys into a 4-entry cache, then read them all back.
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000007;
+    spec.inc.opcode = packet::IncOpcode::kWrite;
+    spec.inc.worker_id = 0;
+    spec.inc.seq = k;
+    spec.inc.elements.push_back({k, k * 7 + 1});
+    fabric.host(0).send_inc(spec);
+  }
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000007;
+    spec.inc.opcode = packet::IncOpcode::kRead;
+    spec.inc.worker_id = 0;
+    spec.inc.seq = 100 + k;
+    spec.inc.elements.push_back({k, 0});
+    fabric.host(0).send_inc(spec, 10 * sim::kMicrosecond);
+  }
+  sim.run();
+
+  EXPECT_EQ(write_acks, 8u);  // write-through acks regardless of capacity
+  EXPECT_EQ(read_hits, 4u);   // only the 4 keys that fit are cached
+  EXPECT_EQ(server_rx, 4u);   // the other 4 reads forward to the store
+}
+
+}  // namespace
+}  // namespace adcp::core

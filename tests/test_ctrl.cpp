@@ -1,0 +1,140 @@
+// Tests for the hot-key controller (NetCache control loop) end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ctrl/hotkey.hpp"
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::ctrl {
+namespace {
+
+constexpr std::uint64_t kKeySpace = 4096;
+
+std::uint32_t store_value(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key) * 7 + 1;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  std::shared_ptr<core::KvTelemetry> telemetry = std::make_shared<core::KvTelemetry>();
+  std::optional<core::AdcpSwitch> sw;
+  std::optional<HotKeyController> controller;
+  std::optional<net::Fabric> fabric;
+  std::uint64_t hits = 0;
+  std::uint64_t server_rx = 0;
+
+  explicit Rig(std::uint64_t threshold) {
+    cfg.port_count = 4;
+    sw.emplace(sim, cfg);
+    core::KvCacheOptions opts;
+    opts.key_space = kKeySpace;
+    opts.telemetry = telemetry;
+    sw->load_program(core::kv_cache_program(cfg, opts));
+
+    HotKeyControllerConfig cc;
+    cc.hot_threshold = threshold;
+    cc.period = 5 * sim::kMicrosecond;
+    cc.key_space = kKeySpace;
+    controller.emplace(cc, telemetry, *sw, store_value);
+
+    fabric.emplace(sim, *sw, net::Link{100.0, 100 * sim::kNanosecond});
+    fabric->host(0).set_rx_callback([this](net::Host&, const packet::Packet& pkt) {
+      packet::IncHeader inc;
+      if (packet::decode_inc(pkt, inc) && inc.opcode == packet::IncOpcode::kAggResult) {
+        ++hits;
+        for (const packet::IncElement& e : inc.elements) {
+          EXPECT_EQ(e.value, store_value(e.key));
+        }
+      }
+    });
+    fabric->host(3).set_rx_callback(
+        [this](net::Host&, const packet::Packet&) { ++server_rx; });
+  }
+
+  void read(std::uint64_t key, sim::Time when) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000003;  // backing store on host 3
+    spec.inc.opcode = packet::IncOpcode::kRead;
+    spec.inc.worker_id = 0;
+    spec.inc.elements.push_back({static_cast<std::uint32_t>(key), 0});
+    fabric->host(0).send_inc(spec, when);
+  }
+};
+
+TEST(HotKeyController, InstallsKeysAboveThreshold) {
+  Rig rig(8);
+  rig.controller->start(rig.sim);
+  // Hammer key 100 (hot) and touch key 200 once (cold).
+  for (int i = 0; i < 20; ++i) rig.read(100, static_cast<sim::Time>(i) * sim::kMicrosecond);
+  rig.read(200, 0);
+  rig.sim.run_until(100 * sim::kMicrosecond);
+  rig.controller->stop();
+  rig.sim.run();
+
+  EXPECT_TRUE(rig.controller->installed(100));
+  EXPECT_FALSE(rig.controller->installed(200));
+  EXPECT_GE(rig.controller->installs(), 1u);
+}
+
+TEST(HotKeyController, HitsStartAfterInstallation) {
+  Rig rig(8);
+  rig.controller->start(rig.sim);
+  for (int i = 0; i < 60; ++i) {
+    rig.read(100, static_cast<sim::Time>(i) * 2 * sim::kMicrosecond);
+  }
+  rig.sim.run_until(300 * sim::kMicrosecond);
+  rig.controller->stop();
+  rig.sim.run();
+
+  // Early reads missed (served by host 3); once installed, later reads hit.
+  EXPECT_GT(rig.hits, 0u);
+  EXPECT_GT(rig.server_rx, 0u);
+  EXPECT_EQ(rig.hits + rig.server_rx, 60u);
+  EXPECT_GT(rig.hits, rig.server_rx);  // most of the run is post-install
+}
+
+TEST(HotKeyController, ColdTrafficNeverInstalled) {
+  Rig rig(8);
+  rig.controller->start(rig.sim);
+  // 60 distinct keys read once each: none crosses the threshold.
+  for (int i = 0; i < 60; ++i) {
+    rig.read(1000 + static_cast<std::uint64_t>(i) * 3,
+             static_cast<sim::Time>(i) * sim::kMicrosecond);
+  }
+  rig.sim.run_until(200 * sim::kMicrosecond);
+  rig.controller->stop();
+  rig.sim.run();
+
+  EXPECT_EQ(rig.controller->installs(), 0u);
+  EXPECT_EQ(rig.hits, 0u);
+  EXPECT_EQ(rig.server_rx, 60u);
+}
+
+TEST(HotKeyController, PollBudgetLimitsInstallRate) {
+  Rig rig(2);
+  HotKeyControllerConfig cc;
+  cc.hot_threshold = 2;
+  cc.install_budget_per_poll = 3;
+  cc.key_space = kKeySpace;
+  rig.controller.emplace(cc, rig.telemetry, *rig.sw, store_value);
+
+  // Make 10 keys hot, then poll once manually.
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    rig.telemetry->record_miss(k);
+    rig.telemetry->record_miss(k);
+    rig.telemetry->record_miss(k);
+  }
+  rig.controller->poll();
+  EXPECT_EQ(rig.controller->installs(), 3u);
+  rig.controller->poll();
+  EXPECT_EQ(rig.controller->installs(), 6u);
+}
+
+}  // namespace
+}  // namespace adcp::ctrl

@@ -1,0 +1,133 @@
+// Tests for the DCTCP-style congestion-controlled flows over the ECN-
+// marking traffic managers.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "workload/dctcp.hpp"
+
+namespace adcp::workload {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  std::optional<core::AdcpSwitch> sw;
+  std::optional<net::Fabric> fabric;
+
+  explicit Rig(std::uint64_t ecn_threshold) {
+    cfg.port_count = 8;
+    cfg.ecn_threshold_bytes = ecn_threshold;
+    sw.emplace(sim, cfg);
+    sw->load_program(core::forward_program(cfg));
+    fabric.emplace(sim, *sw, net::Link{100.0, 200 * sim::kNanosecond});
+  }
+};
+
+TEST(Dctcp, SingleFlowCompletesAndStaysUnmarked) {
+  Rig rig(1 << 20);  // huge threshold: never marks
+  DctcpParams p;
+  p.sender = 1;
+  p.receiver = 0;
+  p.total_packets = 200;
+  DctcpFlow flow(p);
+  flow.attach(rig.sim, *rig.fabric);
+  flow.start(rig.sim, *rig.fabric);
+  rig.sim.run();
+
+  EXPECT_TRUE(flow.complete());
+  EXPECT_EQ(flow.marked_acks(), 0u);
+  EXPECT_DOUBLE_EQ(flow.alpha(), 0.0);
+  EXPECT_GT(flow.cwnd(), p.initial_cwnd);  // clean windows grow the window
+}
+
+TEST(Dctcp, IncastSendersBackOff) {
+  Rig rig(2000);  // tight threshold: incast queues mark quickly
+  std::vector<DctcpFlow> flows;
+  for (std::uint32_t s = 1; s <= 4; ++s) {
+    DctcpParams p;
+    p.sender = s;
+    p.receiver = 0;
+    p.flow_id = s;
+    p.total_packets = 300;
+    p.initial_cwnd = 32;
+    flows.emplace_back(p);
+  }
+  for (auto& f : flows) {
+    f.attach(rig.sim, *rig.fabric);
+    f.start(rig.sim, *rig.fabric);
+  }
+  rig.sim.run();
+
+  for (auto& f : flows) {
+    EXPECT_TRUE(f.complete());
+    EXPECT_GT(f.marked_acks(), 0u);  // congestion was signaled...
+    EXPECT_GT(f.alpha(), 0.0);
+    EXPECT_LT(f.cwnd(), 32u);        // ...and reacted to
+  }
+  EXPECT_EQ(rig.sw->tm2().stats().dropped, 0u);
+}
+
+TEST(Dctcp, ReactingSendersKeepQueuesShorterThanBlindOnes) {
+  // Long transfers from a modest initial window: the blind senders grow
+  // their windows unchecked and pile up queue; the DCTCP senders converge
+  // to the marking threshold.
+  const auto peak_buffer = [](bool react) {
+    Rig rig(2000);
+    std::vector<DctcpFlow> flows;
+    for (std::uint32_t s = 1; s <= 4; ++s) {
+      DctcpParams p;
+      p.sender = s;
+      p.receiver = 0;
+      p.flow_id = s;
+      p.total_packets = 2000;
+      p.initial_cwnd = 16;
+      p.react_to_ecn = react;
+      flows.emplace_back(p);
+    }
+    for (auto& f : flows) {
+      f.attach(rig.sim, *rig.fabric);
+      f.start(rig.sim, *rig.fabric);
+    }
+    rig.sim.run();
+    for (auto& f : flows) EXPECT_TRUE(f.complete());
+    return rig.sw->tm2().buffer().peak();
+  };
+
+  const std::uint64_t dctcp_peak = peak_buffer(true);
+  const std::uint64_t blind_peak = peak_buffer(false);
+  EXPECT_LT(dctcp_peak, blind_peak / 2);  // the AQM loop keeps queues short
+}
+
+TEST(Dctcp, AlphaTracksPersistentCongestion) {
+  // A 2:1 incast that lasts long enough for the EWMA to settle.
+  Rig rig(1000);
+  std::vector<DctcpFlow> flows;
+  for (std::uint32_t s = 1; s <= 2; ++s) {
+    DctcpParams p;
+    p.sender = s;
+    p.receiver = 0;
+    p.flow_id = s;
+    p.total_packets = 1000;
+    p.initial_cwnd = 32;
+    flows.emplace_back(p);
+  }
+  for (auto& f : flows) {
+    f.attach(rig.sim, *rig.fabric);
+    f.start(rig.sim, *rig.fabric);
+  }
+  rig.sim.run();
+  for (auto& f : flows) {
+    EXPECT_TRUE(f.complete());
+    EXPECT_GT(f.alpha(), 0.05);
+    EXPECT_GT(f.cwnd_trace().count(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace adcp::workload

@@ -1,0 +1,149 @@
+// Tests for ECN CE-marking in the traffic managers (AQM signaling).
+#include <gtest/gtest.h>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "rmt/programs.hpp"
+#include "rmt/rmt_switch.hpp"
+#include "sim/simulator.hpp"
+#include "tm/traffic_manager.hpp"
+
+namespace adcp {
+namespace {
+
+packet::Packet inc_pkt(std::uint32_t dst, std::uint32_t pad = 300) {
+  packet::IncPacketSpec spec;
+  spec.ip_dst = 0x0a000000 | dst;
+  spec.inc.elements.push_back({1, 1});
+  spec.pad_to = pad;
+  return packet::make_inc_packet(spec);
+}
+
+TEST(EcnTm, MarksAboveThresholdOnly) {
+  tm::TmConfig cfg;
+  cfg.outputs = 1;
+  cfg.buffer_bytes = 1 << 20;
+  cfg.ecn_threshold_bytes = 700;  // ~2 padded packets
+  tm::TrafficManager tm(cfg);
+
+  tm.enqueue(0, 0, inc_pkt(0));  // queue 0 -> 300 B: below
+  tm.enqueue(0, 0, inc_pkt(0));  // 600 B: still below
+  tm.enqueue(0, 0, inc_pkt(0));  // 900 B at admission: marked
+  EXPECT_EQ(tm.stats().ecn_marked, 1u);
+
+  // First two packets out are clean, the third carries CE.
+  for (int i = 0; i < 2; ++i) {
+    const auto pkt = tm.dequeue(0);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->data.read(packet::kEthernetBytes + 1, 1) & 0x3, 0u);
+  }
+  const auto marked = tm.dequeue(0);
+  ASSERT_TRUE(marked.has_value());
+  EXPECT_EQ(marked->data.read(packet::kEthernetBytes + 1, 1) & 0x3, 0x3u);
+}
+
+TEST(EcnTm, DisabledByDefault) {
+  tm::TmConfig cfg;
+  cfg.outputs = 1;
+  tm::TrafficManager tm(cfg);
+  for (int i = 0; i < 50; ++i) tm.enqueue(0, 0, inc_pkt(0));
+  EXPECT_EQ(tm.stats().ecn_marked, 0u);
+}
+
+TEST(EcnTm, PerQueueIsolation) {
+  tm::TmConfig cfg;
+  cfg.outputs = 2;
+  cfg.ecn_threshold_bytes = 700;
+  tm::TrafficManager tm(cfg);
+  for (int i = 0; i < 5; ++i) tm.enqueue(0, 0, inc_pkt(0));  // deep queue 0
+  tm.enqueue(1, 0, inc_pkt(1));  // shallow queue 1: unmarked
+  EXPECT_GT(tm.stats().ecn_marked, 0u);
+  const auto pkt = tm.dequeue(1);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->data.read(packet::kEthernetBytes + 1, 1) & 0x3, 0u);
+}
+
+TEST(EcnEndToEnd, RmtIncastMarksReceivers) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 8;
+  cfg.pipeline_count = 2;
+  cfg.ecn_threshold_bytes = 2000;
+  rmt::RmtSwitch sw(sim, cfg);
+  sw.load_program(rmt::forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  // 7:1 incast into host 0 -> deep egress queue -> CE marks delivered.
+  for (std::uint32_t s = 1; s < 8; ++s) {
+    for (int i = 0; i < 30; ++i) fabric.host(s).send(inc_pkt(0));
+  }
+  sim.run();
+  EXPECT_GT(fabric.host(0).rx_ecn_marked(), 0u);
+  EXPECT_LT(fabric.host(0).rx_ecn_marked(), fabric.host(0).rx_packets());
+}
+
+TEST(EcnEndToEnd, AdcpUncongestedStaysClean) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  cfg.ecn_threshold_bytes = 2000;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  // Paced one-to-one traffic: no queue ever builds.
+  for (int i = 0; i < 50; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    spec.inc.elements.push_back({1, 1});
+    fabric.host(0).send_inc(spec, static_cast<sim::Time>(i) * sim::kMicrosecond);
+  }
+  sim.run();
+  EXPECT_EQ(fabric.host(1).rx_packets(), 50u);
+  EXPECT_EQ(fabric.host(1).rx_ecn_marked(), 0u);
+}
+
+TEST(EcnEndToEnd, AdcpIncastMarks) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  cfg.ecn_threshold_bytes = 2000;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  for (std::uint32_t s = 1; s < 8; ++s) {
+    for (int i = 0; i < 30; ++i) {
+      packet::IncPacketSpec spec;
+      spec.ip_dst = 0x0a000000;
+      spec.inc.flow_id = s;
+      spec.inc.seq = static_cast<std::uint32_t>(i);
+      spec.inc.elements.push_back({1, 1});
+      spec.pad_to = 300;
+      fabric.host(s).send_inc(spec);
+    }
+  }
+  sim.run();
+  EXPECT_GT(fabric.host(0).rx_ecn_marked(), 0u);
+  EXPECT_GT(sw.tm2().stats().ecn_marked, 0u);
+}
+
+TEST(EcnWire, CeSurvivesParseDeparse) {
+  // The TOS byte must round-trip through the PHV (it is parsed and
+  // re-emitted), or marks would be erased at the next pipeline.
+  const packet::ParseGraph g = packet::standard_parse_graph(16);
+  const packet::Parser parser(&g);
+  const packet::Deparser dep = packet::standard_deparser();
+  packet::Packet pkt = inc_pkt(0, 0);
+  pkt.data.write(packet::kEthernetBytes + 1, 1, 0x3);  // CE
+  const packet::ParseResult r = parser.parse(pkt);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.phv.get(packet::fields::kIpTos), 0x3u);
+  const packet::Packet out = dep.deparse(r.phv, pkt, r.consumed);
+  EXPECT_EQ(out.data.read(packet::kEthernetBytes + 1, 1), 0x3u);
+}
+
+}  // namespace
+}  // namespace adcp

@@ -1,0 +1,410 @@
+// Integration tests: the Table-1 applications end to end on both switch
+// architectures, validating computation results (not just delivery).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "rmt/programs.hpp"
+#include "rmt/rmt_switch.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "workload/db_shuffle.hpp"
+#include "workload/graph_bsp.hpp"
+#include "workload/group_comm.hpp"
+#include "workload/kv.hpp"
+#include "workload/ml_allreduce.hpp"
+
+namespace adcp {
+namespace {
+
+std::vector<packet::PortId> ports_upto(std::uint32_t n) {
+  std::vector<packet::PortId> out(n);
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+// ---------------------------------------------------------------- ADCP apps
+
+TEST(AdcpAggregation, SumsAreExactAndMulticastToAllWorkers) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  cfg.central_pipeline_count = 4;
+  core::AdcpSwitch sw(sim, cfg);
+
+  core::AggregationOptions agg;
+  agg.workers = 8;
+  agg.result_group = 1;
+  sw.load_program(core::aggregation_program(cfg, agg));
+  sw.set_multicast_group(1, ports_upto(8));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceParams params;
+  params.workers = 8;
+  params.vector_len = 128;
+  params.elems_per_packet = 8;
+  params.iterations = 2;
+  workload::MlAllReduceWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete()) << wl.results_received() << " results";
+  EXPECT_EQ(wl.bad_sums(), 0u);
+  // 8 workers x 16 chunks x 2 iters in; 16 chunks x 2 iters results out,
+  // each multicast to 8 workers.
+  EXPECT_EQ(wl.results_received(), 8u * 16 * 2);
+}
+
+TEST(AdcpAggregation, PartialCoflowEmitsNothing) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  core::AggregationOptions agg;
+  agg.workers = 8;  // but only 4 workers will send
+  sw.load_program(core::aggregation_program(cfg, agg));
+  sw.set_multicast_group(1, ports_upto(8));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceParams params;
+  params.workers = 4;  // half the contributors the switch expects
+  params.vector_len = 32;
+  params.iterations = 1;
+  workload::MlAllReduceWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_EQ(wl.results_received(), 0u);
+  EXPECT_EQ(sw.stats().program_drops, 4u * 4);  // all updates consumed
+}
+
+TEST(AdcpKvCache, HitsServedMissesForwarded) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::kv_cache_program(cfg));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::KvParams params;
+  params.clients = 4;
+  params.server_host = 7;
+  params.cached_keys = 128;
+  params.key_space = 1024;
+  params.reads = 500;
+  params.zipf_skew = 0.99;
+  workload::KvWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_EQ(wl.cache_replies() + wl.server_misses(), 500u + 0u);
+  EXPECT_EQ(wl.wrong_values(), 0u);
+  // Zipf 0.99 with the top 1/8 of keys cached => most reads hit.
+  EXPECT_GT(wl.hit_ratio(), 0.55);
+  EXPECT_LT(wl.hit_ratio(), 1.0);  // some misses must reach the server
+}
+
+TEST(AdcpShuffle, EveryRowReachesItsRangeOwner) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  core::ShuffleOptions opts;
+  opts.partition_owners = 8;
+  opts.max_key = 1 << 20;
+  sw.load_program(core::shuffle_program(cfg, opts));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  coflow::CoflowTracker tracker;
+  fabric.set_tracker(&tracker);
+
+  workload::DbShuffleParams params;
+  params.servers = 8;
+  params.owners = 8;
+  params.rows_per_server = 256;
+  workload::DbShuffleWorkload wl(params);
+  tracker.start(wl.descriptor(), 0);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete());
+  EXPECT_EQ(wl.misrouted_rows(), 0u);
+  EXPECT_EQ(wl.rows_delivered(), 8u * 256);
+  const coflow::CoflowRecord* rec = tracker.record(params.coflow_id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->complete());
+  EXPECT_GT(rec->completion_time(), 0u);
+}
+
+TEST(AdcpGroupComm, SwitchReplicatesToEveryMember) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::group_comm_program(cfg));
+  sw.set_multicast_group(2, {1, 3, 5, 7});
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::GroupCommParams params;
+  params.group = {1, 3, 5, 7};
+  params.group_id = 2;
+  params.transfers = 32;
+  workload::GroupCommWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete());
+  for (const std::uint64_t n : wl.per_member_received()) EXPECT_EQ(n, 32u);
+  // Host 0 sent 32; the switch transmitted 4x that.
+  EXPECT_EQ(sw.stats().tx_packets, 32u * 4);
+}
+
+TEST(AdcpGraphBsp, SuperstepsCompleteInOrder) {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::forward_program(cfg));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::GraphBspParams params;
+  params.hosts = 8;
+  params.supersteps = 4;
+  params.initial_messages_per_host = 32;
+  workload::GraphBspWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete());
+  ASSERT_EQ(wl.superstep_times().size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(wl.superstep_times()[i], wl.superstep_times()[i - 1]);
+  }
+}
+
+// ----------------------------------------------------------------- RMT apps
+
+TEST(RmtAggregation, SamePipeWorksWhenWorkersShareThePipeline) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 16;
+  cfg.pipeline_count = 4;  // 4 ports per pipeline
+  rmt::RmtSwitch sw(sim, cfg);
+
+  rmt::RmtAggOptions agg;
+  agg.workers = 4;
+  agg.mode = rmt::RmtAggMode::kSamePipe;
+  agg.agg_port = 0;
+  agg.elems_per_packet = 1;
+  agg.report = std::make_shared<rmt::RmtAggReport>();
+  sw.load_program(rmt::scalar_aggregation_program(cfg, agg));
+  sw.set_multicast_group(1, {0, 1, 2, 3});
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceParams params;
+  params.workers = 4;  // hosts 0..3 — all on pipeline 0
+  params.vector_len = 32;
+  params.elems_per_packet = 1;
+  params.iterations = 1;
+  workload::MlAllReduceWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete());
+  EXPECT_EQ(wl.bad_sums(), 0u);
+  EXPECT_EQ(agg.report->misrouted_drops, 0u);
+  EXPECT_EQ(sw.stats().recirculations, 0u);
+}
+
+TEST(RmtAggregation, SamePipeFailsAcrossPipelines) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 16;
+  cfg.pipeline_count = 4;
+  rmt::RmtSwitch sw(sim, cfg);
+
+  rmt::RmtAggOptions agg;
+  agg.workers = 8;  // hosts 0..7 span pipelines 0 and 1
+  agg.mode = rmt::RmtAggMode::kSamePipe;
+  agg.report = std::make_shared<rmt::RmtAggReport>();
+  sw.load_program(rmt::scalar_aggregation_program(cfg, agg));
+  sw.set_multicast_group(1, ports_upto(8));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceParams params;
+  params.workers = 8;
+  params.vector_len = 16;
+  params.elems_per_packet = 1;
+  params.iterations = 1;
+  workload::MlAllReduceWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  // The Fig.-2 restriction: contributions entering other pipelines never
+  // reach the state, so no aggregation can complete.
+  EXPECT_FALSE(wl.complete());
+  EXPECT_GT(agg.report->misrouted_drops, 0u);
+}
+
+TEST(RmtAggregation, RecirculationWorksAcrossPipelinesAtACost) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 16;
+  cfg.pipeline_count = 4;
+  rmt::RmtSwitch sw(sim, cfg);
+
+  rmt::RmtAggOptions agg;
+  agg.workers = 8;
+  agg.mode = rmt::RmtAggMode::kRecirculate;
+  agg.report = std::make_shared<rmt::RmtAggReport>();
+  sw.load_program(rmt::scalar_aggregation_program(cfg, agg));
+  sw.set_multicast_group(1, ports_upto(8));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceParams params;
+  params.workers = 8;
+  params.vector_len = 16;
+  params.elems_per_packet = 1;
+  params.iterations = 1;
+  workload::MlAllReduceWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete());
+  EXPECT_EQ(wl.bad_sums(), 0u);
+  // Every update paid one recirculation pass (contributions from the agg
+  // pipeline's own ports recirculate too in this program).
+  EXPECT_EQ(sw.stats().recirculations, 8u * 16);
+  EXPECT_GT(sw.stats().recirc_bytes, 0u);
+}
+
+TEST(RmtAggregation, EgressLocalDeliversOnlyToTheAggPort) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 16;
+  cfg.pipeline_count = 4;
+  rmt::RmtSwitch sw(sim, cfg);
+
+  rmt::RmtAggOptions agg;
+  agg.workers = 8;
+  agg.mode = rmt::RmtAggMode::kEgressLocal;
+  agg.agg_port = 0;
+  agg.report = std::make_shared<rmt::RmtAggReport>();
+  sw.load_program(rmt::scalar_aggregation_program(cfg, agg));
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::MlAllReduceParams params;
+  params.workers = 8;
+  params.vector_len = 16;
+  params.elems_per_packet = 1;
+  params.iterations = 1;
+  workload::MlAllReduceWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  // Aggregation happens (sums are computed on the egress pipe)...
+  EXPECT_EQ(agg.report->results_emitted, 16u);
+  // ...but results can only exit the port the coflow converged on: worker
+  // 0 sees all 16 results, the other 7 workers see none.
+  EXPECT_EQ(wl.results_received(), 16u);
+  EXPECT_FALSE(wl.complete());
+  EXPECT_EQ(fabric.host(0).rx_packets(), 16u);
+  EXPECT_EQ(fabric.host(1).rx_packets(), 0u);
+}
+
+TEST(RmtGroupComm, MulticastWorksNatively) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 8;
+  cfg.pipeline_count = 2;
+  rmt::RmtSwitch sw(sim, cfg);
+  sw.load_program(rmt::group_comm_program(cfg));
+  sw.set_multicast_group(2, {1, 3, 5, 7});
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+  workload::GroupCommParams params;
+  params.group = {1, 3, 5, 7};
+  params.group_id = 2;
+  params.transfers = 16;
+  workload::GroupCommWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete());
+}
+
+// --------------------------------------------------- cross-architecture
+
+TEST(Comparison, AdcpAggregationBeatsRmtRecirculationOnMakespan) {
+  const auto run_adcp = [] {
+    sim::Simulator sim;
+    core::AdcpConfig cfg;
+    cfg.port_count = 16;
+    core::AdcpSwitch sw(sim, cfg);
+    core::AggregationOptions agg;
+    agg.workers = 16;
+    sw.load_program(core::aggregation_program(cfg, agg));
+    sw.set_multicast_group(1, ports_upto(16));
+    net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+    workload::MlAllReduceParams params;
+    params.workers = 16;
+    params.vector_len = 256;
+    params.elems_per_packet = 8;
+    params.iterations = 1;
+    workload::MlAllReduceWorkload wl(params);
+    wl.attach(fabric);
+    wl.start(sim, fabric);
+    sim.run();
+    EXPECT_TRUE(wl.complete());
+    EXPECT_EQ(wl.bad_sums(), 0u);
+    return wl.makespan();
+  };
+  const auto run_rmt = [] {
+    sim::Simulator sim;
+    rmt::RmtConfig cfg;
+    cfg.port_count = 16;
+    cfg.pipeline_count = 4;
+    rmt::RmtSwitch sw(sim, cfg);
+    rmt::RmtAggOptions agg;
+    agg.workers = 16;
+    agg.mode = rmt::RmtAggMode::kRecirculate;
+    agg.elems_per_packet = 8;
+    agg.report = std::make_shared<rmt::RmtAggReport>();
+    sw.load_program(rmt::scalar_aggregation_program(cfg, agg));
+    sw.set_multicast_group(1, ports_upto(16));
+    net::Fabric fabric(sim, sw, net::Link{100.0, 200 * sim::kNanosecond});
+    workload::MlAllReduceParams params;
+    params.workers = 16;
+    params.vector_len = 256;
+    params.elems_per_packet = 8;
+    params.iterations = 1;
+    workload::MlAllReduceWorkload wl(params);
+    wl.attach(fabric);
+    wl.start(sim, fabric);
+    sim.run();
+    EXPECT_TRUE(wl.complete());
+    EXPECT_EQ(wl.bad_sums(), 0u);
+    return wl.makespan();
+  };
+
+  const sim::Time adcp_time = run_adcp();
+  const sim::Time rmt_time = run_rmt();
+  EXPECT_LT(adcp_time, rmt_time);  // recirculation pass costs real time
+}
+
+}  // namespace
+}  // namespace adcp

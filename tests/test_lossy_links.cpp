@@ -1,0 +1,103 @@
+// Loss injection + retransmission: flows complete over lossy links.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "workload/dctcp.hpp"
+
+namespace adcp {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  std::optional<core::AdcpSwitch> sw;
+  std::optional<net::Fabric> fabric;
+
+  explicit Rig(double loss_rate, std::uint64_t seed = 7) {
+    cfg.port_count = 4;
+    sw.emplace(sim, cfg);
+    sw->load_program(core::forward_program(cfg));
+    net::Link link{100.0, 200 * sim::kNanosecond};
+    link.loss_rate = loss_rate;
+    fabric.emplace(sim, *sw, link, seed);
+  }
+};
+
+TEST(LossyLinks, LosslessByDefault) {
+  Rig rig(0.0);
+  for (int i = 0; i < 100; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    rig.fabric->host(0).send_inc(spec);
+  }
+  rig.sim.run();
+  EXPECT_EQ(rig.fabric->host(1).rx_packets(), 100u);
+  EXPECT_EQ(rig.fabric->host(0).link_drops(), 0u);
+}
+
+TEST(LossyLinks, DropsApproximateConfiguredRate) {
+  Rig rig(0.10);
+  for (int i = 0; i < 2000; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    rig.fabric->host(0).send_inc(spec);
+  }
+  rig.sim.run();
+  // Two lossy traversals (host->switch and switch->host): survival ~0.81.
+  const auto delivered = static_cast<double>(rig.fabric->host(1).rx_packets());
+  EXPECT_NEAR(delivered / 2000.0, 0.81, 0.04);
+  EXPECT_GT(rig.fabric->host(0).link_drops() + rig.fabric->host(1).link_drops(), 0u);
+}
+
+TEST(LossyLinks, DctcpRetransmitsToCompletion) {
+  Rig rig(0.02);  // 2% loss per traversal
+  workload::DctcpParams p;
+  p.sender = 1;
+  p.receiver = 0;
+  p.total_packets = 500;
+  p.rto = 50 * sim::kMicrosecond;
+  workload::DctcpFlow flow(p);
+  flow.attach(rig.sim, *rig.fabric);
+  flow.start(rig.sim, *rig.fabric);
+  rig.sim.run();
+
+  EXPECT_TRUE(flow.complete());
+  EXPECT_GT(flow.retransmits(), 0u);
+}
+
+TEST(LossyLinks, NoRetransmitsWhenLossless) {
+  Rig rig(0.0);
+  workload::DctcpParams p;
+  p.sender = 1;
+  p.receiver = 0;
+  p.total_packets = 300;
+  workload::DctcpFlow flow(p);
+  flow.attach(rig.sim, *rig.fabric);
+  flow.start(rig.sim, *rig.fabric);
+  rig.sim.run();
+  EXPECT_TRUE(flow.complete());
+  EXPECT_EQ(flow.retransmits(), 0u);
+}
+
+TEST(LossyLinks, SurvivesHeavyLoss) {
+  Rig rig(0.15, 99);
+  workload::DctcpParams p;
+  p.sender = 1;
+  p.receiver = 0;
+  p.total_packets = 200;
+  p.rto = 30 * sim::kMicrosecond;
+  workload::DctcpFlow flow(p);
+  flow.attach(rig.sim, *rig.fabric);
+  flow.start(rig.sim, *rig.fabric);
+  rig.sim.run();
+  EXPECT_TRUE(flow.complete());
+  EXPECT_GT(flow.retransmits(), 10u);
+}
+
+}  // namespace
+}  // namespace adcp

@@ -1,0 +1,258 @@
+// Direct tests of the program libraries (core and rmt) — behaviors not
+// already covered by the app-level integration suites.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "rmt/programs.hpp"
+#include "rmt/rmt_switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp {
+namespace {
+
+struct AdcpRig {
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  std::optional<core::AdcpSwitch> sw;
+  std::optional<net::Fabric> fabric;
+
+  explicit AdcpRig(core::AdcpProgram prog, std::uint32_t ports = 8) {
+    cfg.port_count = ports;
+    sw.emplace(sim, cfg);
+    sw->load_program(std::move(prog));
+    fabric.emplace(sim, *sw, net::Link{100.0, 100 * sim::kNanosecond});
+  }
+};
+
+TEST(AggregationProgram, MaxCombineComputesMaximum) {
+  core::AdcpConfig cfg;
+  cfg.port_count = 4;
+  core::AggregationOptions opts;
+  opts.workers = 4;
+  opts.combine = mat::AluOp::kMax;
+
+  sim::Simulator sim;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::aggregation_program(cfg, opts));
+  sw.set_multicast_group(1, {0, 1, 2, 3});
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  std::vector<std::uint32_t> maxima;
+  fabric.host(0).set_rx_callback([&](net::Host&, const packet::Packet& pkt) {
+    packet::IncHeader inc;
+    if (packet::decode_inc(pkt, inc) && inc.opcode == packet::IncOpcode::kAggResult) {
+      for (const packet::IncElement& e : inc.elements) maxima.push_back(e.value);
+    }
+  });
+
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    packet::IncPacketSpec spec;
+    spec.inc.opcode = packet::IncOpcode::kAggUpdate;
+    spec.inc.seq = 0;
+    spec.inc.worker_id = w;
+    spec.inc.flow_id = w + 1;
+    spec.inc.elements.push_back({7, (w + 1) * 10});  // 10, 20, 30, 40
+    fabric.host(w).send_inc(spec);
+  }
+  sim.run();
+  ASSERT_EQ(maxima.size(), 1u);
+  EXPECT_EQ(maxima[0], 40u);
+}
+
+TEST(AggregationProgram, CoflowPlacementKeepsIterationTogether) {
+  core::AdcpConfig cfg;
+  cfg.port_count = 4;
+  cfg.central_pipeline_count = 4;
+  core::AggregationOptions opts;
+  opts.workers = 4;
+  opts.place_by_key = false;  // keep whole coflows on one pipe
+
+  sim::Simulator sim;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::aggregation_program(cfg, opts));
+  sw.set_multicast_group(1, {0, 1, 2, 3});
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      packet::IncPacketSpec spec;
+      spec.inc.opcode = packet::IncOpcode::kAggUpdate;
+      spec.inc.coflow_id = 77;
+      spec.inc.seq = c;
+      spec.inc.worker_id = w;
+      spec.inc.flow_id = w + 1;
+      spec.inc.elements.push_back({c, w});
+      fabric.host(w).send_inc(spec);
+    }
+  }
+  sim.run();
+  std::uint32_t used = 0;
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    if (sw.central_packets(cp) > 0) ++used;
+  }
+  EXPECT_EQ(used, 1u);
+}
+
+TEST(ShuffleProgram, RangeBoundariesRouteExactly) {
+  core::AdcpConfig cfg;
+  cfg.port_count = 4;
+  core::ShuffleOptions opts;
+  opts.partition_owners = 4;
+  opts.max_key = 1000;
+
+  AdcpRig rig(core::shuffle_program(cfg, opts), 4);
+  std::vector<std::uint32_t> arrived_at(4, 0);
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    rig.fabric->host(h).set_rx_callback(
+        [&arrived_at, h](net::Host&, const packet::Packet&) { ++arrived_at[h]; });
+  }
+
+  // Keys at exact partition boundaries: 0,249->0; 250->1; 500->2; 750,999->3.
+  for (const std::uint32_t key : {0u, 249u, 250u, 500u, 750u, 999u}) {
+    packet::IncPacketSpec spec;
+    spec.inc.opcode = packet::IncOpcode::kShuffle;
+    spec.inc.flow_id = key + 1;
+    spec.inc.elements.push_back({key, 0});
+    rig.fabric->host(0).send_inc(spec);
+  }
+  rig.sim.run();
+  EXPECT_EQ(arrived_at[0], 2u);
+  EXPECT_EQ(arrived_at[1], 1u);
+  EXPECT_EQ(arrived_at[2], 1u);
+  EXPECT_EQ(arrived_at[3], 2u);
+}
+
+TEST(KvProgram, MixedHitMissPacketForwardsWhole) {
+  // A read packet with one cached and one uncached key must go to the
+  // store whole (all-or-nothing reply semantics).
+  core::AdcpConfig cfg;
+  cfg.port_count = 4;
+  cfg.central_pipeline_count = 1;
+  core::KvCacheOptions opts;
+  opts.key_space = 1024;
+
+  sim::Simulator sim;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::kv_cache_program(cfg, opts));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  std::uint64_t store_rx = 0;
+  fabric.host(3).set_rx_callback([&](net::Host&, const packet::Packet&) { ++store_rx; });
+  std::uint64_t replies = 0;
+  fabric.host(0).set_rx_callback([&](net::Host&, const packet::Packet& pkt) {
+    packet::IncHeader inc;
+    if (packet::decode_inc(pkt, inc) && inc.opcode == packet::IncOpcode::kAggResult) {
+      ++replies;
+    }
+  });
+
+  // Cache key 5 only.
+  packet::IncPacketSpec wr;
+  wr.ip_dst = 0x0a000003;
+  wr.inc.opcode = packet::IncOpcode::kWrite;
+  wr.inc.worker_id = 0;
+  wr.inc.elements.push_back({5, 55});
+  fabric.host(0).send_inc(wr);
+
+  packet::IncPacketSpec rd;
+  rd.ip_dst = 0x0a000003;
+  rd.inc.opcode = packet::IncOpcode::kRead;
+  rd.inc.worker_id = 0;
+  rd.inc.elements.push_back({5, 0});   // hit
+  rd.inc.elements.push_back({99, 0});  // miss
+  fabric.host(0).send_inc(rd, 5 * sim::kMicrosecond);
+  sim.run();
+
+  EXPECT_EQ(replies, 0u);    // mixed packet is never cache-answered
+  EXPECT_EQ(store_rx, 1u);   // it reaches the store once, whole
+}
+
+TEST(LockProgram, ReplyCarriesHolderInSeq) {
+  core::AdcpConfig cfg;
+  cfg.port_count = 4;
+  AdcpRig rig(core::lock_service_program(cfg), 4);
+  std::vector<std::uint32_t> holders;
+  rig.fabric->host(1).set_rx_callback([&](net::Host&, const packet::Packet& pkt) {
+    packet::IncHeader inc;
+    if (packet::decode_inc(pkt, inc) && inc.opcode == packet::IncOpcode::kLockReply) {
+      holders.push_back(inc.seq);
+    }
+  });
+
+  // Host 0 takes the lock; host 1's denied acquire reports holder 0+1.
+  packet::IncPacketSpec a0;
+  a0.inc.opcode = packet::IncOpcode::kLockAcquire;
+  a0.inc.worker_id = 0;
+  a0.inc.elements.push_back({11, 0});
+  rig.fabric->host(0).send_inc(a0);
+
+  packet::IncPacketSpec a1 = a0;
+  a1.inc.worker_id = 1;
+  rig.fabric->host(1).send_inc(a1, 5 * sim::kMicrosecond);
+  rig.sim.run();
+
+  ASSERT_EQ(holders.size(), 1u);
+  EXPECT_EQ(holders[0], 1u);  // holder ids are 1-based: host 0 -> 1
+}
+
+TEST(GroupProgram, PlainTrafficStillForwards) {
+  core::AdcpConfig cfg;
+  cfg.port_count = 4;
+  AdcpRig rig(core::group_comm_program(cfg), 4);
+  packet::IncPacketSpec spec;
+  spec.ip_dst = 0x0a000002;
+  spec.inc.opcode = packet::IncOpcode::kPlain;
+  spec.inc.elements.push_back({1, 1});
+  rig.fabric->host(0).send_inc(spec);
+  rig.sim.run();
+  EXPECT_EQ(rig.fabric->host(2).rx_packets(), 1u);
+}
+
+TEST(RmtPrograms, UnrolledGraphRejectsWrongElementCount) {
+  const packet::ParseGraph g = rmt::scalar_unrolled_parse_graph(4);
+  const packet::Parser parser(&g);
+  packet::IncPacketSpec spec;
+  for (int i = 0; i < 2; ++i) spec.inc.elements.push_back({1, 1});  // 2 != 4
+  const packet::ParseResult r = parser.parse(packet::make_inc_packet(spec));
+  // The fixed 4-element header extends past a 2-element packet: reject.
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(RmtPrograms, UnrolledGraphAcceptsOversizedAsPayload) {
+  // 6 elements parsed by a 4-element graph: the first 4 unroll, the last 2
+  // remain payload — byte-exact through the matching deparser.
+  const packet::ParseGraph g = rmt::scalar_unrolled_parse_graph(4);
+  const packet::Parser parser(&g);
+  const packet::Deparser dep = rmt::scalar_unrolled_deparser(4);
+  packet::IncPacketSpec spec;
+  for (std::uint32_t i = 0; i < 6; ++i) spec.inc.elements.push_back({i, i});
+  const packet::Packet pkt = packet::make_inc_packet(spec);
+  const packet::ParseResult r = parser.parse(pkt);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(dep.deparse(r.phv, pkt, r.consumed).data, pkt.data);
+}
+
+TEST(RmtPrograms, ForwardDropsUnroutable) {
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 4;
+  cfg.pipeline_count = 2;
+  rmt::RmtSwitch sw(sim, cfg);
+  sw.load_program(rmt::forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  packet::IncPacketSpec spec;
+  spec.ip_dst = 0x0a0000ff;  // host 255 does not exist
+  fabric.host(0).send_inc(spec);
+  sim.run();
+  EXPECT_EQ(sw.stats().program_drops, 1u);
+}
+
+}  // namespace
+}  // namespace adcp

@@ -1,0 +1,215 @@
+// Tests for the run-to-completion switch (BMv2 / Trio / dRMT class).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "net/host.hpp"
+#include "rtc/programs.hpp"
+#include "rtc/rtc_switch.hpp"
+#include "sim/simulator.hpp"
+#include "workload/ml_allreduce.hpp"
+#include "workload/synthetic.hpp"
+
+namespace adcp::rtc {
+namespace {
+
+RtcConfig small_config() {
+  RtcConfig cfg;
+  cfg.port_count = 8;
+  cfg.processors = 8;
+  cfg.clock_ghz = 1.0;
+  return cfg;
+}
+
+TEST(RtcConfig, PeakPpsFollowsPool) {
+  const RtcConfig cfg = small_config();
+  // 8 procs x 1 GHz / (70 + 30) cycles = 80 Mpps.
+  EXPECT_NEAR(cfg.peak_pps(70), 80e6, 1.0);
+}
+
+TEST(RtcSwitch, ForwardsEndToEnd) {
+  sim::Simulator sim;
+  const RtcConfig cfg = small_config();
+  RtcSwitch sw(sim, cfg);
+  sw.load_program(forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000003;
+    spec.inc.flow_id = 1;
+    spec.inc.seq = i;
+    fabric.host(0).send_inc(spec);
+  }
+  sim.run();
+  EXPECT_EQ(fabric.host(3).rx_packets(), 50u);
+  EXPECT_EQ(sw.stats().parse_drops, 0u);
+  EXPECT_EQ(sw.latency().count(), 50u);
+}
+
+TEST(RtcSwitch, AggregationConvergesWithoutWorkarounds) {
+  // The shared memory means a cross-"pipeline" coflow is a non-issue —
+  // functionally like ADCP, unlike RMT (no recirculation, no placement).
+  sim::Simulator sim;
+  const RtcConfig cfg = small_config();
+  RtcSwitch sw(sim, cfg);
+  RtcAggregationOptions agg;
+  agg.workers = 8;
+  sw.load_program(aggregation_program(agg));
+  std::vector<packet::PortId> all(8);
+  std::iota(all.begin(), all.end(), 0);
+  sw.set_multicast_group(1, all);
+
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  workload::MlAllReduceParams params;
+  params.workers = 8;
+  params.vector_len = 64;
+  params.elems_per_packet = 8;
+  params.iterations = 1;
+  workload::MlAllReduceWorkload wl(params);
+  wl.attach(fabric);
+  wl.start(sim, fabric);
+  sim.run();
+
+  EXPECT_TRUE(wl.complete());
+  EXPECT_EQ(wl.bad_sums(), 0u);
+}
+
+TEST(RtcSwitch, ThroughputCapsAtProcessorPool) {
+  // Offered: 8 x 100G of 84 B packets ~ 1.19 Gpps. Pool: 8 x 1 GHz /
+  // (60+8+30) cycles ~ 82 Mpps. The RTC switch must fall far short of
+  // line rate — the paper's core complaint about this class.
+  sim::Simulator sim;
+  const RtcConfig cfg = small_config();
+  RtcSwitch sw(sim, cfg);
+  sw.load_program(forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  workload::SyntheticParams traffic;
+  traffic.packet_bytes = 84;
+  traffic.packets_per_host = 300;
+  workload::run_permutation_traffic(fabric, traffic);
+  sim.run();
+
+  const double offered = 8 * 100.0;
+  EXPECT_LT(sw.achieved_tx_gbps(), 0.15 * offered);
+  EXPECT_GT(sw.achieved_tx_gbps(), 0.02 * offered);
+  // But nothing is lost if the dispatch queue is deep enough.
+  EXPECT_EQ(sw.stats().queue_drops, 0u);
+  EXPECT_EQ(sw.stats().tx_packets, 8u * 300);
+}
+
+TEST(RtcSwitch, DispatchQueueOverflowDrops) {
+  sim::Simulator sim;
+  RtcConfig cfg = small_config();
+  cfg.dispatch_queue_packets = 8;  // tiny
+  cfg.processors = 1;
+  RtcSwitch sw(sim, cfg);
+  sw.load_program(forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    fabric.host(0).send_inc(spec);
+  }
+  sim.run();
+  EXPECT_GT(sw.stats().queue_drops, 0u);
+  EXPECT_EQ(sw.stats().tx_packets + sw.stats().queue_drops, 200u);
+}
+
+TEST(RtcSwitch, LatencyGrowsWithQueueing) {
+  // At low load, latency ~ program cycles; under saturation, p99 balloons
+  // — run-to-completion's "arbitrary length computation" in action.
+  const auto run_with_gap = [](sim::Time gap) {
+    sim::Simulator sim;
+    RtcConfig cfg = small_config();
+    cfg.processors = 2;
+    RtcSwitch sw(sim, cfg);
+    sw.load_program(forward_program(cfg));
+    net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      packet::IncPacketSpec spec;
+      spec.ip_dst = 0x0a000000 | ((i % 7) + 1);
+      fabric.host(0).send_inc(spec, static_cast<sim::Time>(i) * gap);
+    }
+    sim.run();
+    return sw.latency().quantile(0.99);
+  };
+  const double relaxed = run_with_gap(1 * sim::kMicrosecond);
+  const double saturated = run_with_gap(10 * sim::kNanosecond);
+  EXPECT_GT(saturated, 5.0 * relaxed);
+}
+
+TEST(RtcSwitch, VariableWorkMakesVariableLatency) {
+  // Two classes of packets with 10x different program cost share the pool:
+  // the latency histogram spreads — no line-rate determinism.
+  sim::Simulator sim;
+  RtcConfig cfg = small_config();
+  cfg.processors = 1;
+  RtcSwitch sw(sim, cfg);
+  RtcProgram prog = forward_program(cfg);
+  prog.run = [](packet::Phv& phv, SharedState&, const RtcConfig&) -> std::uint64_t {
+    const std::uint64_t host = phv.get_or(packet::fields::kIpDst, 0) & 0xff;
+    phv.set(packet::fields::kMetaEgressPort, host & 7);
+    return phv.get_or(packet::fields::kIncSeq, 0) % 2 == 0 ? 50 : 500;
+  };
+  sw.load_program(std::move(prog));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    packet::IncPacketSpec spec;
+    spec.ip_dst = 0x0a000001;
+    spec.inc.seq = i;
+    fabric.host(0).send_inc(spec, static_cast<sim::Time>(i) * 2 * sim::kMicrosecond);
+  }
+  sim.run();
+  EXPECT_GT(sw.latency().quantile(0.95), 3.0 * sw.latency().quantile(0.05));
+}
+
+TEST(RtcSwitch, MulticastReplicates) {
+  sim::Simulator sim;
+  const RtcConfig cfg = small_config();
+  RtcSwitch sw(sim, cfg);
+  RtcProgram prog = forward_program(cfg);
+  prog.run = [](packet::Phv& phv, SharedState&, const RtcConfig&) -> std::uint64_t {
+    phv.set(packet::fields::kMetaMulticastGroup, 5);
+    return 50;
+  };
+  sw.load_program(std::move(prog));
+  sw.set_multicast_group(5, {1, 3, 5});
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  packet::IncPacketSpec spec;
+  spec.inc.elements.push_back({1, 1});
+  fabric.host(0).send_inc(spec);
+  sim.run();
+  EXPECT_EQ(fabric.host(1).rx_packets(), 1u);
+  EXPECT_EQ(fabric.host(3).rx_packets(), 1u);
+  EXPECT_EQ(fabric.host(5).rx_packets(), 1u);
+  EXPECT_EQ(sw.stats().tx_packets, 3u);
+}
+
+TEST(RtcSwitch, SharedStatePersistsAcrossPackets) {
+  sim::Simulator sim;
+  const RtcConfig cfg = small_config();
+  RtcSwitch sw(sim, cfg);
+  RtcProgram prog = forward_program(cfg);
+  prog.run = [](packet::Phv& phv, SharedState& state, const RtcConfig& c) -> std::uint64_t {
+    // Count every packet in shared cell 7, visible to ALL processors.
+    state.registers.apply(mat::AluOp::kAdd, 7, 1);
+    phv.set(packet::fields::kMetaEgressPort, 1);
+    return 40 + c.memory_access_cycles;
+  };
+  sw.load_program(std::move(prog));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  for (int i = 0; i < 25; ++i) {
+    packet::IncPacketSpec spec;
+    spec.inc.elements.push_back({1, 1});
+    fabric.host(0).send_inc(spec);
+  }
+  sim.run();
+  EXPECT_EQ(sw.shared().registers.peek(7), 25u);
+}
+
+}  // namespace
+}  // namespace adcp::rtc

@@ -1,0 +1,119 @@
+// Tests for the network sequencer (consensus/coordination class, §1):
+// total order, gap-freedom, and replica agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::core {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  AdcpConfig cfg;
+  std::optional<AdcpSwitch> sw;
+  std::optional<net::Fabric> fabric;
+  /// Per-replica log of (order, client, request) as delivered.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> logs;
+
+  explicit Rig(std::vector<packet::PortId> replicas) : logs(8) {
+    cfg.port_count = 8;
+    cfg.central_pipeline_count = 4;
+    sw.emplace(sim, cfg);
+    SequencerOptions opts;
+    opts.replica_group = 3;
+    sw->load_program(sequencer_program(cfg, opts));
+    sw->set_multicast_group(3, std::move(replicas));
+    fabric.emplace(sim, *sw, net::Link{100.0, 200 * sim::kNanosecond});
+    for (std::uint32_t h = 0; h < 8; ++h) {
+      fabric->host(h).add_rx_callback([this, h](net::Host&, const packet::Packet& pkt) {
+        packet::IncHeader inc;
+        if (!packet::decode_inc(pkt, inc)) return;
+        if (inc.opcode != packet::IncOpcode::kOrdered) return;
+        logs[h].push_back({inc.seq, (static_cast<std::uint64_t>(inc.worker_id) << 32) |
+                                        inc.elements.front().key});
+      });
+    }
+  }
+
+  void propose(std::uint32_t client, std::uint32_t request, sim::Time when = 0) {
+    packet::IncPacketSpec spec;
+    spec.inc.opcode = packet::IncOpcode::kPropose;
+    spec.inc.worker_id = client;
+    spec.inc.flow_id = client + 1;
+    spec.inc.elements.push_back({request, 0});
+    fabric->host(client).send_inc(spec, when);
+  }
+};
+
+TEST(Sequencer, AssignsGapFreeOrder) {
+  Rig rig({0});
+  for (std::uint32_t r = 0; r < 20; ++r) rig.propose(1, r);
+  rig.sim.run();
+
+  ASSERT_EQ(rig.logs[0].size(), 20u);
+  std::vector<std::uint64_t> orders;
+  for (const auto& [order, req] : rig.logs[0]) orders.push_back(order);
+  std::sort(orders.begin(), orders.end());
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(orders[i], i + 1);
+}
+
+TEST(Sequencer, AllReplicasSeeIdenticalOrder) {
+  Rig rig({0, 2, 4});
+  sim::Rng rng(5);
+  // Three clients propose concurrently with jittered starts.
+  for (std::uint32_t c = 5; c <= 7; ++c) {
+    for (std::uint32_t r = 0; r < 15; ++r) {
+      rig.propose(c, c * 100 + r, rng.uniform(0, 5000) * sim::kNanosecond);
+    }
+  }
+  rig.sim.run();
+
+  ASSERT_EQ(rig.logs[0].size(), 45u);
+  // Sort each replica's log by order number: the (order -> request)
+  // mapping must be identical everywhere.
+  auto sorted = [](std::vector<std::pair<std::uint64_t, std::uint64_t>> log) {
+    std::sort(log.begin(), log.end());
+    return log;
+  };
+  const auto l0 = sorted(rig.logs[0]);
+  EXPECT_EQ(l0, sorted(rig.logs[2]));
+  EXPECT_EQ(l0, sorted(rig.logs[4]));
+  // And gap-free 1..45.
+  for (std::uint64_t i = 0; i < 45; ++i) EXPECT_EQ(l0[i].first, i + 1);
+}
+
+TEST(Sequencer, PerClientFifoWithinTheTotalOrder) {
+  Rig rig({0});
+  for (std::uint32_t r = 0; r < 10; ++r) rig.propose(6, r);
+  rig.sim.run();
+  // One client's requests must appear in its send order (a single paced
+  // NIC + FIFO path preserves it through the sequencer).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> log = rig.logs[0];
+  std::sort(log.begin(), log.end());
+  for (std::uint64_t i = 1; i < log.size(); ++i) {
+    EXPECT_GT(log[i].second & 0xffffffff, log[i - 1].second & 0xffffffff);
+  }
+}
+
+TEST(Sequencer, NonProposalsForwardNormally) {
+  Rig rig({0});
+  packet::IncPacketSpec spec;
+  spec.ip_dst = 0x0a000002;
+  spec.inc.opcode = packet::IncOpcode::kPlain;
+  spec.inc.elements.push_back({1, 1});
+  rig.fabric->host(1).send_inc(spec);
+  rig.sim.run();
+  EXPECT_EQ(rig.fabric->host(2).rx_packets(), 1u);
+}
+
+}  // namespace
+}  // namespace adcp::core

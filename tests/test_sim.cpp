@@ -1,0 +1,242 @@
+// Unit tests for the discrete-event kernel, RNG, and stats primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::sim {
+namespace {
+
+TEST(Time, PeriodFromGhz) {
+  EXPECT_EQ(period_from_ghz(1.0), 1000u);
+  EXPECT_EQ(period_from_ghz(1.25), 800u);
+  EXPECT_EQ(period_from_ghz(1.62), 617u);
+  EXPECT_EQ(period_from_ghz(0.5), 2000u);
+}
+
+TEST(Time, GhzFromPeriodRoundTrips) {
+  EXPECT_DOUBLE_EQ(ghz_from_period(800), 1.25);
+  EXPECT_NEAR(ghz_from_period(period_from_ghz(1.62)), 1.62, 0.01);
+}
+
+TEST(Time, SerializationTime) {
+  // 84 bytes at 10 Gbps = 67.2 ns.
+  EXPECT_EQ(serialization_time(84, 10.0), 67'200u);
+  // 1500 bytes at 100 Gbps = 120 ns.
+  EXPECT_EQ(serialization_time(1500, 100.0), 120'000u);
+}
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(300, [&] { order.push_back(3); });
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(Simulator, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(42, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  Time fired = 0;
+  sim.at(500, [&] { sim.after(250, [&] { fired = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(fired, 750u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.at(100, [&] { ran = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.every(100, [&] { ++count; });
+  sim.run_until(1000);
+  EXPECT_EQ(count, 10);  // fires at 100..1000
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(5000);
+  EXPECT_EQ(sim.now(), 5000u);
+}
+
+TEST(Simulator, PeriodicTaskCancels) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h = sim.every(10, [&] {
+    if (++count == 5) h.cancel();
+  });
+  sim.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicWithPhase) {
+  Simulator sim;
+  std::vector<Time> fires;
+  EventHandle h = sim.every(100, 7, [&] { fires.push_back(sim.now()); });
+  sim.run_until(320);
+  h.cancel();
+  EXPECT_EQ(fires, (std::vector<Time>{7, 107, 207, 307}));
+}
+
+TEST(Simulator, StopEndsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.every(10, [&] {
+    if (++count == 3) sim.stop();
+  });
+  const std::uint64_t executed = sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(executed, 3u);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1, [&] { ++count; });
+  sim.at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.2);
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  Rng rng(4);
+  Zipf zipf(1000, 1.2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 should dominate rank 100 heavily under skew 1.2.
+  EXPECT_GT(counts[0], counts[100] * 10);
+}
+
+TEST(Zipf, ZeroSkewIsUniformish) {
+  Rng rng(5);
+  Zipf zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 10'000, 600);
+}
+
+TEST(Summary, MeanMinMax) {
+  Summary s;
+  for (const double v : {3.0, 1.0, 2.0}) s.record(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.total(), 6.0);
+}
+
+TEST(Summary, VarianceWelford) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.record(v);
+  EXPECT_NEAR(s.variance(), 4.571, 0.01);  // sample variance
+}
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, RecordAfterQuantileStillSorted) {
+  Histogram h;
+  h.record(10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  h.record(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(Rate, GigaPerSecond) {
+  // 1000 events in 1 microsecond = 1 Gop/s.
+  const Rate r{1000, kMicrosecond};
+  EXPECT_DOUBLE_EQ(r.giga_per_second(), 1.0);
+}
+
+TEST(Throughput, Gbps) {
+  // 125 bytes in 1 ns = 1000 Gbps.
+  const Throughput t{125, kNanosecond};
+  EXPECT_DOUBLE_EQ(t.gbps(), 1000.0);
+}
+
+TEST(RateAndThroughput, EmptyElapsedIsZero) {
+  EXPECT_DOUBLE_EQ((Rate{100, 0}).per_second(), 0.0);
+  EXPECT_DOUBLE_EQ((Throughput{100, 0}).gbps(), 0.0);
+}
+
+}  // namespace
+}  // namespace adcp::sim

@@ -1,0 +1,97 @@
+// Tests for trace recording, CSV round-trips, and trace-driven replay.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace adcp::workload {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  sim::Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    TraceEntry e;
+    e.at = rng.uniform(0, 100'000);
+    e.src_host = static_cast<std::uint32_t>(rng.uniform(0, 3));
+    e.dst_ip = 0x0a000000 | static_cast<std::uint32_t>(rng.uniform(0, 3));
+    e.spec.inc.opcode = packet::IncOpcode::kPlain;
+    e.spec.inc.coflow_id = static_cast<std::uint16_t>(rng.uniform(0, 9));
+    e.spec.inc.flow_id = static_cast<std::uint32_t>(rng.uniform(1, 5));
+    e.spec.inc.seq = static_cast<std::uint32_t>(i);
+    const auto elems = rng.uniform(0, 4);
+    for (std::uint64_t k = 0; k < elems; ++k) {
+      e.spec.inc.elements.push_back({static_cast<std::uint32_t>(rng.uniform(0, 999)),
+                                     static_cast<std::uint32_t>(rng.uniform(0, 999))});
+    }
+    t.add(std::move(e));
+  }
+  return t;
+}
+
+TEST(Trace, CsvRoundTripIsIdentity) {
+  const Trace original = sample_trace();
+  Trace parsed;
+  ASSERT_TRUE(parsed.from_csv(original.to_csv()));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(Trace, EmptyTraceRoundTrips) {
+  const Trace empty;
+  Trace parsed;
+  ASSERT_TRUE(parsed.from_csv(empty.to_csv()));
+  EXPECT_EQ(parsed.size(), 0u);
+}
+
+TEST(Trace, RejectsMalformedCsv) {
+  Trace t;
+  EXPECT_FALSE(t.from_csv("time_ps,src_host\n1,2\n"));
+  EXPECT_FALSE(t.from_csv("h\n1,2,3,4,5,6,7,8,9,notanelem\n"));
+  EXPECT_FALSE(t.from_csv("h\nx,2,3,4,5,6,7,8,9,\n"));
+}
+
+TEST(Trace, ElementsSurviveRoundTrip) {
+  Trace t;
+  TraceEntry e;
+  e.at = 42;
+  e.src_host = 1;
+  e.dst_ip = 0x0a000002;
+  e.spec.inc.elements = {{7, 70}, {8, 80}, {9, 90}};
+  t.add(e);
+  Trace parsed;
+  ASSERT_TRUE(parsed.from_csv(t.to_csv()));
+  ASSERT_EQ(parsed.entries()[0].spec.inc.elements.size(), 3u);
+  EXPECT_EQ(parsed.entries()[0].spec.inc.elements[2].key, 9u);
+  EXPECT_EQ(parsed.entries()[0].spec.inc.elements[2].value, 90u);
+}
+
+TEST(Trace, ReplayDeliversSameAsDirectRun) {
+  const auto run = [](const Trace& trace) {
+    sim::Simulator sim;
+    core::AdcpConfig cfg;
+    cfg.port_count = 4;
+    core::AdcpSwitch sw(sim, cfg);
+    sw.load_program(core::forward_program(cfg));
+    net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+    trace.replay(fabric);
+    sim.run();
+    std::vector<std::uint64_t> delivered;
+    for (std::uint32_t h = 0; h < 4; ++h) delivered.push_back(fabric.host(h).rx_packets());
+    return delivered;
+  };
+
+  const Trace original = sample_trace();
+  Trace reparsed;
+  ASSERT_TRUE(reparsed.from_csv(original.to_csv()));
+  // Determinism + round-trip: direct replay and replay-of-the-parse agree.
+  EXPECT_EQ(run(original), run(reparsed));
+}
+
+}  // namespace
+}  // namespace adcp::workload

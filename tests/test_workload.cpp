@@ -1,0 +1,87 @@
+// Unit tests for the workload generators themselves (determinism, packet
+// shapes, descriptors) — independent of any switch.
+#include <gtest/gtest.h>
+
+#include "workload/db_shuffle.hpp"
+#include "workload/graph_bsp.hpp"
+#include "workload/group_comm.hpp"
+#include "workload/kv.hpp"
+#include "workload/ml_allreduce.hpp"
+
+namespace adcp::workload {
+namespace {
+
+TEST(MlParams, ContributionAndExpectedSumAgree) {
+  MlAllReduceParams p;
+  p.workers = 4;
+  std::uint64_t sum = 0;
+  for (std::uint32_t w = 0; w < 4; ++w) sum += p.contribution(w, 123);
+  EXPECT_EQ(p.expected_sum(123), sum);
+}
+
+TEST(MlParams, ChunkCountRoundsUp) {
+  MlAllReduceParams p;
+  p.vector_len = 100;
+  p.elems_per_packet = 8;
+  EXPECT_EQ(p.packets_per_worker_per_iteration(), 13u);
+  p.vector_len = 96;
+  EXPECT_EQ(p.packets_per_worker_per_iteration(), 12u);
+}
+
+TEST(DbShuffle, GenerationIsDeterministic) {
+  DbShuffleParams p;
+  p.seed = 99;
+  const DbShuffleWorkload a(p);
+  const DbShuffleWorkload b(p);
+  EXPECT_EQ(a.descriptor().total_packets(), b.descriptor().total_packets());
+  EXPECT_EQ(a.descriptor().flows.size(), b.descriptor().flows.size());
+}
+
+TEST(DbShuffle, DescriptorCoversAllRows) {
+  DbShuffleParams p;
+  p.servers = 4;
+  p.owners = 4;
+  p.rows_per_server = 100;
+  p.rows_per_packet = 8;
+  const DbShuffleWorkload wl(p);
+  const coflow::CoflowDescriptor d = wl.descriptor();
+  EXPECT_EQ(d.pattern, coflow::Pattern::kShuffle);
+  // Total packets >= rows/rows_per_packet (bucketing adds per-bucket
+  // round-up).
+  EXPECT_GE(d.total_packets(), 4u * 100 / 8);
+  EXPECT_LE(d.total_packets(), 4u * (100 / 8 + 4));
+}
+
+TEST(DbShuffle, OwnerOfPartitionsKeySpace) {
+  DbShuffleParams p;
+  p.owners = 4;
+  p.max_key = 1000;
+  EXPECT_EQ(p.owner_of(0), 0u);
+  EXPECT_EQ(p.owner_of(249), 0u);
+  EXPECT_EQ(p.owner_of(250), 1u);
+  EXPECT_EQ(p.owner_of(999), 3u);
+}
+
+TEST(GroupComm, CompleteRequiresEveryMember) {
+  GroupCommParams p;
+  p.group = {1, 2};
+  p.transfers = 3;
+  GroupCommWorkload wl(p);
+  EXPECT_FALSE(wl.complete());  // nothing attached/received yet
+}
+
+TEST(KvParams, ValueFunctionIsStable) {
+  const KvParams p;
+  EXPECT_EQ(p.value_of(0), 1u);
+  EXPECT_EQ(p.value_of(10), 71u);
+}
+
+TEST(GraphBsp, DefaultsSane) {
+  const GraphBspParams p;
+  EXPECT_GT(p.supersteps, 0u);
+  EXPECT_GT(p.initial_messages_per_host, 0u);
+  EXPECT_GT(p.growth, 1.0);
+}
+
+}  // namespace
+}  // namespace adcp::workload
