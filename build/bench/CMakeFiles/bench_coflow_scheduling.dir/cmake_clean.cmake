@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coflow_scheduling.dir/bench_coflow_scheduling.cpp.o"
+  "CMakeFiles/bench_coflow_scheduling.dir/bench_coflow_scheduling.cpp.o.d"
+  "bench_coflow_scheduling"
+  "bench_coflow_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coflow_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecn_dctcp.dir/bench_ecn_dctcp.cpp.o"
+  "CMakeFiles/bench_ecn_dctcp.dir/bench_ecn_dctcp.cpp.o.d"
+  "bench_ecn_dctcp"
+  "bench_ecn_dctcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecn_dctcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fig6_array_matching.dir/bench_fig3_fig6_array_matching.cpp.o"
+  "CMakeFiles/bench_fig3_fig6_array_matching.dir/bench_fig3_fig6_array_matching.cpp.o.d"
+  "bench_fig3_fig6_array_matching"
+  "bench_fig3_fig6_array_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig6_array_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_goodput.dir/bench_goodput.cpp.o"
+  "CMakeFiles/bench_goodput.dir/bench_goodput.cpp.o.d"
+  "bench_goodput"
+  "bench_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

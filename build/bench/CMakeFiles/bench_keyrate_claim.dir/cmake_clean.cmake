@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keyrate_claim.dir/bench_keyrate_claim.cpp.o"
+  "CMakeFiles/bench_keyrate_claim.dir/bench_keyrate_claim.cpp.o.d"
+  "bench_keyrate_claim"
+  "bench_keyrate_claim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keyrate_claim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiclock_ablation.dir/bench_multiclock_ablation.cpp.o"
+  "CMakeFiles/bench_multiclock_ablation.dir/bench_multiclock_ablation.cpp.o.d"
+  "bench_multiclock_ablation"
+  "bench_multiclock_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiclock_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multitenant_interference.dir/bench_multitenant_interference.cpp.o"
+  "CMakeFiles/bench_multitenant_interference.dir/bench_multitenant_interference.cpp.o.d"
+  "bench_multitenant_interference"
+  "bench_multitenant_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitenant_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pifo_scheduler.dir/bench_pifo_scheduler.cpp.o"
+  "CMakeFiles/bench_pifo_scheduler.dir/bench_pifo_scheduler.cpp.o.d"
+  "bench_pifo_scheduler"
+  "bench_pifo_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pifo_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

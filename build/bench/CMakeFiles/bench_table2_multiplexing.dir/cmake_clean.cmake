@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_multiplexing.dir/bench_table2_multiplexing.cpp.o"
+  "CMakeFiles/bench_table2_multiplexing.dir/bench_table2_multiplexing.cpp.o.d"
+  "bench_table2_multiplexing"
+  "bench_table2_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_demultiplexing.dir/bench_table3_demultiplexing.cpp.o"
+  "CMakeFiles/bench_table3_demultiplexing.dir/bench_table3_demultiplexing.cpp.o.d"
+  "bench_table3_demultiplexing"
+  "bench_table3_demultiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_demultiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tm_merge_ablation.dir/bench_tm_merge_ablation.cpp.o"
+  "CMakeFiles/bench_tm_merge_ablation.dir/bench_tm_merge_ablation.cpp.o.d"
+  "bench_tm_merge_ablation"
+  "bench_tm_merge_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tm_merge_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_consensus.dir/consensus.cpp.o"
+  "CMakeFiles/example_consensus.dir/consensus.cpp.o.d"
+  "example_consensus"
+  "example_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_db_analytics.dir/db_analytics.cpp.o"
+  "CMakeFiles/example_db_analytics.dir/db_analytics.cpp.o.d"
+  "example_db_analytics"
+  "example_db_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_db_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

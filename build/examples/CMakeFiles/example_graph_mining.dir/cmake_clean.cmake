@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_mining.dir/graph_mining.cpp.o"
+  "CMakeFiles/example_graph_mining.dir/graph_mining.cpp.o.d"
+  "example_graph_mining"
+  "example_graph_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_group_comm.dir/group_comm.cpp.o"
+  "CMakeFiles/example_group_comm.dir/group_comm.cpp.o.d"
+  "example_group_comm"
+  "example_group_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_group_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

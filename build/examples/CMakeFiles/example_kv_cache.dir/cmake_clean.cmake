@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kv_cache.dir/kv_cache.cpp.o"
+  "CMakeFiles/example_kv_cache.dir/kv_cache.cpp.o.d"
+  "example_kv_cache"
+  "example_kv_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kv_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

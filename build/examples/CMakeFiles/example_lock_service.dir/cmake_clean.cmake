@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lock_service.dir/lock_service.cpp.o"
+  "CMakeFiles/example_lock_service.dir/lock_service.cpp.o.d"
+  "example_lock_service"
+  "example_lock_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lock_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ml_aggregation.dir/ml_aggregation.cpp.o"
+  "CMakeFiles/example_ml_aggregation.dir/ml_aggregation.cpp.o.d"
+  "example_ml_aggregation"
+  "example_ml_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ml_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

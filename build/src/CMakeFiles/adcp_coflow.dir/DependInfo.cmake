@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coflow/coflow.cpp" "src/CMakeFiles/adcp_coflow.dir/coflow/coflow.cpp.o" "gcc" "src/CMakeFiles/adcp_coflow.dir/coflow/coflow.cpp.o.d"
+  "/root/repo/src/coflow/scheduler.cpp" "src/CMakeFiles/adcp_coflow.dir/coflow/scheduler.cpp.o" "gcc" "src/CMakeFiles/adcp_coflow.dir/coflow/scheduler.cpp.o.d"
+  "/root/repo/src/coflow/tracker.cpp" "src/CMakeFiles/adcp_coflow.dir/coflow/tracker.cpp.o" "gcc" "src/CMakeFiles/adcp_coflow.dir/coflow/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_coflow.dir/coflow/coflow.cpp.o"
+  "CMakeFiles/adcp_coflow.dir/coflow/coflow.cpp.o.d"
+  "CMakeFiles/adcp_coflow.dir/coflow/scheduler.cpp.o"
+  "CMakeFiles/adcp_coflow.dir/coflow/scheduler.cpp.o.d"
+  "CMakeFiles/adcp_coflow.dir/coflow/tracker.cpp.o"
+  "CMakeFiles/adcp_coflow.dir/coflow/tracker.cpp.o.d"
+  "libadcp_coflow.a"
+  "libadcp_coflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_coflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_core.dir/core/adcp_switch.cpp.o"
+  "CMakeFiles/adcp_core.dir/core/adcp_switch.cpp.o.d"
+  "CMakeFiles/adcp_core.dir/core/programs.cpp.o"
+  "CMakeFiles/adcp_core.dir/core/programs.cpp.o.d"
+  "libadcp_core.a"
+  "libadcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_ctrl.dir/ctrl/hotkey.cpp.o"
+  "CMakeFiles/adcp_ctrl.dir/ctrl/hotkey.cpp.o.d"
+  "libadcp_ctrl.a"
+  "libadcp_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

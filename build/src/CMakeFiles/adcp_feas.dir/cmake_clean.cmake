@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_feas.dir/feas/gcell.cpp.o"
+  "CMakeFiles/adcp_feas.dir/feas/gcell.cpp.o.d"
+  "CMakeFiles/adcp_feas.dir/feas/scaling.cpp.o"
+  "CMakeFiles/adcp_feas.dir/feas/scaling.cpp.o.d"
+  "libadcp_feas.a"
+  "libadcp_feas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_feas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

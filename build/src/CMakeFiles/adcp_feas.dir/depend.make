@@ -1,0 +1,2 @@
+# Empty dependencies file for adcp_feas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mat/array_engine.cpp" "src/CMakeFiles/adcp_mat.dir/mat/array_engine.cpp.o" "gcc" "src/CMakeFiles/adcp_mat.dir/mat/array_engine.cpp.o.d"
+  "/root/repo/src/mat/mau.cpp" "src/CMakeFiles/adcp_mat.dir/mat/mau.cpp.o" "gcc" "src/CMakeFiles/adcp_mat.dir/mat/mau.cpp.o.d"
+  "/root/repo/src/mat/register.cpp" "src/CMakeFiles/adcp_mat.dir/mat/register.cpp.o" "gcc" "src/CMakeFiles/adcp_mat.dir/mat/register.cpp.o.d"
+  "/root/repo/src/mat/sketch.cpp" "src/CMakeFiles/adcp_mat.dir/mat/sketch.cpp.o" "gcc" "src/CMakeFiles/adcp_mat.dir/mat/sketch.cpp.o.d"
+  "/root/repo/src/mat/table.cpp" "src/CMakeFiles/adcp_mat.dir/mat/table.cpp.o" "gcc" "src/CMakeFiles/adcp_mat.dir/mat/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcp_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_mat.dir/mat/array_engine.cpp.o"
+  "CMakeFiles/adcp_mat.dir/mat/array_engine.cpp.o.d"
+  "CMakeFiles/adcp_mat.dir/mat/mau.cpp.o"
+  "CMakeFiles/adcp_mat.dir/mat/mau.cpp.o.d"
+  "CMakeFiles/adcp_mat.dir/mat/register.cpp.o"
+  "CMakeFiles/adcp_mat.dir/mat/register.cpp.o.d"
+  "CMakeFiles/adcp_mat.dir/mat/sketch.cpp.o"
+  "CMakeFiles/adcp_mat.dir/mat/sketch.cpp.o.d"
+  "CMakeFiles/adcp_mat.dir/mat/table.cpp.o"
+  "CMakeFiles/adcp_mat.dir/mat/table.cpp.o.d"
+  "libadcp_mat.a"
+  "libadcp_mat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_net.dir/net/host.cpp.o"
+  "CMakeFiles/adcp_net.dir/net/host.cpp.o.d"
+  "libadcp_net.a"
+  "libadcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

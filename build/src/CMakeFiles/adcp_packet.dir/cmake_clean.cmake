@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_packet.dir/packet/checksum.cpp.o"
+  "CMakeFiles/adcp_packet.dir/packet/checksum.cpp.o.d"
+  "CMakeFiles/adcp_packet.dir/packet/deparser.cpp.o"
+  "CMakeFiles/adcp_packet.dir/packet/deparser.cpp.o.d"
+  "CMakeFiles/adcp_packet.dir/packet/describe.cpp.o"
+  "CMakeFiles/adcp_packet.dir/packet/describe.cpp.o.d"
+  "CMakeFiles/adcp_packet.dir/packet/headers.cpp.o"
+  "CMakeFiles/adcp_packet.dir/packet/headers.cpp.o.d"
+  "CMakeFiles/adcp_packet.dir/packet/parser.cpp.o"
+  "CMakeFiles/adcp_packet.dir/packet/parser.cpp.o.d"
+  "libadcp_packet.a"
+  "libadcp_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

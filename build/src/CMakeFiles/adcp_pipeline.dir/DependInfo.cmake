@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/pipeline.cpp" "src/CMakeFiles/adcp_pipeline.dir/pipeline/pipeline.cpp.o" "gcc" "src/CMakeFiles/adcp_pipeline.dir/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/stage.cpp" "src/CMakeFiles/adcp_pipeline.dir/pipeline/stage.cpp.o" "gcc" "src/CMakeFiles/adcp_pipeline.dir/pipeline/stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcp_mat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_pipeline.dir/pipeline/pipeline.cpp.o"
+  "CMakeFiles/adcp_pipeline.dir/pipeline/pipeline.cpp.o.d"
+  "CMakeFiles/adcp_pipeline.dir/pipeline/stage.cpp.o"
+  "CMakeFiles/adcp_pipeline.dir/pipeline/stage.cpp.o.d"
+  "libadcp_pipeline.a"
+  "libadcp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

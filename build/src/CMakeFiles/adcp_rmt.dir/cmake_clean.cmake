@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_rmt.dir/rmt/programs.cpp.o"
+  "CMakeFiles/adcp_rmt.dir/rmt/programs.cpp.o.d"
+  "CMakeFiles/adcp_rmt.dir/rmt/rmt_switch.cpp.o"
+  "CMakeFiles/adcp_rmt.dir/rmt/rmt_switch.cpp.o.d"
+  "libadcp_rmt.a"
+  "libadcp_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_rtc.dir/rtc/programs.cpp.o"
+  "CMakeFiles/adcp_rtc.dir/rtc/programs.cpp.o.d"
+  "CMakeFiles/adcp_rtc.dir/rtc/rtc_switch.cpp.o"
+  "CMakeFiles/adcp_rtc.dir/rtc/rtc_switch.cpp.o.d"
+  "libadcp_rtc.a"
+  "libadcp_rtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_rtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adcp_rtc.
+# This may be replaced when dependencies are built.

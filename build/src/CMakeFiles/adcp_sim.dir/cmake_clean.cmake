@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/adcp_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/adcp_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/adcp_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/adcp_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/adcp_sim.dir/sim/stats.cpp.o.d"
+  "libadcp_sim.a"
+  "libadcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadcp_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/merge.cpp" "src/CMakeFiles/adcp_tm.dir/tm/merge.cpp.o" "gcc" "src/CMakeFiles/adcp_tm.dir/tm/merge.cpp.o.d"
+  "/root/repo/src/tm/pifo.cpp" "src/CMakeFiles/adcp_tm.dir/tm/pifo.cpp.o" "gcc" "src/CMakeFiles/adcp_tm.dir/tm/pifo.cpp.o.d"
+  "/root/repo/src/tm/scheduler.cpp" "src/CMakeFiles/adcp_tm.dir/tm/scheduler.cpp.o" "gcc" "src/CMakeFiles/adcp_tm.dir/tm/scheduler.cpp.o.d"
+  "/root/repo/src/tm/traffic_manager.cpp" "src/CMakeFiles/adcp_tm.dir/tm/traffic_manager.cpp.o" "gcc" "src/CMakeFiles/adcp_tm.dir/tm/traffic_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcp_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_tm.dir/tm/merge.cpp.o"
+  "CMakeFiles/adcp_tm.dir/tm/merge.cpp.o.d"
+  "CMakeFiles/adcp_tm.dir/tm/pifo.cpp.o"
+  "CMakeFiles/adcp_tm.dir/tm/pifo.cpp.o.d"
+  "CMakeFiles/adcp_tm.dir/tm/scheduler.cpp.o"
+  "CMakeFiles/adcp_tm.dir/tm/scheduler.cpp.o.d"
+  "CMakeFiles/adcp_tm.dir/tm/traffic_manager.cpp.o"
+  "CMakeFiles/adcp_tm.dir/tm/traffic_manager.cpp.o.d"
+  "libadcp_tm.a"
+  "libadcp_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/db_shuffle.cpp" "src/CMakeFiles/adcp_workload.dir/workload/db_shuffle.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/db_shuffle.cpp.o.d"
+  "/root/repo/src/workload/dctcp.cpp" "src/CMakeFiles/adcp_workload.dir/workload/dctcp.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/dctcp.cpp.o.d"
+  "/root/repo/src/workload/graph_bsp.cpp" "src/CMakeFiles/adcp_workload.dir/workload/graph_bsp.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/graph_bsp.cpp.o.d"
+  "/root/repo/src/workload/group_comm.cpp" "src/CMakeFiles/adcp_workload.dir/workload/group_comm.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/group_comm.cpp.o.d"
+  "/root/repo/src/workload/kv.cpp" "src/CMakeFiles/adcp_workload.dir/workload/kv.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/kv.cpp.o.d"
+  "/root/repo/src/workload/ml_allreduce.cpp" "src/CMakeFiles/adcp_workload.dir/workload/ml_allreduce.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/ml_allreduce.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/adcp_workload.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/adcp_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/adcp_workload.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

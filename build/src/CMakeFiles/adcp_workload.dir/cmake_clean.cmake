@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcp_workload.dir/workload/db_shuffle.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/db_shuffle.cpp.o.d"
+  "CMakeFiles/adcp_workload.dir/workload/dctcp.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/dctcp.cpp.o.d"
+  "CMakeFiles/adcp_workload.dir/workload/graph_bsp.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/graph_bsp.cpp.o.d"
+  "CMakeFiles/adcp_workload.dir/workload/group_comm.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/group_comm.cpp.o.d"
+  "CMakeFiles/adcp_workload.dir/workload/kv.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/kv.cpp.o.d"
+  "CMakeFiles/adcp_workload.dir/workload/ml_allreduce.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/ml_allreduce.cpp.o.d"
+  "CMakeFiles/adcp_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/synthetic.cpp.o.d"
+  "CMakeFiles/adcp_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/adcp_workload.dir/workload/trace.cpp.o.d"
+  "libadcp_workload.a"
+  "libadcp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

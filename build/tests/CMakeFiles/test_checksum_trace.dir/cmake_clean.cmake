@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checksum_trace.dir/test_checksum_trace.cpp.o"
+  "CMakeFiles/test_checksum_trace.dir/test_checksum_trace.cpp.o.d"
+  "test_checksum_trace"
+  "test_checksum_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checksum_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coflow.cpp" "tests/CMakeFiles/test_coflow.dir/test_coflow.cpp.o" "gcc" "tests/CMakeFiles/test_coflow.dir/test_coflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcp_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_rtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_mat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_feas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

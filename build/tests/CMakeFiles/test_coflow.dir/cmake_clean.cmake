@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coflow.dir/test_coflow.cpp.o"
+  "CMakeFiles/test_coflow.dir/test_coflow.cpp.o.d"
+  "test_coflow"
+  "test_coflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

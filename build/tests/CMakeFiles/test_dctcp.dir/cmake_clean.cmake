@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dctcp.dir/test_dctcp.cpp.o"
+  "CMakeFiles/test_dctcp.dir/test_dctcp.cpp.o.d"
+  "test_dctcp"
+  "test_dctcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dctcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feas.dir/test_feas.cpp.o"
+  "CMakeFiles/test_feas.dir/test_feas.cpp.o.d"
+  "test_feas"
+  "test_feas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_apps.dir/test_integration_apps.cpp.o"
+  "CMakeFiles/test_integration_apps.dir/test_integration_apps.cpp.o.d"
+  "test_integration_apps"
+  "test_integration_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_forwarding.dir/test_integration_forwarding.cpp.o"
+  "CMakeFiles/test_integration_forwarding.dir/test_integration_forwarding.cpp.o.d"
+  "test_integration_forwarding"
+  "test_integration_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

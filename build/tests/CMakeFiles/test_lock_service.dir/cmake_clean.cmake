@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_service.dir/test_lock_service.cpp.o"
+  "CMakeFiles/test_lock_service.dir/test_lock_service.cpp.o.d"
+  "test_lock_service"
+  "test_lock_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lossy_links.dir/test_lossy_links.cpp.o"
+  "CMakeFiles/test_lossy_links.dir/test_lossy_links.cpp.o.d"
+  "test_lossy_links"
+  "test_lossy_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lossy_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

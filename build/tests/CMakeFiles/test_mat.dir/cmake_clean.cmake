@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mat.dir/test_mat.cpp.o"
+  "CMakeFiles/test_mat.dir/test_mat.cpp.o.d"
+  "test_mat"
+  "test_mat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

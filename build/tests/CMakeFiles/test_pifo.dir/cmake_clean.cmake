@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pifo.dir/test_pifo.cpp.o"
+  "CMakeFiles/test_pifo.dir/test_pifo.cpp.o.d"
+  "test_pifo"
+  "test_pifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

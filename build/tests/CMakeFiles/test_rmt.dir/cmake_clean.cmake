@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmt.dir/test_rmt.cpp.o"
+  "CMakeFiles/test_rmt.dir/test_rmt.cpp.o.d"
+  "test_rmt"
+  "test_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

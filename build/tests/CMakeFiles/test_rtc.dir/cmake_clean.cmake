@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtc.dir/test_rtc.cpp.o"
+  "CMakeFiles/test_rtc.dir/test_rtc.cpp.o.d"
+  "test_rtc"
+  "test_rtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
