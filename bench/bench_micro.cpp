@@ -13,6 +13,7 @@
 #include "packet/deparser.hpp"
 #include "packet/headers.hpp"
 #include "packet/parser.hpp"
+#include "packet/pool.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/simulator.hpp"
 #include "tm/traffic_manager.hpp"
@@ -147,6 +148,79 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorEventThroughput);
+
+// Steady-state variant: one Simulator reused across batches, the pattern
+// every switch scenario actually runs. After the first batch the slab and
+// heap are warm, so scheduling performs no heap allocation at all.
+void BM_SimulatorSteadyState(benchmark::State& state) {
+  sim::Simulator sim;
+  int count = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sim.at(sim.now() + static_cast<sim::Time>(i), [&count] { ++count; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorSteadyState);
+
+// Reuse-API variants of the substrate benches: the switch data paths call
+// parse_into/deparse_into with pooled packets, so these measure the hot
+// path as deployed (no per-call Buffer/Phv allocations).
+void BM_ParserReuse(benchmark::State& state) {
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  const packet::ParseGraph g = packet::standard_parse_graph(64);
+  const packet::Parser parser(&g);
+  const packet::Packet pkt = sample_packet(elems);
+  packet::ParseResult res;
+  for (auto _ : state) {
+    parser.parse_into(pkt, res);
+    benchmark::DoNotOptimize(res.accepted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParserReuse)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DeparserReuse(benchmark::State& state) {
+  const packet::ParseGraph g = packet::standard_parse_graph(64);
+  const packet::Parser parser(&g);
+  const packet::Deparser dep = packet::standard_deparser();
+  const packet::Packet pkt = sample_packet(16);
+  const packet::ParseResult r = parser.parse(pkt);
+  packet::Packet out;
+  for (auto _ : state) {
+    dep.deparse_into(r.phv, pkt, r.consumed, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeparserReuse);
+
+void BM_TmEnqueueDequeuePooled(benchmark::State& state) {
+  tm::TmConfig cfg;
+  cfg.outputs = 16;
+  cfg.buffer_bytes = 1ull << 30;
+  tm::TrafficManager tm(cfg);
+  packet::Pool pool;
+  tm.set_pool(&pool);
+  packet::IncPacketSpec spec;
+  spec.inc.opcode = packet::IncOpcode::kAggUpdate;
+  for (std::uint32_t i = 0; i < 4; ++i) spec.inc.elements.push_back({i, 1});
+  std::uint32_t out = 0;
+  for (auto _ : state) {
+    packet::Packet pkt = pool.acquire();
+    packet::make_inc_packet_into(spec, pkt);
+    tm.enqueue(out & 15, 0, std::move(pkt));
+    auto got = tm.dequeue(out & 15);
+    benchmark::DoNotOptimize(got->size());
+    pool.release(std::move(*got));
+    ++out;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TmEnqueueDequeuePooled);
 
 }  // namespace
 

@@ -1,0 +1,354 @@
+// Multi-threaded benchmark runner (E10 companion).
+//
+// Fans benchmark scenarios × seeds across worker threads — each simulation
+// stays single-threaded and deterministic; only *independent runs* execute
+// concurrently — and emits a machine-readable JSON report (ns/op and
+// events/sec) so before/after numbers can be committed and diffed
+// (see BENCH_kernel.json and DESIGN.md "Simulator performance").
+//
+// Usage:
+//   bench_runner [--quick] [--scenario NAME] [--threads N] [--repeat N]
+//                [--out FILE]
+//
+// Scenarios: event_kernel, rmt_all_to_all, adcp_all_to_all, parser_loop,
+// tm_loop (default: all).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/adcp_switch.hpp"
+#include "core/programs.hpp"
+#include "net/host.hpp"
+#include "packet/headers.hpp"
+#include "packet/parser.hpp"
+#include "rmt/programs.hpp"
+#include "rmt/rmt_switch.hpp"
+#include "sim/simulator.hpp"
+#include "tm/traffic_manager.hpp"
+
+namespace {
+
+using namespace adcp;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  bool quick = false;
+  std::string scenario;  // empty = all
+  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  unsigned repeat = 3;
+  std::string out = "BENCH_kernel.json";
+};
+
+/// One timed run: `ops` operations took `ns` nanoseconds.
+struct Sample {
+  double ns = 0;
+  std::uint64_t ops = 0;
+};
+
+double now_ns(Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+// --- scenarios ------------------------------------------------------------
+
+/// Pure event-kernel churn: schedule/fire batches of events, some periodic,
+/// some cancelled — the op count is events *fired*.
+Sample run_event_kernel(std::uint64_t seed, bool quick) {
+  const int rounds = quick ? 20 : 200;
+  const int batch = 1000;
+  sim::Simulator sim;
+  sim::Rng rng(seed);
+  std::uint64_t fired = 0;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<sim::EventHandle> cancelable;
+    cancelable.reserve(batch / 4);
+    for (int i = 0; i < batch; ++i) {
+      const auto at = sim.now() + 1 + rng.uniform(0, 5000);
+      if (i % 4 == 0) {
+        cancelable.push_back(sim.at(at, [&fired] { ++fired; }));
+      } else {
+        sim.at(at, [&fired] { ++fired; });
+      }
+    }
+    for (std::size_t i = 0; i < cancelable.size(); i += 2) cancelable[i].cancel();
+    sim.run();
+  }
+  return {now_ns(t0), fired};
+}
+
+packet::IncPacketSpec spec_to_host(std::uint32_t dst_host, std::uint32_t flow,
+                                   std::uint32_t seq) {
+  packet::IncPacketSpec spec;
+  spec.ip_dst = 0x0a000000 | dst_host;
+  spec.inc.opcode = packet::IncOpcode::kPlain;
+  spec.inc.flow_id = flow;
+  spec.inc.seq = seq;
+  spec.inc.elements.push_back({seq, seq * 2});
+  return spec;
+}
+
+/// All-to-all forwarding on an 8-port RMT switch; ops = events executed.
+Sample run_rmt_all_to_all(std::uint64_t seed, bool quick) {
+  const std::uint32_t packets_per_pair = quick ? 5 : 40;
+  sim::Simulator sim;
+  rmt::RmtConfig cfg;
+  cfg.port_count = 8;
+  cfg.pipeline_count = 2;
+  rmt::RmtSwitch sw(sim, cfg);
+  sw.load_program(rmt::forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  const auto t0 = Clock::now();
+  std::uint64_t executed = 0;
+  for (std::uint32_t i = 0; i < packets_per_pair; ++i) {
+    for (std::uint32_t s = 0; s < 8; ++s)
+      for (std::uint32_t d = 0; d < 8; ++d) {
+        if (s == d) continue;
+        fabric.host(s).send_inc(spec_to_host(d, s * 100 + d + seed, i));
+      }
+    executed += sim.run();
+  }
+  return {now_ns(t0), executed};
+}
+
+/// Same scenario on the ADCP switch.
+Sample run_adcp_all_to_all(std::uint64_t seed, bool quick) {
+  const std::uint32_t packets_per_pair = quick ? 5 : 40;
+  sim::Simulator sim;
+  core::AdcpConfig cfg;
+  cfg.port_count = 8;
+  cfg.demux_factor = 2;
+  cfg.central_pipeline_count = 2;
+  core::AdcpSwitch sw(sim, cfg);
+  sw.load_program(core::forward_program(cfg));
+  net::Fabric fabric(sim, sw, net::Link{100.0, 100 * sim::kNanosecond});
+  const auto t0 = Clock::now();
+  std::uint64_t executed = 0;
+  for (std::uint32_t i = 0; i < packets_per_pair; ++i) {
+    for (std::uint32_t s = 0; s < 8; ++s)
+      for (std::uint32_t d = 0; d < 8; ++d) {
+        if (s == d) continue;
+        fabric.host(s).send_inc(spec_to_host(d, s * 100 + d + seed, i));
+      }
+    executed += sim.run();
+  }
+  return {now_ns(t0), executed};
+}
+
+/// Parser + deparser reuse loop over the standard graph; ops = packets.
+Sample run_parser_loop(std::uint64_t seed, bool quick) {
+  const std::uint64_t iters = quick ? 20'000 : 500'000;
+  const packet::ParseGraph g = packet::standard_parse_graph(64);
+  const packet::Parser parser(&g);
+  const packet::Deparser dep = packet::standard_deparser();
+  packet::IncPacketSpec spec;
+  spec.inc.opcode = packet::IncOpcode::kAggUpdate;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    spec.inc.elements.push_back({static_cast<std::uint32_t>(seed + i), 1});
+  }
+  const packet::Packet pkt = packet::make_inc_packet(spec);
+  packet::ParseResult pr;
+  packet::Packet out;
+  const auto t0 = Clock::now();
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    parser.parse_into(pkt, pr);
+    dep.deparse_into(pr.phv, pkt, pr.consumed, out);
+    sink += out.size();
+  }
+  if (sink == 0) std::abort();  // defeat over-optimization
+  return {now_ns(t0), iters};
+}
+
+/// Pool-fed TM enqueue/dequeue churn across 16 outputs; ops = packets.
+Sample run_tm_loop(std::uint64_t seed, bool quick) {
+  const std::uint64_t iters = quick ? 50'000 : 1'000'000;
+  tm::TmConfig cfg;
+  cfg.outputs = 16;
+  cfg.buffer_bytes = 1ull << 30;
+  tm::TrafficManager tm(cfg);
+  packet::Pool pool;
+  tm.set_pool(&pool);
+  packet::IncPacketSpec spec;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    spec.inc.elements.push_back({static_cast<std::uint32_t>(seed + i), 1});
+  }
+  const auto t0 = Clock::now();
+  std::uint32_t out = 0;
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    packet::Packet pkt = pool.acquire();
+    packet::make_inc_packet_into(spec, pkt);
+    tm.enqueue(out & 15, 0, std::move(pkt));
+    if (auto got = tm.dequeue(out & 15)) {
+      sink += got->size();
+      pool.release(std::move(*got));
+    }
+    ++out;
+  }
+  if (sink == 0) std::abort();
+  return {now_ns(t0), iters};
+}
+
+// --- harness --------------------------------------------------------------
+
+using ScenarioFn = Sample (*)(std::uint64_t seed, bool quick);
+
+struct Scenario {
+  const char* name;
+  ScenarioFn fn;
+  const char* unit;  ///< what one "op" is
+};
+
+constexpr Scenario kScenarios[] = {
+    {"event_kernel", run_event_kernel, "event"},
+    {"rmt_all_to_all", run_rmt_all_to_all, "event"},
+    {"adcp_all_to_all", run_adcp_all_to_all, "event"},
+    {"parser_loop", run_parser_loop, "packet"},
+    {"tm_loop", run_tm_loop, "packet"},
+};
+
+struct Result {
+  std::string name;
+  std::string unit;
+  double ns_per_op = 0;
+  double ops_per_sec = 0;
+  std::uint64_t total_ops = 0;
+  unsigned runs = 0;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--scenario NAME] [--threads N] "
+               "[--repeat N] [--out FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.scenario = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.threads = std::max(1, std::atoi(v));
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.repeat = std::max(1, std::atoi(v));
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.out = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  // Build the work list: scenario × repeat, each with its own seed.
+  struct Job {
+    const Scenario* sc;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  bool matched = false;
+  for (const Scenario& sc : kScenarios) {
+    if (!opt.scenario.empty() && opt.scenario != sc.name) continue;
+    matched = true;
+    for (unsigned r = 0; r < opt.repeat; ++r) {
+      jobs.push_back({&sc, 0x5eed0000ull + r});
+    }
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown scenario '%s'; known:", opt.scenario.c_str());
+    for (const Scenario& sc : kScenarios) std::fprintf(stderr, " %s", sc.name);
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  // Fan jobs across threads. Each job runs one fully independent,
+  // deterministic, single-threaded simulation.
+  std::mutex mu;
+  std::size_t next_job = 0;
+  std::vector<std::vector<Sample>> samples(std::size(kScenarios));
+  auto worker = [&] {
+    for (;;) {
+      std::size_t j;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (next_job >= jobs.size()) return;
+        j = next_job++;
+      }
+      const Sample s = jobs[j].sc->fn(jobs[j].seed, opt.quick);
+      std::lock_guard<std::mutex> lk(mu);
+      samples[static_cast<std::size_t>(jobs[j].sc - kScenarios)].push_back(s);
+    }
+  };
+  const unsigned nthreads = std::min<std::size_t>(opt.threads, jobs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Aggregate: total ops / total ns per scenario.
+  std::vector<Result> results;
+  for (std::size_t i = 0; i < std::size(kScenarios); ++i) {
+    if (samples[i].empty()) continue;
+    Result r;
+    r.name = kScenarios[i].name;
+    r.unit = kScenarios[i].unit;
+    double ns = 0;
+    for (const Sample& s : samples[i]) {
+      ns += s.ns;
+      r.total_ops += s.ops;
+    }
+    r.ns_per_op = ns / static_cast<double>(r.total_ops);
+    r.ops_per_sec = 1e9 / r.ns_per_op;
+    r.runs = static_cast<unsigned>(samples[i].size());
+    results.push_back(std::move(r));
+  }
+
+  // Report: human-readable to stdout, JSON to --out.
+  for (const Result& r : results) {
+    std::printf("%-16s %10.1f ns/%s %14.0f %ss/sec (%u runs, %llu ops)\n",
+                r.name.c_str(), r.ns_per_op, r.unit.c_str(), r.ops_per_sec,
+                r.unit.c_str(), r.runs, static_cast<unsigned long long>(r.total_ops));
+  }
+  FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"quick\": %s,\n  \"threads\": %u,\n  \"repeat\": %u,\n",
+               opt.quick ? "true" : "false", nthreads, opt.repeat);
+  std::fprintf(f, "  \"scenarios\": {\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"ns_per_op\": %.2f, \"events_per_sec\": %.0f, "
+                 "\"unit\": \"%s\", \"runs\": %u, \"total_ops\": %llu}%s\n",
+                 r.name.c_str(), r.ns_per_op, r.ops_per_sec, r.unit.c_str(), r.runs,
+                 static_cast<unsigned long long>(r.total_ops),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.out.c_str());
+  return 0;
+}

@@ -80,6 +80,8 @@ void AdcpSwitch::load_program(AdcpProgram program) {
   t2.ecn_threshold_bytes = config_.ecn_threshold_bytes;
   t2.make_scheduler = std::move(program.tm2_scheduler);
   tm2_.emplace(std::move(t2));
+  tm1_->set_pool(&pool_);
+  tm2_->set_pool(&pool_);
 }
 
 void AdcpSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports) {
@@ -116,9 +118,11 @@ void AdcpSwitch::inject(packet::PortId port, packet::Packet pkt) {
 }
 
 void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
-  packet::ParseResult pr = parser_->parse(pkt);
+  packet::ParseResult& pr = scratch_parse_;
+  parser_->parse_into(pkt, pr);
   if (!pr.accepted) {
     ++stats_.parse_drops;
+    pool_.release(std::move(pkt));
     return;
   }
   pipeline::Pipeline& ingress = ingress_pipes_[edge_pipe];
@@ -129,13 +133,22 @@ void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
   });
 }
 
+packet::Packet AdcpSwitch::finalize(const packet::Phv& phv, packet::Packet original,
+                                    std::size_t consumed) {
+  if (!is_inc(phv)) return original;
+  packet::Packet out = pool_.acquire();
+  deparser_->deparse_into(phv, original, consumed, out);
+  pool_.release(std::move(original));
+  return out;
+}
+
 void AdcpSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     ++stats_.program_drops;
+    pool_.release(std::move(original));
     return;
   }
-  packet::Packet out =
-      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+  packet::Packet out = finalize(phv, std::move(original), consumed);
 
   // TM1: application-defined placement over the global partitioned area.
   const std::uint32_t cp = placement_(out) % config_.central_pipeline_count;
@@ -155,9 +168,11 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
   std::optional<packet::Packet> pkt = tm1_->dequeue(cp);
   if (!pkt) return;  // empty, or a strict merge is holding back
 
-  packet::ParseResult pr = parser_->parse(*pkt);
+  packet::ParseResult& pr = scratch_parse_;
+  parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
     ++stats_.parse_drops;
+    pool_.release(std::move(*pkt));
     try_drain_central(cp);
     return;
   }
@@ -181,23 +196,27 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
   (void)cp;
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     ++stats_.program_drops;
+    pool_.release(std::move(original));
     return;
   }
-  packet::Packet out =
-      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+  packet::Packet out = finalize(phv, std::move(original), consumed);
 
   const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
   if (group != 0) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
       ++stats_.no_route_drops;
+      pool_.release(std::move(out));
       return;
     }
     for (const packet::PortId port : it->second) {
-      packet::Packet copy = out;
+      packet::Packet copy = pool_.acquire();
+      copy.data = out.data;
+      copy.meta = out.meta;
       copy.meta.egress_port = port;
       route_to_egress(std::move(copy));
     }
+    pool_.release(std::move(out));  // replicas were copies; retire the template
     return;
   }
 
@@ -205,6 +224,7 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
                                           packet::kInvalidPort);
   if (egress >= config_.port_count) {
     ++stats_.no_route_drops;
+    pool_.release(std::move(out));
     return;
   }
   out.meta.egress_port = static_cast<packet::PortId>(egress);
@@ -252,9 +272,11 @@ void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
   std::optional<packet::Packet> pkt = tm2_->dequeue(edge_pipe);
   if (!pkt) return;
 
-  packet::ParseResult pr = parser_->parse(*pkt);
+  packet::ParseResult& pr = scratch_parse_;
+  parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
     ++stats_.parse_drops;
+    pool_.release(std::move(*pkt));
     try_drain_egress(edge_pipe);
     return;
   }
@@ -279,11 +301,11 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
   const std::uint32_t port = config_.port_of_edge_pipe(edge_pipe);
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     ++stats_.program_drops;
+    pool_.release(std::move(original));
     kick_port_egress(port);
     return;
   }
-  packet::Packet out =
-      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+  packet::Packet out = finalize(phv, std::move(original), consumed);
 
   // m:1 mux back onto the port: TX serialization at full port rate. The
   // packet occupies the small egress FIFO from pipe exit to TX completion.

@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "core/program.hpp"
 #include "net/device.hpp"
+#include "packet/pool.hpp"
 #include "sim/simulator.hpp"
 #include "tm/traffic_manager.hpp"
 
@@ -74,8 +75,16 @@ class AdcpSwitch final : public net::SwitchDevice {
   /// Achieved egress throughput over [first_tx, last_tx].
   [[nodiscard]] double achieved_tx_gbps() const;
 
+  /// The switch-internal recycling pool (deparse outputs, multicast copies,
+  /// retired originals and drops all flow through it).
+  packet::Pool& pool() { return pool_; }
+
  private:
   void enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe);
+  /// Deparse-or-passthrough: INC packets are rebuilt from the PHV into a
+  /// pooled packet and the original is retired; others pass through.
+  packet::Packet finalize(const packet::Phv& phv, packet::Packet original,
+                          std::size_t consumed);
   void after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed);
   void try_drain_central(std::uint32_t cp);
   void drain_central(std::uint32_t cp);
@@ -90,6 +99,8 @@ class AdcpSwitch final : public net::SwitchDevice {
 
   sim::Simulator* sim_;
   AdcpConfig config_;
+  packet::Pool pool_;
+  packet::ParseResult scratch_parse_;  ///< reused by the re-parse sites
   std::optional<packet::Parser> parser_;
   packet::ParseGraph parse_graph_;
   std::optional<packet::Deparser> deparser_;

@@ -17,6 +17,7 @@ sim::Time Host::send(packet::Packet pkt, sim::Time earliest) {
   const sim::Time arrival = start + link_.propagation;
   if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
     ++link_drops_;
+    if (pool_ != nullptr) pool_->release(std::move(pkt));
     return arrival;
   }
   sim_->at(arrival, [this, pkt = std::move(pkt)]() mutable {
@@ -26,12 +27,15 @@ sim::Time Host::send(packet::Packet pkt, sim::Time earliest) {
 }
 
 sim::Time Host::send_inc(const packet::IncPacketSpec& spec, sim::Time earliest) {
-  return send(packet::make_inc_packet(spec), earliest);
+  packet::Packet pkt = pool_ != nullptr ? pool_->acquire() : packet::Packet{};
+  packet::make_inc_packet_into(spec, pkt);
+  return send(std::move(pkt), earliest);
 }
 
 void Host::deliver_from_switch(packet::Packet pkt) {
   if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
     ++link_drops_;
+    if (pool_ != nullptr) pool_->release(std::move(pkt));
     return;
   }
   sim_->after(link_.propagation, [this, pkt = std::move(pkt)]() mutable {
@@ -61,6 +65,7 @@ void Host::deliver_from_switch(packet::Packet pkt) {
     }
 
     for (const RxCallback& cb : rx_callbacks_) cb(*this, pkt);
+    if (pool_ != nullptr) pool_->release(std::move(pkt));
   });
 }
 
@@ -68,7 +73,7 @@ Fabric::Fabric(sim::Simulator& sim, SwitchDevice& device, Link link, std::uint64
     : rng_(seed) {
   hosts_.reserve(device.port_count());
   for (std::uint32_t p = 0; p < device.port_count(); ++p) {
-    hosts_.emplace_back(p, p, link, sim, device, &rng_);
+    hosts_.emplace_back(p, p, link, sim, device, &rng_, &pool_);
   }
   device.set_tx_handler([this](packet::PortId port, packet::Packet pkt) {
     if (port < hosts_.size()) hosts_[port].deliver_from_switch(std::move(pkt));

@@ -11,6 +11,7 @@
 #include "net/device.hpp"
 #include "net/link.hpp"
 #include "packet/headers.hpp"
+#include "packet/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -25,9 +26,12 @@ class Host {
   /// Optional application hook invoked on every received packet.
   using RxCallback = std::function<void(Host&, const packet::Packet&)>;
 
+  /// `pool`, when given, recycles delivered/lost packets and feeds
+  /// send_inc(), making steady-state host traffic allocation-free.
   Host(coflow::HostId id, packet::PortId port, Link link, sim::Simulator& sim,
-       SwitchDevice& device, sim::Rng* rng = nullptr)
-      : id_(id), port_(port), link_(link), sim_(&sim), device_(&device), rng_(rng) {}
+       SwitchDevice& device, sim::Rng* rng = nullptr, packet::Pool* pool = nullptr)
+      : id_(id), port_(port), link_(link), sim_(&sim), device_(&device), rng_(rng),
+        pool_(pool) {}
 
   /// Queues `pkt` for transmission no earlier than `earliest`; the NIC
   /// serializes packets back to back at the link rate. Returns the time the
@@ -80,6 +84,7 @@ class Host {
   sim::Simulator* sim_;
   SwitchDevice* device_;
   sim::Rng* rng_;  // not owned; shared by the fabric (null = lossless)
+  packet::Pool* pool_ = nullptr;  // not owned; shared by the fabric
   std::vector<RxCallback> rx_callbacks_;
   coflow::CoflowTracker* tracker_ = nullptr;
 
@@ -113,8 +118,12 @@ class Fabric {
 
   std::vector<Host>& hosts() { return hosts_; }
 
+  /// The pool all hosts recycle packets through (one per fabric).
+  packet::Pool& pool() { return pool_; }
+
  private:
   sim::Rng rng_;
+  packet::Pool pool_;
   std::vector<Host> hosts_;
 };
 

@@ -1,23 +1,51 @@
 #include "packet/deparser.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 
 #include "packet/fields.hpp"
 #include "packet/headers.hpp"
 
 namespace adcp::packet {
 
-Packet Deparser::deparse(const Phv& phv, const Packet& original,
-                         std::size_t payload_offset) const {
-  Packet out;
+void Deparser::deparse_into(const Phv& phv, const Packet& original,
+                            std::size_t payload_offset, Packet& out) const {
+  assert(&out != &original);
+  out.data.clear();
   out.meta = original.meta;
   Buffer& b = out.data;
 
+  // Size pass first, then one resize and in-place writes: emitting through
+  // append() costs a vector resize per field, which dominates deparse time.
+  std::size_t total = 0;
   for (const EmitOp& op : ops_) {
     if (const auto* s = std::get_if<EmitScalar>(&op)) {
-      b.append(s->width, phv.get_or(s->src, 0));
+      total += s->width;
     } else if (const auto* c = std::get_if<EmitConst>(&op)) {
-      b.append(c->width, c->value);
+      total += c->width;
+    } else if (const auto* a = std::get_if<EmitArray>(&op)) {
+      std::size_t count = 0;
+      std::size_t element_bytes = 0;
+      for (const EmitArray::Lane& lane : a->lanes) {
+        count = std::max(count, phv.array(lane.src).size());
+        element_bytes += lane.width;
+      }
+      total += count * element_bytes;
+    }
+  }
+  const std::size_t payload =
+      payload_offset < original.data.size() ? original.data.size() - payload_offset : 0;
+  b.resize(total + payload);
+
+  std::size_t at = 0;
+  for (const EmitOp& op : ops_) {
+    if (const auto* s = std::get_if<EmitScalar>(&op)) {
+      b.write(at, s->width, phv.get_or(s->src, 0));
+      at += s->width;
+    } else if (const auto* c = std::get_if<EmitConst>(&op)) {
+      b.write(at, c->width, c->value);
+      at += c->width;
     } else if (const auto* a = std::get_if<EmitArray>(&op)) {
       std::size_t count = 0;
       for (const EmitArray::Lane& lane : a->lanes) {
@@ -26,21 +54,21 @@ Packet Deparser::deparse(const Phv& phv, const Packet& original,
       for (std::size_t i = 0; i < count; ++i) {
         for (const EmitArray::Lane& lane : a->lanes) {
           const auto arr = phv.array(lane.src);
-          b.append(lane.width, i < arr.size() ? arr[i] : 0);
+          b.write(at, lane.width, i < arr.size() ? arr[i] : 0);
+          at += lane.width;
         }
       }
     }
   }
 
-  if (payload_offset < original.data.size()) {
-    b.append_bytes(original.data.bytes().subspan(payload_offset));
+  if (payload > 0) {
+    std::memcpy(b.bytes().data() + at, original.data.bytes().data() + payload_offset, payload);
   }
 
   // Keep PHV-derived metadata coherent.
   if (phv.has(fields::kIncFlowId)) out.meta.flow_id = phv.get(fields::kIncFlowId);
   if (phv.has(fields::kIncCoflowId)) out.meta.coflow_id = phv.get(fields::kIncCoflowId);
   if (phv.get_or(fields::kMetaDrop, 0) != 0) out.meta.drop = true;
-  return out;
 }
 
 Deparser standard_deparser() {

@@ -48,7 +48,17 @@ class Deparser {
   /// `original.data` bytes from `payload_offset` onward. Metadata fields of
   /// `original` are preserved (minus any fields the caller overrides).
   [[nodiscard]] Packet deparse(const Phv& phv, const Packet& original,
-                               std::size_t payload_offset) const;
+                               std::size_t payload_offset) const {
+    Packet out;
+    deparse_into(phv, original, payload_offset, out);
+    return out;
+  }
+
+  /// Same, but serializes into `out` (contents discarded, buffer capacity
+  /// kept). `out` is typically a pool-recycled packet, making steady-state
+  /// deparsing allocation-free. `out` must not alias `original`.
+  void deparse_into(const Phv& phv, const Packet& original,
+                    std::size_t payload_offset, Packet& out) const;
 
  private:
   std::vector<EmitOp> ops_;

@@ -17,6 +17,12 @@ constexpr std::size_t kIncOffset = kUdpOffset + kUdpBytes;
 
 Packet make_inc_packet(const IncPacketSpec& spec) {
   Packet pkt;
+  make_inc_packet_into(spec, pkt);
+  return pkt;
+}
+
+void make_inc_packet_into(const IncPacketSpec& spec, Packet& pkt) {
+  pkt.data.clear();
   Buffer& b = pkt.data;
 
   // Ethernet
@@ -61,7 +67,6 @@ Packet make_inc_packet(const IncPacketSpec& spec) {
 
   pkt.meta.flow_id = spec.inc.flow_id;
   pkt.meta.coflow_id = spec.inc.coflow_id;
-  return pkt;
 }
 
 bool decode_inc(const Packet& pkt, IncHeader& out) {

@@ -96,6 +96,11 @@ constexpr std::size_t inc_packet_bytes(std::size_t elems) {
 /// Serializes an INC packet per the layout above.
 Packet make_inc_packet(const IncPacketSpec& spec);
 
+/// Same, but serializes into `pkt` (contents discarded, buffer capacity and
+/// non-flow metadata kept) — pairs with packet::Pool so senders can emit a
+/// steady stream without per-packet allocation.
+void make_inc_packet_into(const IncPacketSpec& spec, Packet& pkt);
+
 /// Decodes the INC header from a full packet; returns false when the packet
 /// is not INC (wrong ethertype/proto/port) or is truncated.
 bool decode_inc(const Packet& pkt, IncHeader& out);

@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "packet/buffer.hpp"
+#include "packet/small_vec.hpp"
 #include "sim/time.hpp"
 
 namespace adcp::packet {
@@ -19,8 +19,9 @@ struct Metadata {
   PortId ingress_port = kInvalidPort;
   PortId egress_port = kInvalidPort;
   /// For multicast: resolved list of egress ports (takes precedence over
-  /// egress_port when non-empty).
-  std::vector<PortId> egress_ports;
+  /// egress_port when non-empty). Small-buffer-optimized: typical fan-outs
+  /// stay inline so copying metadata never allocates.
+  SmallVec<PortId, 4> egress_ports;
   sim::Time arrival = 0;         ///< time the first bit hit the RX port
   std::uint32_t recirculations = 0;  ///< how many recirculation passes so far
   /// Ingress program requested a recirculation pass; honored after the
@@ -29,6 +30,20 @@ struct Metadata {
   std::uint64_t flow_id = 0;
   std::uint64_t coflow_id = 0;
   bool drop = false;
+
+  /// Back to defaults; any spilled egress_ports capacity is kept so pooled
+  /// packets recycle it.
+  void reset() {
+    ingress_port = kInvalidPort;
+    egress_port = kInvalidPort;
+    egress_ports.clear();
+    arrival = 0;
+    recirculations = 0;
+    recirc_request = false;
+    flow_id = 0;
+    coflow_id = 0;
+    drop = false;
+  }
 };
 
 /// A simulated packet. Value-semantic; moves are cheap.

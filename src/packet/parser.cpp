@@ -6,18 +6,18 @@
 
 namespace adcp::packet {
 
-ParseResult Parser::parse(const Packet& pkt) const {
-  ParseResult res;
+void Parser::parse_into(const Packet& pkt, ParseResult& res) const {
+  res.reset();
   const Buffer& b = pkt.data;
   std::size_t cursor = 0;
   StateId id = graph_->start();
 
   while (id != kAcceptState && id != kDropState) {
     // Loop guard: a well-formed graph never revisits more states than it has.
-    if (res.path.size() > graph_->size()) return res;
+    if (res.path.size() > graph_->size()) return;
     res.path.push_back(id);
     const ParseState& st = graph_->state(id);
-    if (cursor + st.header_len > b.size()) return res;  // truncated
+    if (cursor + st.header_len > b.size()) return;  // truncated
 
     for (const Extract& ex : st.extracts) {
       assert(ex.offset + ex.width <= st.header_len);
@@ -28,15 +28,15 @@ ParseResult Parser::parse(const Packet& pkt) const {
     if (st.array) {
       const ArrayExtract& ax = *st.array;
       const std::uint64_t count = res.phv.get_or(ax.count_field, 0);
-      if (count > ax.max_count) return res;  // exceeds hardware lane budget
+      if (count > ax.max_count) return;  // exceeds hardware lane budget
       array_bytes = static_cast<std::size_t>(count) * ax.stride;
-      if (cursor + ax.offset + array_bytes > b.size()) return res;  // truncated
+      if (cursor + ax.offset + array_bytes > b.size()) return;  // truncated
       for (const ArrayExtract::Lane& lane : ax.lanes) {
         auto& dst = res.phv.array(lane.dst);
-        dst.clear();
-        dst.reserve(count);
+        dst.resize(count);  // warm PHVs keep their capacity: no per-element growth
+        const std::size_t base = cursor + ax.offset + lane.offset;
         for (std::uint64_t i = 0; i < count; ++i) {
-          dst.push_back(b.read(cursor + ax.offset + i * ax.stride + lane.offset, lane.width));
+          dst[i] = b.read(base + i * ax.stride, lane.width);
         }
       }
     }
@@ -44,8 +44,11 @@ ParseResult Parser::parse(const Packet& pkt) const {
     StateId next = st.fallthrough;
     if (st.select) {
       const std::uint64_t key = res.phv.get_or(*st.select, 0);
-      if (const auto it = st.transitions.find(key); it != st.transitions.end()) {
-        next = it->second;
+      for (const auto& [match, to] : st.transitions) {
+        if (match == key) {
+          next = to;
+          break;
+        }
       }
     }
     cursor += st.header_len + array_bytes;
@@ -58,7 +61,6 @@ ParseResult Parser::parse(const Packet& pkt) const {
     res.phv.set(fields::kMetaIngressPort, pkt.meta.ingress_port);
     res.phv.set(fields::kMetaDrop, 0);
   }
-  return res;
 }
 
 ParseGraph standard_parse_graph(std::size_t max_elems) {

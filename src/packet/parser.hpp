@@ -11,7 +11,7 @@
 #include <limits>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "packet/packet.hpp"
@@ -61,8 +61,10 @@ struct ParseState {
   std::optional<ArrayExtract> array;
   /// If set, the next state is chosen by matching this field's value in
   /// `transitions`; otherwise `fallthrough` is taken unconditionally.
+  /// Flat (key, next-state) pairs: real parse graphs have a handful of
+  /// transitions per state, where a linear scan beats a hash map.
   std::optional<FieldId> select;
-  std::unordered_map<std::uint64_t, StateId> transitions;
+  std::vector<std::pair<std::uint64_t, StateId>> transitions;
   StateId fallthrough = kAcceptState;
 };
 
@@ -95,6 +97,15 @@ struct ParseResult {
   /// States visited, in order — the parser cost model charges one parser
   /// cycle per state.
   std::vector<StateId> path;
+
+  /// Back to a just-constructed state, keeping the path's and the PHV
+  /// arrays' heap capacity — reuse one result per hot loop.
+  void reset() {
+    accepted = false;
+    consumed = 0;
+    path.clear();
+    phv.reset();
+  }
 };
 
 /// Executes a ParseGraph over packets. Stateless and reusable.
@@ -104,7 +115,16 @@ class Parser {
 
   /// Parses `pkt`; also copies intrinsic metadata (ingress port, flow ids)
   /// into the PHV's meta fields.
-  [[nodiscard]] ParseResult parse(const Packet& pkt) const;
+  [[nodiscard]] ParseResult parse(const Packet& pkt) const {
+    ParseResult res;
+    parse_into(pkt, res);
+    return res;
+  }
+
+  /// Same, but reuses `res` (reset internally): a warmed-up result makes
+  /// parsing allocation-free, which is what the switch data paths and the
+  /// zero-allocation forwarding loop rely on.
+  void parse_into(const Packet& pkt, ParseResult& res) const;
 
  private:
   const ParseGraph* graph_;  // not owned

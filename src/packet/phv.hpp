@@ -66,6 +66,15 @@ class Phv {
   /// Count of valid scalar fields.
   [[nodiscard]] std::size_t valid_count() const { return valid_.count(); }
 
+  /// Invalidates every scalar and empties every array while keeping the
+  /// arrays' heap capacity — lets a hot loop reuse one PHV per packet
+  /// without reallocating (scalar *values* are left stale; get() guards on
+  /// validity).
+  void reset() {
+    valid_.reset();
+    for (auto& a : arrays_) a.clear();
+  }
+
   bool operator==(const Phv&) const = default;
 
  private:

@@ -1,0 +1,70 @@
+// Packet recycling pool.
+//
+// Every packet that crosses a simulated switch used to cost at least one
+// buffer allocation (deparse builds fresh wire bytes) plus the frees of the
+// packet it replaced. The pool turns that churn into a freelist: release()
+// parks a dead packet, acquire() hands it back with zero-length data and
+// default metadata but with the buffer's (and any spilled egress-port
+// list's) capacity intact, so steady-state forwarding performs no heap
+// allocation per packet.
+//
+// Ownership rules (also summarized in DESIGN.md):
+//  - acquire() transfers ownership to the caller; a pooled packet is an
+//    ordinary value — it may be moved anywhere, including into queues,
+//    events, or a *different* pool.
+//  - release() is optional. A packet that is simply destroyed frees its
+//    memory; the simulation stays correct, the pool just refills lazily.
+//  - Pools are not thread-safe; use one pool per simulation (simulations
+//    are single-threaded by design).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace adcp::packet {
+
+class Pool {
+ public:
+  struct Stats {
+    std::uint64_t fresh = 0;     ///< acquires served by a new allocation
+    std::uint64_t recycled = 0;  ///< acquires served from the freelist
+    std::uint64_t released = 0;  ///< packets returned via release()
+  };
+
+  /// `max_idle` caps how many dead packets the pool retains; surplus
+  /// releases simply free their memory.
+  explicit Pool(std::size_t max_idle = 4096) : max_idle_(max_idle) {}
+
+  /// An empty packet (size 0, default metadata), recycled when possible.
+  Packet acquire() {
+    if (free_.empty()) {
+      ++stats_.fresh;
+      return Packet{};
+    }
+    Packet pkt = std::move(free_.back());
+    free_.pop_back();
+    pkt.data.clear();
+    pkt.meta.reset();
+    ++stats_.recycled;
+    return pkt;
+  }
+
+  /// Parks `pkt` for reuse (or frees it if the pool is full).
+  void release(Packet pkt) {
+    ++stats_.released;
+    if (free_.size() < max_idle_) free_.push_back(std::move(pkt));
+  }
+
+  [[nodiscard]] std::size_t idle() const { return free_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Packet> free_;
+  std::size_t max_idle_;
+  Stats stats_;
+};
+
+}  // namespace adcp::packet

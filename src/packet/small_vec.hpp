@@ -1,0 +1,146 @@
+// Small-buffer-optimized vector for per-packet metadata.
+//
+// Packet metadata travels by value through every queue and event in the
+// simulator; giving its variable-length members (e.g. resolved multicast
+// egress ports) a std::vector means one heap allocation per packet copy.
+// SmallVec keeps up to N elements inline and only spills to the heap for
+// genuinely large sets, and a spilled instance keeps its capacity across
+// clear() so pooled packets recycle it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+
+namespace adcp::packet {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for small trivially copyable value types");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(const SmallVec& other) {
+    if (other.cap_ == N) {
+      // Fixed-size copy of the whole inline buffer: inlines to a couple of
+      // register moves, unlike a runtime-length memcpy call.
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+      size_ = other.size_;
+    } else {
+      assign(other.data(), other.size_);
+    }
+  }
+
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this == &other) return *this;
+    if (other.cap_ == N && cap_ == N) {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+      size_ = other.size_;
+    } else {
+      assign(other.data(), other.size_);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release_heap(); }
+
+  void push_back(T value) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = value;
+  }
+
+  /// Drops all elements; heap capacity (if any) is retained for reuse.
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  T* data() { return cap_ == N ? inline_ : heap_; }
+  [[nodiscard]] const T* data() const { return cap_ == N ? inline_ : heap_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  bool operator==(const SmallVec& other) const {
+    if (size_ != other.size_) return false;
+    return std::memcmp(data(), other.data(), size_ * sizeof(T)) == 0;
+  }
+
+ private:
+  void assign(const T* src, std::uint32_t n) {
+    if (n > cap_) grow(n);
+    std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  void grow(std::uint32_t min_cap) {
+    const std::uint32_t new_cap = std::max<std::uint32_t>(min_cap, cap_ * 2);
+    T* fresh = new T[new_cap];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    release_heap();
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void release_heap() {
+    if (cap_ != N) {
+      delete[] heap_;
+      cap_ = static_cast<std::uint32_t>(N);
+    }
+  }
+
+  /// Takes other's contents; other is left empty (inline, no heap).
+  void steal(SmallVec& other) {
+    if (other.cap_ == N) {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));  // fixed-size: inlines
+      cap_ = static_cast<std::uint32_t>(N);
+    } else {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      other.cap_ = static_cast<std::uint32_t>(N);
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = static_cast<std::uint32_t>(N);
+  union {
+    T inline_[N];
+    T* heap_;
+  };
+};
+
+}  // namespace adcp::packet

@@ -40,6 +40,7 @@ RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config)
   tc.alpha = config.tm_alpha;
   tc.ecn_threshold_bytes = config.ecn_threshold_bytes;
   tm_.emplace(std::move(tc));
+  tm_->set_pool(&pool_);
 
   rx_free_.assign(config.port_count, 0);
   tx_free_.assign(config.port_count, 0);
@@ -79,9 +80,11 @@ void RmtSwitch::inject(packet::PortId port, packet::Packet pkt) {
 }
 
 void RmtSwitch::enter_ingress(packet::Packet pkt) {
-  packet::ParseResult pr = parser_->parse(pkt);
+  packet::ParseResult& pr = scratch_parse_;
+  parser_->parse_into(pkt, pr);
   if (!pr.accepted) {
     ++stats_.parse_drops;
+    pool_.release(std::move(pkt));
     return;
   }
   pr.phv.set(packet::fields::kMetaRecircPass, pkt.meta.recirculations);
@@ -95,14 +98,23 @@ void RmtSwitch::enter_ingress(packet::Packet pkt) {
   });
 }
 
+packet::Packet RmtSwitch::finalize(const packet::Phv& phv, packet::Packet original,
+                                   std::size_t consumed) {
+  if (!is_inc(phv)) return original;
+  packet::Packet out = pool_.acquire();
+  deparser_->deparse_into(phv, original, consumed, out);
+  pool_.release(std::move(original));
+  return out;
+}
+
 void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     ++stats_.program_drops;
+    pool_.release(std::move(original));
     return;
   }
   // Deparsing preserves metadata (recirculation count included).
-  packet::Packet out =
-      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+  packet::Packet out = finalize(phv, std::move(original), consumed);
   out.meta.drop = false;
 
   const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
@@ -110,9 +122,11 @@ void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::siz
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
       ++stats_.no_route_drops;
+      pool_.release(std::move(out));
       return;
     }
     tm_->enqueue_multicast(it->second, 0, out);
+    pool_.release(std::move(out));  // replicas were copies; retire the template
     for (const packet::PortId p : it->second) try_drain(p);
     return;
   }
@@ -121,6 +135,7 @@ void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::siz
                                           packet::kInvalidPort);
   if (egress >= config_.port_count) {
     ++stats_.no_route_drops;
+    pool_.release(std::move(out));
     return;
   }
   out.meta.egress_port = static_cast<packet::PortId>(egress);
@@ -143,9 +158,11 @@ void RmtSwitch::drain(packet::PortId port) {
   std::optional<packet::Packet> pkt = tm_->dequeue(port);
   if (!pkt) return;
 
-  packet::ParseResult pr = parser_->parse(*pkt);
+  packet::ParseResult& pr = scratch_parse_;
+  parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
     ++stats_.parse_drops;
+    pool_.release(std::move(*pkt));
     try_drain(port);
     return;
   }
@@ -172,12 +189,12 @@ void RmtSwitch::after_egress(packet::Phv phv, packet::Packet original, std::size
                              packet::PortId port) {
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     ++stats_.program_drops;
+    pool_.release(std::move(original));
     try_drain(port);
     return;
   }
   const bool recirc_requested = original.meta.recirc_request;
-  packet::Packet out =
-      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+  packet::Packet out = finalize(phv, std::move(original), consumed);
 
   const bool recirc = recirc_requested ||
                       phv.get_or(packet::fields::kMetaRecirc, 0) != 0;
@@ -208,6 +225,7 @@ void RmtSwitch::recirculate(packet::Packet pkt, std::uint32_t pipe) {
   ++pkt.meta.recirculations;
   if (pkt.meta.recirculations > config_.max_recirculations) {
     ++stats_.recirc_limit_drops;
+    pool_.release(std::move(pkt));
     return;
   }
   ++stats_.recirculations;

@@ -16,6 +16,7 @@
 #include "net/device.hpp"
 #include "packet/deparser.hpp"
 #include "packet/parser.hpp"
+#include "packet/pool.hpp"
 #include "pipeline/pipeline.hpp"
 #include "rmt/config.hpp"
 #include "rmt/program.hpp"
@@ -69,8 +70,16 @@ class RmtSwitch final : public net::SwitchDevice {
   /// Achieved egress throughput over the interval [first_tx, last_tx].
   [[nodiscard]] double achieved_tx_gbps() const;
 
+  /// The switch-internal recycling pool (deparse outputs, multicast copies,
+  /// retired originals and drops all flow through it).
+  packet::Pool& pool() { return pool_; }
+
  private:
   void enter_ingress(packet::Packet pkt);
+  /// Deparse-or-passthrough: INC packets are rebuilt from the PHV into a
+  /// pooled packet and the original is retired; others pass through.
+  packet::Packet finalize(const packet::Phv& phv, packet::Packet original,
+                          std::size_t consumed);
   void after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed);
   void after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
                     packet::PortId port);
@@ -80,6 +89,8 @@ class RmtSwitch final : public net::SwitchDevice {
 
   sim::Simulator* sim_;
   RmtConfig config_;
+  packet::Pool pool_;
+  packet::ParseResult scratch_parse_;  ///< reused by enter_ingress/drain
   std::optional<packet::Parser> parser_;
   packet::ParseGraph parse_graph_;
   std::optional<packet::Deparser> deparser_;

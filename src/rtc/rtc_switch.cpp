@@ -46,6 +46,7 @@ void RtcSwitch::inject(packet::PortId port, packet::Packet pkt) {
     pkt.meta.arrival = sim_->now();  // fully received; enters the dispatcher
     if (dispatch_queue_.packets() >= config_.dispatch_queue_packets) {
       ++stats_.queue_drops;
+      pool_.release(std::move(pkt));
       return;
     }
     dispatch_queue_.push(std::move(pkt));
@@ -70,9 +71,11 @@ void RtcSwitch::try_dispatch() {
 
     packet::Packet pkt = *dispatch_queue_.pop();
     const sim::Time queued_at = pkt.meta.arrival;
-    packet::ParseResult pr = parser_->parse(pkt);
+    packet::ParseResult& pr = scratch_parse_;
+    parser_->parse_into(pkt, pr);
     if (!pr.accepted) {
       ++stats_.parse_drops;
+      pool_.release(std::move(pkt));
       continue;
     }
 
@@ -93,10 +96,17 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
   latency_.record(static_cast<double>(sim_->now() - queued_at));
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     ++stats_.program_drops;
+    pool_.release(std::move(original));
     return;
   }
-  packet::Packet out =
-      is_inc(phv) ? deparser_->deparse(phv, original, consumed) : std::move(original);
+  packet::Packet out;
+  if (is_inc(phv)) {
+    out = pool_.acquire();
+    deparser_->deparse_into(phv, original, consumed, out);
+    pool_.release(std::move(original));
+  } else {
+    out = std::move(original);
+  }
 
   std::vector<packet::PortId> dests;
   if (const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
@@ -104,6 +114,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
       ++stats_.no_route_drops;
+      pool_.release(std::move(out));
       return;
     }
     dests = it->second;
@@ -112,6 +123,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
         phv.get_or(packet::fields::kMetaEgressPort, packet::kInvalidPort);
     if (egress >= config_.port_count) {
       ++stats_.no_route_drops;
+      pool_.release(std::move(out));
       return;
     }
     dests.push_back(static_cast<packet::PortId>(egress));

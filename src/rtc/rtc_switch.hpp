@@ -18,6 +18,7 @@
 #include "net/device.hpp"
 #include "packet/deparser.hpp"
 #include "packet/parser.hpp"
+#include "packet/pool.hpp"
 #include "rtc/config.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -82,6 +83,9 @@ class RtcSwitch final : public net::SwitchDevice {
   [[nodiscard]] const sim::Histogram& latency() const { return latency_; }
   [[nodiscard]] double achieved_tx_gbps() const;
 
+  /// The switch-internal recycling pool.
+  packet::Pool& pool() { return pool_; }
+
  private:
   void try_dispatch();
   void finish(packet::Phv phv, packet::Packet original, std::size_t consumed,
@@ -89,6 +93,8 @@ class RtcSwitch final : public net::SwitchDevice {
 
   sim::Simulator* sim_;
   RtcConfig config_;
+  packet::Pool pool_;
+  packet::ParseResult scratch_parse_;  ///< reused by try_dispatch
   std::optional<packet::Parser> parser_;
   packet::ParseGraph parse_graph_;
   std::optional<packet::Deparser> deparser_;

@@ -1,45 +1,130 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <utility>
 
 namespace adcp::sim {
 
-EventHandle Simulator::at(Time at, Callback fn) {
-  assert(at >= now_ && "cannot schedule in the past");
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
-  return EventHandle{std::move(alive)};
+std::uint32_t Simulator::alloc_slot_grow() {
+  // Default-init, not make_unique: value-initialization would zero every
+  // slot's 104-byte callback buffer (32 KiB per chunk) before the field
+  // initializers run, which dominates short-lived simulators.
+  chunks_.emplace_back(new Slot[kChunkSize]);
+  if (heap_.capacity() < used_slots_ + kChunkSize) {
+    heap_.reserve(2 * (used_slots_ + kChunkSize));
+  }
+  return used_slots_++;
 }
 
-EventHandle Simulator::every(Time period, Callback fn) {
-  return every(period, period, std::move(fn));
+void Simulator::free_slot(std::uint32_t i) {
+  Slot& s = slot(i);
+  s.next_free = free_head_;
+  free_head_ = i;
 }
 
-EventHandle Simulator::every(Time period, Time phase, Callback fn) {
-  assert(period > 0 && "periodic task needs a positive period");
-  auto alive = std::make_shared<bool>(true);
-  // The recursive lambda owns the user callback; the shared alive flag is
-  // checked before every firing so cancel() stops the chain.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), alive, tick]() {
-    if (!*alive) return;
-    fn();
-    if (!*alive) return;
-    queue_.push(Event{now_ + period, next_seq_++, *tick, alive});
-  };
-  queue_.push(Event{now_ + phase, next_seq_++, *tick, alive});
-  return EventHandle{std::move(alive)};
+void Simulator::cancel_event(std::uint32_t slot_i, std::uint32_t gen) {
+  Slot& s = slot(slot_i);
+  if (s.gen != gen) return;  // already fired, cancelled, or slot reused
+  ++s.gen;
+  --live_;
+  if (slot_i == executing_ && gen == executing_gen_) {
+    // The callback is cancelling itself; its callable is still on the
+    // stack. step() finishes the reclaim once it returns. Its heap entry
+    // was already popped, so nothing goes stale.
+    return;
+  }
+  s.fn = nullptr;  // release captured resources promptly
+  free_slot(slot_i);
+  ++stale_;  // its heap entry now points at a dead generation
+  maybe_compact();
+}
+
+bool Simulator::event_active(std::uint32_t slot_i, std::uint32_t gen) const {
+  return slot(slot_i).gen == gen;
+}
+
+void Simulator::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t k = first + 1; k < end; ++k) {
+      if (before(heap_[k], heap_[best])) best = k;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop_front() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+}
+
+void Simulator::maybe_compact() {
+  if (heap_.size() < 64 || stale_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const HeapEntry& e) { return slot(e.slot).gen != e.gen; });
+  stale_ = 0;
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) >> 2; ; --i) {
+      heap_sift_down(i);
+      if (i == 0) break;
+    }
+  }
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.alive && !*ev.alive) continue;  // cancelled; discard silently
-    assert(ev.at >= now_);
-    now_ = ev.at;
-    ev.fn();
+  while (!heap_.empty()) {
+    const HeapEntry e = heap_.front();
+    heap_pop_front();
+    Slot& s = slot(e.slot);
+    if (s.gen != e.gen) {  // cancelled; slot already reclaimed
+      --stale_;
+      continue;
+    }
+    assert(e.at >= now_);
+    now_ = e.at;
+    executing_ = e.slot;
+    executing_gen_ = e.gen;
+    // Runs in place in the slab; the reference stays valid because the
+    // callback may schedule (chunks only grow; slots never move) or
+    // cancel, including cancelling itself.
+    s.fn();
+    executing_ = kNoSlot;
+    if (s.gen != e.gen) {
+      // Cancelled from inside a callback; cancel_event() deferred the
+      // reclaim because the callable was executing.
+      s.fn = nullptr;
+      free_slot(e.slot);
+    } else if (s.period > 0) {
+      // Periodic: reschedule in place — same slot, same generation, fresh
+      // sequence number so equal-timestamp FIFO order matches a fresh
+      // schedule issued after the callback ran.
+      heap_push({now_ + s.period, next_seq_++, e.slot, e.gen});
+    } else {
+      s.fn = nullptr;
+      ++s.gen;
+      --live_;
+      free_slot(e.slot);
+    }
     return true;
   }
   return false;
@@ -55,13 +140,15 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::run_until(Time deadline) {
   stopped_ = false;
   std::uint64_t executed = 0;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past cancelled events to find the next live one.
-    if (const Event& top = queue_.top(); top.alive && !*top.alive) {
-      queue_.pop();
+  while (!stopped_ && !heap_.empty()) {
+    // Discard stale entries to find the next live event.
+    const HeapEntry& top = heap_.front();
+    if (slot(top.slot).gen != top.gen) {
+      heap_pop_front();
+      --stale_;
       continue;
     }
-    if (queue_.top().at > deadline) break;
+    if (top.at > deadline) break;
     if (step()) ++executed;
   }
   if (now_ < deadline) now_ = deadline;

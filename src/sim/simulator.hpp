@@ -5,36 +5,58 @@
 // links, hosts) is built as callbacks that reschedule themselves. Events at
 // equal timestamps fire in scheduling order (FIFO), which keeps runs fully
 // deterministic.
+//
+// Internals are built for throughput, since every experiment in the repo is
+// bounded by this loop:
+//  - Event records live in a slab of fixed slots (chunked so addresses stay
+//    stable while a callback runs); cancelled and fired slots go on a free
+//    list, so steady-state scheduling performs no heap allocation.
+//  - Ordering is a 4-ary min-heap over (time, seq) holding 24-byte entries
+//    that reference slab slots — sift operations move small PODs, never
+//    callables.
+//  - Callbacks are InlineFunction (see inline_function.hpp): captures up to
+//    the inline budget are stored in the slot itself.
+//  - Cancellation is a generation check: an EventHandle names (slot, gen);
+//    cancel() frees the slot immediately and any stale heap entry is
+//    discarded lazily when it surfaces. No shared_ptr, no atomics.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace adcp::sim {
 
-/// Cancellation handle for a scheduled event or periodic task. Destroying the
-/// handle does NOT cancel the event; call `cancel()` explicitly.
+class Simulator;
+
+/// Cancellation handle for a scheduled event or periodic task. Destroying
+/// the handle does NOT cancel the event; call `cancel()` explicitly.
+/// A handle must not outlive its Simulator (it holds a plain pointer).
 class EventHandle {
  public:
   EventHandle() = default;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
 
   /// Prevents the event (and, for periodic tasks, all future firings) from
-  /// running. Safe to call multiple times or on a default-constructed handle.
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
+  /// running. Safe to call multiple times, on a default-constructed handle,
+  /// or after the event has already fired (no-op).
+  void cancel();
 
-  /// True if the event has not been cancelled (it may have already fired).
-  [[nodiscard]] bool active() const { return alive_ && *alive_; }
+  /// True while the event is still scheduled (one-shots become inactive
+  /// after firing; periodic tasks stay active until cancelled).
+  [[nodiscard]] bool active() const;
 
  private:
-  std::shared_ptr<bool> alive_;
+  friend class Simulator;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// A deterministic discrete-event simulator.
@@ -45,22 +67,59 @@ class EventHandle {
 ///   sim.run();
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Scheduling callback. The inline budget is sized so that the hot
+  /// data-path captures — [this, packet] and friends, roughly a Packet
+  /// (buffer + metadata) plus a couple of scalars — stay allocation-free;
+  /// larger captures (e.g. a full PHV) transparently spill to the heap.
+  using Callback = InlineFunction<void(), 104>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time. Starts at 0.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (must be >= now()).
-  EventHandle at(Time at, Callback fn);
+  /// Schedules `fn` at absolute time `at` (must be >= now()). Templated so
+  /// the callable's capture is constructed directly in the slab slot — no
+  /// intermediate Callback temporary, no buffer copy.
+  template <typename F>
+  EventHandle at(Time at, F&& fn) {
+    assert(at >= now_ && "cannot schedule in the past");
+    const std::uint32_t i = alloc_slot();
+    Slot& s = slot(i);
+    s.fn = std::forward<F>(fn);
+    s.period = 0;
+    heap_push({at, next_seq_++, i, s.gen});
+    ++live_;
+    return EventHandle{this, i, s.gen};
+  }
 
   /// Schedules `fn` after `delay` picoseconds.
-  EventHandle after(Time delay, Callback fn) { return at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  EventHandle after(Time delay, F&& fn) {
+    return at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` every `period` picoseconds, first firing at
   /// `now() + phase` (default: one full period from now). Returns a handle
-  /// that cancels all future firings.
-  EventHandle every(Time period, Callback fn);
-  EventHandle every(Time period, Time phase, Callback fn);
+  /// that cancels all future firings. The task occupies one slab slot for
+  /// its whole life and is rescheduled in place — no per-firing allocation.
+  template <typename F>
+  EventHandle every(Time period, F&& fn) {
+    return every(period, period, std::forward<F>(fn));
+  }
+  template <typename F>
+  EventHandle every(Time period, Time phase, F&& fn) {
+    assert(period > 0 && "periodic task needs a positive period");
+    const std::uint32_t i = alloc_slot();
+    Slot& s = slot(i);
+    s.fn = std::forward<F>(fn);
+    s.period = period;
+    heap_push({now_ + phase, next_seq_++, i, s.gen});
+    ++live_;
+    return EventHandle{this, i, s.gen};
+  }
 
   /// Runs until the event queue drains or `stop()` is called.
   /// Returns the number of events executed.
@@ -70,32 +129,92 @@ class Simulator {
   /// the deadline still run). Returns the number of events executed.
   std::uint64_t run_until(Time deadline);
 
-  /// Executes the single earliest event. Returns false if the queue is empty.
+  /// Executes the single earliest live event. Returns false if none remain.
   bool step();
 
   /// Makes run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
 
-  /// Number of events waiting (including cancelled ones not yet discarded).
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Number of live events waiting: scheduled one-shots plus active
+  /// periodic tasks. Cancelled events are reclaimed eagerly and never
+  /// counted here.
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  // 256 slots per chunk: chunk allocation amortizes, and slot addresses
+  // stay stable while callbacks run (a callback may schedule new events,
+  // which can append chunks but never moves existing ones).
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  struct Slot {
+    Callback fn;
+    Time period = 0;  ///< 0 = one-shot, >0 = periodic
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+
+  Slot& slot(std::uint32_t i) { return chunks_[i >> kChunkShift][i & (kChunkSize - 1)]; }
+  [[nodiscard]] const Slot& slot(std::uint32_t i) const {
+    return chunks_[i >> kChunkShift][i & (kChunkSize - 1)];
+  }
+
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t i = free_head_;
+      free_head_ = slot(i).next_free;
+      return i;
     }
-  };
+    if (used_slots_ < chunks_.size() * kChunkSize) return used_slots_++;
+    return alloc_slot_grow();
+  }
+  std::uint32_t alloc_slot_grow();  ///< appends a chunk, returns a fresh slot
+  void free_slot(std::uint32_t i);
+
+  // EventHandle backends.
+  void cancel_event(std::uint32_t slot, std::uint32_t gen);
+  [[nodiscard]] bool event_active(std::uint32_t slot, std::uint32_t gen) const;
+
+  void heap_push(HeapEntry e);
+  void heap_pop_front();
+  void heap_sift_down(std::size_t i);
+  /// Rebuilds the heap without stale entries once they dominate it.
+  void maybe_compact();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t used_slots_ = 0;     ///< high-water mark of allocated slot ids
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;             ///< scheduled one-shots + active periodics
+  std::size_t stale_ = 0;            ///< heap entries pointing at dead slots
+  std::uint32_t executing_ = kNoSlot;  ///< slot whose callback is running
+  std::uint32_t executing_gen_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_event(slot_, gen_);
+}
+
+inline bool EventHandle::active() const {
+  return sim_ != nullptr && sim_->event_active(slot_, gen_);
+}
 
 }  // namespace adcp::sim

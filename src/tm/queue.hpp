@@ -2,42 +2,62 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "packet/packet.hpp"
 
 namespace adcp::tm {
 
 /// Simple FIFO of packets; tracks bytes for shared-buffer accounting.
+///
+/// Backed by a power-of-two ring buffer rather than std::deque: a deque
+/// allocates and frees chunk blocks as the head chases the tail, while the
+/// ring reaches a steady-state capacity and then never touches the heap
+/// again — a prerequisite for the zero-allocation forwarding path.
 class PacketQueue {
  public:
   void push(packet::Packet pkt) {
+    if (count_ == ring_.size()) grow();
     bytes_ += pkt.size();
-    items_.push_back(std::move(pkt));
+    ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(pkt);
+    ++count_;
   }
 
   /// Removes and returns the head, or nullopt when empty.
   std::optional<packet::Packet> pop() {
-    if (items_.empty()) return std::nullopt;
-    packet::Packet pkt = std::move(items_.front());
-    items_.pop_front();
+    if (count_ == 0) return std::nullopt;
+    packet::Packet pkt = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
     bytes_ -= pkt.size();
     return pkt;
   }
 
   /// Peeks the head without removing it; nullptr when empty.
   [[nodiscard]] const packet::Packet* front() const {
-    return items_.empty() ? nullptr : &items_.front();
+    return count_ == 0 ? nullptr : &ring_[head_];
   }
 
-  [[nodiscard]] bool empty() const { return items_.empty(); }
-  [[nodiscard]] std::size_t packets() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t packets() const { return count_; }
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
 
  private:
-  std::deque<packet::Packet> items_;
+  void grow() {
+    const std::size_t old_cap = ring_.size();
+    std::vector<packet::Packet> bigger(old_cap == 0 ? 8 : old_cap * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) & (old_cap - 1)]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<packet::Packet> ring_;  ///< capacity always 0 or a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::uint64_t bytes_ = 0;
 };
 

@@ -8,12 +8,16 @@
 
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 namespace adcp::tm {
 
 /// Byte-granular shared buffer accountant. Not a container — queues hold
 /// the packets; this tracks and polices their byte usage.
+///
+/// Per-queue usage lives in a lazily-grown dense vector (queue ids are small
+/// port×prio indices), so steady-state reserve/release never allocates the
+/// way an unordered_map rehash or node insert would.
 class SharedBuffer {
  public:
   /// `capacity_bytes`: total buffer; `alpha`: dynamic threshold factor
@@ -25,9 +29,7 @@ class SharedBuffer {
   [[nodiscard]] bool admits(std::uint32_t q, std::uint64_t bytes) const {
     if (used_ + bytes > capacity_) return false;
     const double limit = alpha_ * static_cast<double>(capacity_ - used_);
-    const auto it = per_queue_.find(q);
-    const std::uint64_t queue_used = it == per_queue_.end() ? 0 : it->second;
-    return static_cast<double>(queue_used + bytes) <= limit;
+    return static_cast<double>(queue_used(q) + bytes) <= limit;
   }
 
   /// Reserves `bytes` for queue `q`; returns false (reserving nothing) when
@@ -35,6 +37,7 @@ class SharedBuffer {
   bool reserve(std::uint32_t q, std::uint64_t bytes) {
     if (!admits(q, bytes)) return false;
     used_ += bytes;
+    if (q >= per_queue_.size()) per_queue_.resize(q + 1, 0);
     per_queue_[q] += bytes;
     peak_ = used_ > peak_ ? used_ : peak_;
     return true;
@@ -42,9 +45,8 @@ class SharedBuffer {
 
   /// Returns `bytes` from queue `q` to the pool.
   void release(std::uint32_t q, std::uint64_t bytes) {
-    auto it = per_queue_.find(q);
-    assert(it != per_queue_.end() && it->second >= bytes && used_ >= bytes);
-    it->second -= bytes;
+    assert(q < per_queue_.size() && per_queue_[q] >= bytes && used_ >= bytes);
+    per_queue_[q] -= bytes;
     used_ -= bytes;
   }
 
@@ -52,8 +54,7 @@ class SharedBuffer {
   [[nodiscard]] std::uint64_t used() const { return used_; }
   [[nodiscard]] std::uint64_t peak() const { return peak_; }
   [[nodiscard]] std::uint64_t queue_used(std::uint32_t q) const {
-    const auto it = per_queue_.find(q);
-    return it == per_queue_.end() ? 0 : it->second;
+    return q < per_queue_.size() ? per_queue_[q] : 0;
   }
 
  private:
@@ -61,7 +62,7 @@ class SharedBuffer {
   double alpha_;
   std::uint64_t used_ = 0;
   std::uint64_t peak_ = 0;
-  std::unordered_map<std::uint32_t, std::uint64_t> per_queue_;
+  std::vector<std::uint64_t> per_queue_;
 };
 
 }  // namespace adcp::tm

@@ -34,6 +34,7 @@ void TrafficManager::maybe_mark_ecn(std::uint32_t output, packet::Packet& pkt) {
 bool TrafficManager::enqueue(std::uint32_t output, std::uint32_t klass, packet::Packet pkt) {
   if (!buffer_.reserve(output, pkt.size())) {
     ++stats_.dropped;
+    if (pool_) pool_->release(std::move(pkt));
     return false;
   }
   maybe_mark_ecn(output, pkt);
@@ -46,7 +47,11 @@ std::size_t TrafficManager::enqueue_multicast(std::span<const std::uint32_t> out
                                               std::uint32_t klass, const packet::Packet& pkt) {
   std::size_t copies = 0;
   for (const std::uint32_t out : outputs) {
-    packet::Packet copy = pkt;
+    // Build each replica in a recycled packet when a pool is attached, so
+    // multicast fan-out reuses retired buffers instead of allocating.
+    packet::Packet copy = pool_ ? pool_->acquire() : packet::Packet{};
+    copy.data = pkt.data;
+    copy.meta = pkt.meta;
     copy.meta.egress_ports.clear();
     if (enqueue(out, klass, std::move(copy))) {
       ++copies;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "packet/packet.hpp"
+#include "packet/pool.hpp"
 #include "tm/scheduler.hpp"
 #include "tm/shared_buffer.hpp"
 
@@ -80,12 +81,18 @@ class TrafficManager {
   [[nodiscard]] const TmStats& stats() const { return stats_; }
   [[nodiscard]] const SharedBuffer& buffer() const { return buffer_; }
 
+  /// Optional packet pool: multicast copies are built from recycled packets
+  /// and admission-failure drops are released back instead of freed. The
+  /// pool must outlive the TM.
+  void set_pool(packet::Pool* pool) { pool_ = pool; }
+
  private:
   void maybe_mark_ecn(std::uint32_t output, packet::Packet& pkt);
 
   SharedBuffer buffer_;
   std::uint64_t ecn_threshold_;
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  packet::Pool* pool_ = nullptr;  // not owned
   TmStats stats_;
 };
 
