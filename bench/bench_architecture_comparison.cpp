@@ -10,6 +10,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
 #include "net/host.hpp"
@@ -70,7 +71,7 @@ double forwarding_gbps(Switch& sw, sim::Simulator& sim) {
   return sw.achieved_tx_gbps();
 }
 
-void probe_forwarding() {
+void probe_forwarding(sim::MetricRegistry& report) {
   const double offered = kPorts * 100.0;
   std::printf("(1) 84 B forwarding, offered %.0f Gbps:\n", offered);
   std::printf("%-22s %-16s %-12s\n", "architecture", "achieved(Gbps)", "of offered");
@@ -81,6 +82,7 @@ void probe_forwarding() {
     sw.load_program(rmt::forward_program(rmt_config()));
     const double got = forwarding_gbps(sw, sim);
     std::printf("%-22s %-16.1f %5.1f%%\n", "RMT (4 ports/pipe)", got, 100 * got / offered);
+    report.gauge("forwarding.rmt.achieved_gbps").set(got);
   }
   {
     sim::Simulator sim;
@@ -90,6 +92,7 @@ void probe_forwarding() {
     sw.load_program(std::move(prog));
     const double got = forwarding_gbps(sw, sim);
     std::printf("%-22s %-16.1f %5.1f%%\n", "ADCP (1:2 demux)", got, 100 * got / offered);
+    report.gauge("forwarding.adcp.achieved_gbps").set(got);
   }
   {
     sim::Simulator sim;
@@ -97,6 +100,7 @@ void probe_forwarding() {
     sw.load_program(rtc::forward_program(rtc_config()));
     const double got = forwarding_gbps(sw, sim);
     std::printf("%-22s %-16.1f %5.1f%%\n", "RTC (16 processors)", got, 100 * got / offered);
+    report.gauge("forwarding.rtc.achieved_gbps").set(got);
   }
 }
 
@@ -111,7 +115,7 @@ workload::MlAllReduceParams agg_params() {
   return p;
 }
 
-void probe_aggregation() {
+void probe_aggregation(sim::MetricRegistry& report) {
   std::printf("\n(2) cross-pipe aggregation (%u workers, 256 weights):\n", kPorts);
   std::printf("%-22s %-12s %-14s %-14s %-20s\n", "architecture", "complete", "makespan(us)",
               "p99 lat(us)", "workaround / cost");
@@ -135,6 +139,11 @@ void probe_aggregation() {
                 wl.complete() ? "yes" : "NO",
                 static_cast<double>(wl.makespan()) / sim::kMicrosecond, "-",
                 static_cast<unsigned long long>(sw.stats().recirc_bytes));
+    report.gauge("aggregation.rmt.complete").set(wl.complete() ? 1.0 : 0.0);
+    report.gauge("aggregation.rmt.makespan_us")
+        .set(static_cast<double>(wl.makespan()) / sim::kMicrosecond);
+    report.gauge("aggregation.rmt.recirc_bytes")
+        .set(static_cast<double>(sw.stats().recirc_bytes));
   }
   {
     sim::Simulator sim;
@@ -151,6 +160,9 @@ void probe_aggregation() {
     std::printf("%-22s %-12s %-14.1f %-14s none (global area)\n", "ADCP",
                 wl.complete() ? "yes" : "NO",
                 static_cast<double>(wl.makespan()) / sim::kMicrosecond, "-");
+    report.gauge("aggregation.adcp.complete").set(wl.complete() ? 1.0 : 0.0);
+    report.gauge("aggregation.adcp.makespan_us")
+        .set(static_cast<double>(wl.makespan()) / sim::kMicrosecond);
   }
   {
     sim::Simulator sim;
@@ -168,6 +180,11 @@ void probe_aggregation() {
                 wl.complete() ? "yes" : "NO",
                 static_cast<double>(wl.makespan()) / sim::kMicrosecond,
                 sw.latency().quantile(0.99) / sim::kMicrosecond);
+    report.gauge("aggregation.rtc.complete").set(wl.complete() ? 1.0 : 0.0);
+    report.gauge("aggregation.rtc.makespan_us")
+        .set(static_cast<double>(wl.makespan()) / sim::kMicrosecond);
+    report.gauge("aggregation.rtc.p99_latency_us")
+        .set(sw.latency().quantile(0.99) / sim::kMicrosecond);
   }
 }
 
@@ -176,12 +193,14 @@ void probe_aggregation() {
 int main() {
   std::printf(
       "§1 design space: line rate vs expressiveness across three architectures\n\n");
-  probe_forwarding();
-  probe_aggregation();
+  sim::MetricRegistry report;
+  probe_forwarding(report);
+  probe_aggregation(report);
   std::printf(
       "\nExpected shape: RMT and ADCP forward at line rate while RTC collapses\n"
       "to its processor pool; RMT needs the recirculation workaround for the\n"
       "coflow while RTC and ADCP converge natively — only ADCP delivers both\n"
       "properties at once, which is the paper's thesis.\n");
+  bench::write_report(report, "architecture_comparison");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "coflow/scheduler.hpp"
 #include "coflow/tracker.hpp"
 #include "core/adcp_switch.hpp"
@@ -90,11 +91,19 @@ int main() {
   const Outcome sebf = run(coflow::OrderPolicy::kSebf);
   std::printf("%-10s %-18.1f %-18.1f\n", "FIFO", fifo.avg_cct_us, fifo.max_cct_us);
   std::printf("%-10s %-18.1f %-18.1f\n", "SEBF", sebf.avg_cct_us, sebf.max_cct_us);
+  sim::MetricRegistry report;
+  report.gauge("fifo.avg_cct_us").set(fifo.avg_cct_us);
+  report.gauge("fifo.max_cct_us").set(fifo.max_cct_us);
+  report.gauge("sebf.avg_cct_us").set(sebf.avg_cct_us);
+  report.gauge("sebf.max_cct_us").set(sebf.max_cct_us);
+  report.gauge("sebf.avg_speedup").set(
+      sebf.avg_cct_us > 0 ? fifo.avg_cct_us / sebf.avg_cct_us : 0.0);
   std::printf(
       "\nExpected shape: SEBF cuts the AVERAGE completion time (%.1fx here) by\n"
       "letting the mice finish before the elephants, while the largest coflow's\n"
       "completion barely changes — the classic Varys result, reproduced on the\n"
       "coflow-processor fabric.\n",
       sebf.avg_cct_us > 0 ? fifo.avg_cct_us / sebf.avg_cct_us : 0.0);
+  bench::write_report(report, "coflow_scheduling");
   return 0;
 }

@@ -6,7 +6,9 @@
 //   (c) dynamic-power proxy: demultiplexing trades clock for parallelism
 //       at roughly constant power.
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "feas/chip.hpp"
 #include "feas/gcell.hpp"
 #include "feas/multiclock.hpp"
@@ -16,7 +18,7 @@ namespace {
 
 using namespace adcp;
 
-void congestion() {
+void congestion(sim::MetricRegistry& report) {
   std::printf("(a) G-cell routing congestion: monolithic vs interleaved TM (§4)\n");
   std::printf("%-8s %-22s %-22s %-10s\n", "pipes", "monolithic peak(util)",
               "interleaved peak(util)", "ratio");
@@ -25,12 +27,16 @@ void congestion() {
     const auto inter = feas::interleaved_tm_floorplan(pipes, 64, 32.0).route();
     std::printf("%-8u %-22.2f %-22.2f %-10.2f\n", pipes, mono.peak, inter.peak,
                 mono.peak / inter.peak);
+    sim::Scope row = report.scope("congestion.pipes" + std::to_string(pipes));
+    row.gauge("monolithic_peak").set(mono.peak);
+    row.gauge("interleaved_peak").set(inter.peak);
+    row.gauge("ratio").set(mono.peak / inter.peak);
   }
   std::printf("Expected shape: monolithic TM congestion grows with pipeline count\n"
               "(64 pipes at 51.2T per §3.3); interleaving keeps the peak flat.\n\n");
 }
 
-void multiclock() {
+void multiclock(sim::MetricRegistry& report) {
   std::printf("(b) Multi-clock MAT memory: max serial array width (SRAM <= 3.2 GHz)\n");
   std::printf("%-18s %-16s %-40s\n", "pipe clock (GHz)", "max width", "note");
   struct Case {
@@ -47,6 +53,10 @@ void multiclock() {
   for (const Case& c : cases) {
     const feas::MultiClockMatModel m{c.clock, 3.2};
     std::printf("%-18.2f %-16u %-40s\n", c.clock, m.max_width(), c.note);
+    report
+        .gauge("multiclock.clock" + std::to_string(static_cast<int>(c.clock * 100)) +
+               ".max_width")
+        .set(static_cast<double>(m.max_width()));
   }
   std::printf("Expected shape: the lower the pipe clock (ADCP demux), the wider the\n"
               "serial array the same SRAM supports — §4's synergy between the\n"
@@ -67,11 +77,13 @@ void multiclock() {
   std::printf("\n");
 }
 
-void power() {
+void power(sim::MetricRegistry& report) {
   std::printf("(c) Dynamic-power proxy (freq x pipeline count, arbitrary units)\n");
   std::printf("%-34s %-12s %-10s %-10s\n", "design", "pipes", "clock", "power");
   const double rmt_pipe = feas::dynamic_power_proxy(1.62, 1);
   const double adcp_pipe = feas::dynamic_power_proxy(0.60, 1);
+  report.gauge("power.rmt_pipe").set(rmt_pipe);
+  report.gauge("power.adcp_pipe").set(adcp_pipe);
   std::printf("%-34s %-12u %-10.2f %-10.2f\n", "RMT 25.6T pipeline (Table 2)", 8, 1.62,
               rmt_pipe);
   std::printf("%-34s %-12u %-10.2f %-10.2f\n", "ADCP 25.6T edge pipe (1:2 demux)", 64,
@@ -85,14 +97,16 @@ void power() {
   std::printf("\n(c2) Crossbar area proxy for the parallel-interconnect option:\n");
   std::printf("%-10s %-14s\n", "width", "area (a.u.)");
   for (const std::uint32_t w : {4u, 8u, 16u, 32u}) {
-    std::printf("%-10u %-14.0f\n", w, feas::crossbar_area_proxy(w, 8));
+    const double area = feas::crossbar_area_proxy(w, 8);
+    std::printf("%-10u %-14.0f\n", w, area);
+    report.gauge("xbar.w" + std::to_string(w) + ".area").set(area);
   }
   std::printf("Expected shape: quadratic in width — why §4 caps practical widths.\n");
 }
 
 }  // namespace
 
-void chip() {
+void chip(adcp::sim::MetricRegistry& report) {
   std::printf("\n(d) Whole-chip budget proxies at 25.6 Tbps (RMT vs ADCP geometry)\n");
   std::printf("%-12s %-8s %-8s %-10s %-12s %-12s %-14s\n", "chip", "pipes", "clock",
               "MAUs", "SRAM(blk)", "power(a.u.)", "xbar area");
@@ -104,6 +118,11 @@ void chip() {
                 static_cast<unsigned long long>(b.mau_count),
                 static_cast<unsigned long long>(b.sram_blocks), b.dynamic_power,
                 b.interconnect_area);
+    adcp::sim::Scope row = report.scope("chip." + spec.name);
+    row.gauge("mau_count").set(static_cast<double>(b.mau_count));
+    row.gauge("sram_blocks").set(static_cast<double>(b.sram_blocks));
+    row.gauge("dynamic_power").set(b.dynamic_power);
+    row.gauge("interconnect_area").set(b.interconnect_area);
   }
   std::printf(
       "Expected shape: the ADCP chip carries ~8x the pipelines (demux + central\n"
@@ -114,9 +133,11 @@ void chip() {
 
 int main() {
   std::printf("§4 feasibility measurements\n\n");
-  congestion();
-  multiclock();
-  power();
-  chip();
+  adcp::sim::MetricRegistry report;
+  congestion(report);
+  multiclock(report);
+  power(report);
+  chip(report);
+  adcp::bench::write_report(report, "feasibility");
   return 0;
 }

@@ -15,8 +15,10 @@
 #include <cstdio>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
 #include "net/host.hpp"
@@ -123,7 +125,7 @@ Row run_adcp() {
   return row;
 }
 
-void print_row(const Row& r) {
+void print_row(const Row& r, sim::MetricRegistry& report, const char* slug) {
   if (r.makespan_us > 0.0) {
     std::printf("%-22s %-10s %-10u/%u %-14llu %-12.1f\n", r.name,
                 r.legal ? "yes" : "NO", r.workers_reached, kWorkers,
@@ -133,6 +135,11 @@ void print_row(const Row& r) {
                 r.legal ? "yes" : "NO", r.workers_reached, kWorkers,
                 static_cast<unsigned long long>(r.recirc_bytes), "never");
   }
+  sim::Scope row = report.scope(slug);
+  row.gauge("legal").set(r.legal ? 1.0 : 0.0);
+  row.gauge("workers_reached").set(static_cast<double>(r.workers_reached));
+  row.gauge("recirc_bytes").set(static_cast<double>(r.recirc_bytes));
+  row.gauge("makespan_us").set(r.makespan_us);
 }
 
 }  // namespace
@@ -144,13 +151,17 @@ int main() {
       " must reach all 8 workers)\n\n");
   std::printf("%-22s %-10s %-12s %-14s %-12s\n", "strategy", "legal?", "reached",
               "recirc bytes", "makespan(us)");
-  print_row(run_rmt(rmt::RmtAggMode::kSamePipe, "RMT same-pipe"));
-  print_row(run_rmt(rmt::RmtAggMode::kEgressLocal, "RMT egress-local"));
-  print_row(run_rmt(rmt::RmtAggMode::kRecirculate, "RMT recirculation"));
-  print_row(run_adcp());
+  sim::MetricRegistry report;
+  print_row(run_rmt(rmt::RmtAggMode::kSamePipe, "RMT same-pipe"), report, "rmt_same_pipe");
+  print_row(run_rmt(rmt::RmtAggMode::kEgressLocal, "RMT egress-local"), report,
+            "rmt_egress_local");
+  print_row(run_rmt(rmt::RmtAggMode::kRecirculate, "RMT recirculation"), report,
+            "rmt_recirculate");
+  print_row(run_adcp(), report, "adcp_global_area");
   std::printf(
       "\nExpected shape: same-pipe illegal for cross-pipe coflows; egress-local\n"
       "reaches only the agg port's host; recirculation reaches everyone but pays\n"
       "one extra pass per update; the ADCP global area reaches everyone for free.\n");
+  bench::write_report(report, "fig5_global_area");
   return 0;
 }

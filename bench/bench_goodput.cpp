@@ -6,7 +6,9 @@
 // host-observed goodput fraction after forwarding the packets through an
 // ADCP switch (net::Host counts element bytes vs wire bytes).
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
 #include "net/host.hpp"
@@ -57,10 +59,17 @@ int main() {
   std::printf("%-6s %-12s %-18s %-20s %-16s\n", "k", "wire bytes", "analytic goodput",
               "measured (frame)", "vs scalar");
   const double scalar = analytic_goodput(1);
+  sim::MetricRegistry report;
   for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double measured = measured_goodput(k);
     std::printf("%-6u %-12zu %16.1f%% %18.1f%% %14.2fx\n", k,
                 packet::inc_packet_bytes(k), 100.0 * analytic_goodput(k),
-                100.0 * measured_goodput(k), analytic_goodput(k) / scalar);
+                100.0 * measured, analytic_goodput(k) / scalar);
+    sim::Scope row = report.scope("k" + std::to_string(k));
+    row.gauge("wire_bytes").set(static_cast<double>(packet::inc_packet_bytes(k)));
+    row.gauge("analytic_goodput").set(analytic_goodput(k));
+    row.gauge("measured_goodput").set(measured);
+    row.gauge("gain_vs_scalar").set(analytic_goodput(k) / scalar);
   }
   std::printf(
       "\nExpected shape: a scalar (k=1) packet moves ~1 useful byte per 10 wire\n"
@@ -68,5 +77,6 @@ int main() {
       "half of the paper's array-processing argument (the key-rate half is E5).\n"
       "(Measured is per frame byte — slightly above the wire number, which also\n"
       "charges the 20 B Ethernet preamble/IPG.)\n");
+  bench::write_report(report, "goodput");
   return 0;
 }

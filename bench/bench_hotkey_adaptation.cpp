@@ -5,8 +5,10 @@
 // the paper's §1 list, closed-loop.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "ctrl/hotkey.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
@@ -93,21 +95,31 @@ int main() {
               "polls every 20 us, threshold 16 misses)\n\n",
               static_cast<unsigned long long>(kKeySpace));
   std::printf("%-12s %-10s %-10s %-10s\n", "window(us)", "hits", "misses", "hit-ratio");
+  sim::MetricRegistry report;
   for (std::size_t w = 0; w < 13; ++w) {
     const std::uint64_t h = window_hits[w];
     const std::uint64_t m = window_misses[w];
     if (h + m == 0) continue;
+    const double ratio = static_cast<double>(h) / static_cast<double>(h + m);
     std::printf("%4zu-%-7zu %-10llu %-10llu %5.1f%%\n", w * 50, (w + 1) * 50,
                 static_cast<unsigned long long>(h), static_cast<unsigned long long>(m),
-                100.0 * static_cast<double>(h) / static_cast<double>(h + m));
+                100.0 * ratio);
+    sim::Scope win = report.scope("window" + std::to_string(w));
+    win.gauge("hits").set(static_cast<double>(h));
+    win.gauge("misses").set(static_cast<double>(m));
+    win.gauge("hit_ratio").set(ratio);
   }
   std::printf("\ncontroller: %llu polls, %llu keys installed; wrong values: %llu\n",
               static_cast<unsigned long long>(controller.polls()),
               static_cast<unsigned long long>(controller.installs()),
               static_cast<unsigned long long>(wrong));
+  report.gauge("controller.polls").set(static_cast<double>(controller.polls()));
+  report.gauge("controller.installs").set(static_cast<double>(controller.installs()));
+  report.gauge("wrong_values").set(static_cast<double>(wrong));
   std::printf(
       "\nExpected shape: the first window is all misses (cold cache); as the\n"
       "controller installs hot keys the hit ratio climbs and settles near the\n"
       "zipf mass of the installed set.\n");
+  bench::write_report(report, "hotkey_adaptation");
   return 0;
 }

@@ -9,7 +9,9 @@
 // Part 2 (analytic, 12.8 Tbps class): scale part 1's per-pipe rates to the
 // paper's 4-pipe, 5-6 Bpps switch.
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "packet/fields.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/time.hpp"
@@ -66,23 +68,33 @@ int main() {
   std::printf("%-26s %-8s %-18s %-16s %-10s\n", "configuration", "k", "keys/s per pipe",
               "switch Bops/s", "speedup");
 
+  sim::MetricRegistry report;
   const double scalar = keys_per_second(kClockGhz, 1, 0);
   std::printf("%-26s %-8u %-18.3e %-16.2f %6.1fx\n", "RMT scalar (1 key/pkt)", 1, scalar,
               scalar * kPipes / 1e9, 1.0);
+  report.gauge("rmt_scalar.keys_per_sec").set(scalar);
+  report.gauge("rmt_scalar.switch_bops").set(scalar * kPipes / 1e9);
   for (const std::uint32_t k : {2u, 4u, 8u, 16u}) {
     const double rate = keys_per_second(kClockGhz, k, 16);
     std::printf("%-26s %-8u %-18.3e %-16.2f %6.1fx\n", "ADCP 16-lane array", k, rate,
                 rate * kPipes / 1e9, rate / scalar);
+    sim::Scope row = report.scope("adcp_k" + std::to_string(k));
+    row.gauge("keys_per_sec").set(rate);
+    row.gauge("switch_bops").set(rate * kPipes / 1e9);
+    row.gauge("speedup_vs_scalar").set(rate / scalar);
   }
   // Beyond the interconnect width the batch serializes: no further gain.
   const double over = keys_per_second(kClockGhz, 32, 16);
   std::printf("%-26s %-8u %-18.3e %-16.2f %6.1fx\n", "ADCP 16-lane, k>width", 32, over,
               over * kPipes / 1e9, over / scalar);
+  report.gauge("adcp_k32_overwidth.keys_per_sec").set(over);
+  report.gauge("adcp_k32_overwidth.speedup_vs_scalar").set(over / scalar);
 
   std::printf(
       "\nExpected shape: scalar caps the switch at ~%.0f Bops/s; 8- and 16-key\n"
       "packets multiply it 8x and 16x (one order of magnitude, the paper's claim);\n"
       "k beyond the lane width stops scaling (stalls eat the gain).\n",
       kPipes * kClockGhz);
+  bench::write_report(report, "keyrate_claim");
   return 0;
 }

@@ -5,8 +5,10 @@
 // engine, TM, pipeline advance, and the event kernel.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "mat/array_engine.hpp"
 #include "mat/register.hpp"
 #include "mat/table.hpp"
@@ -222,6 +224,46 @@ void BM_TmEnqueueDequeuePooled(benchmark::State& state) {
 }
 BENCHMARK(BM_TmEnqueueDequeuePooled);
 
+/// Console output as usual, plus every run mirrored into a MetricRegistry
+/// ("<name>.ns_per_op" / "<name>.items_per_sec") so the micro numbers ship
+/// in the same adcp-metrics-v1 schema as every other bench.
+class RegistryReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit RegistryReporter(sim::MetricRegistry* registry) : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // Benchmark names may carry arg suffixes ("BM_ParserReuse/16");
+      // '/' nests them as registry scopes.
+      std::string name = run.benchmark_name();
+      for (char& c : name) {
+        if (c == '/') c = '.';
+      }
+      if (run.iterations <= 0) continue;
+      // Per-iteration real time in the run's time unit (ns by default).
+      registry_->gauge(name + ".ns_per_op").set(run.GetAdjustedRealTime());
+      if (run.counters.find("items_per_second") != run.counters.end()) {
+        registry_->gauge(name + ".items_per_sec")
+            .set(run.counters.at("items_per_second"));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  sim::MetricRegistry* registry_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sim::MetricRegistry report;
+  RegistryReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  bench::write_report(report, "micro");
+  return 0;
+}

@@ -7,7 +7,9 @@
 // when it is infeasible outright (required memory clock above the SRAM
 // ceiling, from feas::MultiClockMatModel).
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "feas/multiclock.hpp"
 #include "packet/fields.hpp"
 #include "pipeline/pipeline.hpp"
@@ -66,17 +68,25 @@ int main() {
   std::printf("%-28s %-10s %-16s %-12s %-14s\n", "implementation", "param",
               "keys/s", "stalls", "SRAM feasible?");
 
+  sim::MetricRegistry report;
   for (const std::uint32_t w : {1u, 2u, 4u, 8u, 16u}) {
     const Outcome o = run(mat::ArrayEngineMode::kParallelInterconnect, w, kBatch, kClock);
     std::printf("%-28s width=%-4u %-16.3e %-12llu %-14s\n", "parallel interconnect", w,
                 o.keys_per_sec, static_cast<unsigned long long>(o.stalls),
                 "yes (no overclock)");
+    sim::Scope row = report.scope("parallel.w" + std::to_string(w));
+    row.gauge("keys_per_sec").set(o.keys_per_sec);
+    row.gauge("stalls").set(static_cast<double>(o.stalls));
   }
   for (const std::uint32_t m : {1u, 2u, 4u, 8u, 16u}) {
     const Outcome o = run(mat::ArrayEngineMode::kMultiClockSerial, m, kBatch, kClock);
     std::printf("%-28s mult=%-5u %-16.3e %-12llu %-14s\n", "multi-clock serial", m,
                 o.keys_per_sec, static_cast<unsigned long long>(o.stalls),
                 sram.feasible(m) ? "yes" : "NO (needs >3.2 GHz)");
+    sim::Scope row = report.scope("serial.m" + std::to_string(m));
+    row.gauge("keys_per_sec").set(o.keys_per_sec);
+    row.gauge("stalls").set(static_cast<double>(o.stalls));
+    row.gauge("sram_feasible").set(sram.feasible(m) ? 1.0 : 0.0);
   }
 
   std::printf(
@@ -85,5 +95,6 @@ int main() {
       "but never overclocks; the serial option is area-cheap but hits the SRAM\n"
       "ceiling at mult=%u for this pipe clock — the §4 trade-off.\n",
       sram.max_width() + 1);
+  bench::write_report(report, "multiclock_ablation");
   return 0;
 }

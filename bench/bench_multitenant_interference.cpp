@@ -8,7 +8,10 @@
 #include <cstdio>
 #include <numeric>
 #include <optional>
+#include <string>
 #include <vector>
+
+#include "bench_report.hpp"
 
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
@@ -70,14 +73,20 @@ int main() {
               "slowdown");
   const double alone = run(0);
   std::printf("%-28s %-20.2f %-10s\n", "none", alone, "1.00x");
+  sim::MetricRegistry report;
+  report.gauge("alone.makespan_us").set(alone);
   for (const std::uint32_t rows : {128u, 512u, 2048u}) {
     const double with_bg = run(rows);
     std::printf("%-28u %-20.2f %9.2fx\n", rows, with_bg, with_bg / alone);
+    sim::Scope row = report.scope("bg" + std::to_string(rows));
+    row.gauge("makespan_us").set(with_bg);
+    row.gauge("slowdown").set(with_bg / alone);
   }
   std::printf(
       "\nExpected shape: the slowdown tracks the background's offered volume\n"
       "roughly linearly — plain link/TM sharing. The aggregation's state and\n"
       "batch compute are never stolen (its results stay exact; see the\n"
       "multi-tenant tests), which is the partitioned-area isolation property.\n");
+  bench::write_report(report, "multitenant_interference");
   return 0;
 }

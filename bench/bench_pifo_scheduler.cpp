@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 
+#include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
 #include "net/host.hpp"
@@ -117,10 +118,18 @@ int main() {
   std::printf("%-18s %-20.1f %-20.1f\n", "FIFO", fifo.elephant_cct_us, fifo.mouse_cct_us);
   std::printf("%-18s %-20.1f %-20.1f\n", "PIFO (SEBF rank)", pifo.elephant_cct_us,
               pifo.mouse_cct_us);
+  sim::MetricRegistry report;
+  report.gauge("fifo.elephant_cct_us").set(fifo.elephant_cct_us);
+  report.gauge("fifo.mouse_cct_us").set(fifo.mouse_cct_us);
+  report.gauge("pifo.elephant_cct_us").set(pifo.elephant_cct_us);
+  report.gauge("pifo.mouse_cct_us").set(pifo.mouse_cct_us);
+  report.gauge("pifo.mouse_speedup")
+      .set(pifo.mouse_cct_us > 0 ? fifo.mouse_cct_us / pifo.mouse_cct_us : 0.0);
   std::printf(
       "\nExpected shape: PIFO slashes the mouse's completion time (%.1fx here)\n"
       "while the elephant's barely moves — smallest-coflow-first inside the\n"
       "switch, with no host cooperation.\n",
       pifo.mouse_cct_us > 0 ? fifo.mouse_cct_us / pifo.mouse_cct_us : 0.0);
+  bench::write_report(report, "pifo_scheduler");
   return 0;
 }

@@ -1,0 +1,31 @@
+// Shared bench exporter: every bench_* binary funnels its headline numbers
+// into a sim::MetricRegistry and emits one BENCH_<name>.json through this
+// helper, so all reports carry the same adcp-metrics-v1 schema
+// (see DESIGN.md "Observability") and can be diffed/aggregated by one
+// consumer. Human-readable tables stay on stdout; this is the
+// machine-readable half.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace adcp::bench {
+
+/// Snapshots `registry` and writes BENCH_<name>.json (or `path` when given)
+/// tagged with the bench name. Returns false (and says so) if the file
+/// cannot be written — benches keep their stdout report either way.
+inline bool write_report(const sim::MetricRegistry& registry, const std::string& name,
+                         std::string path = {}) {
+  if (path.empty()) path = "BENCH_" + name + ".json";
+  const bool ok = registry.snapshot().write_json(path, name);
+  if (ok) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace adcp::bench

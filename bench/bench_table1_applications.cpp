@@ -12,6 +12,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
 #include "net/host.hpp"
@@ -52,10 +53,19 @@ core::AdcpConfig adcp_config() {
 
 double us(sim::Time t) { return static_cast<double>(t) / sim::kMicrosecond; }
 
+sim::MetricRegistry g_report;
+
 void row(const char* app, const char* metric, double rmt_val, double adcp_val,
          double rmt_us, double adcp_us) {
   std::printf("%-12s %-22s %-12.0f %-12.0f %-12.1f %-12.1f %-8.2fx\n", app, metric,
               rmt_val, adcp_val, rmt_us, adcp_us, adcp_us > 0 ? rmt_us / adcp_us : 0.0);
+  (void)metric;
+  sim::Scope app_scope = g_report.scope(app);
+  app_scope.gauge("rmt.metric").set(rmt_val);
+  app_scope.gauge("adcp.metric").set(adcp_val);
+  app_scope.gauge("rmt.makespan_us").set(rmt_us);
+  app_scope.gauge("adcp.makespan_us").set(adcp_us);
+  app_scope.gauge("ratio").set(adcp_us > 0 ? rmt_us / adcp_us : 0.0);
 }
 
 void ml_aggregation() {
@@ -98,6 +108,8 @@ void ml_aggregation() {
       static_cast<double>(awl.results_received()), us(rwl.makespan()), us(awl.makespan()));
   std::printf("%-12s %-22s rmt recirc bytes: %llu, adcp: 0\n", "", "",
               static_cast<unsigned long long>(rsw.stats().recirc_bytes));
+  g_report.scope("ML-agg").gauge("rmt.recirc_bytes").set(
+      static_cast<double>(rsw.stats().recirc_bytes));
 }
 
 void db_shuffle() {
@@ -209,5 +221,6 @@ int main() {
       "\nExpected shape: ADCP wins clearly on ML aggregation (no recirculation\n"
       "tax) and matches or modestly improves the forwarding-dominated apps;\n"
       "group communication is the shared baseline (TM multicast on both).\n");
+  bench::write_report(g_report, "table1_applications");
   return 0;
 }

@@ -5,7 +5,9 @@
 // simulator: at the design packet size an RMT pipeline holds line rate;
 // below it, throughput is pinned by the pipeline clock.
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "feas/scaling.hpp"
 #include "net/host.hpp"
 #include "rmt/programs.hpp"
@@ -17,7 +19,7 @@ namespace {
 
 using namespace adcp;
 
-void print_table2() {
+void print_table2(sim::MetricRegistry& report) {
   std::printf("Table 2: Port multiplexing poor scalability (paper values: 84/160/247/495/495 B)\n");
   std::printf("%-12s %-12s %-10s %-10s %-12s %-10s\n", "throughput", "port(Gbps)",
               "pipelines", "ports/pipe", "minpkt(B)", "freq(GHz)");
@@ -25,6 +27,11 @@ void print_table2() {
     std::printf("%-12.2f %-12.0f %-10u %-10.1f %-12u %-10.2f\n", p.switch_tbps,
                 p.port_gbps, p.pipelines, p.ports_per_pipeline, p.min_packet_bytes,
                 p.clock_ghz);
+    sim::Scope row =
+        report.scope("tbps" + std::to_string(static_cast<int>(p.switch_tbps)));
+    row.gauge("min_packet_bytes").set(static_cast<double>(p.min_packet_bytes));
+    row.gauge("clock_ghz").set(p.clock_ghz);
+    row.gauge("ports_per_pipeline").set(p.ports_per_pipeline);
   }
 }
 
@@ -49,7 +56,7 @@ double run_rmt(std::uint32_t packet_bytes) {
   return sw.achieved_tx_gbps();
 }
 
-void validate() {
+void validate(sim::MetricRegistry& report) {
   std::printf("\nSimulator validation (16x100G into one 1.25 GHz pipeline, offered 1600 Gbps):\n");
   std::printf("%-14s %-18s %-30s\n", "packet (B)", "achieved (Gbps)", "expectation");
   struct Case {
@@ -62,14 +69,18 @@ void validate() {
       {84, "undersized: clock-capped ~840 Gbps"},
   };
   for (const Case& c : cases) {
-    std::printf("%-14u %-18.1f %-30s\n", c.bytes, run_rmt(c.bytes), c.note);
+    const double gbps = run_rmt(c.bytes);
+    std::printf("%-14u %-18.1f %-30s\n", c.bytes, gbps, c.note);
+    report.gauge("pkt" + std::to_string(c.bytes) + ".achieved_gbps").set(gbps);
   }
 }
 
 }  // namespace
 
 int main() {
-  print_table2();
-  validate();
+  sim::MetricRegistry report;
+  print_table2(report);
+  validate(report);
+  bench::write_report(report, "table2_multiplexing");
   return 0;
 }

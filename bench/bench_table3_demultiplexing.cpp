@@ -6,8 +6,10 @@
 // minimum-size packets at line rate — the §3.3 claim.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
 #include "feas/scaling.hpp"
@@ -19,13 +21,18 @@ namespace {
 
 using namespace adcp;
 
-void print_table3() {
+void print_table3(sim::MetricRegistry& report) {
   std::printf("Table 3: Port demultiplexing examples (paper clocks: 1.62/0.60/1.62/1.19 GHz)\n");
   std::printf("%-12s %-12s %-12s %-10s\n", "port(Gbps)", "ports/pipe", "minpkt(B)",
               "freq(GHz)");
+  std::size_t i = 0;
   for (const feas::DesignPoint& p : feas::table3_design_points()) {
     std::printf("%-12.0f %-12.1f %-12u %-10.2f\n", p.port_gbps, p.ports_per_pipeline,
                 p.min_packet_bytes, p.clock_ghz);
+    sim::Scope row = report.scope("row" + std::to_string(i++));
+    row.gauge("port_gbps").set(p.port_gbps);
+    row.gauge("ports_per_pipeline").set(p.ports_per_pipeline);
+    row.gauge("clock_ghz").set(p.clock_ghz);
   }
 }
 
@@ -62,7 +69,7 @@ double run_adcp(std::uint32_t demux, double edge_clock_ghz) {
   return sw.achieved_tx_gbps();
 }
 
-void validate() {
+void validate(sim::MetricRegistry& report) {
   const double offered = 4 * 800.0;
   std::printf("\nSimulator validation (4x800G ports, 84 B packets, offered %.0f Gbps):\n",
               offered);
@@ -79,15 +86,21 @@ void validate() {
       {2, 0.30, "1:2 at 0.30 GHz: clock-capped"},
   };
   for (const Case& c : cases) {
-    std::printf("%-8u %-14.2f %-18.1f %-34s\n", c.demux, c.clock,
-                run_adcp(c.demux, c.clock), c.note);
+    const double gbps = run_adcp(c.demux, c.clock);
+    std::printf("%-8u %-14.2f %-18.1f %-34s\n", c.demux, c.clock, gbps, c.note);
+    report
+        .gauge("demux" + std::to_string(c.demux) + ".clock" +
+               std::to_string(static_cast<int>(c.clock * 100)) + ".achieved_gbps")
+        .set(gbps);
   }
 }
 
 }  // namespace
 
 int main() {
-  print_table3();
-  validate();
+  sim::MetricRegistry report;
+  print_table3(report);
+  validate(report);
+  bench::write_report(report, "table3_demultiplexing");
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
 #include "net/host.hpp"
@@ -29,6 +30,7 @@
 #include "packet/parser.hpp"
 #include "rmt/programs.hpp"
 #include "rmt/rmt_switch.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "tm/traffic_manager.hpp"
 
@@ -324,31 +326,21 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
-  // Report: human-readable to stdout, JSON to --out.
+  // Report: human-readable to stdout, the shared adcp-metrics-v1 JSON
+  // schema (same as every bench_* binary) to --out.
+  adcp::sim::MetricRegistry report;
+  report.gauge("config.quick").set(opt.quick ? 1.0 : 0.0);
+  report.gauge("config.threads").set(static_cast<double>(nthreads));
+  report.gauge("config.repeat").set(static_cast<double>(opt.repeat));
   for (const Result& r : results) {
     std::printf("%-16s %10.1f ns/%s %14.0f %ss/sec (%u runs, %llu ops)\n",
                 r.name.c_str(), r.ns_per_op, r.unit.c_str(), r.ops_per_sec,
                 r.unit.c_str(), r.runs, static_cast<unsigned long long>(r.total_ops));
+    adcp::sim::Scope sc = report.scope(r.name);
+    sc.gauge("ns_per_op").set(r.ns_per_op);
+    sc.gauge("ops_per_sec").set(r.ops_per_sec);
+    sc.gauge("runs").set(static_cast<double>(r.runs));
+    sc.gauge("total_ops").set(static_cast<double>(r.total_ops));
   }
-  FILE* f = std::fopen(opt.out.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s for writing\n", opt.out.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"quick\": %s,\n  \"threads\": %u,\n  \"repeat\": %u,\n",
-               opt.quick ? "true" : "false", nthreads, opt.repeat);
-  std::fprintf(f, "  \"scenarios\": {\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::fprintf(f,
-                 "    \"%s\": {\"ns_per_op\": %.2f, \"events_per_sec\": %.0f, "
-                 "\"unit\": \"%s\", \"runs\": %u, \"total_ops\": %llu}%s\n",
-                 r.name.c_str(), r.ns_per_op, r.ops_per_sec, r.unit.c_str(), r.runs,
-                 static_cast<unsigned long long>(r.total_ops),
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", opt.out.c_str());
-  return 0;
+  return adcp::bench::write_report(report, "kernel", opt.out) ? 0 : 1;
 }

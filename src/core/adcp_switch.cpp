@@ -20,8 +20,12 @@ bool is_inc(const packet::Phv& phv) {
 }
 }  // namespace
 
-AdcpSwitch::AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config)
-    : sim_(&sim), config_(config) {
+AdcpSwitch::AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config, sim::Scope scope)
+    : sim_(&sim),
+      config_(config),
+      scope_(sim::resolve_scope(scope, own_metrics_, "core")),
+      metrics_(scope_),
+      pool_(4096, scope_.scope("pool")) {
   pipeline::PipelineConfig pc;
   pc.stage_count = config.edge_stages;
   pc.clock_ghz = config.edge_clock_ghz;
@@ -71,7 +75,7 @@ void AdcpSwitch::load_program(AdcpProgram program) {
   t1.buffer_bytes = config_.tm1_buffer_bytes;
   t1.alpha = config_.tm1_alpha;
   t1.make_scheduler = std::move(program.tm1_scheduler);
-  tm1_.emplace(std::move(t1));
+  tm1_.emplace(std::move(t1), scope_.scope("tm1"));
 
   tm::TmConfig t2;
   t2.outputs = config_.edge_pipeline_count();
@@ -79,7 +83,7 @@ void AdcpSwitch::load_program(AdcpProgram program) {
   t2.alpha = config_.tm2_alpha;
   t2.ecn_threshold_bytes = config_.ecn_threshold_bytes;
   t2.make_scheduler = std::move(program.tm2_scheduler);
-  tm2_.emplace(std::move(t2));
+  tm2_.emplace(std::move(t2), scope_.scope("tm2"));
   tm1_->set_pool(&pool_);
   tm2_->set_pool(&pool_);
 }
@@ -93,8 +97,8 @@ void AdcpSwitch::kick_central(std::uint32_t cp) { try_drain_central(cp); }
 void AdcpSwitch::inject(packet::PortId port, packet::Packet pkt) {
   assert(port < config_.port_count);
   assert(parser_ && "load_program() must be called before traffic");
-  ++stats_.rx_packets;
-  stats_.rx_bytes += pkt.size();
+  metrics_.rx_packets.add();
+  metrics_.rx_bytes.add(pkt.size());
   pkt.meta.ingress_port = port;
   pkt.meta.arrival = sim_->now();
 
@@ -121,7 +125,7 @@ void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(pkt, pr);
   if (!pr.accepted) {
-    ++stats_.parse_drops;
+    metrics_.parse_drops.add();
     pool_.release(std::move(pkt));
     return;
   }
@@ -144,7 +148,7 @@ packet::Packet AdcpSwitch::finalize(const packet::Phv& phv, packet::Packet origi
 
 void AdcpSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
-    ++stats_.program_drops;
+    metrics_.program_drops.add();
     pool_.release(std::move(original));
     return;
   }
@@ -171,7 +175,7 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
-    ++stats_.parse_drops;
+    metrics_.parse_drops.add();
     pool_.release(std::move(*pkt));
     try_drain_central(cp);
     return;
@@ -195,7 +199,7 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
                                std::uint32_t cp) {
   (void)cp;
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
-    ++stats_.program_drops;
+    metrics_.program_drops.add();
     pool_.release(std::move(original));
     return;
   }
@@ -205,7 +209,7 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
   if (group != 0) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
-      ++stats_.no_route_drops;
+      metrics_.no_route_drops.add();
       pool_.release(std::move(out));
       return;
     }
@@ -223,7 +227,7 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
   const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
                                           packet::kInvalidPort);
   if (egress >= config_.port_count) {
-    ++stats_.no_route_drops;
+    metrics_.no_route_drops.add();
     pool_.release(std::move(out));
     return;
   }
@@ -275,7 +279,7 @@ void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
-    ++stats_.parse_drops;
+    metrics_.parse_drops.add();
     pool_.release(std::move(*pkt));
     try_drain_egress(edge_pipe);
     return;
@@ -300,7 +304,7 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
                               std::uint32_t edge_pipe) {
   const std::uint32_t port = config_.port_of_edge_pipe(edge_pipe);
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
-    ++stats_.program_drops;
+    metrics_.program_drops.add();
     pool_.release(std::move(original));
     kick_port_egress(port);
     return;
@@ -314,10 +318,10 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
   sim_->at(free, [this, out = std::move(out), port, edge_pipe]() mutable {
-    ++stats_.tx_packets;
-    stats_.tx_bytes += out.size();
-    if (stats_.first_tx == 0) stats_.first_tx = sim_->now();
-    stats_.last_tx = sim_->now();
+    metrics_.tx_packets.add();
+    metrics_.tx_bytes.add(out.size());
+    if (first_tx_ == 0) first_tx_ = sim_->now();
+    last_tx_ = sim_->now();
     --in_flight_[port];
     if (tx_handler_) tx_handler_(port, std::move(out));
     kick_port_egress(port);
@@ -325,9 +329,9 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
 }
 
 double AdcpSwitch::achieved_tx_gbps() const {
-  if (stats_.last_tx <= stats_.first_tx) return 0.0;
-  return static_cast<double>(stats_.tx_bytes) * 8.0 * 1000.0 /
-         static_cast<double>(stats_.last_tx - stats_.first_tx);
+  if (last_tx_ <= first_tx_) return 0.0;
+  return static_cast<double>(metrics_.tx_bytes.value()) * 8.0 * 1000.0 /
+         static_cast<double>(last_tx_ - first_tx_);
 }
 
 }  // namespace adcp::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -19,12 +20,14 @@
 #include "core/program.hpp"
 #include "net/device.hpp"
 #include "packet/pool.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "tm/traffic_manager.hpp"
 
 namespace adcp::core {
 
-/// Counters the ADCP switch exposes.
+/// Snapshot view of the switch counters (registry metrics are the source
+/// of truth; see AdcpSwitch::stats()).
 struct AdcpStats {
   std::uint64_t rx_packets = 0;
   std::uint64_t rx_bytes = 0;
@@ -37,11 +40,35 @@ struct AdcpStats {
   sim::Time last_tx = 0;
 };
 
+/// Registry-backed switch counters; drop reasons use the same canonical
+/// names as RmtMetrics/RtcMetrics so cross-switch comparisons line up.
+struct AdcpMetrics {
+  explicit AdcpMetrics(const sim::Scope& s)
+      : rx_packets(s.counter("rx.packets")),
+        rx_bytes(s.counter("rx.bytes")),
+        tx_packets(s.counter("tx.packets")),
+        tx_bytes(s.counter("tx.bytes")),
+        parse_drops(s.counter("drops.parse")),
+        program_drops(s.counter("drops.program")),
+        no_route_drops(s.counter("drops.no_route")) {}
+
+  sim::Counter& rx_packets;
+  sim::Counter& rx_bytes;
+  sim::Counter& tx_packets;
+  sim::Counter& tx_bytes;
+  sim::Counter& parse_drops;
+  sim::Counter& program_drops;
+  sim::Counter& no_route_drops;
+};
+
 /// A simulated ADCP switch. Construct, load_program, attach a net::Fabric,
 /// drive the Simulator.
 class AdcpSwitch final : public net::SwitchDevice {
  public:
-  AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config);
+  /// `scope` names this switch in a shared MetricRegistry (TM1/TM2 and the
+  /// pool register as "<scope>.tm1" / "<scope>.tm2" / "<scope>.pool");
+  /// detached (the default) falls back to a private registry under "core".
+  AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config, sim::Scope scope = {});
 
   /// Installs the program; must be called before traffic. `program.placement`
   /// is mandatory.
@@ -62,7 +89,16 @@ class AdcpSwitch final : public net::SwitchDevice {
   [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
 
   [[nodiscard]] const AdcpConfig& config() const { return config_; }
-  [[nodiscard]] const AdcpStats& stats() const { return stats_; }
+  [[nodiscard]] AdcpStats stats() const {
+    return AdcpStats{metrics_.rx_packets.value(),     metrics_.rx_bytes.value(),
+                     metrics_.tx_packets.value(),     metrics_.tx_bytes.value(),
+                     metrics_.parse_drops.value(),    metrics_.program_drops.value(),
+                     metrics_.no_route_drops.value(), first_tx_,
+                     last_tx_};
+  }
+  /// The registry this switch (and its TMs and pool) report into.
+  [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
+  [[nodiscard]] const sim::Scope& metric_scope() const { return scope_; }
   tm::TrafficManager& tm1() { return *tm1_; }
   tm::TrafficManager& tm2() { return *tm2_; }
   pipeline::Pipeline& central_pipe(std::uint32_t i) { return central_pipes_.at(i); }
@@ -99,6 +135,10 @@ class AdcpSwitch final : public net::SwitchDevice {
 
   sim::Simulator* sim_;
   AdcpConfig config_;
+  // Declared before pool_/metrics_ and the TMs, which register through it.
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  AdcpMetrics metrics_;
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by the re-parse sites
   std::optional<packet::Parser> parser_;
@@ -122,7 +162,8 @@ class AdcpSwitch final : public net::SwitchDevice {
   std::vector<bool> central_pending_;         // per central pipe
   std::vector<bool> egress_pending_;          // per edge egress pipe
   std::vector<std::uint32_t> in_flight_;      // per port (egress pipe -> TX)
-  AdcpStats stats_;
+  sim::Time first_tx_ = 0;
+  sim::Time last_tx_ = 0;
 };
 
 }  // namespace adcp::core

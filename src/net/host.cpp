@@ -8,15 +8,15 @@ namespace adcp::net {
 sim::Time Host::send(packet::Packet pkt, sim::Time earliest) {
   const sim::Time start = std::max({sim_->now(), nic_free_, earliest});
   nic_free_ = start + link_.serialize(pkt.size());
-  ++tx_packets_;
-  tx_bytes_ += pkt.size();
+  metrics_.tx_packets.add();
+  metrics_.tx_bytes.add(pkt.size());
   pkt.meta.ingress_port = port_;
 
   // The switch sees the first bit after propagation — unless the link
   // lottery eats the packet.
   const sim::Time arrival = start + link_.propagation;
   if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
-    ++link_drops_;
+    metrics_.link_drops.add();
     if (pool_ != nullptr) pool_->release(std::move(pkt));
     return arrival;
   }
@@ -34,26 +34,26 @@ sim::Time Host::send_inc(const packet::IncPacketSpec& spec, sim::Time earliest) 
 
 void Host::deliver_from_switch(packet::Packet pkt) {
   if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
-    ++link_drops_;
+    metrics_.link_drops.add();
     if (pool_ != nullptr) pool_->release(std::move(pkt));
     return;
   }
   sim_->after(link_.propagation, [this, pkt = std::move(pkt)]() mutable {
-    ++rx_packets_;
-    rx_bytes_ += pkt.size();
+    metrics_.rx_packets.add();
+    metrics_.rx_bytes.add(pkt.size());
     last_rx_ = sim_->now();
     if (pkt.size() > packet::kEthernetBytes + 1 &&
         pkt.data.read(12, 2) == packet::kEtherTypeIpv4 &&
         (pkt.data.read(packet::kEthernetBytes + 1, 1) & 0x3) == 0x3) {
-      ++rx_ecn_marked_;
+      metrics_.rx_ecn_marked.add();
     }
 
     packet::IncHeader inc;
     if (packet::decode_inc(pkt, inc)) {
-      rx_goodput_bytes_ += inc.elements.size() * packet::kIncElementBytes;
+      metrics_.rx_goodput_bytes.add(inc.elements.size() * packet::kIncElementBytes);
       auto& highest = highest_seq_[inc.flow_id];
       if (inc.seq < highest) {
-        ++rx_reordered_;
+        metrics_.rx_reordered.add();
       } else {
         highest = inc.seq;
       }
@@ -69,11 +69,15 @@ void Host::deliver_from_switch(packet::Packet pkt) {
   });
 }
 
-Fabric::Fabric(sim::Simulator& sim, SwitchDevice& device, Link link, std::uint64_t seed)
-    : rng_(seed) {
+Fabric::Fabric(sim::Simulator& sim, SwitchDevice& device, Link link, std::uint64_t seed,
+               sim::Scope scope)
+    : rng_(seed),
+      scope_(sim::resolve_scope(scope, own_metrics_, "net")),
+      pool_(4096, scope_.scope("pool")) {
   hosts_.reserve(device.port_count());
   for (std::uint32_t p = 0; p < device.port_count(); ++p) {
-    hosts_.emplace_back(p, p, link, sim, device, &rng_, &pool_);
+    hosts_.emplace_back(p, p, link, sim, device, &rng_, &pool_,
+                        scope_.scope("host" + std::to_string(p)));
   }
   device.set_tx_handler([this](packet::PortId port, packet::Packet pkt) {
     if (port < hosts_.size()) hosts_[port].deliver_from_switch(std::move(pkt));

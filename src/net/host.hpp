@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -12,11 +13,34 @@
 #include "net/link.hpp"
 #include "packet/headers.hpp"
 #include "packet/pool.hpp"
+#include "sim/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
 namespace adcp::net {
+
+/// Registry-backed per-host counters, resolved once at construction.
+struct HostMetrics {
+  explicit HostMetrics(const sim::Scope& s)
+      : tx_packets(s.counter("tx.packets")),
+        tx_bytes(s.counter("tx.bytes")),
+        rx_packets(s.counter("rx.packets")),
+        rx_bytes(s.counter("rx.bytes")),
+        rx_goodput_bytes(s.counter("rx.goodput_bytes")),
+        rx_reordered(s.counter("rx.reordered")),
+        rx_ecn_marked(s.counter("rx.ecn_marked")),
+        link_drops(s.counter("drops.link")) {}
+
+  sim::Counter& tx_packets;
+  sim::Counter& tx_bytes;
+  sim::Counter& rx_packets;
+  sim::Counter& rx_bytes;
+  sim::Counter& rx_goodput_bytes;
+  sim::Counter& rx_reordered;
+  sim::Counter& rx_ecn_marked;
+  sim::Counter& link_drops;
+};
 
 /// A server attached to one switch port. Sends packets paced at its link
 /// rate and measures what it receives (bytes, packets, per-flow ordering,
@@ -28,10 +52,13 @@ class Host {
 
   /// `pool`, when given, recycles delivered/lost packets and feeds
   /// send_inc(), making steady-state host traffic allocation-free.
+  /// `scope` names this host in a shared MetricRegistry (the Fabric passes
+  /// "net.host<i>"); detached falls back to a private registry.
   Host(coflow::HostId id, packet::PortId port, Link link, sim::Simulator& sim,
-       SwitchDevice& device, sim::Rng* rng = nullptr, packet::Pool* pool = nullptr)
+       SwitchDevice& device, sim::Rng* rng = nullptr, packet::Pool* pool = nullptr,
+       sim::Scope scope = {})
       : id_(id), port_(port), link_(link), sim_(&sim), device_(&device), rng_(rng),
-        pool_(pool) {}
+        pool_(pool), metrics_(sim::resolve_scope(scope, own_metrics_, "host")) {}
 
   /// Queues `pkt` for transmission no earlier than `earliest`; the NIC
   /// serializes packets back to back at the link rate. Returns the time the
@@ -61,20 +88,22 @@ class Host {
   [[nodiscard]] packet::PortId port() const { return port_; }
   [[nodiscard]] const Link& link() const { return link_; }
 
-  [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
-  [[nodiscard]] std::uint64_t rx_bytes() const { return rx_bytes_; }
-  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
-  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_packets() const { return metrics_.rx_packets.value(); }
+  [[nodiscard]] std::uint64_t rx_bytes() const { return metrics_.rx_bytes.value(); }
+  [[nodiscard]] std::uint64_t tx_packets() const { return metrics_.tx_packets.value(); }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return metrics_.tx_bytes.value(); }
   /// INC element payload bytes received (goodput numerator).
-  [[nodiscard]] std::uint64_t rx_goodput_bytes() const { return rx_goodput_bytes_; }
+  [[nodiscard]] std::uint64_t rx_goodput_bytes() const {
+    return metrics_.rx_goodput_bytes.value();
+  }
   /// Packets that arrived with a sequence number lower than an already
   /// delivered one of the same flow (reordering metric for the TM1 merge
   /// ablation).
-  [[nodiscard]] std::uint64_t rx_reordered() const { return rx_reordered_; }
+  [[nodiscard]] std::uint64_t rx_reordered() const { return metrics_.rx_reordered.value(); }
   /// Packets delivered with the IP ECN field marked CE (congestion).
-  [[nodiscard]] std::uint64_t rx_ecn_marked() const { return rx_ecn_marked_; }
+  [[nodiscard]] std::uint64_t rx_ecn_marked() const { return metrics_.rx_ecn_marked.value(); }
   /// Packets lost on this host's links (either direction).
-  [[nodiscard]] std::uint64_t link_drops() const { return link_drops_; }
+  [[nodiscard]] std::uint64_t link_drops() const { return metrics_.link_drops.value(); }
   [[nodiscard]] sim::Time last_rx_time() const { return last_rx_; }
 
  private:
@@ -89,14 +118,9 @@ class Host {
   coflow::CoflowTracker* tracker_ = nullptr;
 
   sim::Time nic_free_ = 0;
-  std::uint64_t tx_packets_ = 0;
-  std::uint64_t tx_bytes_ = 0;
-  std::uint64_t rx_packets_ = 0;
-  std::uint64_t rx_bytes_ = 0;
-  std::uint64_t rx_goodput_bytes_ = 0;
-  std::uint64_t rx_reordered_ = 0;
-  std::uint64_t rx_ecn_marked_ = 0;
-  std::uint64_t link_drops_ = 0;
+  // Declared before metrics_ (fallback registry must exist first).
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  HostMetrics metrics_;
   sim::Time last_rx_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> highest_seq_;  // flow -> seq
 };
@@ -106,9 +130,12 @@ class Host {
 class Fabric {
  public:
   /// Creates `device.port_count()` hosts, host i on port i. `seed` drives
-  /// the link-loss lottery when the link has a nonzero loss_rate.
+  /// the link-loss lottery when the link has a nonzero loss_rate. `scope`
+  /// names the fabric in a shared MetricRegistry (hosts register as
+  /// "<scope>.host<i>", the pool as "<scope>.pool"); detached falls back
+  /// to a private registry under "net".
   Fabric(sim::Simulator& sim, SwitchDevice& device, Link link,
-         std::uint64_t seed = 0xfab21c);
+         std::uint64_t seed = 0xfab21c, sim::Scope scope = {});
 
   Host& host(std::size_t i) { return hosts_.at(i); }
   [[nodiscard]] std::size_t size() const { return hosts_.size(); }
@@ -121,8 +148,15 @@ class Fabric {
   /// The pool all hosts recycle packets through (one per fabric).
   packet::Pool& pool() { return pool_; }
 
+  /// The registry the fabric's hosts and pool report into (shared when an
+  /// attached scope was passed, private otherwise).
+  [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
+
  private:
   sim::Rng rng_;
+  // Declared before scope_/pool_/hosts_, which register through it.
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
   packet::Pool pool_;
   std::vector<Host> hosts_;
 };

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "packet/packet.hpp"
+#include "sim/metrics.hpp"
 
 namespace adcp::packet {
 
@@ -35,36 +37,50 @@ class Pool {
   };
 
   /// `max_idle` caps how many dead packets the pool retains; surplus
-  /// releases simply free their memory.
-  explicit Pool(std::size_t max_idle = 4096) : max_idle_(max_idle) {}
+  /// releases simply free their memory. `scope` names this pool in a
+  /// shared MetricRegistry; detached (the default) falls back to a private
+  /// registry under "pool".
+  explicit Pool(std::size_t max_idle = 4096, sim::Scope scope = {})
+      : max_idle_(max_idle),
+        scope_(sim::resolve_scope(scope, own_metrics_, "pool")),
+        fresh_(scope_.counter("fresh")),
+        recycled_(scope_.counter("recycled")),
+        released_(scope_.counter("released")) {}
 
   /// An empty packet (size 0, default metadata), recycled when possible.
   Packet acquire() {
     if (free_.empty()) {
-      ++stats_.fresh;
+      fresh_.add();
       return Packet{};
     }
     Packet pkt = std::move(free_.back());
     free_.pop_back();
     pkt.data.clear();
     pkt.meta.reset();
-    ++stats_.recycled;
+    recycled_.add();
     return pkt;
   }
 
   /// Parks `pkt` for reuse (or frees it if the pool is full).
   void release(Packet pkt) {
-    ++stats_.released;
+    released_.add();
     if (free_.size() < max_idle_) free_.push_back(std::move(pkt));
   }
 
   [[nodiscard]] std::size_t idle() const { return free_.size(); }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    return Stats{fresh_.value(), recycled_.value(), released_.value()};
+  }
 
  private:
   std::vector<Packet> free_;
   std::size_t max_idle_;
-  Stats stats_;
+  // Declared before the counter references they back.
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  sim::Counter& fresh_;
+  sim::Counter& recycled_;
+  sim::Counter& released_;
 };
 
 }  // namespace adcp::packet

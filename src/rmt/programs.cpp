@@ -138,10 +138,30 @@ RmtProgram scalar_aggregation_program(const RmtConfig& config, const RmtAggOptio
   const std::uint32_t k = opts.elems_per_packet;
   auto report = opts.report;
 
+  // Registry mirror of the report (nullptr members when no scope given).
+  // Resolved once here so the per-packet body never touches the name table.
+  struct AggCounters {
+    sim::Counter* packets = nullptr;
+    sim::Counter* results = nullptr;
+    sim::Counter* misrouted = nullptr;
+    sim::Gauge* sram_blocks = nullptr;
+    sim::Gauge* tables_installed = nullptr;
+  };
+  auto counters = std::make_shared<AggCounters>();
+  if (opts.metrics.attached()) {
+    counters->packets = &opts.metrics.counter("agg.packets");
+    counters->results = &opts.metrics.counter("agg.results");
+    counters->misrouted = &opts.metrics.counter("agg.drops.misrouted");
+    counters->sram_blocks = &opts.metrics.gauge("agg.sram_blocks_used");
+    counters->tables_installed = &opts.metrics.gauge("agg.tables_installed");
+    counters->tables_installed->set(1.0);
+  }
+
   // The aggregation body shared by the ingress (kSamePipe / kRecirculate)
   // and egress (kEgressLocal) variants. Charges k cycles: RMT's stateful
   // ALUs take one scalar element each per packet pass (§2 issue 2).
-  const auto aggregate = [opts, k, report](Phv& phv, pipeline::Stage& stage) -> std::uint64_t {
+  const auto aggregate = [opts, k, report,
+                          counters](Phv& phv, pipeline::Stage& stage) -> std::uint64_t {
     if (opts.install_mapping_tables) stage.run_maus(phv);  // k replicated lookups
 
     mat::RegisterFile& regs = stage.registers();
@@ -158,6 +178,7 @@ RmtProgram scalar_aggregation_program(const RmtConfig& config, const RmtAggOptio
     const std::size_t slot = half + phv.get_or(kIncSeq, 0) % half;
     const std::uint64_t arrived = regs.apply(mat::AluOp::kAdd, slot, 1);
     ++report->aggregated_packets;
+    if (counters->packets != nullptr) counters->packets->add();
 
     if (arrived < opts.workers) {
       phv.set(kMetaDrop, 1);
@@ -171,6 +192,7 @@ RmtProgram scalar_aggregation_program(const RmtConfig& config, const RmtAggOptio
     regs.apply(mat::AluOp::kWrite, slot, 0);
     phv.set(kIncOpcode, opcode(packet::IncOpcode::kAggResult));
     ++report->results_emitted;
+    if (counters->results != nullptr) counters->results->add();
     if (opts.mode == RmtAggMode::kEgressLocal) {
       // Too late to choose a port: the packet is already queued for one.
       // It leaves through the egress pipe it is in — Fig. 2's restriction.
@@ -182,7 +204,7 @@ RmtProgram scalar_aggregation_program(const RmtConfig& config, const RmtAggOptio
 
   // Install the replicated mapping tables (one copy per unrolled element)
   // into the aggregation stage of the state-holding pipeline.
-  const auto install_tables = [opts, k, report](pipeline::Pipeline& pipe) {
+  const auto install_tables = [opts, k, report, counters](pipeline::Pipeline& pipe) {
     if (!opts.install_mapping_tables) return;
     pipeline::Stage& stage = pipe.stage(0);
     for (std::uint32_t i = 0; i < k; ++i) {
@@ -194,10 +216,14 @@ RmtProgram scalar_aggregation_program(const RmtConfig& config, const RmtAggOptio
                                std::move(table));
       if (!stage.add_mau(std::move(mau), opts.mapping_table_blocks)) {
         report->tables_installed = false;
+        if (counters->tables_installed != nullptr) counters->tables_installed->set(0.0);
         break;
       }
     }
     report->sram_blocks_used = stage.memory().used_blocks();
+    if (counters->sram_blocks != nullptr) {
+      counters->sram_blocks->set(static_cast<double>(report->sram_blocks_used));
+    }
   };
 
   switch (opts.mode) {
@@ -213,6 +239,7 @@ RmtProgram scalar_aggregation_program(const RmtConfig& config, const RmtAggOptio
             // Deployment restructuring failed: a worker is attached to the
             // wrong pipeline and its contribution cannot reach the state.
             ++report->misrouted_drops;
+            if (counters->misrouted != nullptr) counters->misrouted->add();
             phv.set(kMetaDrop, 1);
             return 1;
           }

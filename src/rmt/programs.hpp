@@ -26,6 +26,7 @@
 #include "packet/parser.hpp"
 #include "rmt/config.hpp"
 #include "rmt/program.hpp"
+#include "sim/metrics.hpp"
 
 namespace adcp::rmt {
 
@@ -79,6 +80,12 @@ struct RmtAggOptions {
   std::size_t mapping_table_capacity = 4096;
   /// Sink for install/runtime facts; created by the caller.
   std::shared_ptr<RmtAggReport> report;
+  /// Optional registry scope: when attached, the program mirrors the
+  /// report into registry counters ("agg.packets", "agg.results",
+  /// "agg.drops.misrouted", gauges "agg.sram_blocks_used" /
+  /// "agg.tables_installed") so program-level facts flow through the same
+  /// exporter as switch counters.
+  sim::Scope metrics{};
 };
 
 /// The RMT parameter server under the selected workaround.

@@ -21,8 +21,12 @@ bool is_inc(const packet::Phv& phv) {
 }
 }  // namespace
 
-RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config)
-    : sim_(&sim), config_(config) {
+RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config, sim::Scope scope)
+    : sim_(&sim),
+      config_(config),
+      scope_(sim::resolve_scope(scope, own_metrics_, "rmt")),
+      metrics_(scope_),
+      pool_(4096, scope_.scope("pool")) {
   assert(config.port_count % config.pipeline_count == 0);
   pipeline::PipelineConfig pc;
   pc.stage_count = config.stages_per_pipeline;
@@ -39,7 +43,7 @@ RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config)
   tc.buffer_bytes = config.tm_buffer_bytes;
   tc.alpha = config.tm_alpha;
   tc.ecn_threshold_bytes = config.ecn_threshold_bytes;
-  tm_.emplace(std::move(tc));
+  tm_.emplace(std::move(tc), scope_.scope("tm"));
   tm_->set_pool(&pool_);
 
   rx_free_.assign(config.port_count, 0);
@@ -66,8 +70,8 @@ void RmtSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::Por
 void RmtSwitch::inject(packet::PortId port, packet::Packet pkt) {
   assert(port < config_.port_count);
   assert(parser_ && "load_program() must be called before traffic");
-  ++stats_.rx_packets;
-  stats_.rx_bytes += pkt.size();
+  metrics_.rx_packets.add();
+  metrics_.rx_bytes.add(pkt.size());
   pkt.meta.ingress_port = port;
   pkt.meta.arrival = sim_->now();
 
@@ -83,7 +87,7 @@ void RmtSwitch::enter_ingress(packet::Packet pkt) {
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(pkt, pr);
   if (!pr.accepted) {
-    ++stats_.parse_drops;
+    metrics_.parse_drops.add();
     pool_.release(std::move(pkt));
     return;
   }
@@ -109,7 +113,7 @@ packet::Packet RmtSwitch::finalize(const packet::Phv& phv, packet::Packet origin
 
 void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
-    ++stats_.program_drops;
+    metrics_.program_drops.add();
     pool_.release(std::move(original));
     return;
   }
@@ -121,7 +125,7 @@ void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::siz
   if (group != 0) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
-      ++stats_.no_route_drops;
+      metrics_.no_route_drops.add();
       pool_.release(std::move(out));
       return;
     }
@@ -134,7 +138,7 @@ void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::siz
   const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
                                           packet::kInvalidPort);
   if (egress >= config_.port_count) {
-    ++stats_.no_route_drops;
+    metrics_.no_route_drops.add();
     pool_.release(std::move(out));
     return;
   }
@@ -161,7 +165,7 @@ void RmtSwitch::drain(packet::PortId port) {
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
-    ++stats_.parse_drops;
+    metrics_.parse_drops.add();
     pool_.release(std::move(*pkt));
     try_drain(port);
     return;
@@ -188,7 +192,7 @@ void RmtSwitch::drain(packet::PortId port) {
 void RmtSwitch::after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
                              packet::PortId port) {
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
-    ++stats_.program_drops;
+    metrics_.program_drops.add();
     pool_.release(std::move(original));
     try_drain(port);
     return;
@@ -210,10 +214,10 @@ void RmtSwitch::after_egress(packet::Phv phv, packet::Packet original, std::size
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
   sim_->at(free, [this, out = std::move(out), port]() mutable {
-    ++stats_.tx_packets;
-    stats_.tx_bytes += out.size();
-    if (stats_.first_tx == 0) stats_.first_tx = sim_->now();
-    stats_.last_tx = sim_->now();
+    metrics_.tx_packets.add();
+    metrics_.tx_bytes.add(out.size());
+    if (first_tx_ == 0) first_tx_ = sim_->now();
+    last_tx_ = sim_->now();
     --in_flight_[port];
     if (tx_handler_) tx_handler_(port, std::move(out));
     try_drain(port);
@@ -224,12 +228,12 @@ void RmtSwitch::recirculate(packet::Packet pkt, std::uint32_t pipe) {
   pkt.meta.recirc_request = false;
   ++pkt.meta.recirculations;
   if (pkt.meta.recirculations > config_.max_recirculations) {
-    ++stats_.recirc_limit_drops;
+    metrics_.recirc_limit_drops.add();
     pool_.release(std::move(pkt));
     return;
   }
-  ++stats_.recirculations;
-  stats_.recirc_bytes += pkt.size();
+  metrics_.recirculations.add();
+  metrics_.recirc_bytes.add(pkt.size());
 
   // The recirculation port re-serializes the packet into the target
   // pipeline at recirc_gbps — this is the bandwidth tax of §1 issue 1.
@@ -241,9 +245,9 @@ void RmtSwitch::recirculate(packet::Packet pkt, std::uint32_t pipe) {
 }
 
 double RmtSwitch::achieved_tx_gbps() const {
-  if (stats_.last_tx <= stats_.first_tx) return 0.0;
-  return static_cast<double>(stats_.tx_bytes) * 8.0 * 1000.0 /
-         static_cast<double>(stats_.last_tx - stats_.first_tx);
+  if (last_tx_ <= first_tx_) return 0.0;
+  return static_cast<double>(metrics_.tx_bytes.value()) * 8.0 * 1000.0 /
+         static_cast<double>(last_tx_ - first_tx_);
 }
 
 }  // namespace adcp::rmt

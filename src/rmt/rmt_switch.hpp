@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,12 +21,14 @@
 #include "pipeline/pipeline.hpp"
 #include "rmt/config.hpp"
 #include "rmt/program.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "tm/traffic_manager.hpp"
 
 namespace adcp::rmt {
 
-/// Counters the switch exposes to benches and tests.
+/// Snapshot view of the switch counters (registry metrics are the source
+/// of truth; see RmtSwitch::stats()).
 struct RmtStats {
   std::uint64_t rx_packets = 0;
   std::uint64_t rx_bytes = 0;
@@ -41,11 +44,41 @@ struct RmtStats {
   sim::Time last_tx = 0;
 };
 
+/// Registry-backed switch counters; one canonical name per drop reason,
+/// shared verbatim with the other switch models.
+struct RmtMetrics {
+  explicit RmtMetrics(const sim::Scope& s)
+      : rx_packets(s.counter("rx.packets")),
+        rx_bytes(s.counter("rx.bytes")),
+        tx_packets(s.counter("tx.packets")),
+        tx_bytes(s.counter("tx.bytes")),
+        parse_drops(s.counter("drops.parse")),
+        program_drops(s.counter("drops.program")),
+        no_route_drops(s.counter("drops.no_route")),
+        recirc_limit_drops(s.counter("drops.recirc_limit")),
+        recirculations(s.counter("recirc.passes")),
+        recirc_bytes(s.counter("recirc.bytes")) {}
+
+  sim::Counter& rx_packets;
+  sim::Counter& rx_bytes;
+  sim::Counter& tx_packets;
+  sim::Counter& tx_bytes;
+  sim::Counter& parse_drops;
+  sim::Counter& program_drops;
+  sim::Counter& no_route_drops;
+  sim::Counter& recirc_limit_drops;
+  sim::Counter& recirculations;
+  sim::Counter& recirc_bytes;
+};
+
 /// A simulated RMT switch. Construct, install a program, attach a Fabric
 /// (net::Fabric wires hosts and the TX handler), then drive the Simulator.
 class RmtSwitch final : public net::SwitchDevice {
  public:
-  RmtSwitch(sim::Simulator& sim, const RmtConfig& config);
+  /// `scope` names this switch in a shared MetricRegistry (sub-components
+  /// register as "<scope>.tm", "<scope>.pool"); detached (the default)
+  /// falls back to a private registry under "rmt".
+  RmtSwitch(sim::Simulator& sim, const RmtConfig& config, sim::Scope scope = {});
 
   /// Installs `program`: builds parser/deparser and runs the setup hooks on
   /// every ingress and egress pipeline. Call before injecting traffic.
@@ -62,7 +95,17 @@ class RmtSwitch final : public net::SwitchDevice {
   [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
 
   [[nodiscard]] const RmtConfig& config() const { return config_; }
-  [[nodiscard]] const RmtStats& stats() const { return stats_; }
+  [[nodiscard]] RmtStats stats() const {
+    return RmtStats{metrics_.rx_packets.value(),        metrics_.rx_bytes.value(),
+                    metrics_.tx_packets.value(),        metrics_.tx_bytes.value(),
+                    metrics_.parse_drops.value(),       metrics_.program_drops.value(),
+                    metrics_.no_route_drops.value(),    metrics_.recirculations.value(),
+                    metrics_.recirc_bytes.value(),      metrics_.recirc_limit_drops.value(),
+                    first_tx_,                          last_tx_};
+  }
+  /// The registry this switch (and its TM and pool) report into.
+  [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
+  [[nodiscard]] const sim::Scope& metric_scope() const { return scope_; }
   [[nodiscard]] const tm::TrafficManager& traffic_manager() const { return *tm_; }
   pipeline::Pipeline& ingress_pipe(std::uint32_t i) { return ingress_pipes_.at(i); }
   pipeline::Pipeline& egress_pipe(std::uint32_t i) { return egress_pipes_.at(i); }
@@ -89,6 +132,10 @@ class RmtSwitch final : public net::SwitchDevice {
 
   sim::Simulator* sim_;
   RmtConfig config_;
+  // Declared before pool_/metrics_/tm_, which register through the scope.
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  RmtMetrics metrics_;
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by enter_ingress/drain
   std::optional<packet::Parser> parser_;
@@ -105,7 +152,8 @@ class RmtSwitch final : public net::SwitchDevice {
   std::vector<sim::Time> recirc_free_;  // per pipeline
   std::vector<bool> drain_pending_;     // per port
   std::vector<std::uint32_t> in_flight_;  // per port: between egress pipe and TX
-  RmtStats stats_;
+  sim::Time first_tx_ = 0;
+  sim::Time last_tx_ = 0;
 };
 
 }  // namespace adcp::rmt

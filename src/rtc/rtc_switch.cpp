@@ -14,8 +14,12 @@ bool is_inc(const packet::Phv& phv) {
 }
 }  // namespace
 
-RtcSwitch::RtcSwitch(sim::Simulator& sim, const RtcConfig& config)
-    : sim_(&sim), config_(config) {
+RtcSwitch::RtcSwitch(sim::Simulator& sim, const RtcConfig& config, sim::Scope scope)
+    : sim_(&sim),
+      config_(config),
+      scope_(sim::resolve_scope(scope, own_metrics_, "rtc")),
+      metrics_(scope_),
+      pool_(4096, scope_.scope("pool")) {
   rx_free_.assign(config.port_count, 0);
   tx_free_.assign(config.port_count, 0);
   proc_free_.assign(config.processors, 0);
@@ -36,7 +40,8 @@ void RtcSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::Por
 void RtcSwitch::inject(packet::PortId port, packet::Packet pkt) {
   assert(port < config_.port_count);
   assert(parser_ && "load_program() must be called before traffic");
-  ++stats_.rx_packets;
+  metrics_.rx_packets.add();
+  metrics_.rx_bytes.add(pkt.size());
   pkt.meta.ingress_port = port;
 
   sim::Time& free = rx_free_[port];
@@ -45,7 +50,7 @@ void RtcSwitch::inject(packet::PortId port, packet::Packet pkt) {
   sim_->at(free, [this, pkt = std::move(pkt)]() mutable {
     pkt.meta.arrival = sim_->now();  // fully received; enters the dispatcher
     if (dispatch_queue_.packets() >= config_.dispatch_queue_packets) {
-      ++stats_.queue_drops;
+      metrics_.queue_drops.add();
       pool_.release(std::move(pkt));
       return;
     }
@@ -74,7 +79,7 @@ void RtcSwitch::try_dispatch() {
     packet::ParseResult& pr = scratch_parse_;
     parser_->parse_into(pkt, pr);
     if (!pr.accepted) {
-      ++stats_.parse_drops;
+      metrics_.parse_drops.add();
       pool_.release(std::move(pkt));
       continue;
     }
@@ -93,9 +98,9 @@ void RtcSwitch::try_dispatch() {
 
 void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t consumed,
                        sim::Time queued_at) {
-  latency_.record(static_cast<double>(sim_->now() - queued_at));
+  metrics_.latency.record(static_cast<double>(sim_->now() - queued_at));
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
-    ++stats_.program_drops;
+    metrics_.program_drops.add();
     pool_.release(std::move(original));
     return;
   }
@@ -113,7 +118,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
       group != 0) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
-      ++stats_.no_route_drops;
+      metrics_.no_route_drops.add();
       pool_.release(std::move(out));
       return;
     }
@@ -122,7 +127,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     const std::uint64_t egress =
         phv.get_or(packet::fields::kMetaEgressPort, packet::kInvalidPort);
     if (egress >= config_.port_count) {
-      ++stats_.no_route_drops;
+      metrics_.no_route_drops.add();
       pool_.release(std::move(out));
       return;
     }
@@ -136,19 +141,19 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     const sim::Time start = std::max(sim_->now(), free);
     free = start + sim::serialization_time(copy.size(), config_.port_gbps);
     sim_->at(free, [this, copy = std::move(copy), port]() mutable {
-      ++stats_.tx_packets;
-      stats_.tx_bytes += copy.size();
-      if (stats_.first_tx == 0) stats_.first_tx = sim_->now();
-      stats_.last_tx = sim_->now();
+      metrics_.tx_packets.add();
+      metrics_.tx_bytes.add(copy.size());
+      if (first_tx_ == 0) first_tx_ = sim_->now();
+      last_tx_ = sim_->now();
       if (tx_handler_) tx_handler_(port, std::move(copy));
     });
   }
 }
 
 double RtcSwitch::achieved_tx_gbps() const {
-  if (stats_.last_tx <= stats_.first_tx) return 0.0;
-  return static_cast<double>(stats_.tx_bytes) * 8.0 * 1000.0 /
-         static_cast<double>(stats_.last_tx - stats_.first_tx);
+  if (last_tx_ <= first_tx_) return 0.0;
+  return static_cast<double>(metrics_.tx_bytes.value()) * 8.0 * 1000.0 /
+         static_cast<double>(last_tx_ - first_tx_);
 }
 
 }  // namespace adcp::rtc

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "packet/parser.hpp"
 #include "packet/pool.hpp"
 #include "rtc/config.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "tm/queue.hpp"
@@ -49,9 +51,11 @@ struct RtcProgram {
   RtcProgramFn run;  ///< REQUIRED
 };
 
-/// Counters the RTC switch exposes.
+/// Snapshot view of the switch counters (registry metrics are the source
+/// of truth; see RtcSwitch::stats()).
 struct RtcStats {
   std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t parse_drops = 0;
@@ -62,10 +66,37 @@ struct RtcStats {
   sim::Time last_tx = 0;
 };
 
+/// Registry-backed switch counters, canonical names shared with the other
+/// switch models; "drops.dispatch_queue" is the RTC-specific reason.
+struct RtcMetrics {
+  explicit RtcMetrics(const sim::Scope& s)
+      : rx_packets(s.counter("rx.packets")),
+        rx_bytes(s.counter("rx.bytes")),
+        tx_packets(s.counter("tx.packets")),
+        tx_bytes(s.counter("tx.bytes")),
+        parse_drops(s.counter("drops.parse")),
+        program_drops(s.counter("drops.program")),
+        no_route_drops(s.counter("drops.no_route")),
+        queue_drops(s.counter("drops.dispatch_queue")),
+        latency(s.histogram("latency.residence_ps")) {}
+
+  sim::Counter& rx_packets;
+  sim::Counter& rx_bytes;
+  sim::Counter& tx_packets;
+  sim::Counter& tx_bytes;
+  sim::Counter& parse_drops;
+  sim::Counter& program_drops;
+  sim::Counter& no_route_drops;
+  sim::Counter& queue_drops;
+  sim::Histogram& latency;
+};
+
 /// A simulated run-to-completion switch.
 class RtcSwitch final : public net::SwitchDevice {
  public:
-  RtcSwitch(sim::Simulator& sim, const RtcConfig& config);
+  /// `scope` names this switch in a shared MetricRegistry; detached (the
+  /// default) falls back to a private registry under "rtc".
+  RtcSwitch(sim::Simulator& sim, const RtcConfig& config, sim::Scope scope = {});
 
   void load_program(RtcProgram program);
   void set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports);
@@ -77,10 +108,19 @@ class RtcSwitch final : public net::SwitchDevice {
   [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
 
   [[nodiscard]] const RtcConfig& config() const { return config_; }
-  [[nodiscard]] const RtcStats& stats() const { return stats_; }
+  [[nodiscard]] RtcStats stats() const {
+    return RtcStats{metrics_.rx_packets.value(),     metrics_.rx_bytes.value(),
+                    metrics_.tx_packets.value(),     metrics_.tx_bytes.value(),
+                    metrics_.parse_drops.value(),    metrics_.program_drops.value(),
+                    metrics_.no_route_drops.value(), metrics_.queue_drops.value(),
+                    first_tx_,                       last_tx_};
+  }
+  /// The registry this switch (and its pool) report into.
+  [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
+  [[nodiscard]] const sim::Scope& metric_scope() const { return scope_; }
   SharedState& shared() { return shared_; }
   /// Per-packet residence time (RX done -> TX start), picoseconds.
-  [[nodiscard]] const sim::Histogram& latency() const { return latency_; }
+  [[nodiscard]] const sim::Histogram& latency() const { return metrics_.latency; }
   [[nodiscard]] double achieved_tx_gbps() const;
 
   /// The switch-internal recycling pool.
@@ -93,6 +133,10 @@ class RtcSwitch final : public net::SwitchDevice {
 
   sim::Simulator* sim_;
   RtcConfig config_;
+  // Declared before pool_/metrics_, which register through the scope.
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  RtcMetrics metrics_;
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by try_dispatch
   std::optional<packet::Parser> parser_;
@@ -108,8 +152,8 @@ class RtcSwitch final : public net::SwitchDevice {
   std::vector<sim::Time> proc_free_;  // per processor
   tm::PacketQueue dispatch_queue_;
   bool dispatch_pending_ = false;
-  RtcStats stats_;
-  sim::Histogram latency_;
+  sim::Time first_tx_ = 0;
+  sim::Time last_tx_ = 0;
 };
 
 }  // namespace adcp::rtc

@@ -1,0 +1,309 @@
+#include "sim/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace adcp::sim {
+namespace {
+
+// %.17g round-trips every finite double exactly; snapshots must parse back
+// to the numbers the run produced.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kSummary: return "summary";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- Scope --
+
+std::string Scope::full(std::string_view name) const {
+  if (prefix_.empty()) return std::string(name);
+  std::string out;
+  out.reserve(prefix_.size() + 1 + name.size());
+  out += prefix_;
+  out += '.';
+  out += name;
+  return out;
+}
+
+Scope Scope::scope(std::string_view name) const { return Scope{registry_, full(name)}; }
+
+Counter& Scope::counter(std::string_view name) const { return registry_->counter(full(name)); }
+Gauge& Scope::gauge(std::string_view name) const { return registry_->gauge(full(name)); }
+Summary& Scope::summary(std::string_view name) const { return registry_->summary(full(name)); }
+Histogram& Scope::histogram(std::string_view name) const {
+  return registry_->histogram(full(name));
+}
+
+Tracer Scope::tracer() const {
+  return registry_ != nullptr ? registry_->tracer(prefix_) : Tracer{};
+}
+
+Scope resolve_scope(const Scope& requested, std::unique_ptr<MetricRegistry>& own,
+                    std::string_view fallback_prefix) {
+  if (requested.attached()) return requested;
+  if (!own) own = std::make_unique<MetricRegistry>();
+  return own->scope(fallback_prefix);
+}
+
+// ------------------------------------------------------- MetricRegistry --
+
+Metric& MetricRegistry::slot(std::string_view name, MetricKind kind) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), Metric{}).first;
+    Metric& m = it->second;
+    m.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter: m.counter = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: m.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kSummary: m.summary = std::make_unique<Summary>(); break;
+      case MetricKind::kHistogram: m.histogram = std::make_unique<Histogram>(); break;
+    }
+    return m;
+  }
+  // Re-registration must agree on the kind; a name collision across kinds
+  // is a wiring bug worth failing loudly on.
+  if (it->second.kind != kind) {
+    std::fprintf(stderr, "MetricRegistry: '%s' re-registered as %s but exists as %s\n",
+                 it->first.c_str(), std::string(metric_kind_name(kind)).c_str(),
+                 std::string(metric_kind_name(it->second.kind)).c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+Snapshot MetricRegistry::snapshot() const {
+  Snapshot snap;
+  snap.entries_.reserve(metrics_.size());
+  for (const auto& [name, m] : metrics_) {  // map iteration: sorted by name
+    Snapshot::Entry e;
+    e.name = name;
+    e.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        e.value = static_cast<double>(m.counter->value());
+        e.count = m.counter->value();
+        break;
+      case MetricKind::kGauge:
+        e.value = m.gauge->value();
+        e.count = 1;
+        break;
+      case MetricKind::kSummary:
+        e.value = m.summary->mean();
+        e.count = m.summary->count();
+        e.min = m.summary->min();
+        e.max = m.summary->max();
+        break;
+      case MetricKind::kHistogram:
+        e.value = m.histogram->mean();
+        e.count = m.histogram->count();
+        e.p50 = m.histogram->quantile(0.5);
+        e.p99 = m.histogram->quantile(0.99);
+        break;
+    }
+    snap.entries_.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricRegistry::reset() {
+  for (auto& [name, m] : metrics_) {
+    switch (m.kind) {
+      case MetricKind::kCounter: m.counter->reset(); break;
+      case MetricKind::kGauge: m.gauge->reset(); break;
+      case MetricKind::kSummary: m.summary->reset(); break;
+      case MetricKind::kHistogram: m.histogram->reset(); break;
+    }
+  }
+  trace_.clear();
+}
+
+// ------------------------------------------------------------- Snapshot --
+
+const Snapshot::Entry* Snapshot::find(std::string_view name) const {
+  // entries_ is sorted by name; binary search keeps lookups cheap for the
+  // parse-back tests and bench assertions.
+  std::size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (entries_[mid].name < name) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < entries_.size() && entries_[lo].name == name) return &entries_[lo];
+  return nullptr;
+}
+
+double Snapshot::value(std::string_view name, double fallback) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->value : fallback;
+}
+
+std::string Snapshot::to_json(std::string_view bench_label) const {
+  std::string out;
+  out.reserve(128 + entries_.size() * 96);
+  out += "{\"schema\":\"adcp-metrics-v1\"";
+  if (!bench_label.empty()) {
+    out += ",\"bench\":\"";
+    out += json_escape(bench_label);
+    out += '"';
+  }
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(e.name);
+    out += "\":{\"kind\":\"";
+    out += metric_kind_name(e.kind);
+    out += "\",\"value\":";
+    out += fmt_double(e.value);
+    out += ",\"count\":";
+    out += std::to_string(e.count);
+    if (e.kind == MetricKind::kSummary) {
+      out += ",\"min\":";
+      out += fmt_double(e.min);
+      out += ",\"max\":";
+      out += fmt_double(e.max);
+    } else if (e.kind == MetricKind::kHistogram) {
+      out += ",\"p50\":";
+      out += fmt_double(e.p50);
+      out += ",\"p99\":";
+      out += fmt_double(e.p99);
+    }
+    out += '}';
+  }
+  out += "}}";
+  out += '\n';
+  return out;
+}
+
+std::string Snapshot::to_csv() const {
+  std::string out = "name,kind,value,count,min,max,p50,p99\n";
+  for (const Entry& e : entries_) {
+    out += csv_escape(e.name);
+    out += ',';
+    out += metric_kind_name(e.kind);
+    out += ',';
+    out += fmt_double(e.value);
+    out += ',';
+    out += std::to_string(e.count);
+    out += ',';
+    out += fmt_double(e.min);
+    out += ',';
+    out += fmt_double(e.max);
+    out += ',';
+    out += fmt_double(e.p50);
+    out += ',';
+    out += fmt_double(e.p99);
+    out += '\n';
+  }
+  return out;
+}
+
+bool Snapshot::write_json(const std::string& path, std::string_view bench_label) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json(bench_label);
+  return static_cast<bool>(f);
+}
+
+// ---------------------------------------------------- TimeSeriesSampler --
+
+void TimeSeriesSampler::add_counter(std::string label, const Counter& c) {
+  add_probe(std::move(label),
+            [](const void* ctx) {
+              return static_cast<double>(static_cast<const Counter*>(ctx)->value());
+            },
+            &c);
+}
+
+void TimeSeriesSampler::add_gauge(std::string label, const Gauge& g) {
+  add_probe(std::move(label),
+            [](const void* ctx) { return static_cast<const Gauge*>(ctx)->value(); }, &g);
+}
+
+void TimeSeriesSampler::add_probe(std::string label, Probe probe, const void* ctx) {
+  labels_.push_back(std::move(label));
+  sources_.push_back(Source{probe, ctx});
+  columns_.emplace_back();
+}
+
+void TimeSeriesSampler::start() {
+  if (running_) return;
+  running_ = true;
+  tick_ = sim_->every(period_, [this] { sample(); });
+}
+
+void TimeSeriesSampler::sample() {
+  times_.push_back(sim_->now());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    columns_[i].push_back(sources_[i].probe(sources_[i].ctx));
+  }
+}
+
+std::string TimeSeriesSampler::to_csv() const {
+  std::string out = "time_ps";
+  for (const std::string& label : labels_) {
+    out += ',';
+    out += csv_escape(label);
+  }
+  out += '\n';
+  for (std::size_t row = 0; row < times_.size(); ++row) {
+    out += std::to_string(times_[row]);
+    for (const auto& col : columns_) {
+      out += ',';
+      out += fmt_double(col[row]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool TimeSeriesSampler::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace adcp::sim

@@ -1,0 +1,213 @@
+// Unified observability layer: hierarchical metric registry, deterministic
+// snapshots with JSON/CSV exporters, and simulated-time series sampling.
+//
+// Every component (switch, TM, pool, host) registers its counters under a
+// dotted prefix ("rmt0.tm.drops.admission") via a Scope handle and keeps
+// direct Counter&/Gauge&/Histogram& references, so the hot path is exactly
+// the same `value_ += n` it was with ad-hoc stats structs — registration
+// allocates, increments never do. Snapshots iterate in sorted-name order,
+// making exports byte-stable for a fixed run; the TimeSeriesSampler polls
+// selected metrics on a simulated-time cadence via Simulator::every(),
+// scheduling nothing unless started so determinism pins are untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace adcp::sim {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kSummary, kHistogram };
+
+class MetricRegistry;
+
+/// A named slice of a registry. Components take one by value, register
+/// their metrics under `prefix()` at construction, and hold the returned
+/// references for the lifetime of the registry. Copyable; an empty Scope
+/// (`Scope{}`) is detached and tells the component to fall back to a
+/// private registry.
+class Scope {
+ public:
+  Scope() = default;
+  Scope(MetricRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  [[nodiscard]] bool attached() const { return registry_ != nullptr; }
+  [[nodiscard]] MetricRegistry* registry() const { return registry_; }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  /// Child scope: scope("tm") under prefix "rmt0" names "rmt0.tm".
+  [[nodiscard]] Scope scope(std::string_view name) const;
+
+  // Registration; each resolves or creates the metric under
+  // "<prefix>.<name>" and returns a stable reference. Must not be called
+  // on a detached Scope.
+  [[nodiscard]] Counter& counter(std::string_view name) const;
+  [[nodiscard]] Gauge& gauge(std::string_view name) const;
+  [[nodiscard]] Summary& summary(std::string_view name) const;
+  [[nodiscard]] Histogram& histogram(std::string_view name) const;
+
+  /// Tracer writing rows tagged with this scope's prefix as the component
+  /// column (see TraceLog).
+  [[nodiscard]] Tracer tracer() const;
+
+ private:
+  [[nodiscard]] std::string full(std::string_view name) const;
+
+  MetricRegistry* registry_ = nullptr;
+  std::string prefix_;
+};
+
+/// One registered metric: exactly one of the payload pointers is set,
+/// according to `kind`. Metrics live behind unique_ptr so references handed
+/// to components stay valid as the registry map grows.
+struct Metric {
+  MetricKind kind = MetricKind::kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Summary> summary;
+  std::unique_ptr<Histogram> histogram;
+};
+
+/// Point-in-time view of a registry, with deterministic (sorted-name)
+/// iteration and JSON/CSV exporters. Histogram/Summary metrics flatten to
+/// a fixed set of sub-fields so the export schema is self-describing.
+class Snapshot {
+ public:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    double value = 0.0;          // counter/gauge value; histogram/summary mean
+    std::uint64_t count = 0;     // sample count (counter: the count itself)
+    double min = 0.0, max = 0.0; // summary only
+    double p50 = 0.0, p99 = 0.0; // histogram only
+  };
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+  [[nodiscard]] double value(std::string_view name, double fallback = 0.0) const;
+
+  /// {"schema":"adcp-metrics-v1","bench":"<label>","metrics":{...}} —
+  /// sorted keys, %.17g doubles (round-trips exactly).
+  [[nodiscard]] std::string to_json(std::string_view bench_label = {}) const;
+  /// "name,kind,value,count,min,max,p50,p99\n" rows in sorted-name order.
+  [[nodiscard]] std::string to_csv() const;
+  bool write_json(const std::string& path, std::string_view bench_label = {}) const;
+
+ private:
+  friend class MetricRegistry;
+  std::vector<Entry> entries_;  // sorted by name (registry map order)
+};
+
+/// The registry proper. Owns every metric plus the shared TraceLog.
+/// Name lookup is a sorted map so snapshot order is deterministic for
+/// free; re-registering an existing (name, kind) returns the same object,
+/// which lets components that rebuild sub-parts (e.g. AdcpSwitch's TMs on
+/// load_program) re-bind without double-counting.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  [[nodiscard]] Scope scope(std::string_view prefix) { return Scope{this, std::string(prefix)}; }
+
+  Counter& counter(std::string_view name) { return *slot(name, MetricKind::kCounter).counter; }
+  Gauge& gauge(std::string_view name) { return *slot(name, MetricKind::kGauge).gauge; }
+  Summary& summary(std::string_view name) { return *slot(name, MetricKind::kSummary).summary; }
+  Histogram& histogram(std::string_view name) {
+    return *slot(name, MetricKind::kHistogram).histogram;
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return metrics_.find(name) != metrics_.end();
+  }
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+
+  /// Scoped tracer: rows carry `component` in their own column.
+  [[nodiscard]] Tracer tracer(std::string_view component) {
+    return trace_.tracer(component);
+  }
+  [[nodiscard]] TraceLog& trace() { return trace_; }
+  [[nodiscard]] const TraceLog& trace() const { return trace_; }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  Metric& slot(std::string_view name, MetricKind kind);
+
+  std::map<std::string, Metric, std::less<>> metrics_;
+  TraceLog trace_;
+};
+
+/// Polls selected metrics every `period` picoseconds of simulated time into
+/// a columnar series (one shared time axis). Construction schedules
+/// nothing; `start()` arms one periodic event. Probes let callers sample
+/// values with no registry representation (e.g. instantaneous TM depth).
+class TimeSeriesSampler {
+ public:
+  using Probe = double (*)(const void*);
+
+  TimeSeriesSampler(Simulator& sim, Time period) : sim_(&sim), period_(period) {}
+  ~TimeSeriesSampler() { stop(); }
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  void add_counter(std::string label, const Counter& c);
+  void add_gauge(std::string label, const Gauge& g);
+  /// `probe(ctx)` is evaluated at each tick; ctx must outlive the sampler.
+  void add_probe(std::string label, Probe probe, const void* ctx);
+
+  void start();
+  void stop() {
+    tick_.cancel();
+    running_ = false;
+  }
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] const std::vector<Time>& times() const { return times_; }
+  [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
+  /// Column i corresponds to labels()[i]; each column has times().size() rows.
+  [[nodiscard]] const std::vector<std::vector<double>>& columns() const { return columns_; }
+
+  /// "time_ps,<label0>,<label1>,...\n" rows, RFC-4180-escaped labels.
+  [[nodiscard]] std::string to_csv() const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  void sample();
+
+  struct Source {
+    Probe probe;
+    const void* ctx;
+  };
+
+  Simulator* sim_;
+  Time period_;
+  bool running_ = false;
+  EventHandle tick_;
+  std::vector<std::string> labels_;
+  std::vector<Source> sources_;
+  std::vector<Time> times_;
+  std::vector<std::vector<double>> columns_;
+};
+
+/// Fallback plumbing for components constructed without an external scope:
+/// builds a private registry on first use so the component still measures
+/// itself, just into its own namespace. Returns the scope to register under.
+[[nodiscard]] Scope resolve_scope(const Scope& requested, std::unique_ptr<MetricRegistry>& own,
+                                  std::string_view fallback_prefix);
+
+[[nodiscard]] std::string_view metric_kind_name(MetricKind kind);
+
+}  // namespace adcp::sim

@@ -22,6 +22,19 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// Last-value-wins double metric (queue depth, utilisation, a bench's
+/// headline number). Unlike Counter it can move in both directions.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
 /// Running mean / min / max / count over double samples (Welford's online
 /// algorithm for the variance).
 class Summary {

@@ -1,48 +1,107 @@
 // Event tracing to CSV.
 //
-// Any component can log structured rows (time + event + key/value fields)
+// Any component can log structured rows (time + component + event + detail)
 // to a TraceLog; benches and tests attach one when they want a replayable
 // record (e.g. for external plotting). Disabled-by-default and zero-cost
 // when no sink is attached.
+//
+// Components write through a Tracer handle obtained from
+// TraceLog::tracer("core0.tm1") (or MetricRegistry::tracer), which stamps
+// every row with the component name in its own column instead of callers
+// mangling prefixes into the event string. Component names are interned
+// once per tracer, so recording stays two string moves per row.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace adcp::sim {
 
-/// An append-only CSV trace: fixed columns (time_ps, event) plus free-form
-/// detail columns supplied per row.
+/// RFC-4180 CSV field escaping: fields containing a comma, quote, CR, or
+/// LF are wrapped in quotes with embedded quotes doubled; anything else
+/// passes through unchanged.
+inline std::string csv_escape(std::string_view field) {
+  const bool needs_quoting = field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+class TraceLog;
+
+/// Lightweight recording handle bound to one component name. Copyable;
+/// a default-constructed Tracer is detached and drops rows.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  void record(Time at, std::string event, std::string detail = {}) const;
+  [[nodiscard]] bool attached() const { return log_ != nullptr; }
+
+ private:
+  friend class TraceLog;
+  Tracer(TraceLog* log, std::uint32_t component) : log_(log), component_(component) {}
+
+  TraceLog* log_ = nullptr;
+  std::uint32_t component_ = 0;
+};
+
+/// An append-only CSV trace: fixed columns (time_ps, component, event,
+/// detail). The component column is an interned string table index so rows
+/// stay small and comparisons stay cheap.
 class TraceLog {
  public:
   /// In-memory trace.
-  TraceLog() = default;
+  TraceLog() {
+    components_.emplace_back();  // index 0: the anonymous component ""
+  }
 
-  /// Records one event.
+  /// Compatibility shim for pre-scoped call sites: records under the
+  /// anonymous component.
   void record(Time at, std::string event, std::string detail = {}) {
-    rows_.push_back(Row{at, std::move(event), std::move(detail)});
+    rows_.push_back(Row{at, 0, std::move(event), std::move(detail)});
+  }
+
+  /// Returns a recording handle stamped with `component`; interns the name.
+  [[nodiscard]] Tracer tracer(std::string_view component) {
+    return Tracer{this, intern(component)};
   }
 
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
 
   struct Row {
     Time at;
+    std::uint32_t component;  // index into component_names()
     std::string event;
     std::string detail;
   };
   [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<std::string>& component_names() const { return components_; }
+  [[nodiscard]] const std::string& component_of(const Row& r) const {
+    return components_[r.component];
+  }
 
-  /// Serializes to CSV ("time_ps,event,detail\n" header included).
+  /// Serializes to CSV ("time_ps,component,event,detail\n" header
+  /// included), RFC-4180 quoting on every text field.
   [[nodiscard]] std::string to_csv() const {
     std::ostringstream out;
-    out << "time_ps,event,detail\n";
+    out << "time_ps,component,event,detail\n";
     for (const Row& r : rows_) {
-      out << r.at << ',' << r.event << ',' << r.detail << '\n';
+      out << r.at << ',' << csv_escape(components_[r.component]) << ','
+          << csv_escape(r.event) << ',' << csv_escape(r.detail) << '\n';
     }
     return out.str();
   }
@@ -58,7 +117,23 @@ class TraceLog {
   void clear() { rows_.clear(); }
 
  private:
+  friend class Tracer;
+
+  std::uint32_t intern(std::string_view name) {
+    for (std::uint32_t i = 0; i < components_.size(); ++i) {
+      if (components_[i] == name) return i;
+    }
+    components_.emplace_back(name);
+    return static_cast<std::uint32_t>(components_.size() - 1);
+  }
+
   std::vector<Row> rows_;
+  std::vector<std::string> components_;
 };
+
+inline void Tracer::record(Time at, std::string event, std::string detail) const {
+  if (log_ == nullptr) return;
+  log_->rows_.push_back(TraceLog::Row{at, component_, std::move(event), std::move(detail)});
+}
 
 }  // namespace adcp::sim

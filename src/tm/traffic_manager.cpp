@@ -9,9 +9,10 @@ namespace {
 constexpr std::size_t kTosOffset = packet::kEthernetBytes + 1;
 }  // namespace
 
-TrafficManager::TrafficManager(TmConfig config)
+TrafficManager::TrafficManager(TmConfig config, sim::Scope scope)
     : buffer_(config.buffer_bytes, config.alpha),
-      ecn_threshold_(config.ecn_threshold_bytes) {
+      ecn_threshold_(config.ecn_threshold_bytes),
+      metrics_(sim::resolve_scope(scope, own_metrics_, "tm")) {
   SchedulerFactory factory = std::move(config.make_scheduler);
   if (!factory) {
     factory = [](std::uint32_t) { return std::make_unique<FifoScheduler>(); };
@@ -28,18 +29,18 @@ void TrafficManager::maybe_mark_ecn(std::uint32_t output, packet::Packet& pkt) {
   if (pkt.data.size() <= kTosOffset) return;
   if (pkt.data.read(12, 2) != packet::kEtherTypeIpv4) return;
   pkt.data.write(kTosOffset, 1, pkt.data.read(kTosOffset, 1) | 0x3);  // CE
-  ++stats_.ecn_marked;
+  metrics_.ecn_marked.add();
 }
 
 bool TrafficManager::enqueue(std::uint32_t output, std::uint32_t klass, packet::Packet pkt) {
   if (!buffer_.reserve(output, pkt.size())) {
-    ++stats_.dropped;
+    metrics_.drops_admission.add();
     if (pool_) pool_->release(std::move(pkt));
     return false;
   }
   maybe_mark_ecn(output, pkt);
   schedulers_.at(output)->enqueue(klass, std::move(pkt));
-  ++stats_.enqueued;
+  metrics_.enqueued.add();
   return true;
 }
 
@@ -55,7 +56,7 @@ std::size_t TrafficManager::enqueue_multicast(std::span<const std::uint32_t> out
     copy.meta.egress_ports.clear();
     if (enqueue(out, klass, std::move(copy))) {
       ++copies;
-      ++stats_.multicast_copies;
+      metrics_.multicast_copies.add();
     }
   }
   return copies;
@@ -65,7 +66,7 @@ std::optional<packet::Packet> TrafficManager::dequeue(std::uint32_t output) {
   std::optional<packet::Packet> pkt = schedulers_.at(output)->dequeue();
   if (pkt) {
     buffer_.release(output, pkt->size());
-    ++stats_.dequeued;
+    metrics_.dequeued.add();
   }
   return pkt;
 }

@@ -15,6 +15,7 @@
 
 #include "packet/packet.hpp"
 #include "packet/pool.hpp"
+#include "sim/metrics.hpp"
 #include "tm/scheduler.hpp"
 #include "tm/shared_buffer.hpp"
 
@@ -36,7 +37,8 @@ struct TmConfig {
   std::uint64_t ecn_threshold_bytes = 0;
 };
 
-/// Counters a TM exposes.
+/// Snapshot view of a TM's counters (the registry metrics are the source
+/// of truth; this keeps the familiar field-style read API).
 struct TmStats {
   std::uint64_t enqueued = 0;
   std::uint64_t dropped = 0;  ///< shared-buffer admission failures
@@ -45,12 +47,32 @@ struct TmStats {
   std::uint64_t ecn_marked = 0;
 };
 
+/// Registry-backed counters resolved once at construction; the hot path
+/// increments through these references and never touches the name table.
+struct TmMetrics {
+  explicit TmMetrics(const sim::Scope& s)
+      : enqueued(s.counter("enqueued")),
+        drops_admission(s.counter("drops.admission")),
+        dequeued(s.counter("dequeued")),
+        multicast_copies(s.counter("multicast_copies")),
+        ecn_marked(s.counter("ecn_marked")) {}
+
+  sim::Counter& enqueued;
+  sim::Counter& drops_admission;
+  sim::Counter& dequeued;
+  sim::Counter& multicast_copies;
+  sim::Counter& ecn_marked;
+};
+
 /// The traffic manager proper. Passive: the surrounding switch model calls
 /// enqueue when a pipeline emits a packet and dequeue when the downstream
 /// element can accept one.
 class TrafficManager {
  public:
-  explicit TrafficManager(TmConfig config);
+  /// `scope` names this TM in a shared MetricRegistry (e.g. "rmt0.tm").
+  /// A detached scope (the default) gives the TM a private registry under
+  /// the prefix "tm", so standalone construction keeps working unchanged.
+  explicit TrafficManager(TmConfig config, sim::Scope scope = {});
 
   /// Enqueues `pkt` for `output` in traffic class `klass`. Returns false
   /// (counting a drop) when the shared buffer rejects it.
@@ -78,7 +100,12 @@ class TrafficManager {
   /// (e.g. MergeScheduler::register_flow).
   Scheduler& scheduler(std::uint32_t output) { return *schedulers_.at(output); }
 
-  [[nodiscard]] const TmStats& stats() const { return stats_; }
+  [[nodiscard]] TmStats stats() const {
+    return TmStats{metrics_.enqueued.value(), metrics_.drops_admission.value(),
+                   metrics_.dequeued.value(), metrics_.multicast_copies.value(),
+                   metrics_.ecn_marked.value()};
+  }
+  [[nodiscard]] const TmMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const SharedBuffer& buffer() const { return buffer_; }
 
   /// Optional packet pool: multicast copies are built from recycled packets
@@ -93,7 +120,10 @@ class TrafficManager {
   std::uint64_t ecn_threshold_;
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   packet::Pool* pool_ = nullptr;  // not owned
-  TmStats stats_;
+  // Declared before metrics_: the fallback registry must exist when the
+  // counter references are resolved in the constructor's init list.
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  TmMetrics metrics_;
 };
 
 }  // namespace adcp::tm

@@ -1,0 +1,199 @@
+// The unified observability layer: registry round-trips, deterministic
+// snapshot ordering, scoped registration, and simulated-time sampling.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp::sim {
+namespace {
+
+// Pulls the number following "\"key\":" inside the object named `metric`
+// in an adcp-metrics-v1 JSON document. Minimal by design: the schema is
+// flat and the test controls the input.
+double json_field(const std::string& json, const std::string& metric,
+                  const std::string& key) {
+  const std::size_t obj = json.find("\"" + metric + "\":{");
+  EXPECT_NE(obj, std::string::npos) << metric << " missing from " << json;
+  const std::size_t k = json.find("\"" + key + "\":", obj);
+  EXPECT_NE(k, std::string::npos);
+  return std::strtod(json.c_str() + k + key.size() + 3, nullptr);
+}
+
+TEST(MetricRegistry, RegisterRecordSnapshotJsonRoundTrip) {
+  MetricRegistry reg;
+  Scope sw = reg.scope("rmt0");
+  Counter& drops = sw.scope("tm").counter("drops.admission");
+  Gauge& depth = sw.gauge("queue.depth");
+  Histogram& lat = sw.histogram("latency_ps");
+
+  drops.add(7);
+  depth.set(12.5);
+  for (int i = 1; i <= 100; ++i) lat.record(static_cast<double>(i));
+
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries().size(), 3u);
+  EXPECT_EQ(snap.value("rmt0.tm.drops.admission"), 7.0);
+  EXPECT_EQ(snap.value("rmt0.queue.depth"), 12.5);
+  const Snapshot::Entry* h = snap.find("rmt0.latency_ps");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 100u);
+  EXPECT_DOUBLE_EQ(h->value, 50.5);
+
+  const std::string json = snap.to_json("unit_test");
+  EXPECT_NE(json.find("\"schema\":\"adcp-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_EQ(json_field(json, "rmt0.tm.drops.admission", "value"), 7.0);
+  EXPECT_EQ(json_field(json, "rmt0.queue.depth", "value"), 12.5);
+  EXPECT_EQ(json_field(json, "rmt0.latency_ps", "count"), 100.0);
+  // Histogram::quantile indexes q*(n-1): p99 of 1..100 is sample 98.
+  EXPECT_EQ(json_field(json, "rmt0.latency_ps", "p99"), 99.0);
+}
+
+TEST(MetricRegistry, CsvRoundTripParsesBack) {
+  MetricRegistry reg;
+  reg.counter("b.count").add(41);
+  reg.gauge("a.value").set(0.1);  // 0.1 is not exactly representable: %.17g must survive
+  const std::string csv = reg.snapshot().to_csv();
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    const std::size_t end = csv.find('\n', start);
+    lines.push_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "name,kind,value,count,min,max,p50,p99");
+  // Sorted: a.value before b.count.
+  EXPECT_EQ(lines[1].substr(0, lines[1].find(',')), "a.value");
+  EXPECT_EQ(lines[2].substr(0, lines[2].find(',')), "b.count");
+  const std::size_t v = lines[1].find("gauge,") + 6;
+  EXPECT_EQ(std::strtod(lines[1].c_str() + v, nullptr), 0.1);
+}
+
+TEST(MetricRegistry, SnapshotOrderIndependentOfRegistrationOrder) {
+  const std::vector<std::string> names = {"rmt0.tx.packets", "core0.tm1.enqueued",
+                                          "rmt0.tm.drops.admission", "a", "z.z"};
+  MetricRegistry forward, backward;
+  for (const auto& n : names) forward.counter(n).add(1);
+  for (auto it = names.rbegin(); it != names.rend(); ++it) backward.counter(*it).add(1);
+
+  const Snapshot f = forward.snapshot();
+  const Snapshot b = backward.snapshot();
+  ASSERT_EQ(f.entries().size(), b.entries().size());
+  for (std::size_t i = 0; i < f.entries().size(); ++i) {
+    EXPECT_EQ(f.entries()[i].name, b.entries()[i].name);
+  }
+  for (std::size_t i = 1; i < f.entries().size(); ++i) {
+    EXPECT_LT(f.entries()[i - 1].name, f.entries()[i].name);
+  }
+  EXPECT_EQ(f.to_json("x"), b.to_json("x"));
+  EXPECT_EQ(f.to_csv(), b.to_csv());
+}
+
+TEST(MetricRegistry, ReRegistrationReturnsSameMetric) {
+  MetricRegistry reg;
+  Counter& first = reg.scope("core0").scope("tm1").counter("enqueued");
+  first.add(3);
+  // A component rebuilt by load_program re-binds to the same counter.
+  Counter& second = reg.scope("core0.tm1").counter("enqueued");
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Scope, DetachedScopeFallsBackToPrivateRegistry) {
+  std::unique_ptr<MetricRegistry> own;
+  const Scope resolved = resolve_scope(Scope{}, own, "tm");
+  ASSERT_TRUE(resolved.attached());
+  ASSERT_NE(own, nullptr);
+  resolved.counter("enqueued").add(2);
+  EXPECT_EQ(own->snapshot().value("tm.enqueued"), 2.0);
+
+  // An attached request leaves `own` untouched.
+  MetricRegistry shared;
+  std::unique_ptr<MetricRegistry> unused;
+  const Scope kept = resolve_scope(shared.scope("rmt0"), unused, "rmt");
+  EXPECT_EQ(unused, nullptr);
+  EXPECT_EQ(kept.registry(), &shared);
+  EXPECT_EQ(kept.prefix(), "rmt0");
+}
+
+TEST(MetricRegistry, ScopedTracerSharesTheRegistryTraceLog) {
+  MetricRegistry reg;
+  Tracer t = reg.tracer("core0.tm1");
+  t.record(42, "enqueue", "out=1");
+  reg.scope("core0").scope("pipe2").tracer().record(50, "stall");
+  ASSERT_EQ(reg.trace().size(), 2u);
+  EXPECT_EQ(reg.trace().component_of(reg.trace().rows()[0]), "core0.tm1");
+  EXPECT_EQ(reg.trace().component_of(reg.trace().rows()[1]), "core0.pipe2");
+}
+
+TEST(TimeSeriesSampler, PollsOnSimulatedCadence) {
+  Simulator sim;
+  MetricRegistry reg;
+  Counter& events = reg.counter("events");
+  Gauge& level = reg.gauge("level");
+
+  TimeSeriesSampler sampler(sim, 1000);
+  sampler.add_counter("events", events);
+  sampler.add_gauge("level", level);
+
+  for (Time t = 100; t <= 3500; t += 100) {
+    sim.at(t, [&events, &level] {
+      events.add();
+      level.add(0.5);
+    });
+  }
+  sampler.start();
+  sim.at(3600, [&sampler] { sampler.stop(); });
+  sim.run();
+
+  // Ticks at 1000, 2000, 3000 (stopped before 4000).
+  ASSERT_EQ(sampler.times().size(), 3u);
+  EXPECT_EQ(sampler.times()[0], 1000u);
+  EXPECT_EQ(sampler.times()[2], 3000u);
+  ASSERT_EQ(sampler.columns().size(), 2u);
+  // The increments were scheduled before start(), so FIFO order at equal
+  // timestamps runs them before each tick: the tick at t sees t/100 events.
+  EXPECT_EQ(sampler.columns()[0][0], 10.0);
+  EXPECT_EQ(sampler.columns()[0][2], 30.0);
+  EXPECT_DOUBLE_EQ(sampler.columns()[1][1], 10.0);
+
+  const std::string csv = sampler.to_csv();
+  EXPECT_NE(csv.find("time_ps,events,level"), std::string::npos);
+  EXPECT_NE(csv.find("1000,10,"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, UnstartedSamplerSchedulesNothing) {
+  Simulator sim;
+  MetricRegistry reg;
+  TimeSeriesSampler sampler(sim, 1000);
+  sampler.add_counter("x", reg.counter("x"));
+  int fired = 0;
+  sim.at(500, [&fired] { ++fired; });
+  EXPECT_EQ(sim.run(), 1u);  // only the explicit event; no sampler ticks
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sampler.times().empty());
+}
+
+TEST(MetricRegistry, ResetZeroesEverything) {
+  MetricRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").record(1.0);
+  reg.tracer("x").record(1, "e");
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().value("c"), 0.0);
+  EXPECT_EQ(reg.snapshot().value("g"), 0.0);
+  EXPECT_EQ(reg.snapshot().find("h")->count, 0u);
+  EXPECT_EQ(reg.trace().size(), 0u);
+}
+
+}  // namespace
+}  // namespace adcp::sim

@@ -19,6 +19,7 @@
 #include "packet/parser.hpp"
 #include "packet/pool.hpp"
 #include "pipeline/pipeline.hpp"
+#include "sim/metrics.hpp"
 #include "tm/traffic_manager.hpp"
 
 namespace {
@@ -175,6 +176,60 @@ TEST(PacketPool, SteadyStateForwardingDoesNotAllocate) {
   const std::uint64_t during = g_allocations - before;
   EXPECT_EQ(during, 0u)
       << "steady-state substrate chain allocated " << during << " times over 1000 packets";
+}
+
+// The observability layer must not tax the hot path: with pool and TM
+// registered in a SHARED MetricRegistry (names resolved once at
+// construction), metric increments on the warm substrate chain perform no
+// heap allocation. Registration itself may allocate — that happens here,
+// before the warm-up.
+TEST(PacketPool, RegistryBackedMetricsDoNotAllocateOnWarmChain) {
+  sim::MetricRegistry registry;
+  Pool pool(4096, registry.scope("rmt0.pool"));
+  const ParseGraph graph = standard_parse_graph(64);
+  const Parser parser(&graph);
+  const Deparser deparser = standard_deparser();
+  pipeline::PipelineConfig pc;
+  pc.stage_count = 4;
+  pipeline::Pipeline pipe(pc);
+  tm::TmConfig cfg;
+  cfg.outputs = 4;
+  cfg.buffer_bytes = 1ull << 24;
+  tm::TrafficManager tmgr(cfg, registry.scope("rmt0.tm"));
+  tmgr.set_pool(&pool);
+
+  const IncPacketSpec spec = small_spec();
+  ParseResult res;
+  const auto forward_one = [&](std::uint32_t port) {
+    Packet pkt = pool.acquire();
+    make_inc_packet_into(spec, pkt);
+    parser.parse_into(pkt, res);
+    ASSERT_TRUE(res.accepted);
+    pipe.process(0, res.phv);
+    ASSERT_TRUE(tmgr.enqueue(port, 0, std::move(pkt)));
+    auto got = tmgr.dequeue(port);
+    ASSERT_TRUE(got.has_value());
+    Packet out = pool.acquire();
+    deparser.deparse_into(res.phv, *got, res.consumed, out);
+    pool.release(std::move(*got));
+    pool.release(std::move(out));
+  };
+
+  for (std::uint32_t i = 0; i < 64; ++i) forward_one(i & 3);
+
+  const std::uint64_t before = g_allocations;
+  for (std::uint32_t i = 0; i < 1000; ++i) forward_one(i & 3);
+  const std::uint64_t during = g_allocations - before;
+  EXPECT_EQ(during, 0u)
+      << "registry-backed metrics allocated " << during << " times over 1000 packets";
+
+  // The counters actually counted: 1064 packets enqueued/dequeued, two
+  // pool round-trips per packet.
+  const sim::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value("rmt0.tm.enqueued"), 1064.0);
+  EXPECT_EQ(snap.value("rmt0.tm.dequeued"), 1064.0);
+  EXPECT_EQ(snap.value("rmt0.pool.released"), 2 * 1064.0);
+  EXPECT_EQ(snap.value("rmt0.tm.drops.admission"), 0.0);
 }
 
 }  // namespace
