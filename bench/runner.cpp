@@ -11,7 +11,7 @@
 //                [--out FILE]
 //
 // Scenarios: event_kernel, rmt_all_to_all, adcp_all_to_all, parser_loop,
-// tm_loop (default: all).
+// tm_loop, leaf_spine (default: all).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -33,6 +33,8 @@
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "tm/traffic_manager.hpp"
+#include "topo/network.hpp"
+#include "workload/rack_coflow.hpp"
 
 namespace {
 
@@ -198,6 +200,35 @@ Sample run_tm_loop(std::uint64_t seed, bool quick) {
   return {now_ns(t0), iters};
 }
 
+/// Cross-rack incast on a 2-leaf/2-spine ADCP fabric; ops = events.
+Sample run_leaf_spine(std::uint64_t seed, bool quick) {
+  const std::uint32_t rounds = quick ? 2 : 10;
+  sim::Simulator sim;
+  topo::LeafSpineParams p;
+  p.leaves = 2;
+  p.spines = 2;
+  p.hosts_per_leaf = 8;
+  p.ecmp_seed = seed;
+  topo::Network net(sim, p);
+  std::vector<workload::RackHost> hosts;
+  for (std::size_t i = 0; i < net.host_count(); ++i) {
+    hosts.push_back({&net.host(i), net.ip_of(i)});
+  }
+  const auto t0 = Clock::now();
+  std::uint64_t executed = 0;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    workload::RackIncastParams inc;
+    inc.sink = r % static_cast<std::uint32_t>(hosts.size());
+    inc.senders = static_cast<std::uint32_t>(hosts.size() - 1);
+    inc.packets_per_sender = quick ? 4 : 16;
+    inc.flow_base = 70'000 + r * 1000;
+    workload::start_rack_incast(hosts, inc, sim.now());
+    executed += sim.run();
+    net.reset_hosts();
+  }
+  return {now_ns(t0), executed};
+}
+
 // --- harness --------------------------------------------------------------
 
 using ScenarioFn = Sample (*)(std::uint64_t seed, bool quick);
@@ -214,6 +245,7 @@ constexpr Scenario kScenarios[] = {
     {"adcp_all_to_all", run_adcp_all_to_all, "event"},
     {"parser_loop", run_parser_loop, "packet"},
     {"tm_loop", run_tm_loop, "packet"},
+    {"leaf_spine", run_leaf_spine, "event"},
 };
 
 struct Result {

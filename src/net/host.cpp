@@ -70,17 +70,24 @@ void Host::deliver_from_switch(packet::Packet pkt) {
 }
 
 Fabric::Fabric(sim::Simulator& sim, SwitchDevice& device, Link link, std::uint64_t seed,
-               sim::Scope scope)
+               sim::Scope scope, std::size_t host_count)
     : rng_(seed),
       scope_(sim::resolve_scope(scope, own_metrics_, "net")),
       pool_(4096, scope_.scope("pool")) {
-  hosts_.reserve(device.port_count());
-  for (std::uint32_t p = 0; p < device.port_count(); ++p) {
+  const std::size_t n = std::min<std::size_t>(host_count, device.port_count());
+  hosts_.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
     hosts_.emplace_back(p, p, link, sim, device, &rng_, &pool_,
                         scope_.scope("host" + std::to_string(p)));
   }
   device.set_tx_handler([this](packet::PortId port, packet::Packet pkt) {
-    if (port < hosts_.size()) hosts_[port].deliver_from_switch(std::move(pkt));
+    if (port < hosts_.size()) {
+      hosts_[port].deliver_from_switch(std::move(pkt));
+    } else if (default_tx_) {
+      default_tx_(port, std::move(pkt));
+    } else {
+      pool_.release(std::move(pkt));
+    }
   });
 }
 

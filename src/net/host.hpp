@@ -72,6 +72,15 @@ class Host {
   /// accounts the packet after propagation delay.
   void deliver_from_switch(packet::Packet pkt);
 
+  /// Clears per-run transient state (NIC pacing horizon, last-RX time and
+  /// the per-flow highest-sequence map) so repeated runs inside one process
+  /// don't inherit reorder state. Cumulative counters are left untouched.
+  void reset() {
+    nic_free_ = 0;
+    last_rx_ = 0;
+    highest_seq_.clear();
+  }
+
   /// Replaces all RX callbacks with `cb`.
   void set_rx_callback(RxCallback cb) {
     rx_callbacks_.clear();
@@ -125,23 +134,34 @@ class Host {
   std::unordered_map<std::uint64_t, std::uint64_t> highest_seq_;  // flow -> seq
 };
 
-/// Wires one host to every port of a switch and dispatches TX packets back
-/// to the owning host.
+/// Wires hosts to the low ports of a switch and dispatches TX packets back
+/// to the owning host; TX on ports without a host (trunk uplinks in a
+/// multi-switch topology) goes to an optional default handler.
 class Fabric {
  public:
-  /// Creates `device.port_count()` hosts, host i on port i. `seed` drives
-  /// the link-loss lottery when the link has a nonzero loss_rate. `scope`
-  /// names the fabric in a shared MetricRegistry (hosts register as
-  /// "<scope>.host<i>", the pool as "<scope>.pool"); detached falls back
-  /// to a private registry under "net".
+  /// host_count sentinel: one host on every switch port.
+  static constexpr std::size_t kAllPorts = static_cast<std::size_t>(-1);
+
+  /// Creates hosts on ports [0, host_count), host i on port i (kAllPorts
+  /// covers the whole switch, preserving the single-switch behavior).
+  /// `seed` drives the link-loss lottery when the link has a nonzero
+  /// loss_rate. `scope` names the fabric in a shared MetricRegistry (hosts
+  /// register as "<scope>.host<i>", the pool as "<scope>.pool"); detached
+  /// falls back to a private registry under "net".
   Fabric(sim::Simulator& sim, SwitchDevice& device, Link link,
-         std::uint64_t seed = 0xfab21c, sim::Scope scope = {});
+         std::uint64_t seed = 0xfab21c, sim::Scope scope = {},
+         std::size_t host_count = kAllPorts);
 
   Host& host(std::size_t i) { return hosts_.at(i); }
   [[nodiscard]] std::size_t size() const { return hosts_.size(); }
 
   /// Installs `tracker` on every host.
   void set_tracker(coflow::CoflowTracker* tracker);
+
+  /// Receives TX packets on ports that carry no host (a topology builder
+  /// points this at its trunk dispatch). Without a handler such packets are
+  /// recycled into the pool.
+  void set_default_tx(TxHandler handler) { default_tx_ = std::move(handler); }
 
   std::vector<Host>& hosts() { return hosts_; }
 
@@ -159,6 +179,7 @@ class Fabric {
   sim::Scope scope_;
   packet::Pool pool_;
   std::vector<Host> hosts_;
+  TxHandler default_tx_;
 };
 
 }  // namespace adcp::net

@@ -39,7 +39,7 @@ void make_inc_packet_into(const IncPacketSpec& spec, Packet& pkt) {
   b.append(2, ip_len);
   b.append(2, 0);      // identification
   b.append(2, 0x4000); // flags: DF
-  b.append(1, 64);     // ttl
+  b.append(1, kIncInitialTtl);  // ttl
   b.append(1, kIpProtoUdp);
   b.append(2, 0);      // checksum (not modeled)
   b.append(4, spec.ip_src);

@@ -28,6 +28,10 @@ inline constexpr std::uint8_t kIpProtoUdp = 17;
 /// UDP destination port that selects the INC header in the parse graph.
 inline constexpr std::uint16_t kIncUdpPort = 0xADC0;
 
+/// TTL make_inc_packet writes; multi-switch receivers recover the hop
+/// count as kIncInitialTtl - ttl (routing programs decrement per switch).
+inline constexpr std::uint8_t kIncInitialTtl = 64;
+
 inline constexpr std::size_t kEthernetBytes = 14;
 inline constexpr std::size_t kIpv4Bytes = 20;
 inline constexpr std::size_t kUdpBytes = 8;

@@ -83,23 +83,37 @@ void RmtSwitch::inject(packet::PortId port, packet::Packet pkt) {
   sim_->at(free, [this, pkt = std::move(pkt)]() mutable { enter_ingress(std::move(pkt)); });
 }
 
+RmtSwitch::TransitSlot* RmtSwitch::transit_acquire() {
+  if (transit_free_.empty()) {
+    transit_slots_.push_back(std::make_unique<TransitSlot>());
+    return transit_slots_.back().get();
+  }
+  TransitSlot* slot = transit_free_.back();
+  transit_free_.pop_back();
+  return slot;
+}
+
+void RmtSwitch::transit_release(TransitSlot* slot) {
+  slot->port = packet::kInvalidPort;
+  transit_free_.push_back(slot);
+}
+
 void RmtSwitch::enter_ingress(packet::Packet pkt) {
-  packet::ParseResult& pr = scratch_parse_;
-  parser_->parse_into(pkt, pr);
-  if (!pr.accepted) {
+  TransitSlot* t = transit_acquire();
+  parser_->parse_into(pkt, t->pr);
+  if (!t->pr.accepted) {
     metrics_.parse_drops.add();
     pool_.release(std::move(pkt));
+    transit_release(t);
     return;
   }
-  pr.phv.set(packet::fields::kMetaRecircPass, pkt.meta.recirculations);
+  t->pr.phv.set(packet::fields::kMetaRecircPass, pkt.meta.recirculations);
 
   const std::uint32_t pipe = config_.pipeline_of_port(pkt.meta.ingress_port);
   pipeline::Pipeline& ingress = ingress_pipes_[pipe];
-  const pipeline::Transit tr = ingress.process(sim_->now(), pr.phv);
-  sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
-                     consumed = pr.consumed]() mutable {
-    after_ingress(std::move(phv), std::move(pkt), consumed);
-  });
+  const pipeline::Transit tr = ingress.process(sim_->now(), t->pr.phv);
+  t->pkt = std::move(pkt);
+  sim_->at(tr.exit, [this, t] { after_ingress(t); });
 }
 
 packet::Packet RmtSwitch::finalize(const packet::Phv& phv, packet::Packet original,
@@ -111,17 +125,24 @@ packet::Packet RmtSwitch::finalize(const packet::Phv& phv, packet::Packet origin
   return out;
 }
 
-void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
+void RmtSwitch::after_ingress(TransitSlot* t) {
+  const packet::Phv& phv = t->pr.phv;
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
-    pool_.release(std::move(original));
+    pool_.release(std::move(t->pkt));
+    transit_release(t);
     return;
   }
   // Deparsing preserves metadata (recirculation count included).
-  packet::Packet out = finalize(phv, std::move(original), consumed);
+  packet::Packet out = finalize(phv, std::move(t->pkt), t->pr.consumed);
   out.meta.drop = false;
 
   const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
+  const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
+                                          packet::kInvalidPort);
+  const bool recirc_flag = phv.get_or(packet::fields::kMetaRecirc, 0) != 0;
+  transit_release(t);
+
   if (group != 0) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
@@ -135,15 +156,13 @@ void RmtSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::siz
     return;
   }
 
-  const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
-                                          packet::kInvalidPort);
   if (egress >= config_.port_count) {
     metrics_.no_route_drops.add();
     pool_.release(std::move(out));
     return;
   }
   out.meta.egress_port = static_cast<packet::PortId>(egress);
-  if (phv.get_or(packet::fields::kMetaRecirc, 0) != 0) out.meta.recirc_request = true;
+  if (recirc_flag) out.meta.recirc_request = true;
   tm_->enqueue(static_cast<std::uint32_t>(egress), 0, std::move(out));
   try_drain(static_cast<packet::PortId>(egress));
 }
@@ -162,24 +181,24 @@ void RmtSwitch::drain(packet::PortId port) {
   std::optional<packet::Packet> pkt = tm_->dequeue(port);
   if (!pkt) return;
 
-  packet::ParseResult& pr = scratch_parse_;
-  parser_->parse_into(*pkt, pr);
-  if (!pr.accepted) {
+  TransitSlot* t = transit_acquire();
+  parser_->parse_into(*pkt, t->pr);
+  if (!t->pr.accepted) {
     metrics_.parse_drops.add();
     pool_.release(std::move(*pkt));
+    transit_release(t);
     try_drain(port);
     return;
   }
-  pr.phv.set(packet::fields::kMetaEgressPort, port);
-  pr.phv.set(packet::fields::kMetaRecircPass, pkt->meta.recirculations);
+  t->pr.phv.set(packet::fields::kMetaEgressPort, port);
+  t->pr.phv.set(packet::fields::kMetaRecircPass, pkt->meta.recirculations);
 
   const std::uint32_t pipe = config_.pipeline_of_port(port);
   pipeline::Pipeline& egress = egress_pipes_[pipe];
-  const pipeline::Transit tr = egress.process(sim_->now(), pr.phv);
-  sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),
-                     consumed = pr.consumed, port]() mutable {
-    after_egress(std::move(phv), std::move(pkt), consumed, port);
-  });
+  const pipeline::Transit tr = egress.process(sim_->now(), t->pr.phv);
+  t->pkt = std::move(*pkt);
+  t->port = port;
+  sim_->at(tr.exit, [this, t] { after_egress(t); });
 
   // Keep the egress pipe fed: attempt the next dequeue when it can admit
   // another PHV.
@@ -189,19 +208,21 @@ void RmtSwitch::drain(packet::PortId port) {
   }
 }
 
-void RmtSwitch::after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
-                             packet::PortId port) {
-  if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
+void RmtSwitch::after_egress(TransitSlot* t) {
+  const packet::PortId port = t->port;
+  if (t->pr.phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
-    pool_.release(std::move(original));
+    pool_.release(std::move(t->pkt));
+    transit_release(t);
     try_drain(port);
     return;
   }
-  const bool recirc_requested = original.meta.recirc_request;
-  packet::Packet out = finalize(phv, std::move(original), consumed);
+  const bool recirc_requested = t->pkt.meta.recirc_request;
+  packet::Packet out = finalize(t->pr.phv, std::move(t->pkt), t->pr.consumed);
 
   const bool recirc = recirc_requested ||
-                      phv.get_or(packet::fields::kMetaRecirc, 0) != 0;
+                      t->pr.phv.get_or(packet::fields::kMetaRecirc, 0) != 0;
+  transit_release(t);
   if (recirc) {
     recirculate(std::move(out), config_.pipeline_of_port(port));
     try_drain(port);
@@ -209,11 +230,15 @@ void RmtSwitch::after_egress(packet::Phv phv, packet::Packet original, std::size
   }
 
   // Only now does the packet occupy the small egress FIFO awaiting TX.
+  // The port rides in the packet metadata: {this, Packet} fills the inline
+  // callback capacity exactly, so one more captured word would heap-spill.
   ++in_flight_[port];
+  out.meta.egress_port = port;
   sim::Time& free = tx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
-  sim_->at(free, [this, out = std::move(out), port]() mutable {
+  sim_->at(free, [this, out = std::move(out)]() mutable {
+    const packet::PortId port = out.meta.egress_port;
     metrics_.tx_packets.add();
     metrics_.tx_bytes.add(out.size());
     if (first_tx_ == 0) first_tx_ = sim_->now();

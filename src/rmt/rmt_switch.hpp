@@ -118,14 +118,24 @@ class RmtSwitch final : public net::SwitchDevice {
   packet::Pool& pool() { return pool_; }
 
  private:
+  /// Per-packet pipeline-transit state, pooled and handed to scheduler
+  /// continuations by pointer: a Phv is far larger than the inline callback
+  /// capacity, so capturing it by value would heap-spill every packet.
+  struct TransitSlot {
+    packet::ParseResult pr;
+    packet::Packet pkt;
+    packet::PortId port = packet::kInvalidPort;
+  };
+  TransitSlot* transit_acquire();
+  void transit_release(TransitSlot* slot);
+
   void enter_ingress(packet::Packet pkt);
   /// Deparse-or-passthrough: INC packets are rebuilt from the PHV into a
   /// pooled packet and the original is retired; others pass through.
   packet::Packet finalize(const packet::Phv& phv, packet::Packet original,
                           std::size_t consumed);
-  void after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed);
-  void after_egress(packet::Phv phv, packet::Packet original, std::size_t consumed,
-                    packet::PortId port);
+  void after_ingress(TransitSlot* t);
+  void after_egress(TransitSlot* t);
   void recirculate(packet::Packet pkt, std::uint32_t pipe);
   void try_drain(packet::PortId port);
   void drain(packet::PortId port);
@@ -137,7 +147,8 @@ class RmtSwitch final : public net::SwitchDevice {
   sim::Scope scope_;
   RmtMetrics metrics_;
   packet::Pool pool_;
-  packet::ParseResult scratch_parse_;  ///< reused by enter_ingress/drain
+  std::vector<std::unique_ptr<TransitSlot>> transit_slots_;  ///< owns every slot
+  std::vector<TransitSlot*> transit_free_;                   ///< warm free list
   std::optional<packet::Parser> parser_;
   packet::ParseGraph parse_graph_;
   std::optional<packet::Deparser> deparser_;

@@ -68,6 +68,10 @@ class Histogram {
     sorted_ = false;
   }
 
+  /// Pre-sizes the sample buffer so record() stays allocation-free for the
+  /// next `n` samples (zero-alloc warm paths reserve before measuring).
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   /// q in [0, 1]; e.g. 0.5 = median, 0.99 = p99. Returns 0 when empty.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] std::size_t count() const { return samples_.size(); }

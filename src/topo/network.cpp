@@ -1,0 +1,331 @@
+#include "topo/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "core/adcp_switch.hpp"
+#include "packet/headers.hpp"
+#include "rmt/rmt_switch.hpp"
+#include "rtc/rtc_switch.hpp"
+#include "topo/programs.hpp"
+
+namespace adcp::topo {
+
+namespace {
+
+/// Largest pipeline count in {4, 2, 1} dividing `ports` (RMT requires
+/// port_count % pipeline_count == 0; trunk ports make odd totals common).
+std::uint32_t rmt_pipelines_for(std::uint32_t ports) {
+  for (std::uint32_t d : {4u, 2u}) {
+    if (ports % d == 0) return d;
+  }
+  return 1;
+}
+
+std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim, SwitchKind kind,
+                                               std::uint32_t port_count,
+                                               std::shared_ptr<const ForwardingTable> fib,
+                                               sim::Scope scope) {
+  switch (kind) {
+    case SwitchKind::kRmt: {
+      rmt::RmtConfig cfg;
+      cfg.port_count = port_count;
+      cfg.pipeline_count = rmt_pipelines_for(port_count);
+      auto sw = std::make_unique<rmt::RmtSwitch>(sim, cfg, std::move(scope));
+      sw->load_program(rmt_routing_program(cfg, std::move(fib)));
+      return sw;
+    }
+    case SwitchKind::kAdcp: {
+      core::AdcpConfig cfg;
+      cfg.port_count = port_count;
+      auto sw = std::make_unique<core::AdcpSwitch>(sim, cfg, std::move(scope));
+      sw->load_program(adcp_routing_program(cfg, std::move(fib)));
+      return sw;
+    }
+    case SwitchKind::kRtc: {
+      rtc::RtcConfig cfg;
+      cfg.port_count = port_count;
+      auto sw = std::make_unique<rtc::RtcSwitch>(sim, cfg, std::move(scope));
+      sw->load_program(rtc_routing_program(cfg, std::move(fib)));
+      return sw;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Network::Network(sim::Simulator& sim, const LeafSpineParams& params, sim::Scope scope) {
+  init(sim, std::move(scope));
+  trunk_rng_ = sim::Rng(params.loss_seed ^ 0x7210'6b5eULL);
+  build_leaf_spine(params);
+  finish_wiring();
+}
+
+Network::Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope scope) {
+  init(sim, std::move(scope));
+  trunk_rng_ = sim::Rng(params.loss_seed ^ 0x7210'6b5eULL);
+  build_fat_tree(params);
+  finish_wiring();
+}
+
+void Network::init(sim::Simulator& sim, sim::Scope scope) {
+  sim_ = &sim;
+  scope_ = sim::resolve_scope(scope, own_metrics_, "topo");
+  hops_ = &scope_.histogram("hops");
+}
+
+Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_count,
+                                         std::shared_ptr<ForwardingTable> fib,
+                                         std::size_t host_count, net::Link host_link,
+                                         std::uint64_t loss_seed) {
+  const std::size_t i = switches_.size();
+  sim::Scope sw_scope = scope_.scope("sw" + std::to_string(i));
+  SwitchSlot slot;
+  slot.device = make_switch(*sim_, kind, port_count, fib, sw_scope);
+  slot.fabric = std::make_unique<net::Fabric>(*sim_, *slot.device, host_link, loss_seed,
+                                              sw_scope, host_count);
+  slot.fib = std::move(fib);
+  switches_.push_back(std::move(slot));
+  return switches_.back();
+}
+
+Trunk& Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
+  const std::size_t i = trunks_.size();
+  // Dropped trunk packets recycle into the pool of the lower-tier fabric
+  // (the rack that sourced or will sink most of its traffic).
+  packet::Pool* pool = nullptr;
+  for (SwitchSlot& s : switches_) {
+    if (s.device.get() == a.device) pool = &s.fabric->pool();
+  }
+  trunks_.push_back(std::make_unique<Trunk>(*sim_, a, b, link, &trunk_rng_, pool,
+                                            scope_.scope("trunk" + std::to_string(i))));
+  return *trunks_.back();
+}
+
+void Network::build_leaf_spine(const LeafSpineParams& p) {
+  assert(p.leaves > 0 && p.spines > 0 && p.hosts_per_leaf > 0);
+  assert(p.leaves <= 256 && p.hosts_per_leaf <= 256);
+  const std::uint32_t L = p.leaves;
+  const std::uint32_t S = p.spines;
+  const std::uint32_t H = p.hosts_per_leaf;
+
+  // Leaves: ports [0, H) hosts, [H, H+S) spine uplinks.
+  for (std::uint32_t l = 0; l < L; ++l) {
+    auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
+    for (std::uint32_t h = 0; h < H; ++h) fib->add_exact(make_ip(0, l, h), h);
+    EcmpGroup up;
+    for (std::uint32_t s = 0; s < S; ++s) up.ports.push_back(H + s);
+    fib->add_prefix(kAddressBase, 8, std::move(up));
+    add_switch(p.kind, H + S, std::move(fib), H, p.host_link, p.loss_seed + l);
+    for (std::uint32_t h = 0; h < H; ++h) {
+      host_ip_.push_back(make_ip(0, l, h));
+      host_loc_.emplace_back(l, h);
+    }
+  }
+
+  // Spines: port l faces leaf l.
+  for (std::uint32_t s = 0; s < S; ++s) {
+    auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
+    for (std::uint32_t l = 0; l < L; ++l) fib->add_prefix(make_ip(0, l, 0), 24, {{l}});
+    add_switch(p.kind, L, std::move(fib), 0, p.host_link, p.loss_seed + L + s);
+  }
+
+  // Full bipartite leaf<->spine wiring; trunk l*S+s joins leaf l, spine s.
+  ecmp_groups_.resize(L);
+  for (std::uint32_t l = 0; l < L; ++l) {
+    for (std::uint32_t s = 0; s < S; ++s) {
+      Trunk& t = add_trunk({switches_[l].device.get(), H + s},
+                           {switches_[L + s].device.get(), l}, p.trunk_link);
+      ecmp_groups_[l].push_back(&t);
+    }
+  }
+}
+
+void Network::build_fat_tree(const FatTreeParams& p) {
+  assert(p.k >= 2 && p.k % 2 == 0 && p.k <= 16);
+  const std::uint32_t k = p.k;
+  const std::uint32_t half = k / 2;
+  const std::uint32_t edges = k * half;   // also the aggregation count
+  const std::uint32_t cores = half * half;
+  const auto edge_index = [half](std::uint32_t pod, std::uint32_t e) { return pod * half + e; };
+  const auto agg_index = [edges, half](std::uint32_t pod, std::uint32_t a) {
+    return edges + pod * half + a;
+  };
+  const auto core_index = [edges, half](std::uint32_t i, std::uint32_t j) {
+    return 2 * edges + i * half + j;
+  };
+  std::uint64_t seed = p.loss_seed;
+
+  // Edge switches: ports [0, half) hosts, [half, k) aggregation uplinks.
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t e = 0; e < half; ++e) {
+      auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
+      for (std::uint32_t h = 0; h < half; ++h) fib->add_exact(make_ip(pod, e, h), h);
+      EcmpGroup up;
+      for (std::uint32_t a = 0; a < half; ++a) up.ports.push_back(half + a);
+      fib->add_prefix(kAddressBase, 8, std::move(up));
+      add_switch(p.kind, k, std::move(fib), half, p.host_link, seed++);
+      for (std::uint32_t h = 0; h < half; ++h) {
+        host_ip_.push_back(make_ip(pod, e, h));
+        host_loc_.emplace_back(edge_index(pod, e), h);
+      }
+    }
+  }
+
+  // Aggregation switches: ports [0, half) to the pod's edges, [half, k) up.
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t a = 0; a < half; ++a) {
+      auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
+      for (std::uint32_t e = 0; e < half; ++e) fib->add_prefix(make_ip(pod, e, 0), 24, {{e}});
+      EcmpGroup up;
+      for (std::uint32_t j = 0; j < half; ++j) up.ports.push_back(half + j);
+      fib->add_prefix(kAddressBase, 8, std::move(up));
+      add_switch(p.kind, k, std::move(fib), 0, p.host_link, seed++);
+    }
+  }
+
+  // Core switches: port `pod` faces pod `pod` (via agg position i).
+  for (std::uint32_t i = 0; i < half; ++i) {
+    for (std::uint32_t j = 0; j < half; ++j) {
+      auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
+      for (std::uint32_t pod = 0; pod < k; ++pod) {
+        fib->add_prefix(make_ip(pod, 0, 0), 16, {{pod}});
+      }
+      add_switch(p.kind, k, std::move(fib), 0, p.host_link, seed++);
+    }
+  }
+  (void)cores;
+
+  // Edge <-> aggregation inside each pod; aggregation <-> core across pods.
+  ecmp_groups_.resize(edges + edges);
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t e = 0; e < half; ++e) {
+      for (std::uint32_t a = 0; a < half; ++a) {
+        Trunk& t = add_trunk({switches_[edge_index(pod, e)].device.get(), half + a},
+                             {switches_[agg_index(pod, a)].device.get(), e}, p.trunk_link);
+        ecmp_groups_[edge_index(pod, e)].push_back(&t);
+      }
+    }
+    for (std::uint32_t i = 0; i < half; ++i) {
+      for (std::uint32_t j = 0; j < half; ++j) {
+        Trunk& t = add_trunk({switches_[agg_index(pod, i)].device.get(), half + j},
+                             {switches_[core_index(i, j)].device.get(), pod}, p.trunk_link);
+        // agg_index already lands in [edges, 2*edges) — the agg group slab.
+        ecmp_groups_[agg_index(pod, i)].push_back(&t);
+      }
+    }
+  }
+}
+
+void Network::finish_wiring() {
+  for (SwitchSlot& slot : switches_) {
+    std::vector<std::pair<Trunk*, int>> map(slot.device->port_count(), {nullptr, 0});
+    for (const auto& t : trunks_) {
+      if (t->a().device == slot.device.get()) map[t->a().port] = {t.get(), 0};
+      if (t->b().device == slot.device.get()) map[t->b().port] = {t.get(), 1};
+    }
+    slot.fabric->set_default_tx([map = std::move(map)](packet::PortId port,
+                                                       packet::Packet pkt) {
+      if (port < map.size() && map[port].first != nullptr) {
+        map[port].first->forward(map[port].second, std::move(pkt));
+      }
+    });
+  }
+
+  // Hop-count probe: the routing programs decrement the wire TTL once per
+  // switch, so a delivered packet's hop count is kIncInitialTtl - ttl.
+  for (SwitchSlot& slot : switches_) {
+    for (net::Host& h : slot.fabric->hosts()) {
+      h.add_rx_callback([hist = hops_](net::Host&, const packet::Packet& pkt) {
+        if (pkt.size() >= packet::kEthernetBytes + packet::kIpv4Bytes &&
+            pkt.data.read(12, 2) == packet::kEtherTypeIpv4) {
+          const std::uint64_t ttl = pkt.data.read(packet::kEthernetBytes + 8, 1);
+          if (ttl <= packet::kIncInitialTtl) {
+            hist->record(static_cast<double>(packet::kIncInitialTtl - ttl));
+          }
+        }
+      });
+    }
+  }
+}
+
+net::Host& Network::host(std::size_t i) {
+  const auto [sw, local] = host_loc_.at(i);
+  return switches_[sw].fabric->host(local);
+}
+
+void Network::set_tracker(coflow::CoflowTracker* tracker) {
+  for (SwitchSlot& slot : switches_) slot.fabric->set_tracker(tracker);
+}
+
+void Network::reset_hosts() {
+  for (SwitchSlot& slot : switches_) {
+    for (net::Host& h : slot.fabric->hosts()) h.reset();
+  }
+}
+
+std::uint64_t Network::total_host_tx_packets() const {
+  std::uint64_t total = 0;
+  for (const SwitchSlot& slot : switches_) {
+    for (net::Host& h : slot.fabric->hosts()) total += h.tx_packets();
+  }
+  return total;
+}
+
+std::uint64_t Network::total_host_rx_packets() const {
+  std::uint64_t total = 0;
+  for (const SwitchSlot& slot : switches_) {
+    for (net::Host& h : slot.fabric->hosts()) total += h.rx_packets();
+  }
+  return total;
+}
+
+std::uint64_t Network::total_host_link_drops() const {
+  std::uint64_t total = 0;
+  for (const SwitchSlot& slot : switches_) {
+    for (net::Host& h : slot.fabric->hosts()) total += h.link_drops();
+  }
+  return total;
+}
+
+std::uint64_t Network::total_trunk_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& t : trunks_) total += t->drops();
+  return total;
+}
+
+void Network::finalize_metrics() {
+  const sim::Time elapsed = sim_->now();
+  double max_util = 0.0;
+  for (std::size_t i = 0; i < trunks_.size(); ++i) {
+    const Trunk& t = *trunks_[i];
+    const double ab = t.utilization(0, elapsed);
+    const double ba = t.utilization(1, elapsed);
+    sim::Scope ts = scope_.scope("trunk" + std::to_string(i));
+    ts.gauge("ab.utilization").set(ab);
+    ts.gauge("ba.utilization").set(ba);
+    max_util = std::max({max_util, ab, ba});
+  }
+  scope_.gauge("trunk.max_utilization").set(max_util);
+
+  // Worst max/mean ratio of upward packets over any ECMP fan-out: 1.0 is a
+  // perfect spread, group-size is total polarization onto one uplink.
+  double worst = 0.0;
+  for (const auto& group : ecmp_groups_) {
+    if (group.empty()) continue;
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (const Trunk* t : group) {
+      total += t->packets(0);
+      peak = std::max(peak, t->packets(0));
+    }
+    if (total == 0) continue;
+    const double mean = static_cast<double>(total) / static_cast<double>(group.size());
+    worst = std::max(worst, static_cast<double>(peak) / mean);
+  }
+  scope_.gauge("ecmp.imbalance").set(worst);
+}
+
+}  // namespace adcp::topo

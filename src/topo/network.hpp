@@ -1,0 +1,149 @@
+// Multi-switch topology builder.
+//
+// A Network composes the single-switch building blocks into a datacenter
+// fabric: one switch (RMT, ADCP, or RTC) per tier position, a net::Fabric
+// attaching hosts to each edge switch's low ports, and topo::Trunks on the
+// remaining ports. Two canned generators cover the shapes the coflow
+// workloads need:
+//
+//   leaf_spine(L, S, H):  L leaf switches with H hosts each, every leaf
+//                         connected to all S spines (a single pod).
+//   fat_tree(k):          the classic 3-tier k-ary fat-tree — k pods of
+//                         k/2 edge + k/2 aggregation switches, (k/2)^2
+//                         cores, k^3/4 hosts.
+//
+// Forwarding is exact-match for directly attached hosts and
+// longest-prefix + seeded per-flow ECMP towards the upper tiers (see
+// routing.hpp for the address plan). Metrics thread through one
+// sim::MetricRegistry under the network's scope: "topo.sw<i>.*" for
+// switches/hosts/pools, "topo.trunk<i>.*" for trunks, plus the network-
+// level "topo.hops" histogram (hop count of every delivered packet,
+// recovered from the wire TTL) and the derived "topo.ecmp.imbalance" /
+// "topo.trunk.max_utilization" gauges (finalize_metrics()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "topo/routing.hpp"
+#include "topo/trunk.hpp"
+
+namespace adcp::topo {
+
+/// Which cycle-level switch model fills every position of the fabric.
+enum class SwitchKind { kRmt, kAdcp, kRtc };
+
+/// Parameters of the single-pod leaf–spine generator.
+struct LeafSpineParams {
+  std::uint32_t leaves = 4;
+  std::uint32_t spines = 2;
+  std::uint32_t hosts_per_leaf = 16;
+  SwitchKind kind = SwitchKind::kAdcp;
+  net::Link host_link{};
+  net::Link trunk_link{100.0, 1000 * sim::kNanosecond};
+  std::uint64_t ecmp_seed = 0x7e1e'c0de;
+  std::uint64_t loss_seed = 0xfab21c;
+};
+
+/// Parameters of the k-ary fat-tree generator (`k` even, >= 2).
+struct FatTreeParams {
+  std::uint32_t k = 4;
+  SwitchKind kind = SwitchKind::kAdcp;
+  net::Link host_link{};
+  net::Link trunk_link{100.0, 1000 * sim::kNanosecond};
+  std::uint64_t ecmp_seed = 0x7e1e'c0de;
+  std::uint64_t loss_seed = 0xfab21c;
+};
+
+/// A fully wired multi-switch fabric. Construct with one of the parameter
+/// structs; hosts are addressed by a global index (rack-major) and carry
+/// the IPs of routing.hpp's address plan. Not movable: switches, fabrics
+/// and trunks hold stable self-references through the event queue.
+class Network {
+ public:
+  Network(sim::Simulator& sim, const LeafSpineParams& params, sim::Scope scope = {});
+  Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope scope = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] std::size_t host_count() const { return host_loc_.size(); }
+  /// Host by global index; leaf_spine orders leaf-major (host g lives on
+  /// leaf g / hosts_per_leaf), fat_tree pod-major.
+  net::Host& host(std::size_t i);
+  /// The address the plan assigned to host `i` (what senders put in
+  /// ip_dst so the fabric routes to it).
+  [[nodiscard]] std::uint32_t ip_of(std::size_t i) const { return host_ip_.at(i); }
+
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+  net::SwitchDevice& device(std::size_t i) { return *switches_.at(i).device; }
+  net::Fabric& fabric(std::size_t i) { return *switches_.at(i).fabric; }
+  [[nodiscard]] std::size_t trunk_count() const { return trunks_.size(); }
+  Trunk& trunk(std::size_t i) { return *trunks_.at(i); }
+
+  /// Installs `tracker` on every host of every rack.
+  void set_tracker(coflow::CoflowTracker* tracker);
+  /// Host::reset() on every host (between back-to-back runs in one bench).
+  void reset_hosts();
+
+  /// The registry everything reports into (shared when an attached scope
+  /// was passed, private otherwise).
+  [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
+  [[nodiscard]] const sim::Scope& scope() const { return scope_; }
+  /// Hop count of every delivered IPv4 packet ("topo.hops"). reserve() it
+  /// before a zero-allocation measuring window.
+  [[nodiscard]] sim::Histogram& hops() { return *hops_; }
+
+  // Aggregate accounting for conservation checks (tx == rx + drops).
+  [[nodiscard]] std::uint64_t total_host_tx_packets() const;
+  [[nodiscard]] std::uint64_t total_host_rx_packets() const;
+  [[nodiscard]] std::uint64_t total_host_link_drops() const;
+  [[nodiscard]] std::uint64_t total_trunk_drops() const;
+
+  /// Derives the gauge metrics from the counters accumulated so far:
+  /// per-trunk "topo.trunk<i>.{ab,ba}.utilization", the network-wide
+  /// "topo.trunk.max_utilization", and "topo.ecmp.imbalance" (worst
+  /// max/mean uplink-packet ratio over all ECMP groups). Call once after
+  /// the run, before snapshotting the registry.
+  void finalize_metrics();
+
+ private:
+  struct SwitchSlot {
+    std::unique_ptr<net::SwitchDevice> device;
+    std::unique_ptr<net::Fabric> fabric;
+    std::shared_ptr<ForwardingTable> fib;
+  };
+
+  void init(sim::Simulator& sim, sim::Scope scope);
+  void build_leaf_spine(const LeafSpineParams& p);
+  void build_fat_tree(const FatTreeParams& p);
+  /// Creates switch i (device + fabric with `host_count` hosts) and loads
+  /// the tier's routing program for `fib`.
+  SwitchSlot& add_switch(SwitchKind kind, std::uint32_t port_count,
+                         std::shared_ptr<ForwardingTable> fib, std::size_t host_count,
+                         net::Link host_link, std::uint64_t loss_seed);
+  /// Creates trunk i between two switch ports; `a` must be the lower tier
+  /// (side 0 = upward traffic, the direction ECMP spreads).
+  Trunk& add_trunk(Trunk::End a, Trunk::End b, net::Link link);
+  /// After all switches and trunks exist: point every switch's hostless
+  /// TX ports at its trunks and hook the hop-count probe on every host.
+  void finish_wiring();
+
+  sim::Simulator* sim_ = nullptr;
+  // Declared before scope_, which may register through it.
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  sim::Rng trunk_rng_{0};
+  std::vector<SwitchSlot> switches_;
+  std::vector<std::unique_ptr<Trunk>> trunks_;
+  std::vector<std::uint32_t> host_ip_;  // global host index -> address
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> host_loc_;  // -> (switch, local)
+  std::vector<std::vector<Trunk*>> ecmp_groups_;  // uplink fan-outs (side 0)
+  sim::Histogram* hops_ = nullptr;  // registry-owned
+};
+
+}  // namespace adcp::topo

@@ -1,0 +1,80 @@
+#include "topo/programs.hpp"
+
+#include "packet/fields.hpp"
+#include "rtc/programs.hpp"
+#include "tm/placement.hpp"
+
+namespace adcp::topo {
+
+namespace {
+
+using packet::Phv;
+using packet::fields::kIpDst;
+using packet::fields::kIpSrc;
+using packet::fields::kIpTtl;
+using packet::fields::kMetaDrop;
+using packet::fields::kMetaEgressPort;
+using packet::fields::kUdpDst;
+using packet::fields::kUdpSrc;
+
+/// The one routing action all three tiers share: TTL check + decrement,
+/// then FIB lookup on the flow fields. Expired TTL or a missing route
+/// drops the packet in the pipe (kMetaDrop), which the switch accounts as
+/// a no-route drop.
+void route_and_decrement(Phv& phv, const ForwardingTable& fib) {
+  const std::uint64_t ttl = phv.get_or(kIpTtl, 0);
+  if (ttl <= 1) {
+    phv.set(kMetaDrop, 1);
+    return;
+  }
+  phv.set(kIpTtl, ttl - 1);
+  const packet::PortId port = fib.lookup(
+      static_cast<std::uint32_t>(phv.get_or(kIpDst, 0)),
+      static_cast<std::uint32_t>(phv.get_or(kIpSrc, 0)),
+      static_cast<std::uint16_t>(phv.get_or(kUdpSrc, 0)),
+      static_cast<std::uint16_t>(phv.get_or(kUdpDst, 0)));
+  if (port == ForwardingTable::kNoRoute) {
+    phv.set(kMetaDrop, 1);
+    return;
+  }
+  phv.set(kMetaEgressPort, port);
+}
+
+}  // namespace
+
+rmt::RmtProgram rmt_routing_program(const rmt::RmtConfig& /*config*/,
+                                    std::shared_ptr<const ForwardingTable> fib) {
+  rmt::RmtProgram prog;
+  prog.setup_ingress = [fib](pipeline::Pipeline& pipe, std::uint32_t) {
+    pipe.set_stage_program(0, [fib](Phv& phv, pipeline::Stage&) -> std::uint64_t {
+      route_and_decrement(phv, *fib);
+      return 1;
+    });
+  };
+  return prog;
+}
+
+core::AdcpProgram adcp_routing_program(const core::AdcpConfig& config,
+                                       std::shared_ptr<const ForwardingTable> fib) {
+  core::AdcpProgram prog;
+  prog.placement = tm::placement::by_flow_hash(config.central_pipeline_count);
+  prog.setup_central = [fib](pipeline::Pipeline& pipe, std::uint32_t) {
+    pipe.set_stage_program(0, [fib](Phv& phv, pipeline::Stage&) -> std::uint64_t {
+      route_and_decrement(phv, *fib);
+      return 1;
+    });
+  };
+  return prog;
+}
+
+rtc::RtcProgram rtc_routing_program(const rtc::RtcConfig& /*config*/,
+                                    std::shared_ptr<const ForwardingTable> fib) {
+  rtc::RtcProgram prog;
+  prog.run = [fib](Phv& phv, rtc::SharedState&, const rtc::RtcConfig& cfg) -> std::uint64_t {
+    route_and_decrement(phv, *fib);
+    return rtc::kForwardBaseCycles + cfg.memory_access_cycles;  // one FIB access
+  };
+  return prog;
+}
+
+}  // namespace adcp::topo

@@ -1,0 +1,37 @@
+// Destination-address routing programs for the three switch tiers.
+//
+// Unlike the single-switch programs in src/rmt|core|rtc ("port = low byte
+// of dst IP"), these route through a topo::ForwardingTable (exact host
+// routes + longest-prefix ECMP groups) and decrement the IP TTL, so a
+// receiver can recover the hop count from the wire (the Network's
+// topo.hops histogram). The table is shared by every pipeline of the
+// switch via shared_ptr and is read-only after construction.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/program.hpp"
+#include "rmt/config.hpp"
+#include "rmt/program.hpp"
+#include "rtc/config.hpp"
+#include "rtc/rtc_switch.hpp"
+#include "topo/routing.hpp"
+
+namespace adcp::topo {
+
+/// RMT: route + TTL decrement in ingress stage 0 of every pipeline.
+rmt::RmtProgram rmt_routing_program(const rmt::RmtConfig& config,
+                                    std::shared_ptr<const ForwardingTable> fib);
+
+/// ADCP: route + TTL decrement in central stage 0; flows spread over the
+/// central pipelines by flow-id hash (same placement as forward_program).
+core::AdcpProgram adcp_routing_program(const core::AdcpConfig& config,
+                                       std::shared_ptr<const ForwardingTable> fib);
+
+/// RTC: route + TTL decrement; costs the forwarding base plus one
+/// shared-memory FIB access.
+rtc::RtcProgram rtc_routing_program(const rtc::RtcConfig& config,
+                                    std::shared_ptr<const ForwardingTable> fib);
+
+}  // namespace adcp::topo

@@ -1,0 +1,41 @@
+#include "topo/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adcp::topo {
+
+namespace {
+
+constexpr std::uint32_t mask_of(std::uint32_t len) {
+  return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+}
+
+}  // namespace
+
+void ForwardingTable::add_prefix(std::uint32_t prefix, std::uint32_t prefix_len,
+                                 EcmpGroup group) {
+  assert(prefix_len <= 32);
+  assert(!group.ports.empty());
+  const std::uint32_t mask = mask_of(prefix_len);
+  // Keep the table sorted longest-prefix-first, stable within a length
+  // (insertion order breaks ties, so lookup scan order is deterministic).
+  const auto at = std::find_if(
+      prefixes_.begin(), prefixes_.end(),
+      [prefix_len](const PrefixRoute& r) { return r.len < prefix_len; });
+  prefixes_.insert(at, {prefix & mask, mask, prefix_len, std::move(group)});
+}
+
+packet::PortId ForwardingTable::lookup(std::uint32_t ip_dst, std::uint32_t ip_src,
+                                       std::uint16_t udp_src, std::uint16_t udp_dst) const {
+  if (const auto it = exact_.find(ip_dst); it != exact_.end()) return it->second;
+  for (const PrefixRoute& r : prefixes_) {
+    if ((ip_dst & r.mask) != r.prefix) continue;
+    if (r.group.ports.size() == 1) return r.group.ports.front();
+    const std::uint64_t h = ecmp_hash(seed_, ip_src, ip_dst, udp_src, udp_dst);
+    return r.group.ports[h % r.group.ports.size()];
+  }
+  return kNoRoute;
+}
+
+}  // namespace adcp::topo

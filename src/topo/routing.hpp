@@ -1,0 +1,87 @@
+// Address plan and forwarding state for multi-switch topologies.
+//
+// Every host in a topology gets an IPv4 address from the 10.0.0.0/8 block:
+//
+//   10 . pod . tor . host          (fat-tree: one byte per tier)
+//   10 .  0  . leaf . host         (leaf–spine: a single pod)
+//
+// Switches forward with a two-level table: exact-match host routes for the
+// directly attached rack, then longest-prefix routes whose next hop is an
+// ECMP group. Path choice inside a group is a seeded hash of the flow
+// 5-tuple fields (src/dst IP, src/dst UDP port) — per-flow stable, so a
+// flow never changes path and the baseline fabric introduces no reordering.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "tm/placement.hpp"
+
+namespace adcp::topo {
+
+/// All topology addresses live under this /8.
+inline constexpr std::uint32_t kAddressBase = 0x0a00'0000;
+
+/// 10.pod.tor.host.
+constexpr std::uint32_t make_ip(std::uint32_t pod, std::uint32_t tor, std::uint32_t host) {
+  return kAddressBase | ((pod & 0xff) << 16) | ((tor & 0xff) << 8) | (host & 0xff);
+}
+
+/// Seeded per-flow hash over the fields that identify a flow. Chains the
+/// splitmix64 finalizer so every input bit avalanches into the selection.
+constexpr std::uint64_t ecmp_hash(std::uint64_t seed, std::uint32_t ip_src,
+                                  std::uint32_t ip_dst, std::uint16_t udp_src,
+                                  std::uint16_t udp_dst) {
+  std::uint64_t h = tm::placement::mix(seed ^ ip_src);
+  h = tm::placement::mix(h ^ ip_dst);
+  return tm::placement::mix(h ^ (static_cast<std::uint64_t>(udp_src) << 16 | udp_dst));
+}
+
+/// Next-hop set for one route; lookup() picks one port by flow hash.
+struct EcmpGroup {
+  std::vector<packet::PortId> ports;
+};
+
+/// Exact-match + longest-prefix forwarding with ECMP next-hop groups.
+/// Built once at topology-construction time; lookup() is const and
+/// allocation-free (warm-path requirement for the routing programs).
+class ForwardingTable {
+ public:
+  /// Returned when no route covers the destination.
+  static constexpr packet::PortId kNoRoute = packet::kInvalidPort;
+
+  explicit ForwardingTable(std::uint64_t seed) : seed_(seed) {}
+
+  /// Host route: one /32 destination, one port.
+  void add_exact(std::uint32_t ip, packet::PortId port) { exact_[ip] = port; }
+
+  /// Prefix route (`prefix_len` leading bits of `prefix`); ties between
+  /// overlapping prefixes go to the longest one.
+  void add_prefix(std::uint32_t prefix, std::uint32_t prefix_len, EcmpGroup group);
+
+  /// Resolves the egress port for one packet. Exact routes win over any
+  /// prefix; among prefixes the longest match wins; a multi-port group is
+  /// resolved by ecmp_hash of the flow fields.
+  [[nodiscard]] packet::PortId lookup(std::uint32_t ip_dst, std::uint32_t ip_src,
+                                      std::uint16_t udp_src, std::uint16_t udp_dst) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t exact_size() const { return exact_.size(); }
+  [[nodiscard]] std::size_t prefix_size() const { return prefixes_.size(); }
+
+ private:
+  struct PrefixRoute {
+    std::uint32_t prefix = 0;
+    std::uint32_t mask = 0;
+    std::uint32_t len = 0;
+    EcmpGroup group;
+  };
+
+  std::uint64_t seed_;
+  std::unordered_map<std::uint32_t, packet::PortId> exact_;
+  std::vector<PrefixRoute> prefixes_;  // sorted by descending prefix length
+};
+
+}  // namespace adcp::topo

@@ -1,0 +1,23 @@
+#include "topo/trunk.hpp"
+
+#include <utility>
+
+namespace adcp::topo {
+
+void Trunk::forward(int side, packet::Packet pkt) {
+  (side == 0 ? metrics_.ab_packets : metrics_.ba_packets).add();
+  (side == 0 ? metrics_.ab_bytes : metrics_.ba_bytes).add(pkt.size());
+
+  if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
+    metrics_.link_drops.add();
+    if (pool_ != nullptr) pool_->release(std::move(pkt));
+    return;
+  }
+
+  End* to = side == 0 ? &b_ : &a_;
+  sim_->after(link_.propagation, [to, pkt = std::move(pkt)]() mutable {
+    to->device->inject(to->port, std::move(pkt));
+  });
+}
+
+}  // namespace adcp::topo

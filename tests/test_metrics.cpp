@@ -54,6 +54,22 @@ TEST(MetricRegistry, RegisterRecordSnapshotJsonRoundTrip) {
   EXPECT_EQ(json_field(json, "rmt0.latency_ps", "p99"), 99.0);
 }
 
+/// The topology layer's hop-count histogram ("topo.hops") must survive the
+/// JSON exporter: count and the p50/p99/min/max of a typical leaf–spine
+/// hop mix (1 intra-rack, 3 cross-rack) come back exactly.
+TEST(MetricRegistry, TopoHopsHistogramJsonRoundTrip) {
+  MetricRegistry reg;
+  Histogram& hops = reg.scope("topo").histogram("hops");
+  for (int i = 0; i < 25; ++i) hops.record(1.0);
+  for (int i = 0; i < 75; ++i) hops.record(3.0);
+
+  const std::string json = reg.snapshot().to_json("topo_unit");
+  EXPECT_EQ(json_field(json, "topo.hops", "count"), 100.0);
+  EXPECT_EQ(json_field(json, "topo.hops", "p50"), 3.0);
+  EXPECT_EQ(json_field(json, "topo.hops", "p99"), 3.0);
+  EXPECT_EQ(json_field(json, "topo.hops", "value"), 2.5);  // mean
+}
+
 TEST(MetricRegistry, CsvRoundTripParsesBack) {
   MetricRegistry reg;
   reg.counter("b.count").add(41);

@@ -135,5 +135,42 @@ TEST(Fabric, OneHostPerPort) {
   EXPECT_EQ(fabric.host(3).port(), 3u);
 }
 
+TEST(Fabric, HostCountLeavesHighPortsToDefaultTx) {
+  sim::Simulator sim;
+  LoopbackDevice dev(sim, 5, 0);
+  Fabric fabric(sim, dev, Link{100.0, 0}, 0xfab21c, {}, 2);
+  EXPECT_EQ(fabric.size(), 2u);
+
+  // TX on a hostless port goes to the default handler (a trunk, in the
+  // topology layer), not to any host.
+  int defaulted = 0;
+  fabric.set_default_tx([&](packet::PortId port, packet::Packet) {
+    EXPECT_EQ(port, 4u);
+    ++defaulted;
+  });
+  dev.inject(4, inc_pkt(1, 0));  // loopback reflects out of port 4
+  sim.run();
+  EXPECT_EQ(defaulted, 1);
+  EXPECT_EQ(fabric.host(0).rx_packets(), 0u);
+}
+
+TEST(Host, ResetClearsPerFlowReorderState) {
+  sim::Simulator sim;
+  LoopbackDevice dev(sim, 1, 0);
+  Fabric fabric(sim, dev, Link{100.0, 0});
+  Host& h = fabric.host(0);
+  h.deliver_from_switch(inc_pkt(7, 5));
+  sim.run();
+  ASSERT_EQ(h.rx_reordered(), 0u);
+
+  // A fresh run re-starts flows at seq 0: without reset() this would count
+  // as reordering against the stale highest_seq_ map.
+  h.reset();
+  EXPECT_EQ(h.last_rx_time(), 0u);
+  h.deliver_from_switch(inc_pkt(7, 0));
+  sim.run();
+  EXPECT_EQ(h.rx_reordered(), 0u);
+}
+
 }  // namespace
 }  // namespace adcp::net
