@@ -8,14 +8,25 @@
 // utilization, ECMP imbalance, and the reorder count (must stay 0 on this
 // lossless baseline: ECMP is per-flow).
 //
+// With --threads N the binary switches to the parallel scaling bench: the
+// selected fabric (--scale leaf_spine | fat_tree_4) runs the PS-allreduce
+// once on the monolithic simulator (the threads=1 fast path) and once
+// sharded on a ParallelSimulator(N), verifies the two produce the same
+// final time and adcp-metrics-v1 snapshot hash, and records wall-clock
+// times + speedup in BENCH_parallel.json.
+//
 // Usage: bench_leaf_spine [--quick] [--out PATH]
+//                         [--scale leaf_spine|fat_tree_4] [--threads N]
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_report.hpp"
 #include "coflow/tracker.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "topo/network.hpp"
 #include "workload/rack_coflow.hpp"
@@ -103,15 +114,141 @@ FabricResult run_fabric(topo::SwitchKind kind, bool quick) {
   return r;
 }
 
+// --- parallel scaling bench ------------------------------------------------
+
+constexpr std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct ScaleResult {
+  std::uint64_t events = 0;
+  sim::Time now = 0;
+  std::uint64_t hash = 0;
+  double wall_ms = 0;
+  bool complete = false;
+};
+
+workload::RackAllReduceParams scale_allreduce(std::size_t host_count, bool quick) {
+  workload::RackAllReduceParams ar;
+  ar.ps = 0;
+  for (std::uint32_t w = 1; w < host_count; ++w) ar.workers.push_back(w);
+  ar.vector_len = quick ? 64 : 512;
+  return ar;
+}
+
+/// Runs the PS-allreduce on `net`, timing sim-run wall clock. `run` drives
+/// whichever engine owns the network; `ps_sim` is where the PS's data-
+/// driven broadcast must be scheduled from. The caller fills now/hash
+/// afterwards (they come from the engine, which this helper cannot see).
+template <typename RunFn>
+ScaleResult run_scale(topo::Network& net, sim::Simulator& ps_sim, bool quick, RunFn run) {
+  std::vector<workload::RackHost> hosts;
+  hosts.reserve(net.host_count());
+  for (std::size_t i = 0; i < net.host_count(); ++i) {
+    hosts.push_back({&net.host(i), net.ip_of(i)});
+  }
+  workload::RackAllReduce allreduce(scale_allreduce(hosts.size(), quick));
+  allreduce.attach(hosts, ps_sim);
+  allreduce.start(0);
+  ScaleResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.events = run();
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.complete = allreduce.complete();
+  net.finalize_metrics();
+  r.hash = fnv1a(net.merged_snapshot().to_json("scale"));
+  return r;
+}
+
+template <typename Params>
+ScaleResult run_scale_monolithic(const Params& p, bool quick) {
+  sim::Simulator sim;
+  topo::Network net(sim, p);
+  ScaleResult r = run_scale(net, sim, quick, [&] { return sim.run(); });
+  r.now = sim.now();
+  return r;
+}
+
+template <typename Params>
+ScaleResult run_scale_parallel(const Params& p, bool quick, unsigned threads) {
+  sim::ParallelSimulator psim(threads);
+  topo::Network net(psim, p);
+  ScaleResult r = run_scale(net, net.sim_of_host(0), quick, [&] { return psim.run(); });
+  r.now = psim.now();
+  return r;
+}
+
+int run_parallel_bench(const std::string& scale, unsigned threads, bool quick,
+                       const std::string& out) {
+  const bool fat = scale == "fat_tree_4";
+  if (!fat && scale != "leaf_spine") {
+    std::fprintf(stderr, "unknown --scale '%s' (leaf_spine | fat_tree_4)\n", scale.c_str());
+    return 2;
+  }
+
+  ScaleResult mono, par;
+  if (fat) {
+    topo::FatTreeParams p;
+    p.k = 4;
+    mono = run_scale_monolithic(p, quick);
+    par = run_scale_parallel(p, quick, threads);
+  } else {
+    topo::LeafSpineParams p;
+    p.leaves = 4;
+    p.spines = 2;
+    p.hosts_per_leaf = 16;
+    mono = run_scale_monolithic(p, quick);
+    par = run_scale_parallel(p, quick, threads);
+  }
+
+  const bool deterministic = mono.now == par.now && mono.hash == par.hash;
+  const double speedup = par.wall_ms > 0 ? mono.wall_ms / par.wall_ms : 0.0;
+  std::printf("parallel scaling: %s allreduce, threads=%u\n", scale.c_str(), threads);
+  std::printf("  monolithic: %8.2f ms  %9llu events\n", mono.wall_ms,
+              static_cast<unsigned long long>(mono.events));
+  std::printf("  sharded:    %8.2f ms  %9llu events\n", par.wall_ms,
+              static_cast<unsigned long long>(par.events));
+  std::printf("  speedup %.2fx; final time + snapshot hash %s\n", speedup,
+              deterministic ? "match" : "DIVERGE");
+  if (!mono.complete || !par.complete) std::fprintf(stderr, "allreduce did not complete!\n");
+
+  sim::MetricRegistry report;
+  report.gauge("config.quick").set(quick ? 1.0 : 0.0);
+  report.gauge("config.threads").set(static_cast<double>(threads));
+  sim::Scope s = report.scope(scale);
+  s.gauge("monolithic.wall_ms").set(mono.wall_ms);
+  s.gauge("parallel.wall_ms").set(par.wall_ms);
+  s.gauge("speedup").set(speedup);
+  s.gauge("monolithic.events").set(static_cast<double>(mono.events));
+  s.gauge("parallel.events").set(static_cast<double>(par.events));
+  s.gauge("determinism.match").set(deterministic ? 1.0 : 0.0);
+  adcp::bench::write_report(report, "parallel", out);
+  return deterministic && mono.complete && par.complete ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out;
+  std::string scale = "leaf_spine";
+  unsigned threads = 0;  // 0 = legacy two-tier bench, no parallel engine
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) scale = argv[++i];
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
   }
+  if (threads > 0) return run_parallel_bench(scale, threads, quick, out);
 
   std::printf("leaf–spine fabric (4 leaves x 16 hosts, 2 spines): cross-rack coflows\n\n");
   std::printf("%-6s %-14s %-12s %-12s %-14s %-10s %-10s %-10s %-10s\n", "tier",

@@ -11,7 +11,13 @@
 //                [--out FILE]
 //
 // Scenarios: event_kernel, rmt_all_to_all, adcp_all_to_all, parser_loop,
-// tm_loop, leaf_spine (default: all).
+// tm_loop, leaf_spine, parallel_fabric (default: all).
+//
+// --threads serves double duty: it sizes the job fan-out AND is passed
+// through to scenarios, so parallel_fabric runs its sharded engine with
+// that worker count (bench-smoke exercises threads=1 and threads=4). A
+// scenario that detects a broken invariant marks its sample failed, and
+// the runner exits nonzero naming it.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -49,10 +55,13 @@ struct Options {
   std::string out = "BENCH_kernel.json";
 };
 
-/// One timed run: `ops` operations took `ns` nanoseconds.
+/// One timed run: `ops` operations took `ns` nanoseconds. `ok == false`
+/// flags a scenario-detected failure (lost packets, nondeterminism) that
+/// must surface in the runner's exit code.
 struct Sample {
   double ns = 0;
   std::uint64_t ops = 0;
+  bool ok = true;
 };
 
 double now_ns(Clock::time_point t0) {
@@ -63,7 +72,7 @@ double now_ns(Clock::time_point t0) {
 
 /// Pure event-kernel churn: schedule/fire batches of events, some periodic,
 /// some cancelled — the op count is events *fired*.
-Sample run_event_kernel(std::uint64_t seed, bool quick) {
+Sample run_event_kernel(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   const int rounds = quick ? 20 : 200;
   const int batch = 1000;
   sim::Simulator sim;
@@ -99,7 +108,7 @@ packet::IncPacketSpec spec_to_host(std::uint32_t dst_host, std::uint32_t flow,
 }
 
 /// All-to-all forwarding on an 8-port RMT switch; ops = events executed.
-Sample run_rmt_all_to_all(std::uint64_t seed, bool quick) {
+Sample run_rmt_all_to_all(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   const std::uint32_t packets_per_pair = quick ? 5 : 40;
   sim::Simulator sim;
   rmt::RmtConfig cfg;
@@ -122,7 +131,7 @@ Sample run_rmt_all_to_all(std::uint64_t seed, bool quick) {
 }
 
 /// Same scenario on the ADCP switch.
-Sample run_adcp_all_to_all(std::uint64_t seed, bool quick) {
+Sample run_adcp_all_to_all(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   const std::uint32_t packets_per_pair = quick ? 5 : 40;
   sim::Simulator sim;
   core::AdcpConfig cfg;
@@ -146,7 +155,7 @@ Sample run_adcp_all_to_all(std::uint64_t seed, bool quick) {
 }
 
 /// Parser + deparser reuse loop over the standard graph; ops = packets.
-Sample run_parser_loop(std::uint64_t seed, bool quick) {
+Sample run_parser_loop(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   const std::uint64_t iters = quick ? 20'000 : 500'000;
   const packet::ParseGraph g = packet::standard_parse_graph(64);
   const packet::Parser parser(&g);
@@ -171,7 +180,7 @@ Sample run_parser_loop(std::uint64_t seed, bool quick) {
 }
 
 /// Pool-fed TM enqueue/dequeue churn across 16 outputs; ops = packets.
-Sample run_tm_loop(std::uint64_t seed, bool quick) {
+Sample run_tm_loop(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   const std::uint64_t iters = quick ? 50'000 : 1'000'000;
   tm::TmConfig cfg;
   cfg.outputs = 16;
@@ -201,7 +210,7 @@ Sample run_tm_loop(std::uint64_t seed, bool quick) {
 }
 
 /// Cross-rack incast on a 2-leaf/2-spine ADCP fabric; ops = events.
-Sample run_leaf_spine(std::uint64_t seed, bool quick) {
+Sample run_leaf_spine(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   const std::uint32_t rounds = quick ? 2 : 10;
   sim::Simulator sim;
   topo::LeafSpineParams p;
@@ -229,9 +238,49 @@ Sample run_leaf_spine(std::uint64_t seed, bool quick) {
   return {now_ns(t0), executed};
 }
 
+/// The sharded engine on a 2-leaf/2-spine fabric: one cross-rack incast
+/// per round, run with ParallelSimulator(threads). Checks packet
+/// conservation and completion, so a silently broken barrier or mailbox
+/// fails the runner instead of just skewing the numbers. ops = events.
+Sample run_parallel_fabric(std::uint64_t seed, bool quick, unsigned threads) {
+  const std::uint32_t rounds = quick ? 2 : 10;
+  Sample out;
+  const auto t0 = Clock::now();
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    sim::ParallelSimulator psim(threads);
+    topo::LeafSpineParams p;
+    p.leaves = 2;
+    p.spines = 2;
+    p.hosts_per_leaf = 8;
+    p.ecmp_seed = seed;
+    topo::Network net(psim, p);
+    std::vector<workload::RackHost> hosts;
+    for (std::size_t i = 0; i < net.host_count(); ++i) {
+      hosts.push_back({&net.host(i), net.ip_of(i)});
+    }
+    workload::RackIncastParams inc;
+    inc.sink = r % static_cast<std::uint32_t>(hosts.size());
+    inc.senders = static_cast<std::uint32_t>(hosts.size() - 1);
+    inc.packets_per_sender = quick ? 4 : 16;
+    inc.flow_base = 70'000 + r * 1000;
+    workload::start_rack_incast(hosts, inc, 0);
+    out.ops += psim.run();
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(inc.senders) * inc.packets_per_sender;
+    if (net.total_host_rx_packets() != expected ||
+        net.total_host_tx_packets() !=
+            net.total_host_rx_packets() + net.total_host_link_drops() +
+                net.total_trunk_drops()) {
+      out.ok = false;
+    }
+  }
+  out.ns = now_ns(t0);
+  return out;
+}
+
 // --- harness --------------------------------------------------------------
 
-using ScenarioFn = Sample (*)(std::uint64_t seed, bool quick);
+using ScenarioFn = Sample (*)(std::uint64_t seed, bool quick, unsigned threads);
 
 struct Scenario {
   const char* name;
@@ -246,6 +295,7 @@ constexpr Scenario kScenarios[] = {
     {"parser_loop", run_parser_loop, "packet"},
     {"tm_loop", run_tm_loop, "packet"},
     {"leaf_spine", run_leaf_spine, "event"},
+    {"parallel_fabric", run_parallel_fabric, "event"},
 };
 
 struct Result {
@@ -329,7 +379,7 @@ int main(int argc, char** argv) {
         if (next_job >= jobs.size()) return;
         j = next_job++;
       }
-      const Sample s = jobs[j].sc->fn(jobs[j].seed, opt.quick);
+      const Sample s = jobs[j].sc->fn(jobs[j].seed, opt.quick, opt.threads);
       std::lock_guard<std::mutex> lk(mu);
       samples[static_cast<std::size_t>(jobs[j].sc - kScenarios)].push_back(s);
     }
@@ -340,8 +390,9 @@ int main(int argc, char** argv) {
   for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
-  // Aggregate: total ops / total ns per scenario.
+  // Aggregate: total ops / total ns per scenario; collect failures.
   std::vector<Result> results;
+  std::vector<std::string> failed;
   for (std::size_t i = 0; i < std::size(kScenarios); ++i) {
     if (samples[i].empty()) continue;
     Result r;
@@ -351,6 +402,7 @@ int main(int argc, char** argv) {
     for (const Sample& s : samples[i]) {
       ns += s.ns;
       r.total_ops += s.ops;
+      if (!s.ok && (failed.empty() || failed.back() != r.name)) failed.push_back(r.name);
     }
     r.ns_per_op = ns / static_cast<double>(r.total_ops);
     r.ops_per_sec = 1e9 / r.ns_per_op;
@@ -374,5 +426,9 @@ int main(int argc, char** argv) {
     sc.gauge("runs").set(static_cast<double>(r.runs));
     sc.gauge("total_ops").set(static_cast<double>(r.total_ops));
   }
-  return adcp::bench::write_report(report, "kernel", opt.out) ? 0 : 1;
+  const bool wrote = adcp::bench::write_report(report, "kernel", opt.out);
+  for (const std::string& name : failed) {
+    std::fprintf(stderr, "scenario '%s' reported a failed run\n", name.c_str());
+  }
+  return failed.empty() && wrote ? 0 : 1;
 }

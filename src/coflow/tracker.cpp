@@ -1,9 +1,12 @@
 #include "coflow/tracker.hpp"
 
+#include <algorithm>
+
 namespace adcp::coflow {
 
 void CoflowTracker::start(const CoflowDescriptor& descriptor, sim::Time start) {
   Entry e;
+  const std::lock_guard<std::mutex> lock(mu_);
   e.record.descriptor = descriptor;
   e.record.start = start;
   for (const FlowSpec& f : descriptor.flows) {
@@ -14,6 +17,7 @@ void CoflowTracker::start(const CoflowDescriptor& descriptor, sim::Time start) {
 }
 
 void CoflowTracker::deliver(CoflowId coflow, FlowId flow, std::uint64_t bytes, sim::Time when) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(coflow);
   if (it == records_.end()) return;
   Entry& e = it->second;
@@ -26,11 +30,16 @@ void CoflowTracker::deliver(CoflowId coflow, FlowId flow, std::uint64_t bytes, s
   e.record.delivered_bytes += bytes;
   if (p.seen == p.expected) {
     --e.incomplete_flows;
-    maybe_finish(e, when);
+    // Order-independent finish: the max completion time over all flows,
+    // not "the delivery that happened to run last" — parallel shards may
+    // complete different flows in any wall-clock order.
+    e.last_completion = std::max(e.last_completion, when);
+    maybe_finish(e);
   }
 }
 
 void CoflowTracker::set_expected_packets(CoflowId coflow, FlowId flow, std::uint64_t packets) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(coflow);
   if (it == records_.end()) return;
   Entry& e = it->second;
@@ -45,11 +54,13 @@ void CoflowTracker::set_expected_packets(CoflowId coflow, FlowId flow, std::uint
 }
 
 const CoflowRecord* CoflowTracker::record(CoflowId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second.record;
 }
 
 bool CoflowTracker::all_complete() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, e] : records_) {
     if (!e.record.complete()) return false;
   }
@@ -57,6 +68,7 @@ bool CoflowTracker::all_complete() const {
 }
 
 std::vector<sim::Time> CoflowTracker::completion_times() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<sim::Time> out;
   for (const auto& [id, e] : records_) {
     if (e.record.complete()) out.push_back(e.record.completion_time());
@@ -64,8 +76,8 @@ std::vector<sim::Time> CoflowTracker::completion_times() const {
   return out;
 }
 
-void CoflowTracker::maybe_finish(Entry& e, sim::Time when) {
-  if (e.incomplete_flows == 0 && !e.record.finish) e.record.finish = when;
+void CoflowTracker::maybe_finish(Entry& e) {
+  if (e.incomplete_flows == 0 && !e.record.finish) e.record.finish = e.last_completion;
 }
 
 }  // namespace adcp::coflow

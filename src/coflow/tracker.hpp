@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,13 @@ struct CoflowRecord {
 };
 
 /// Observes packet deliveries and decides coflow completion.
+///
+/// Thread-safe for the sharded parallel runs: sink hosts on different
+/// shards deliver concurrently, so the mutators take an internal mutex and
+/// the finish time is defined order-independently as the maximum per-flow
+/// completion time (identical to the sequential value, where deliveries
+/// arrive in nondecreasing simulation time). Readers are meant for after
+/// the run (or from a single thread).
 class CoflowTracker {
  public:
   /// Starts tracking `descriptor` as of `start`. Expected packet counts
@@ -59,10 +67,12 @@ class CoflowTracker {
     CoflowRecord record;
     std::unordered_map<FlowId, FlowProgress> flows;
     std::uint64_t incomplete_flows = 0;
+    sim::Time last_completion = 0;  ///< max completion time over finished flows
   };
 
-  void maybe_finish(Entry& e, sim::Time when);
+  void maybe_finish(Entry& e);
 
+  mutable std::mutex mu_;
   std::unordered_map<CoflowId, Entry> records_;
 };
 

@@ -135,6 +135,7 @@ Snapshot MetricRegistry::snapshot() const {
         e.count = m.histogram->count();
         e.p50 = m.histogram->quantile(0.5);
         e.p99 = m.histogram->quantile(0.99);
+        e.hist_samples = m.histogram->samples();
         break;
     }
     snap.entries_.push_back(std::move(e));
@@ -155,6 +156,81 @@ void MetricRegistry::reset() {
 }
 
 // ------------------------------------------------------------- Snapshot --
+
+void Snapshot::merge(const Snapshot& other) {
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    const bool take_left = j >= other.entries_.size() ||
+                           (i < entries_.size() && entries_[i].name < other.entries_[j].name);
+    const bool take_right = i >= entries_.size() ||
+                            (j < other.entries_.size() && other.entries_[j].name < entries_[i].name);
+    if (take_left) {
+      merged.push_back(std::move(entries_[i++]));
+      continue;
+    }
+    if (take_right) {
+      merged.push_back(other.entries_[j++]);
+      continue;
+    }
+    // Same name on both sides: combine.
+    Entry e = std::move(entries_[i++]);
+    const Entry& o = other.entries_[j++];
+    if (e.kind != o.kind) {
+      std::fprintf(stderr, "Snapshot::merge: '%s' is %s on one side, %s on the other\n",
+                   e.name.c_str(), std::string(metric_kind_name(e.kind)).c_str(),
+                   std::string(metric_kind_name(o.kind)).c_str());
+      std::abort();
+    }
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        e.count += o.count;
+        e.value = static_cast<double>(e.count);
+        break;
+      case MetricKind::kGauge:
+        e.value += o.value;
+        e.count = 1;
+        break;
+      case MetricKind::kSummary: {
+        const std::uint64_t n = e.count + o.count;
+        if (o.count > 0) {
+          if (e.count == 0) {
+            e.value = o.value;
+            e.min = o.min;
+            e.max = o.max;
+          } else {
+            e.value = (e.value * static_cast<double>(e.count) +
+                       o.value * static_cast<double>(o.count)) /
+                      static_cast<double>(n);
+            e.min = std::min(e.min, o.min);
+            e.max = std::max(e.max, o.max);
+          }
+        }
+        e.count = n;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        if (o.count > 0) {
+          Histogram h;
+          h.reserve(e.hist_samples.size() + o.hist_samples.size());
+          for (const double s : e.hist_samples) h.record(s);
+          Histogram tail;
+          for (const double s : o.hist_samples) tail.record(s);
+          h.merge(tail);
+          e.value = h.mean();
+          e.count = h.count();
+          e.p50 = h.quantile(0.5);
+          e.p99 = h.quantile(0.99);
+          e.hist_samples = h.samples();
+        }
+        break;
+      }
+    }
+    merged.push_back(std::move(e));
+  }
+  entries_ = std::move(merged);
+}
 
 const Snapshot::Entry* Snapshot::find(std::string_view name) const {
   // entries_ is sorted by name; binary search keeps lookups cheap for the

@@ -89,6 +89,9 @@ class Snapshot {
     std::uint64_t count = 0;     // sample count (counter: the count itself)
     double min = 0.0, max = 0.0; // summary only
     double p50 = 0.0, p99 = 0.0; // histogram only
+    // Raw histogram samples, retained so merge() can recompute exact
+    // quantiles instead of averaging percentiles. Not exported.
+    std::vector<double> hist_samples;
   };
 
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
@@ -101,6 +104,19 @@ class Snapshot {
   /// "name,kind,value,count,min,max,p50,p99\n" rows in sorted-name order.
   [[nodiscard]] std::string to_csv() const;
   bool write_json(const std::string& path, std::string_view bench_label = {}) const;
+
+  /// Deterministic name-sorted union-merge of another snapshot into this
+  /// one, used to combine per-shard registries after a parallel run (and by
+  /// the sequential exporter path to fold multiple registries into one
+  /// report). An entry present on only one side is copied verbatim (byte-
+  /// stable); when both sides carry the name the kinds must agree and:
+  ///   - counters sum exactly (uint64 arithmetic),
+  ///   - gauges add,
+  ///   - summaries combine count-weighted (mean/min/max/count),
+  ///   - histograms concatenate their retained samples via Histogram::merge
+  ///     and recompute mean/p50/p99 from the merged sample set, so the
+  ///     quantiles are exact, not percentile averages.
+  void merge(const Snapshot& other);
 
  private:
   friend class MetricRegistry;

@@ -1,0 +1,183 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace adcp::sim {
+
+// ---------------------------------------------------------------- Mailbox --
+
+Mailbox::Mailbox(std::size_t src_shard, std::size_t dst_shard, Time latency,
+                 std::size_t capacity)
+    : src_(src_shard), dst_(dst_shard), latency_(latency) {
+  assert(latency > 0 && "zero-latency channels admit no conservative lookahead");
+  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(capacity, 2));
+  ring_.resize(cap);
+  mask_ = cap - 1;
+}
+
+void Mailbox::drain(std::vector<Arrival>& out, std::uint32_t id) {
+  std::uint32_t seq = 0;
+  std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  for (; head != tail; ++head) {
+    Envelope& e = ring_[head & mask_];
+    out.emplace_back();
+    Arrival& a = out.back();
+    a.at = e.at;
+    a.mailbox = id;
+    a.seq = seq++;
+    a.fn = std::move(e.fn);
+  }
+  head_.store(head, std::memory_order_release);
+  // Overflow only fills after the ring; draining it second preserves FIFO.
+  for (Envelope& e : overflow_) {
+    out.emplace_back();
+    Arrival& a = out.back();
+    a.at = e.at;
+    a.mailbox = id;
+    a.seq = seq++;
+    a.fn = std::move(e.fn);
+  }
+  overflow_.clear();
+}
+
+// ------------------------------------------------------ ParallelSimulator --
+
+ParallelSimulator::ParallelSimulator(unsigned threads)
+    : threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())) {}
+
+ParallelSimulator::~ParallelSimulator() { stop_workers(); }
+
+Simulator& ParallelSimulator::add_shard() {
+  shards_.push_back(std::make_unique<Shard>());
+  return shards_.back()->sim;
+}
+
+Mailbox& ParallelSimulator::add_mailbox(std::size_t src, std::size_t dst, Time latency) {
+  assert(src < shards_.size() && dst < shards_.size());
+  mailboxes_.push_back(std::make_unique<Mailbox>(src, dst, latency));
+  lookahead_ = std::min(lookahead_, latency);
+  return *mailboxes_.back();
+}
+
+Time ParallelSimulator::now() const {
+  Time t = 0;
+  for (const auto& sh : shards_) t = std::max(t, sh->sim.now());
+  return t;
+}
+
+std::uint64_t ParallelSimulator::run() {
+  const unsigned want = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, std::max<std::size_t>(shards_.size(), 1)));
+  if (want > 1 && workers_.empty()) {
+    pool_size_ = want;
+    start_workers();
+  }
+  const std::uint64_t before = executed_;
+  for (;;) {
+    drain_and_inject();
+    Time start = kNoEventTime;
+    for (const auto& sh : shards_) {
+      // next_event_time() prunes stale heap entries; between barriers the
+      // coordinator is the only thread touching shard state.
+      start = std::min(start, sh->sim.next_event_time());
+    }
+    if (start == kNoEventTime) break;
+    Time end = kNoEventTime;  // no mailboxes: one window runs everything
+    if (lookahead_ != kNoEventTime && start < kNoEventTime - lookahead_) {
+      end = start + lookahead_;
+    }
+    run_epoch(end);
+    epochs_.add();
+  }
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->executed;
+  executed_ = total;
+  return total - before;
+}
+
+void ParallelSimulator::run_epoch(Time end) {
+  if (workers_.empty()) {
+    for (auto& sh : shards_) sh->executed += sh->sim.run_window(end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch_end_ = end;
+    remaining_ = pool_size_;
+    ++epoch_gen_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return remaining_ == 0; });
+}
+
+void ParallelSimulator::drain_and_inject() {
+  arrivals_.clear();
+  for (std::uint32_t b = 0; b < mailboxes_.size(); ++b) {
+    mailboxes_[b]->drain(arrivals_, b);
+  }
+  if (arrivals_.empty()) return;
+  // (time, mailbox, fifo seq) is a strict total order, so plain sort is
+  // deterministic; mailbox ids follow trunk creation order.
+  std::sort(arrivals_.begin(), arrivals_.end(),
+            [](const Mailbox::Arrival& a, const Mailbox::Arrival& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.mailbox != b.mailbox) return a.mailbox < b.mailbox;
+              return a.seq < b.seq;
+            });
+  messages_.add(arrivals_.size());
+  for (Mailbox::Arrival& a : arrivals_) {
+    shards_[mailboxes_[a.mailbox]->dst_shard()]->sim.at(a.at, std::move(a.fn));
+  }
+  arrivals_.clear();
+}
+
+void ParallelSimulator::start_workers() {
+  shutdown_ = false;
+  workers_.reserve(pool_size_);
+  for (unsigned w = 0; w < pool_size_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void ParallelSimulator::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  pool_size_ = 0;
+}
+
+void ParallelSimulator::worker_main(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time end = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return shutdown_ || epoch_gen_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_gen_;
+      end = epoch_end_;
+    }
+    // Static shard -> worker assignment: results never depend on which
+    // worker ran what, but a fixed stride keeps cache residency stable.
+    for (std::size_t s = index; s < shards_.size(); s += pool_size_) {
+      shards_[s]->executed += shards_[s]->sim.run_window(end);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --remaining_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace adcp::sim

@@ -1,0 +1,187 @@
+// Conservative parallel discrete-event driver: shards on a worker pool.
+//
+// A ParallelSimulator owns N independent sequential Simulators (one shard
+// per switch plus its attached hosts — the topo layer decides the cut) and
+// advances them in lock-step epochs:
+//
+//   1. The coordinator picks the next window [T, T + L) where T is the
+//      earliest pending event across all shards and L (the lookahead) is
+//      the minimum latency across all registered cross-shard mailboxes.
+//   2. Every worker runs its shards through Simulator::run_window(T + L),
+//      firing only events with timestamp < T + L. A cross-shard send made
+//      at time t inside the window arrives at t + latency >= T + L, so by
+//      construction no event can land inside the window it was sent from —
+//      shards never need to roll back (classic conservative PDES, with the
+//      trunk propagation delay playing the lookahead role).
+//   3. At the barrier the coordinator drains every mailbox and re-injects
+//      the arrivals in (time, mailbox_id, fifo_seq) order, then loops.
+//
+// Determinism contract: shard assignment, epoch boundaries, and injection
+// order depend only on the topology and the event timeline — never on the
+// worker count or on thread scheduling — so a run with any --threads value
+// executes the same events at the same timestamps and produces bit-stable
+// results. Worker threads touch only their own shards between barriers;
+// the barrier's mutex gives the coordinator-worker happens-before edges.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::sim {
+
+/// One cross-shard channel (one direction of one trunk). Single producer —
+/// the source shard's worker, during an epoch — and single consumer — the
+/// coordinator, at the barrier. The fixed-capacity ring is lock-free
+/// (acquire/release on the tail); in the rare case the ring fills inside
+/// one epoch, envelopes spill to an overflow vector that the consumer only
+/// reads at the barrier, where the pool mutex already orders memory.
+class Mailbox {
+ public:
+  struct Envelope {
+    Time at = 0;
+    Simulator::Callback fn;
+  };
+
+  Mailbox(std::size_t src_shard, std::size_t dst_shard, Time latency,
+          std::size_t capacity = 1024);
+
+  /// Producer side: enqueue `fn` to run at absolute time `at` in the
+  /// destination shard. FIFO order is preserved across the ring/overflow
+  /// boundary (once one envelope overflows, the rest of the epoch's do too).
+  template <typename F>
+  void push(Time at, F&& fn) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (!overflow_.empty() ||
+        tail - head_.load(std::memory_order_acquire) == ring_.size()) {
+      overflow_.emplace_back();
+      overflow_.back().at = at;
+      overflow_.back().fn = std::forward<F>(fn);
+      return;
+    }
+    Envelope& e = ring_[tail & mask_];
+    e.at = at;
+    e.fn = std::forward<F>(fn);
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t src_shard() const { return src_; }
+  [[nodiscard]] std::size_t dst_shard() const { return dst_; }
+  [[nodiscard]] Time latency() const { return latency_; }
+
+ private:
+  friend class ParallelSimulator;
+
+  struct Arrival {
+    Time at = 0;
+    std::uint32_t mailbox = 0;  ///< creation index: trunk order, a-side first
+    std::uint32_t seq = 0;      ///< FIFO position within the mailbox
+    Simulator::Callback fn;
+  };
+
+  /// Consumer side (coordinator, at a barrier): moves every pending
+  /// envelope into `out` tagged with this mailbox's id and FIFO position.
+  void drain(std::vector<Arrival>& out, std::uint32_t id);
+
+  std::size_t src_;
+  std::size_t dst_;
+  Time latency_;
+  std::vector<Envelope> ring_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::vector<Envelope> overflow_;
+};
+
+/// The sharded driver. Build shards and mailboxes first (single-threaded),
+/// then run(); construction never starts threads, and `threads == 1` runs
+/// the whole epoch loop on the calling thread with no pool at all.
+class ParallelSimulator {
+ public:
+  /// `threads == 0` means hardware_concurrency; the effective pool size is
+  /// additionally capped by the shard count at run() time.
+  explicit ParallelSimulator(unsigned threads = 0);
+  ~ParallelSimulator();
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  /// Adds one shard and returns its private sequential Simulator. Must not
+  /// be called while run() is executing.
+  Simulator& add_shard();
+  [[nodiscard]] Simulator& shard(std::size_t i) { return shards_[i]->sim; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Registers a cross-shard channel with the given minimum latency (> 0).
+  /// The epoch length is the minimum latency over all mailboxes, so every
+  /// channel's real latency must be >= the value declared here.
+  Mailbox& add_mailbox(std::size_t src, std::size_t dst, Time latency);
+
+  /// Runs every shard to global quiescence (all heaps and mailboxes
+  /// empty). Returns the total number of events executed, summed over
+  /// shards. The count is identical for every worker count; against a
+  /// monolithic Simulator::run() of the same schedule it can differ by a
+  /// few idle-wake events (components that coalesce same-tick wakes see a
+  /// different — equally valid — tie order), while every observable output
+  /// (timestamps, deliveries, metrics) is bit-identical.
+  std::uint64_t run();
+
+  /// Timestamp of the last executed event across all shards (max of the
+  /// shard clocks). After run() this equals the monolithic final now().
+  [[nodiscard]] Time now() const;
+
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] Time lookahead() const { return lookahead_; }
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_.value(); }
+
+  /// The driver's own observability (parallel.epochs, parallel.messages).
+  /// Kept in a private registry so experiment snapshots stay bit-identical
+  /// to the sequential path.
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Shard {
+    Simulator sim;
+    std::uint64_t executed = 0;
+  };
+
+  void run_epoch(Time end);
+  void drain_and_inject();
+  void start_workers();
+  void stop_workers();
+  void worker_main(unsigned index);
+
+  unsigned threads_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Time lookahead_ = kNoEventTime;  ///< min mailbox latency; kNoEventTime = unbounded
+  std::uint64_t executed_ = 0;
+  std::vector<Mailbox::Arrival> arrivals_;  ///< barrier scratch, reused
+
+  MetricRegistry metrics_;
+  Counter& epochs_ = metrics_.counter("parallel.epochs");
+  Counter& messages_ = metrics_.counter("parallel.messages");
+
+  // Worker pool (created lazily on the first multi-threaded run()).
+  std::vector<std::thread> workers_;
+  unsigned pool_size_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_gen_ = 0;
+  Time epoch_end_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+
+  static constexpr Time kNoEventTime = Simulator::kNoEventTime;
+};
+
+}  // namespace adcp::sim

@@ -155,4 +155,28 @@ std::uint64_t Simulator::run_until(Time deadline) {
   return executed;
 }
 
+Time Simulator::next_event_time() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slot(top.slot).gen != top.gen) {
+      heap_pop_front();
+      --stale_;
+      continue;
+    }
+    return top.at;
+  }
+  return kNoEventTime;
+}
+
+std::uint64_t Simulator::run_window(Time end) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!stopped_) {
+    const Time t = next_event_time();
+    if (t == kNoEventTime || t >= end) break;
+    if (step()) ++executed;
+  }
+  return executed;
+}
+
 }  // namespace adcp::sim

@@ -49,6 +49,11 @@ class EventHandle {
   /// after firing; periodic tasks stay active until cancelled).
   [[nodiscard]] bool active() const;
 
+  /// Slab identity, exposed for generation-check tests and debugging: the
+  /// slot index may be recycled by later schedules, the generation never is.
+  [[nodiscard]] std::uint32_t slot() const { return slot_; }
+  [[nodiscard]] std::uint32_t generation() const { return gen_; }
+
  private:
   friend class Simulator;
   EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
@@ -105,6 +110,16 @@ class Simulator {
   /// `now() + phase` (default: one full period from now). Returns a handle
   /// that cancels all future firings. The task occupies one slab slot for
   /// its whole life and is rescheduled in place — no per-firing allocation.
+  ///
+  /// FIFO guarantee for `phase == 0`: the first firing is scheduled at
+  /// `now()` but, like every equal-timestamp tie, it fires in scheduling
+  /// order — strictly after all events that were already scheduled at
+  /// `now()` when every() was called (including events the currently
+  /// running callback scheduled before it). Subsequent firings are
+  /// rescheduled from inside step() with a fresh sequence number, so an
+  /// `every(p)` task fires after one-shots scheduled at the same future
+  /// timestamp by earlier callbacks, exactly as if each firing had been
+  /// re-issued by hand when the previous one ran.
   template <typename F>
   EventHandle every(Time period, F&& fn) {
     return every(period, period, std::forward<F>(fn));
@@ -127,7 +142,25 @@ class Simulator {
 
   /// Runs until simulation time would exceed `deadline` (events exactly at
   /// the deadline still run). Returns the number of events executed.
+  /// Afterwards now() == deadline even if the queue drained early.
   std::uint64_t run_until(Time deadline);
+
+  /// Returned by next_event_time() when no live event is scheduled.
+  static constexpr Time kNoEventTime = ~Time{0};
+
+  /// Timestamp of the earliest live event, or kNoEventTime if none.
+  /// Discards stale (cancelled) heap entries as a side effect.
+  [[nodiscard]] Time next_event_time();
+
+  /// Runs every event with timestamp strictly below `end` (a half-open
+  /// epoch window), then returns the number executed. Unlike run_until(),
+  /// now() is left at the last executed event — it is never bumped to the
+  /// window boundary — so after the final window now() is the time of the
+  /// last event that actually ran, exactly as a plain run() would leave it.
+  /// This is the per-shard primitive of the conservative parallel driver
+  /// (see parallel.hpp): with window length <= the minimum cross-shard
+  /// latency, no event scheduled during the window can land inside it.
+  std::uint64_t run_window(Time end);
 
   /// Executes the single earliest live event. Returns false if none remain.
   bool step();

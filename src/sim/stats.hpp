@@ -41,6 +41,11 @@ class Summary {
  public:
   void record(double x);
 
+  /// Folds another summary in (Chan et al.'s parallel Welford combine), as
+  /// if every sample of `other` had been record()ed here. Used to merge
+  /// per-shard summaries after a parallel run.
+  void merge(const Summary& other);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
@@ -71,6 +76,18 @@ class Histogram {
   /// Pre-sizes the sample buffer so record() stays allocation-free for the
   /// next `n` samples (zero-alloc warm paths reserve before measuring).
   void reserve(std::size_t n) { samples_.reserve(n); }
+
+  /// Appends every sample of `other`. Quantiles of the merged histogram are
+  /// order-independent (computed from the sorted sample set), so merging
+  /// per-shard histograms in shard order is deterministic.
+  void merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
+  /// Read-only view of the raw samples (insertion order until a quantile
+  /// call sorts the buffer in place).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
   /// q in [0, 1]; e.g. 0.5 = median, 0.99 = p99. Returns 0 when empty.
   [[nodiscard]] double quantile(double q) const;

@@ -70,10 +70,32 @@ Network::Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope sc
   finish_wiring();
 }
 
+Network::Network(sim::ParallelSimulator& psim, const LeafSpineParams& params) {
+  init_parallel(psim);
+  loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
+  build_leaf_spine(params);
+  finish_wiring();
+}
+
+Network::Network(sim::ParallelSimulator& psim, const FatTreeParams& params) {
+  init_parallel(psim);
+  loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
+  build_fat_tree(params);
+  finish_wiring();
+}
+
 void Network::init(sim::Simulator& sim, sim::Scope scope) {
   sim_ = &sim;
   scope_ = sim::resolve_scope(scope, own_metrics_, "topo");
   hops_ = &scope_.histogram("hops");
+}
+
+void Network::init_parallel(sim::ParallelSimulator& psim) {
+  psim_ = &psim;
+  // The network-level registry only carries the finalize_metrics() gauges;
+  // everything shard-owned lives in shard_regs_ and is folded back in by
+  // merged_snapshot().
+  scope_ = sim::resolve_scope({}, own_metrics_, "topo");
 }
 
 Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_count,
@@ -81,17 +103,68 @@ Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_cou
                                          std::size_t host_count, net::Link host_link,
                                          std::uint64_t loss_seed) {
   const std::size_t i = switches_.size();
-  sim::Scope sw_scope = scope_.scope("sw" + std::to_string(i));
+  sim::Simulator* sw_sim = sim_;
+  sim::Scope parent = scope_;
+  if (psim_ != nullptr) {
+    sw_sim = &psim_->add_shard();
+    shard_regs_.push_back(std::make_unique<sim::MetricRegistry>());
+    parent = shard_regs_.back()->scope("topo");
+    // Every shard registers the shared histogram name; merged_snapshot()
+    // folds the per-shard sample sets back into one "topo.hops".
+    shard_hops_.push_back(&parent.histogram("hops"));
+  }
+  sim::Scope sw_scope = parent.scope("sw" + std::to_string(i));
   SwitchSlot slot;
-  slot.device = make_switch(*sim_, kind, port_count, fib, sw_scope);
-  slot.fabric = std::make_unique<net::Fabric>(*sim_, *slot.device, host_link, loss_seed,
+  slot.device = make_switch(*sw_sim, kind, port_count, fib, sw_scope);
+  slot.fabric = std::make_unique<net::Fabric>(*sw_sim, *slot.device, host_link, loss_seed,
                                               sw_scope, host_count);
   slot.fib = std::move(fib);
   switches_.push_back(std::move(slot));
   return switches_.back();
 }
 
-Trunk& Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
+std::size_t Network::switch_index_of(const net::SwitchDevice* device) const {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i].device.get() == device) return i;
+  }
+  assert(false && "trunk endpoint is not a switch of this network");
+  return 0;
+}
+
+std::size_t Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
+  if (psim_ != nullptr) {
+    const std::size_t i = strunks_.size();
+    const std::size_t ai = switch_index_of(a.device);
+    const std::size_t bi = switch_index_of(b.device);
+    const std::string name = "topo.trunk" + std::to_string(i);
+    auto st = std::make_unique<ShardedTrunk>();
+    st->link = link;
+    // Mailbox ids follow trunk creation order, a-side first, so the
+    // barrier's (time, mailbox, seq) injection order is (time, trunk,
+    // direction, fifo) — fixed by the topology, not by thread timing.
+    st->ab.to = b;
+    st->ab.link = link;
+    st->ab.src_sim = &psim_->shard(ai);
+    st->ab.mailbox = &psim_->add_mailbox(ai, bi, link.propagation);
+    st->ab.rng = sim::Rng(tm::placement::mix(loss_seed_base_ ^ (2 * i)));
+    st->ab.drop_pool = &switches_[ai].fabric->pool();
+    sim::Scope sa = shard_regs_[ai]->scope(name);
+    st->ab.packets = &sa.counter("ab.packets");
+    st->ab.bytes = &sa.counter("ab.bytes");
+    st->ab.drops = &sa.counter("drops.link");
+    st->ba.to = a;
+    st->ba.link = link;
+    st->ba.src_sim = &psim_->shard(bi);
+    st->ba.mailbox = &psim_->add_mailbox(bi, ai, link.propagation);
+    st->ba.rng = sim::Rng(tm::placement::mix(loss_seed_base_ ^ (2 * i + 1)));
+    st->ba.drop_pool = &switches_[bi].fabric->pool();
+    sim::Scope sb = shard_regs_[bi]->scope(name);
+    st->ba.packets = &sb.counter("ba.packets");
+    st->ba.bytes = &sb.counter("ba.bytes");
+    st->ba.drops = &sb.counter("drops.link");
+    strunks_.push_back(std::move(st));
+    return i;
+  }
   const std::size_t i = trunks_.size();
   // Dropped trunk packets recycle into the pool of the lower-tier fabric
   // (the rack that sourced or will sink most of its traffic).
@@ -101,7 +174,22 @@ Trunk& Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
   }
   trunks_.push_back(std::make_unique<Trunk>(*sim_, a, b, link, &trunk_rng_, pool,
                                             scope_.scope("trunk" + std::to_string(i))));
-  return *trunks_.back();
+  return i;
+}
+
+void Network::ShardedHalf::forward(packet::Packet pkt) {
+  packets->add();
+  bytes->add(pkt.size());
+  if (link.loss_rate > 0.0 && rng.chance(link.loss_rate)) {
+    drops->add();
+    if (drop_pool != nullptr) drop_pool->release(std::move(pkt));
+    return;
+  }
+  Trunk::End* dst = &to;
+  mailbox->push(src_sim->now() + link.propagation,
+                [dst, pkt = std::move(pkt)]() mutable {
+                  dst->device->inject(dst->port, std::move(pkt));
+                });
 }
 
 void Network::build_leaf_spine(const LeafSpineParams& p) {
@@ -136,9 +224,9 @@ void Network::build_leaf_spine(const LeafSpineParams& p) {
   ecmp_groups_.resize(L);
   for (std::uint32_t l = 0; l < L; ++l) {
     for (std::uint32_t s = 0; s < S; ++s) {
-      Trunk& t = add_trunk({switches_[l].device.get(), H + s},
-                           {switches_[L + s].device.get(), l}, p.trunk_link);
-      ecmp_groups_[l].push_back(&t);
+      ecmp_groups_[l].push_back(add_trunk({switches_[l].device.get(), H + s},
+                                          {switches_[L + s].device.get(), l},
+                                          p.trunk_link));
     }
   }
 }
@@ -203,17 +291,17 @@ void Network::build_fat_tree(const FatTreeParams& p) {
   for (std::uint32_t pod = 0; pod < k; ++pod) {
     for (std::uint32_t e = 0; e < half; ++e) {
       for (std::uint32_t a = 0; a < half; ++a) {
-        Trunk& t = add_trunk({switches_[edge_index(pod, e)].device.get(), half + a},
-                             {switches_[agg_index(pod, a)].device.get(), e}, p.trunk_link);
-        ecmp_groups_[edge_index(pod, e)].push_back(&t);
+        ecmp_groups_[edge_index(pod, e)].push_back(
+            add_trunk({switches_[edge_index(pod, e)].device.get(), half + a},
+                      {switches_[agg_index(pod, a)].device.get(), e}, p.trunk_link));
       }
     }
     for (std::uint32_t i = 0; i < half; ++i) {
       for (std::uint32_t j = 0; j < half; ++j) {
-        Trunk& t = add_trunk({switches_[agg_index(pod, i)].device.get(), half + j},
-                             {switches_[core_index(i, j)].device.get(), pod}, p.trunk_link);
         // agg_index already lands in [edges, 2*edges) — the agg group slab.
-        ecmp_groups_[agg_index(pod, i)].push_back(&t);
+        ecmp_groups_[agg_index(pod, i)].push_back(
+            add_trunk({switches_[agg_index(pod, i)].device.get(), half + j},
+                      {switches_[core_index(i, j)].device.get(), pod}, p.trunk_link));
       }
     }
   }
@@ -221,24 +309,40 @@ void Network::build_fat_tree(const FatTreeParams& p) {
 
 void Network::finish_wiring() {
   for (SwitchSlot& slot : switches_) {
-    std::vector<std::pair<Trunk*, int>> map(slot.device->port_count(), {nullptr, 0});
-    for (const auto& t : trunks_) {
-      if (t->a().device == slot.device.get()) map[t->a().port] = {t.get(), 0};
-      if (t->b().device == slot.device.get()) map[t->b().port] = {t.get(), 1};
-    }
-    slot.fabric->set_default_tx([map = std::move(map)](packet::PortId port,
-                                                       packet::Packet pkt) {
-      if (port < map.size() && map[port].first != nullptr) {
-        map[port].first->forward(map[port].second, std::move(pkt));
+    if (psim_ != nullptr) {
+      std::vector<ShardedHalf*> map(slot.device->port_count(), nullptr);
+      for (const auto& st : strunks_) {
+        if (st->ba.to.device == slot.device.get()) map[st->ba.to.port] = &st->ab;
+        if (st->ab.to.device == slot.device.get()) map[st->ab.to.port] = &st->ba;
       }
-    });
+      slot.fabric->set_default_tx([map = std::move(map)](packet::PortId port,
+                                                         packet::Packet pkt) {
+        if (port < map.size() && map[port] != nullptr) {
+          map[port]->forward(std::move(pkt));
+        }
+      });
+    } else {
+      std::vector<std::pair<Trunk*, int>> map(slot.device->port_count(), {nullptr, 0});
+      for (const auto& t : trunks_) {
+        if (t->a().device == slot.device.get()) map[t->a().port] = {t.get(), 0};
+        if (t->b().device == slot.device.get()) map[t->b().port] = {t.get(), 1};
+      }
+      slot.fabric->set_default_tx([map = std::move(map)](packet::PortId port,
+                                                         packet::Packet pkt) {
+        if (port < map.size() && map[port].first != nullptr) {
+          map[port].first->forward(map[port].second, std::move(pkt));
+        }
+      });
+    }
   }
 
   // Hop-count probe: the routing programs decrement the wire TTL once per
   // switch, so a delivered packet's hop count is kIncInitialTtl - ttl.
-  for (SwitchSlot& slot : switches_) {
-    for (net::Host& h : slot.fabric->hosts()) {
-      h.add_rx_callback([hist = hops_](net::Host&, const packet::Packet& pkt) {
+  // Parallel mode records into the receiving host's shard histogram.
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    sim::Histogram* hist = psim_ != nullptr ? shard_hops_[i] : hops_;
+    for (net::Host& h : switches_[i].fabric->hosts()) {
+      h.add_rx_callback([hist](net::Host&, const packet::Packet& pkt) {
         if (pkt.size() >= packet::kEthernetBytes + packet::kIpv4Bytes &&
             pkt.data.read(12, 2) == packet::kEtherTypeIpv4) {
           const std::uint64_t ttl = pkt.data.read(packet::kEthernetBytes + 8, 1);
@@ -254,6 +358,47 @@ void Network::finish_wiring() {
 net::Host& Network::host(std::size_t i) {
   const auto [sw, local] = host_loc_.at(i);
   return switches_[sw].fabric->host(local);
+}
+
+sim::Simulator& Network::sim_of_host(std::size_t i) {
+  return sim_of_switch(host_loc_.at(i).first);
+}
+
+sim::Simulator& Network::sim_of_switch(std::size_t i) {
+  assert(i < switches_.size());
+  return psim_ != nullptr ? psim_->shard(i) : *sim_;
+}
+
+std::uint64_t Network::trunk_packets(std::size_t i, int side) const {
+  if (psim_ != nullptr) {
+    const ShardedTrunk& st = *strunks_.at(i);
+    return (side == 0 ? st.ab.packets : st.ba.packets)->value();
+  }
+  return trunks_.at(i)->packets(side);
+}
+
+std::uint64_t Network::trunk_bytes(std::size_t i, int side) const {
+  if (psim_ != nullptr) {
+    const ShardedTrunk& st = *strunks_.at(i);
+    return (side == 0 ? st.ab.bytes : st.ba.bytes)->value();
+  }
+  return trunks_.at(i)->bytes(side);
+}
+
+sim::Histogram Network::merged_hops() const {
+  sim::Histogram out;
+  if (psim_ != nullptr) {
+    for (const sim::Histogram* h : shard_hops_) out.merge(*h);
+  } else {
+    out.merge(*hops_);
+  }
+  return out;
+}
+
+sim::Snapshot Network::merged_snapshot() const {
+  sim::Snapshot snap = scope_.registry()->snapshot();
+  for (const auto& reg : shard_regs_) snap.merge(reg->snapshot());
+  return snap;
 }
 
 void Network::set_tracker(coflow::CoflowTracker* tracker) {
@@ -292,17 +437,26 @@ std::uint64_t Network::total_host_link_drops() const {
 
 std::uint64_t Network::total_trunk_drops() const {
   std::uint64_t total = 0;
-  for (const auto& t : trunks_) total += t->drops();
+  if (psim_ != nullptr) {
+    for (const auto& st : strunks_) total += st->ab.drops->value() + st->ba.drops->value();
+  } else {
+    for (const auto& t : trunks_) total += t->drops();
+  }
   return total;
 }
 
 void Network::finalize_metrics() {
-  const sim::Time elapsed = sim_->now();
+  const sim::Time elapsed = psim_ != nullptr ? psim_->now() : sim_->now();
+  const auto utilization = [&](std::size_t i, int side) {
+    const net::Link& link = psim_ != nullptr ? strunks_[i]->link : trunks_[i]->link();
+    if (elapsed == 0 || link.gbps <= 0.0) return 0.0;
+    const double bits = static_cast<double>(trunk_bytes(i, side)) * 8.0;
+    return bits * 1000.0 / (link.gbps * static_cast<double>(elapsed));
+  };
   double max_util = 0.0;
-  for (std::size_t i = 0; i < trunks_.size(); ++i) {
-    const Trunk& t = *trunks_[i];
-    const double ab = t.utilization(0, elapsed);
-    const double ba = t.utilization(1, elapsed);
+  for (std::size_t i = 0; i < trunk_count(); ++i) {
+    const double ab = utilization(i, 0);
+    const double ba = utilization(i, 1);
     sim::Scope ts = scope_.scope("trunk" + std::to_string(i));
     ts.gauge("ab.utilization").set(ab);
     ts.gauge("ba.utilization").set(ba);
@@ -317,9 +471,9 @@ void Network::finalize_metrics() {
     if (group.empty()) continue;
     std::uint64_t total = 0;
     std::uint64_t peak = 0;
-    for (const Trunk* t : group) {
-      total += t->packets(0);
-      peak = std::max(peak, t->packets(0));
+    for (const std::size_t t : group) {
+      total += trunk_packets(t, 0);
+      peak = std::max(peak, trunk_packets(t, 0));
     }
     if (total == 0) continue;
     const double mean = static_cast<double>(total) / static_cast<double>(group.size());

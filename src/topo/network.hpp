@@ -29,6 +29,7 @@
 
 #include "net/host.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "topo/routing.hpp"
 #include "topo/trunk.hpp"
@@ -68,8 +69,28 @@ class Network {
  public:
   Network(sim::Simulator& sim, const LeafSpineParams& params, sim::Scope scope = {});
   Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope scope = {});
+
+  /// Sharded construction for conservative-parallel runs: every switch and
+  /// its attached hosts get a private shard (Simulator + MetricRegistry +
+  /// packet pool) on `psim`, and each trunk direction becomes a cross-shard
+  /// mailbox whose latency is the trunk's propagation delay (the
+  /// conservative lookahead). Drive the run with psim.run(); read results
+  /// through merged_snapshot()/merged_hops()/finalize_metrics(), which
+  /// reproduce the sequential path's metric names and (for lossless
+  /// trunks) bit-identical values — same final time, same snapshot bytes;
+  /// only the executed-event count may differ from the monolithic build by
+  /// a few coalesced idle-wakes (see ParallelSimulator::run). Lossy trunks
+  /// stay deterministic for any worker count but draw from per-direction
+  /// RNG streams, so their drop patterns differ from the sequential
+  /// shared-stream ones.
+  Network(sim::ParallelSimulator& psim, const LeafSpineParams& params);
+  Network(sim::ParallelSimulator& psim, const FatTreeParams& params);
+
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// True when built on a ParallelSimulator (shard-per-switch mode).
+  [[nodiscard]] bool parallel() const { return psim_ != nullptr; }
 
   [[nodiscard]] std::size_t host_count() const { return host_loc_.size(); }
   /// Host by global index; leaf_spine orders leaf-major (host g lives on
@@ -82,8 +103,20 @@ class Network {
   [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
   net::SwitchDevice& device(std::size_t i) { return *switches_.at(i).device; }
   net::Fabric& fabric(std::size_t i) { return *switches_.at(i).fabric; }
-  [[nodiscard]] std::size_t trunk_count() const { return trunks_.size(); }
+  [[nodiscard]] std::size_t trunk_count() const {
+    return psim_ != nullptr ? strunks_.size() : trunks_.size();
+  }
+  /// Sequential mode only (sharded trunks have no Trunk object; use the
+  /// trunk_packets/trunk_bytes accessors, which work in both modes).
   Trunk& trunk(std::size_t i) { return *trunks_.at(i); }
+  [[nodiscard]] std::uint64_t trunk_packets(std::size_t i, int side) const;
+  [[nodiscard]] std::uint64_t trunk_bytes(std::size_t i, int side) const;
+
+  /// The Simulator that owns host/switch `i`'s events: the shared one in
+  /// sequential mode, the owning shard in parallel mode (workloads must
+  /// schedule a host's sends on its own shard).
+  [[nodiscard]] sim::Simulator& sim_of_host(std::size_t i);
+  [[nodiscard]] sim::Simulator& sim_of_switch(std::size_t i);
 
   /// Installs `tracker` on every host of every rack.
   void set_tracker(coflow::CoflowTracker* tracker);
@@ -91,12 +124,28 @@ class Network {
   void reset_hosts();
 
   /// The registry everything reports into (shared when an attached scope
-  /// was passed, private otherwise).
+  /// was passed, private otherwise). In parallel mode this is only the
+  /// network-level gauge registry; use merged_snapshot() for the full view.
   [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
   [[nodiscard]] const sim::Scope& scope() const { return scope_; }
   /// Hop count of every delivered IPv4 packet ("topo.hops"). reserve() it
-  /// before a zero-allocation measuring window.
+  /// before a zero-allocation measuring window. Sequential mode only; the
+  /// parallel equivalent is merged_hops().
   [[nodiscard]] sim::Histogram& hops() { return *hops_; }
+  /// All shards' hop samples folded into one histogram (sequential mode:
+  /// a copy of hops()).
+  [[nodiscard]] sim::Histogram merged_hops() const;
+
+  /// One deterministic snapshot covering the whole fabric. Sequential
+  /// mode: the registry's snapshot. Parallel mode: the per-shard registry
+  /// snapshots folded with Snapshot::merge in shard order, plus the
+  /// network-level gauges — same metric names, and for lossless trunks the
+  /// same adcp-metrics-v1 bytes, as the sequential path.
+  [[nodiscard]] sim::Snapshot merged_snapshot() const;
+  /// Per-shard registry (parallel mode), indexed by switch.
+  [[nodiscard]] sim::MetricRegistry& shard_metrics(std::size_t i) {
+    return *shard_regs_.at(i);
+  }
 
   // Aggregate accounting for conservation checks (tx == rx + drops).
   [[nodiscard]] std::uint64_t total_host_tx_packets() const;
@@ -118,32 +167,68 @@ class Network {
     std::shared_ptr<ForwardingTable> fib;
   };
 
+  /// One direction of a cross-shard trunk: counters live in the sending
+  /// shard's registry, the loss lottery draws a private per-direction
+  /// stream, drops recycle into the sending shard's pool, and delivery
+  /// goes through the trunk's mailbox instead of a local event — exactly
+  /// one scheduled event per forwarded packet, like Trunk::forward.
+  struct ShardedHalf {
+    Trunk::End to;
+    net::Link link;
+    sim::Simulator* src_sim = nullptr;
+    sim::Mailbox* mailbox = nullptr;
+    sim::Rng rng{0};
+    packet::Pool* drop_pool = nullptr;
+    sim::Counter* packets = nullptr;
+    sim::Counter* bytes = nullptr;
+    sim::Counter* drops = nullptr;
+
+    void forward(packet::Packet pkt);
+  };
+
+  /// A trunk cut by the shard boundary: ab carries side-0 (upward)
+  /// traffic, ba side-1.
+  struct ShardedTrunk {
+    ShardedHalf ab;
+    ShardedHalf ba;
+    net::Link link;
+  };
+
   void init(sim::Simulator& sim, sim::Scope scope);
+  void init_parallel(sim::ParallelSimulator& psim);
   void build_leaf_spine(const LeafSpineParams& p);
   void build_fat_tree(const FatTreeParams& p);
   /// Creates switch i (device + fabric with `host_count` hosts) and loads
-  /// the tier's routing program for `fib`.
+  /// the tier's routing program for `fib`. In parallel mode the switch is
+  /// built on a fresh shard with a fresh registry.
   SwitchSlot& add_switch(SwitchKind kind, std::uint32_t port_count,
                          std::shared_ptr<ForwardingTable> fib, std::size_t host_count,
                          net::Link host_link, std::uint64_t loss_seed);
   /// Creates trunk i between two switch ports; `a` must be the lower tier
-  /// (side 0 = upward traffic, the direction ECMP spreads).
-  Trunk& add_trunk(Trunk::End a, Trunk::End b, net::Link link);
+  /// (side 0 = upward traffic, the direction ECMP spreads). Returns the
+  /// trunk index (valid in both modes).
+  std::size_t add_trunk(Trunk::End a, Trunk::End b, net::Link link);
   /// After all switches and trunks exist: point every switch's hostless
   /// TX ports at its trunks and hook the hop-count probe on every host.
   void finish_wiring();
+  [[nodiscard]] std::size_t switch_index_of(const net::SwitchDevice* device) const;
 
   sim::Simulator* sim_ = nullptr;
+  sim::ParallelSimulator* psim_ = nullptr;
+  std::uint64_t loss_seed_base_ = 0;  // per-direction RNG streams (parallel)
   // Declared before scope_, which may register through it.
   std::unique_ptr<sim::MetricRegistry> own_metrics_;
   sim::Scope scope_;
   sim::Rng trunk_rng_{0};
   std::vector<SwitchSlot> switches_;
-  std::vector<std::unique_ptr<Trunk>> trunks_;
+  std::vector<std::unique_ptr<Trunk>> trunks_;            // sequential mode
+  std::vector<std::unique_ptr<ShardedTrunk>> strunks_;    // parallel mode
+  std::vector<std::unique_ptr<sim::MetricRegistry>> shard_regs_;  // parallel mode
   std::vector<std::uint32_t> host_ip_;  // global host index -> address
   std::vector<std::pair<std::uint32_t, std::uint32_t>> host_loc_;  // -> (switch, local)
-  std::vector<std::vector<Trunk*>> ecmp_groups_;  // uplink fan-outs (side 0)
-  sim::Histogram* hops_ = nullptr;  // registry-owned
+  std::vector<std::vector<std::size_t>> ecmp_groups_;  // uplink fan-outs (trunk indices)
+  sim::Histogram* hops_ = nullptr;       // registry-owned (sequential mode)
+  std::vector<sim::Histogram*> shard_hops_;  // one per shard (parallel mode)
 };
 
 }  // namespace adcp::topo

@@ -126,7 +126,7 @@ void RackAllReduce::attach(std::span<RackHost> hosts, sim::Simulator& sim,
     hosts_[w].host->add_rx_callback([this](net::Host&, const packet::Packet& pkt) {
       packet::IncHeader inc;
       if (packet::decode_inc(pkt, inc) && inc.coflow_id == params_.bcast_coflow) {
-        ++bcast_received_;
+        bcast_received_.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }

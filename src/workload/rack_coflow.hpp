@@ -16,6 +16,7 @@
 // path (no reordering).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -89,6 +90,11 @@ class RackAllReduce {
 
   /// Installs the PS completion hook and per-worker broadcast counters.
   /// `tracker` (optional) receives both coflows' start/deliver events.
+  /// On a sharded Network pass the PS host's own shard
+  /// (`net.sim_of_host(params.ps)`): the broadcast fires from the PS's rx
+  /// callback, so its sends must land on the PS's simulator. The reduce
+  /// counter stays PS-shard-confined; the broadcast counter is atomic
+  /// because every worker shard's sink increments it.
   void attach(std::span<RackHost> hosts, sim::Simulator& sim,
               coflow::CoflowTracker* tracker = nullptr);
 
@@ -96,12 +102,14 @@ class RackAllReduce {
   void start(sim::Time when = 0);
 
   [[nodiscard]] std::uint64_t reduce_received() const { return reduce_received_; }
-  [[nodiscard]] std::uint64_t broadcast_received() const { return bcast_received_; }
+  [[nodiscard]] std::uint64_t broadcast_received() const {
+    return bcast_received_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool broadcast_started() const { return broadcast_started_; }
   [[nodiscard]] bool complete() const {
     const std::uint64_t expected =
         static_cast<std::uint64_t>(params_.workers.size()) * params_.packets_per_worker();
-    return broadcast_started_ && bcast_received_ >= expected;
+    return broadcast_started_ && broadcast_received() >= expected;
   }
 
  private:
@@ -111,9 +119,9 @@ class RackAllReduce {
   std::vector<RackHost> hosts_;
   sim::Simulator* sim_ = nullptr;
   coflow::CoflowTracker* tracker_ = nullptr;
-  std::uint64_t reduce_received_ = 0;
-  std::uint64_t bcast_received_ = 0;
-  bool broadcast_started_ = false;
+  std::uint64_t reduce_received_ = 0;  ///< PS-shard-confined
+  std::atomic<std::uint64_t> bcast_received_{0};  ///< one increment per worker shard
+  bool broadcast_started_ = false;     ///< PS-shard-confined
 };
 
 }  // namespace adcp::workload
