@@ -15,7 +15,14 @@
 // final time and adcp-metrics-v1 snapshot hash, and records wall-clock
 // times + speedup in BENCH_parallel.json.
 //
-// Usage: bench_leaf_spine [--quick] [--out PATH]
+// --trace-out PATH arms packet-span tracing (every flow sampled) and
+// writes the merged Chrome trace-event JSON there (open in
+// ui.perfetto.dev). The legacy two-tier bench traces the ADCP fabric; the
+// parallel bench traces both engines, folds "trace bytes identical" into
+// the determinism verdict, writes the sharded run's trace, and drops the
+// PDES busy/barrier self-profile next to it as PATH.pdes.json.
+//
+// Usage: bench_leaf_spine [--quick] [--out PATH] [--trace-out PATH]
 //                         [--scale leaf_spine|fat_tree_4] [--threads N]
 #include <chrono>
 #include <cstdio>
@@ -28,6 +35,7 @@
 #include "coflow/tracker.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "topo/network.hpp"
 #include "workload/rack_coflow.hpp"
 
@@ -51,13 +59,14 @@ struct FabricResult {
   std::uint64_t events = 0;
 };
 
-FabricResult run_fabric(topo::SwitchKind kind, bool quick) {
+FabricResult run_fabric(topo::SwitchKind kind, bool quick, const std::string& trace_out) {
   sim::Simulator sim;
   topo::LeafSpineParams p;
   p.leaves = 4;
   p.spines = 2;
   p.hosts_per_leaf = 16;
   p.kind = kind;
+  if (!trace_out.empty()) p.trace.sample_every = 1;
   topo::Network net(sim, p);
 
   std::vector<workload::RackHost> hosts;
@@ -111,6 +120,13 @@ FabricResult run_fabric(topo::SwitchKind kind, bool quick) {
   r.host_rx = net.total_host_rx_packets();
   r.drops = net.total_host_link_drops() + net.total_trunk_drops();
   for (std::size_t i = 0; i < net.host_count(); ++i) r.reordered += net.host(i).rx_reordered();
+  if (!trace_out.empty()) {
+    if (sim::write_text_file(trace_out, sim::spans_to_perfetto(net.span_buffers()))) {
+      std::printf("wrote %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    }
+  }
   return r;
 }
 
@@ -131,6 +147,9 @@ struct ScaleResult {
   std::uint64_t hash = 0;
   double wall_ms = 0;
   bool complete = false;
+  std::string trace;       ///< Perfetto JSON when tracing was requested
+  std::string pdes_trace;  ///< PDES busy/barrier profile (parallel only)
+  sim::Snapshot pdes;      ///< engine self-profile metrics (parallel only)
 };
 
 workload::RackAllReduceParams scale_allreduce(std::size_t host_count, bool quick) {
@@ -164,11 +183,15 @@ ScaleResult run_scale(topo::Network& net, sim::Simulator& ps_sim, bool quick, Ru
   r.complete = allreduce.complete();
   net.finalize_metrics();
   r.hash = fnv1a(net.merged_snapshot().to_json("scale"));
+  if (net.trace_config().enabled()) {
+    r.trace = sim::spans_to_perfetto(net.span_buffers());
+  }
   return r;
 }
 
 template <typename Params>
-ScaleResult run_scale_monolithic(const Params& p, bool quick) {
+ScaleResult run_scale_monolithic(Params p, bool quick, bool trace) {
+  if (trace) p.trace.sample_every = 1;
   sim::Simulator sim;
   topo::Network net(sim, p);
   ScaleResult r = run_scale(net, sim, quick, [&] { return sim.run(); });
@@ -177,47 +200,78 @@ ScaleResult run_scale_monolithic(const Params& p, bool quick) {
 }
 
 template <typename Params>
-ScaleResult run_scale_parallel(const Params& p, bool quick, unsigned threads) {
+ScaleResult run_scale_parallel(Params p, bool quick, unsigned threads, bool trace) {
+  if (trace) p.trace.sample_every = 1;
   sim::ParallelSimulator psim(threads);
+  if (trace) psim.enable_profile_spans();
   topo::Network net(psim, p);
   ScaleResult r = run_scale(net, net.sim_of_host(0), quick, [&] { return psim.run(); });
   r.now = psim.now();
+  r.pdes = psim.metrics().snapshot();
+  if (trace) {
+    // Wall-clock ns, not simulated ps: 1e-3 puts the track in microseconds.
+    r.pdes_trace = sim::spans_to_perfetto({&psim.profile_spans()}, 1e-3);
+  }
   return r;
 }
 
 int run_parallel_bench(const std::string& scale, unsigned threads, bool quick,
-                       const std::string& out) {
+                       const std::string& out, const std::string& trace_out) {
   const bool fat = scale == "fat_tree_4";
   if (!fat && scale != "leaf_spine") {
     std::fprintf(stderr, "unknown --scale '%s' (leaf_spine | fat_tree_4)\n", scale.c_str());
     return 2;
   }
+  const bool trace = !trace_out.empty();
 
-  ScaleResult mono, par;
+  // Tracing determinism compares the sharded engine against itself at
+  // --threads 1, not against the monolithic run: sequential-vs-sharded
+  // same-tick ties may legally interleave differently (see
+  // ParallelSimulator::run()), which per-packet spans expose even though
+  // every aggregate metric agrees.
+  ScaleResult mono, par, par1;
+  const auto run_all = [&](auto p) {
+    mono = run_scale_monolithic(p, quick, trace);
+    par = run_scale_parallel(p, quick, threads, trace);
+    if (trace) par1 = run_scale_parallel(p, quick, 1, trace);
+  };
   if (fat) {
     topo::FatTreeParams p;
     p.k = 4;
-    mono = run_scale_monolithic(p, quick);
-    par = run_scale_parallel(p, quick, threads);
+    run_all(p);
   } else {
     topo::LeafSpineParams p;
     p.leaves = 4;
     p.spines = 2;
     p.hosts_per_leaf = 16;
-    mono = run_scale_monolithic(p, quick);
-    par = run_scale_parallel(p, quick, threads);
+    run_all(p);
   }
 
-  const bool deterministic = mono.now == par.now && mono.hash == par.hash;
+  const bool trace_match = !trace || par1.trace == par.trace;
+  const bool deterministic = mono.now == par.now && mono.hash == par.hash && trace_match;
   const double speedup = par.wall_ms > 0 ? mono.wall_ms / par.wall_ms : 0.0;
   std::printf("parallel scaling: %s allreduce, threads=%u\n", scale.c_str(), threads);
   std::printf("  monolithic: %8.2f ms  %9llu events\n", mono.wall_ms,
               static_cast<unsigned long long>(mono.events));
   std::printf("  sharded:    %8.2f ms  %9llu events\n", par.wall_ms,
               static_cast<unsigned long long>(par.events));
-  std::printf("  speedup %.2fx; final time + snapshot hash %s\n", speedup,
-              deterministic ? "match" : "DIVERGE");
+  std::printf("  speedup %.2fx; final time + snapshot hash%s %s\n", speedup,
+              trace ? " + trace bytes (t1 vs tN)" : "", deterministic ? "match" : "DIVERGE");
   if (!mono.complete || !par.complete) std::fprintf(stderr, "allreduce did not complete!\n");
+
+  if (trace) {
+    if (sim::write_text_file(trace_out, par.trace)) {
+      std::printf("wrote %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    }
+    const std::string pdes_path = trace_out + ".pdes.json";
+    if (sim::write_text_file(pdes_path, par.pdes_trace)) {
+      std::printf("wrote %s\n", pdes_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", pdes_path.c_str());
+    }
+  }
 
   sim::MetricRegistry report;
   report.gauge("config.quick").set(quick ? 1.0 : 0.0);
@@ -229,7 +283,13 @@ int run_parallel_bench(const std::string& scale, unsigned threads, bool quick,
   s.gauge("monolithic.events").set(static_cast<double>(mono.events));
   s.gauge("parallel.events").set(static_cast<double>(par.events));
   s.gauge("determinism.match").set(deterministic ? 1.0 : 0.0);
-  adcp::bench::write_report(report, "parallel", out);
+  if (trace) s.gauge("determinism.trace_match").set(trace_match ? 1.0 : 0.0);
+  // Fold the engine's self-profile (pdes.shard<i>.busy_ns/idle_ns/
+  // barrier_wait_ns, pdes.mailbox.occupancy) into the report; the wall-
+  // clock values are nondeterministic, which is fine here — wall_ms is too.
+  sim::Snapshot snap = report.snapshot();
+  snap.merge(par.pdes);
+  adcp::bench::write_report(snap, "parallel", out);
   return deterministic && mono.complete && par.complete ? 0 : 1;
 }
 
@@ -238,17 +298,19 @@ int run_parallel_bench(const std::string& scale, unsigned threads, bool quick,
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out;
+  std::string trace_out;
   std::string scale = "leaf_spine";
   unsigned threads = 0;  // 0 = legacy two-tier bench, no parallel engine
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) trace_out = argv[++i];
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) scale = argv[++i];
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
     }
   }
-  if (threads > 0) return run_parallel_bench(scale, threads, quick, out);
+  if (threads > 0) return run_parallel_bench(scale, threads, quick, out, trace_out);
 
   std::printf("leaf–spine fabric (4 leaves x 16 hosts, 2 spines): cross-rack coflows\n\n");
   std::printf("%-6s %-14s %-12s %-12s %-14s %-10s %-10s %-10s %-10s\n", "tier",
@@ -262,7 +324,9 @@ int main(int argc, char** argv) {
   } tiers[] = {{"rmt", topo::SwitchKind::kRmt}, {"adcp", topo::SwitchKind::kAdcp}};
   bool conserved = true;
   for (const auto& tier : tiers) {
-    const FabricResult r = run_fabric(tier.kind, quick);
+    // Only the ADCP tier (the paper's subject) gets traced in legacy mode.
+    const bool adcp_tier = tier.kind == topo::SwitchKind::kAdcp;
+    const FabricResult r = run_fabric(tier.kind, quick, adcp_tier ? trace_out : "");
     std::printf("%-6s %-14.2f %-12.2f %-12.2f %-14.2f %-10.1f %-10.3f %-10.3f %-10llu\n",
                 tier.name, r.incast_cct_us, r.reduce_cct_us, r.bcast_cct_us,
                 r.allreduce_total_us, r.hops_p50, r.ecmp_imbalance, r.trunk_max_util,

@@ -13,19 +13,27 @@
 
 namespace adcp::bench {
 
-/// Snapshots `registry` and writes BENCH_<name>.json (or `path` when given)
-/// tagged with the bench name. Returns false (and says so) if the file
-/// cannot be written — benches keep their stdout report either way.
-inline bool write_report(const sim::MetricRegistry& registry, const std::string& name,
+/// Writes an already-assembled snapshot as BENCH_<name>.json (or `path`
+/// when given) tagged with the bench name. Returns false (and says so) if
+/// the file cannot be written — benches keep their stdout report either
+/// way. Use this overload when the report merges several registries (e.g.
+/// the parallel bench folding the engine's PDES self-profile in).
+inline bool write_report(const sim::Snapshot& snap, const std::string& name,
                          std::string path = {}) {
   if (path.empty()) path = "BENCH_" + name + ".json";
-  const bool ok = registry.snapshot().write_json(path, name);
+  const bool ok = snap.write_json(path, name);
   if (ok) {
     std::printf("wrote %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
   }
   return ok;
+}
+
+/// Snapshots `registry` and writes it via the overload above.
+inline bool write_report(const sim::MetricRegistry& registry, const std::string& name,
+                         std::string path = {}) {
+  return write_report(registry.snapshot(), name, std::move(path));
 }
 
 }  // namespace adcp::bench

@@ -8,7 +8,11 @@
 //
 // Usage:
 //   bench_runner [--quick] [--scenario NAME] [--threads N] [--repeat N]
-//                [--out FILE]
+//                [--out FILE] [--trace-out FILE]
+//
+// --trace-out runs one extra (untimed) leaf-spine incast with packet-span
+// tracing armed on every flow and writes the Chrome trace-event JSON to
+// FILE (open in ui.perfetto.dev).
 //
 // Scenarios: event_kernel, rmt_all_to_all, adcp_all_to_all, parser_loop,
 // tm_loop, leaf_spine, parallel_fabric (default: all).
@@ -38,6 +42,7 @@
 #include "rmt/rmt_switch.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "tm/traffic_manager.hpp"
 #include "topo/network.hpp"
 #include "workload/rack_coflow.hpp"
@@ -53,6 +58,7 @@ struct Options {
   unsigned threads = std::max(1u, std::thread::hardware_concurrency());
   unsigned repeat = 3;
   std::string out = "BENCH_kernel.json";
+  std::string trace_out;  // empty = no trace capture
 };
 
 /// One timed run: `ops` operations took `ns` nanoseconds. `ok == false`
@@ -278,6 +284,35 @@ Sample run_parallel_fabric(std::uint64_t seed, bool quick, unsigned threads) {
   return out;
 }
 
+/// The --trace-out capture: one untimed 2-leaf/2-spine cross-rack incast
+/// with every flow sampled, exported as Chrome trace-event JSON.
+bool write_trace_capture(const std::string& path, bool quick) {
+  sim::Simulator sim;
+  topo::LeafSpineParams p;
+  p.leaves = 2;
+  p.spines = 2;
+  p.hosts_per_leaf = 8;
+  p.trace.sample_every = 1;
+  topo::Network net(sim, p);
+  std::vector<workload::RackHost> hosts;
+  for (std::size_t i = 0; i < net.host_count(); ++i) {
+    hosts.push_back({&net.host(i), net.ip_of(i)});
+  }
+  workload::RackIncastParams inc;
+  inc.sink = 0;
+  inc.senders = static_cast<std::uint32_t>(hosts.size() - 1);
+  inc.packets_per_sender = quick ? 4 : 16;
+  workload::start_rack_incast(hosts, inc, sim.now());
+  sim.run();
+  const bool ok = sim::write_text_file(path, sim::spans_to_perfetto(net.span_buffers()));
+  if (ok) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+  return ok;
+}
+
 // --- harness --------------------------------------------------------------
 
 using ScenarioFn = Sample (*)(std::uint64_t seed, bool quick, unsigned threads);
@@ -310,7 +345,7 @@ struct Result {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--scenario NAME] [--threads N] "
-               "[--repeat N] [--out FILE]\n",
+               "[--repeat N] [--out FILE] [--trace-out FILE]\n",
                argv0);
   return 2;
 }
@@ -340,6 +375,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opt.out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.trace_out = v;
     } else {
       return usage(argv[0]);
     }
@@ -427,8 +466,9 @@ int main(int argc, char** argv) {
     sc.gauge("total_ops").set(static_cast<double>(r.total_ops));
   }
   const bool wrote = adcp::bench::write_report(report, "kernel", opt.out);
+  const bool traced = opt.trace_out.empty() || write_trace_capture(opt.trace_out, opt.quick);
   for (const std::string& name : failed) {
     std::fprintf(stderr, "scenario '%s' reported a failed run\n", name.c_str());
   }
-  return failed.empty() && wrote ? 0 : 1;
+  return failed.empty() && wrote && traced ? 0 : 1;
 }

@@ -25,6 +25,7 @@ AdcpSwitch::AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config, sim::Scope
       config_(config),
       scope_(sim::resolve_scope(scope, own_metrics_, "core")),
       metrics_(scope_),
+      spans_(scope_.span_recorder()),
       pool_(4096, scope_.scope("pool")) {
   pipeline::PipelineConfig pc;
   pc.stage_count = config.edge_stages;
@@ -116,6 +117,7 @@ void AdcpSwitch::inject(packet::PortId port, packet::Packet pkt) {
     rr_demux_[port] = (sub + 1) % config_.demux_factor;
   }
   const std::uint32_t edge_pipe = config_.edge_pipe_index(port, sub);
+  spans_.span(sim::SpanKind::kRx, pkt.meta.trace_id, start, free, port, pkt.size());
   sim_->at(free, [this, pkt = std::move(pkt), edge_pipe]() mutable {
     enter_ingress(std::move(pkt), edge_pipe);
   });
@@ -126,11 +128,14 @@ void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
   parser_->parse_into(pkt, pr);
   if (!pr.accepted) {
     metrics_.parse_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kParse));
     pool_.release(std::move(pkt));
     return;
   }
   pipeline::Pipeline& ingress = ingress_pipes_[edge_pipe];
   const pipeline::Transit tr = ingress.process(sim_->now(), pr.phv);
+  spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), tr.exit, edge_pipe);
   sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
                      consumed = pr.consumed]() mutable {
     after_ingress(std::move(phv), std::move(pkt), consumed);
@@ -149,6 +154,8 @@ packet::Packet AdcpSwitch::finalize(const packet::Phv& phv, packet::Packet origi
 void AdcpSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::size_t consumed) {
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kProgram));
     pool_.release(std::move(original));
     return;
   }
@@ -156,7 +163,15 @@ void AdcpSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::si
 
   // TM1: application-defined placement over the global partitioned area.
   const std::uint32_t cp = placement_(out) % config_.central_pipeline_count;
-  tm1_->enqueue(cp, 0, std::move(out));
+  const std::uint64_t trace_id = out.meta.trace_id;
+  out.meta.trace_mark = sim_->now();  // TM1 residency span begins here
+  if (!tm1_->enqueue(cp, 0, std::move(out))) {
+    spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kAdmission), cp);
+  } else {
+    spans_.instant(sim::SpanKind::kTmEnqueue, trace_id, sim_->now(),
+                   tm1_->output_packets(cp), cp);
+  }
   try_drain_central(cp);
 }
 
@@ -171,11 +186,15 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
   central_pending_[cp] = false;
   std::optional<packet::Packet> pkt = tm1_->dequeue(cp);
   if (!pkt) return;  // empty, or a strict merge is holding back
+  spans_.span(sim::SpanKind::kTmQueue, pkt->meta.trace_id, pkt->meta.trace_mark,
+              sim_->now(), cp);
 
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
     metrics_.parse_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt->meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kParse));
     pool_.release(std::move(*pkt));
     try_drain_central(cp);
     return;
@@ -184,6 +203,7 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
 
   pipeline::Pipeline& central = central_pipes_[cp];
   const pipeline::Transit tr = central.process(sim_->now(), pr.phv);
+  spans_.span(sim::SpanKind::kCentral, pkt->meta.trace_id, sim_->now(), tr.exit, cp);
   sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),
                      consumed = pr.consumed, cp]() mutable {
     after_central(std::move(phv), std::move(pkt), consumed, cp);
@@ -200,6 +220,8 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
   (void)cp;
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kProgram));
     pool_.release(std::move(original));
     return;
   }
@@ -210,6 +232,8 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
       metrics_.no_route_drops.add();
+      spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
+                     static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
       pool_.release(std::move(out));
       return;
     }
@@ -228,6 +252,8 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
                                           packet::kInvalidPort);
   if (egress >= config_.port_count) {
     metrics_.no_route_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
     pool_.release(std::move(out));
     return;
   }
@@ -248,7 +274,15 @@ void AdcpSwitch::route_to_egress(packet::Packet pkt) {
                                      config_.demux_factor);
   }
   const std::uint32_t edge_pipe = config_.edge_pipe_index(port, sub);
-  tm2_->enqueue(edge_pipe, 0, std::move(pkt));
+  const std::uint64_t trace_id = pkt.meta.trace_id;
+  pkt.meta.trace_mark = sim_->now();  // TM2 residency span begins here
+  if (!tm2_->enqueue(edge_pipe, 0, std::move(pkt))) {
+    spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kAdmission), edge_pipe);
+  } else {
+    spans_.instant(sim::SpanKind::kTmEnqueue, trace_id, sim_->now(),
+                   tm2_->output_packets(edge_pipe), edge_pipe);
+  }
   try_drain_egress(edge_pipe);
 }
 
@@ -275,11 +309,15 @@ void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
   if (in_flight_[port] >= kMaxInFlightPerPort) return;
   std::optional<packet::Packet> pkt = tm2_->dequeue(edge_pipe);
   if (!pkt) return;
+  spans_.span(sim::SpanKind::kTmQueue, pkt->meta.trace_id, pkt->meta.trace_mark,
+              sim_->now(), edge_pipe);
 
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
     metrics_.parse_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt->meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kParse));
     pool_.release(std::move(*pkt));
     try_drain_egress(edge_pipe);
     return;
@@ -288,6 +326,8 @@ void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
 
   pipeline::Pipeline& egress = egress_pipes_[edge_pipe];
   const pipeline::Transit tr = egress.process(sim_->now(), pr.phv);
+  spans_.span(sim::SpanKind::kEgress, pkt->meta.trace_id, sim_->now(), tr.exit, edge_pipe,
+              port);
   sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),
                      consumed = pr.consumed, edge_pipe]() mutable {
     after_egress(std::move(phv), std::move(pkt), consumed, edge_pipe);
@@ -305,6 +345,8 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
   const std::uint32_t port = config_.port_of_edge_pipe(edge_pipe);
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kProgram));
     pool_.release(std::move(original));
     kick_port_egress(port);
     return;
@@ -317,6 +359,7 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
   sim::Time& free = tx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
+  spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
   sim_->at(free, [this, out = std::move(out), port, edge_pipe]() mutable {
     metrics_.tx_packets.add();
     metrics_.tx_bytes.add(out.size());

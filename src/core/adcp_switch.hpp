@@ -139,6 +139,7 @@ class AdcpSwitch final : public net::SwitchDevice {
   std::unique_ptr<sim::MetricRegistry> own_metrics_;
   sim::Scope scope_;
   AdcpMetrics metrics_;
+  sim::SpanRecorder spans_;
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by the re-parse sites
   std::optional<packet::Parser> parser_;

@@ -11,12 +11,16 @@ sim::Time Host::send(packet::Packet pkt, sim::Time earliest) {
   metrics_.tx_packets.add();
   metrics_.tx_bytes.add(pkt.size());
   pkt.meta.ingress_port = port_;
+  spans_.span(sim::SpanKind::kHostTx, pkt.meta.trace_id, start, nic_free_, port_,
+              pkt.size());
 
   // The switch sees the first bit after propagation — unless the link
   // lottery eats the packet.
   const sim::Time arrival = start + link_.propagation;
   if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
     metrics_.link_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, arrival,
+                   static_cast<std::uint64_t>(sim::DropReason::kLink));
     if (pool_ != nullptr) pool_->release(std::move(pkt));
     return arrival;
   }
@@ -29,19 +33,32 @@ sim::Time Host::send(packet::Packet pkt, sim::Time earliest) {
 sim::Time Host::send_inc(const packet::IncPacketSpec& spec, sim::Time earliest) {
   packet::Packet pkt = pool_ != nullptr ? pool_->acquire() : packet::Packet{};
   packet::make_inc_packet_into(spec, pkt);
+  // Head-sampling decision point: the sending host is the only place that
+  // sees (flow, seq) before the packet fans out, so the trace id is stamped
+  // here once and carried across every later hop.
+  if (sampler_ != nullptr && sampler_->sampled(spec.inc.flow_id)) {
+    pkt.meta.trace_id = sampler_->trace_id(spec.inc.flow_id, spec.inc.seq);
+  }
   return send(std::move(pkt), earliest);
 }
 
 void Host::deliver_from_switch(packet::Packet pkt) {
   if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
     metrics_.link_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kLink));
     if (pool_ != nullptr) pool_->release(std::move(pkt));
     return;
   }
+  // Span begin rides in the packet (the [this, pkt] capture below fills the
+  // inline callback budget exactly; one more captured word would spill).
+  pkt.meta.trace_mark = sim_->now();
   sim_->after(link_.propagation, [this, pkt = std::move(pkt)]() mutable {
     metrics_.rx_packets.add();
     metrics_.rx_bytes.add(pkt.size());
     last_rx_ = sim_->now();
+    spans_.span(sim::SpanKind::kHostRx, pkt.meta.trace_id, pkt.meta.trace_mark,
+                sim_->now(), port_, pkt.size());
     if (pkt.size() > packet::kEthernetBytes + 1 &&
         pkt.data.read(12, 2) == packet::kEtherTypeIpv4 &&
         (pkt.data.read(packet::kEthernetBytes + 1, 1) & 0x3) == 0x3) {
@@ -93,6 +110,10 @@ Fabric::Fabric(sim::Simulator& sim, SwitchDevice& device, Link link, std::uint64
 
 void Fabric::set_tracker(coflow::CoflowTracker* tracker) {
   for (Host& h : hosts_) h.set_tracker(tracker);
+}
+
+void Fabric::set_trace_sampler(const sim::TraceSampler* sampler) {
+  for (Host& h : hosts_) h.set_trace_sampler(sampler);
 }
 
 }  // namespace adcp::net

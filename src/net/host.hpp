@@ -58,7 +58,8 @@ class Host {
        SwitchDevice& device, sim::Rng* rng = nullptr, packet::Pool* pool = nullptr,
        sim::Scope scope = {})
       : id_(id), port_(port), link_(link), sim_(&sim), device_(&device), rng_(rng),
-        pool_(pool), metrics_(sim::resolve_scope(scope, own_metrics_, "host")) {}
+        pool_(pool), scope_(sim::resolve_scope(scope, own_metrics_, "host")),
+        metrics_(scope_), spans_(scope_.span_recorder()) {}
 
   /// Queues `pkt` for transmission no earlier than `earliest`; the NIC
   /// serializes packets back to back at the link rate. Returns the time the
@@ -90,6 +91,10 @@ class Host {
   /// Adds an RX callback alongside existing ones (multi-tenant hosts: each
   /// application registers its own sink).
   void add_rx_callback(RxCallback cb) { rx_callbacks_.push_back(std::move(cb)); }
+
+  /// Attaches the fabric-wide head sampler; send_inc() stamps a trace id
+  /// on the packets of sampled flows. Null (the default) disables stamping.
+  void set_trace_sampler(const sim::TraceSampler* sampler) { sampler_ = sampler; }
   /// Attaches a (shared) coflow tracker that receives delivery events.
   void set_tracker(coflow::CoflowTracker* tracker) { tracker_ = tracker; }
 
@@ -127,9 +132,12 @@ class Host {
   coflow::CoflowTracker* tracker_ = nullptr;
 
   sim::Time nic_free_ = 0;
-  // Declared before metrics_ (fallback registry must exist first).
+  // Declared before scope_/metrics_ (fallback registry must exist first).
   std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
   HostMetrics metrics_;
+  sim::SpanRecorder spans_;
+  const sim::TraceSampler* sampler_ = nullptr;  // not owned; null = no stamping
   sim::Time last_rx_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> highest_seq_;  // flow -> seq
 };
@@ -157,6 +165,9 @@ class Fabric {
 
   /// Installs `tracker` on every host.
   void set_tracker(coflow::CoflowTracker* tracker);
+
+  /// Installs the head sampler on every host (see Host::set_trace_sampler).
+  void set_trace_sampler(const sim::TraceSampler* sampler);
 
   /// Receives TX packets on ports that carry no host (a topology builder
   /// points this at its trunk dispatch). Without a handler such packets are

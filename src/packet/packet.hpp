@@ -29,6 +29,14 @@ struct Metadata {
   bool recirc_request = false;
   std::uint64_t flow_id = 0;
   std::uint64_t coflow_id = 0;
+  /// Span-tracing id (see sim/span.hpp); 0 = unsampled. Assigned once at
+  /// the sending host by the deterministic head sampler and carried across
+  /// every hop (multicast copies share it).
+  std::uint64_t trace_id = 0;
+  /// Scratch timestamp for open spans that straddle an ownership transfer
+  /// (TM residency: stamped at enqueue, read at dequeue; host RX: stamped
+  /// at handoff, read at delivery). Only meaningful while trace_id != 0.
+  sim::Time trace_mark = 0;
   bool drop = false;
 
   /// Back to defaults; any spilled egress_ports capacity is kept so pooled
@@ -42,6 +50,8 @@ struct Metadata {
     recirc_request = false;
     flow_id = 0;
     coflow_id = 0;
+    trace_id = 0;
+    trace_mark = 0;
     drop = false;
   }
 };

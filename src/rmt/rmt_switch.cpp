@@ -26,6 +26,7 @@ RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config, sim::Scope sc
       config_(config),
       scope_(sim::resolve_scope(scope, own_metrics_, "rmt")),
       metrics_(scope_),
+      spans_(scope_.span_recorder()),
       pool_(4096, scope_.scope("pool")) {
   assert(config.port_count % config.pipeline_count == 0);
   pipeline::PipelineConfig pc;
@@ -80,6 +81,7 @@ void RmtSwitch::inject(packet::PortId port, packet::Packet pkt) {
   sim::Time& free = rx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(pkt.size(), config_.port_gbps);
+  spans_.span(sim::SpanKind::kRx, pkt.meta.trace_id, start, free, port, pkt.size());
   sim_->at(free, [this, pkt = std::move(pkt)]() mutable { enter_ingress(std::move(pkt)); });
 }
 
@@ -103,6 +105,8 @@ void RmtSwitch::enter_ingress(packet::Packet pkt) {
   parser_->parse_into(pkt, t->pr);
   if (!t->pr.accepted) {
     metrics_.parse_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kParse));
     pool_.release(std::move(pkt));
     transit_release(t);
     return;
@@ -112,6 +116,8 @@ void RmtSwitch::enter_ingress(packet::Packet pkt) {
   const std::uint32_t pipe = config_.pipeline_of_port(pkt.meta.ingress_port);
   pipeline::Pipeline& ingress = ingress_pipes_[pipe];
   const pipeline::Transit tr = ingress.process(sim_->now(), t->pr.phv);
+  spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), tr.exit, pipe,
+              pkt.meta.ingress_port);
   t->pkt = std::move(pkt);
   sim_->at(tr.exit, [this, t] { after_ingress(t); });
 }
@@ -129,6 +135,8 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
   const packet::Phv& phv = t->pr.phv;
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, t->pkt.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kProgram));
     pool_.release(std::move(t->pkt));
     transit_release(t);
     return;
@@ -147,10 +155,15 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
       metrics_.no_route_drops.add();
+      spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
+                     static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
       pool_.release(std::move(out));
       return;
     }
-    tm_->enqueue_multicast(it->second, 0, out);
+    out.meta.trace_mark = sim_->now();  // copies inherit it; read at dequeue
+    const std::size_t admitted = tm_->enqueue_multicast(it->second, 0, out);
+    spans_.instant(sim::SpanKind::kTmEnqueue, out.meta.trace_id, sim_->now(), admitted,
+                   it->second.size());
     pool_.release(std::move(out));  // replicas were copies; retire the template
     for (const packet::PortId p : it->second) try_drain(p);
     return;
@@ -158,12 +171,22 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
 
   if (egress >= config_.port_count) {
     metrics_.no_route_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
     pool_.release(std::move(out));
     return;
   }
   out.meta.egress_port = static_cast<packet::PortId>(egress);
   if (recirc_flag) out.meta.recirc_request = true;
-  tm_->enqueue(static_cast<std::uint32_t>(egress), 0, std::move(out));
+  const std::uint64_t trace_id = out.meta.trace_id;
+  out.meta.trace_mark = sim_->now();  // TM residency span begins here
+  if (!tm_->enqueue(static_cast<std::uint32_t>(egress), 0, std::move(out))) {
+    spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kAdmission), egress);
+  } else {
+    spans_.instant(sim::SpanKind::kTmEnqueue, trace_id, sim_->now(),
+                   tm_->output_packets(static_cast<std::uint32_t>(egress)), egress);
+  }
   try_drain(static_cast<packet::PortId>(egress));
 }
 
@@ -180,11 +203,15 @@ void RmtSwitch::drain(packet::PortId port) {
   if (in_flight_[port] >= kMaxInFlightPerPort) return;
   std::optional<packet::Packet> pkt = tm_->dequeue(port);
   if (!pkt) return;
+  spans_.span(sim::SpanKind::kTmQueue, pkt->meta.trace_id, pkt->meta.trace_mark,
+              sim_->now(), port);
 
   TransitSlot* t = transit_acquire();
   parser_->parse_into(*pkt, t->pr);
   if (!t->pr.accepted) {
     metrics_.parse_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt->meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kParse));
     pool_.release(std::move(*pkt));
     transit_release(t);
     try_drain(port);
@@ -196,6 +223,7 @@ void RmtSwitch::drain(packet::PortId port) {
   const std::uint32_t pipe = config_.pipeline_of_port(port);
   pipeline::Pipeline& egress = egress_pipes_[pipe];
   const pipeline::Transit tr = egress.process(sim_->now(), t->pr.phv);
+  spans_.span(sim::SpanKind::kEgress, pkt->meta.trace_id, sim_->now(), tr.exit, pipe, port);
   t->pkt = std::move(*pkt);
   t->port = port;
   sim_->at(tr.exit, [this, t] { after_egress(t); });
@@ -212,6 +240,8 @@ void RmtSwitch::after_egress(TransitSlot* t) {
   const packet::PortId port = t->port;
   if (t->pr.phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, t->pkt.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kProgram));
     pool_.release(std::move(t->pkt));
     transit_release(t);
     try_drain(port);
@@ -237,6 +267,7 @@ void RmtSwitch::after_egress(TransitSlot* t) {
   sim::Time& free = tx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
+  spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
   sim_->at(free, [this, out = std::move(out)]() mutable {
     const packet::PortId port = out.meta.egress_port;
     metrics_.tx_packets.add();
@@ -254,6 +285,8 @@ void RmtSwitch::recirculate(packet::Packet pkt, std::uint32_t pipe) {
   ++pkt.meta.recirculations;
   if (pkt.meta.recirculations > config_.max_recirculations) {
     metrics_.recirc_limit_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kRecircLimit));
     pool_.release(std::move(pkt));
     return;
   }
@@ -265,6 +298,8 @@ void RmtSwitch::recirculate(packet::Packet pkt, std::uint32_t pipe) {
   sim::Time& free = recirc_free_[pipe];
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(pkt.size(), config_.recirc_gbps);
+  spans_.span(sim::SpanKind::kRecirc, pkt.meta.trace_id, start, free, pipe,
+              pkt.meta.recirculations);
   pkt.meta.ingress_port = pipe * config_.ports_per_pipeline();
   sim_->at(free, [this, pkt = std::move(pkt)]() mutable { enter_ingress(std::move(pkt)); });
 }

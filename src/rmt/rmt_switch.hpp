@@ -146,6 +146,7 @@ class RmtSwitch final : public net::SwitchDevice {
   std::unique_ptr<sim::MetricRegistry> own_metrics_;
   sim::Scope scope_;
   RmtMetrics metrics_;
+  sim::SpanRecorder spans_;
   packet::Pool pool_;
   std::vector<std::unique_ptr<TransitSlot>> transit_slots_;  ///< owns every slot
   std::vector<TransitSlot*> transit_free_;                   ///< warm free list

@@ -19,6 +19,7 @@ RtcSwitch::RtcSwitch(sim::Simulator& sim, const RtcConfig& config, sim::Scope sc
       config_(config),
       scope_(sim::resolve_scope(scope, own_metrics_, "rtc")),
       metrics_(scope_),
+      spans_(scope_.span_recorder()),
       pool_(4096, scope_.scope("pool")) {
   rx_free_.assign(config.port_count, 0);
   tx_free_.assign(config.port_count, 0);
@@ -47,13 +48,18 @@ void RtcSwitch::inject(packet::PortId port, packet::Packet pkt) {
   sim::Time& free = rx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
   free = start + sim::serialization_time(pkt.size(), config_.port_gbps);
+  spans_.span(sim::SpanKind::kRx, pkt.meta.trace_id, start, free, port, pkt.size());
   sim_->at(free, [this, pkt = std::move(pkt)]() mutable {
     pkt.meta.arrival = sim_->now();  // fully received; enters the dispatcher
     if (dispatch_queue_.packets() >= config_.dispatch_queue_packets) {
       metrics_.queue_drops.add();
+      spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
+                     static_cast<std::uint64_t>(sim::DropReason::kAdmission));
       pool_.release(std::move(pkt));
       return;
     }
+    spans_.instant(sim::SpanKind::kTmEnqueue, pkt.meta.trace_id, sim_->now(),
+                   dispatch_queue_.packets() + 1);
     dispatch_queue_.push(std::move(pkt));
     try_dispatch();
   });
@@ -76,10 +82,13 @@ void RtcSwitch::try_dispatch() {
 
     packet::Packet pkt = *dispatch_queue_.pop();
     const sim::Time queued_at = pkt.meta.arrival;
+    spans_.span(sim::SpanKind::kTmQueue, pkt.meta.trace_id, queued_at, sim_->now());
     packet::ParseResult& pr = scratch_parse_;
     parser_->parse_into(pkt, pr);
     if (!pr.accepted) {
       metrics_.parse_drops.add();
+      spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
+                     static_cast<std::uint64_t>(sim::DropReason::kParse));
       pool_.release(std::move(pkt));
       continue;
     }
@@ -88,6 +97,8 @@ void RtcSwitch::try_dispatch() {
     const sim::Time busy = (work + config_.dispatch_cycles) *
                            sim::period_from_ghz(config_.clock_ghz);
     *it = sim_->now() + busy;
+    spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), *it,
+                static_cast<std::uint64_t>(it - proc_free_.begin()), work);
     sim_->at(*it, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
                    consumed = pr.consumed, queued_at]() mutable {
       finish(std::move(phv), std::move(pkt), consumed, queued_at);
@@ -101,6 +112,8 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
   metrics_.latency.record(static_cast<double>(sim_->now() - queued_at));
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
+    spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kProgram));
     pool_.release(std::move(original));
     return;
   }
@@ -119,6 +132,8 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
       metrics_.no_route_drops.add();
+      spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
+                     static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
       pool_.release(std::move(out));
       return;
     }
@@ -128,6 +143,8 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
         phv.get_or(packet::fields::kMetaEgressPort, packet::kInvalidPort);
     if (egress >= config_.port_count) {
       metrics_.no_route_drops.add();
+      spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
+                     static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
       pool_.release(std::move(out));
       return;
     }
@@ -140,6 +157,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     sim::Time& free = tx_free_[port];
     const sim::Time start = std::max(sim_->now(), free);
     free = start + sim::serialization_time(copy.size(), config_.port_gbps);
+    spans_.span(sim::SpanKind::kTx, copy.meta.trace_id, start, free, port, copy.size());
     sim_->at(free, [this, copy = std::move(copy), port]() mutable {
       metrics_.tx_packets.add();
       metrics_.tx_bytes.add(copy.size());

@@ -137,6 +137,7 @@ class RtcSwitch final : public net::SwitchDevice {
   std::unique_ptr<sim::MetricRegistry> own_metrics_;
   sim::Scope scope_;
   RtcMetrics metrics_;
+  sim::SpanRecorder spans_;
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by try_dispatch
   std::optional<packet::Parser> parser_;

@@ -74,6 +74,10 @@ Tracer Scope::tracer() const {
   return registry_ != nullptr ? registry_->tracer(prefix_) : Tracer{};
 }
 
+SpanRecorder Scope::span_recorder() const {
+  return registry_ != nullptr ? registry_->spans().recorder(prefix_) : SpanRecorder{};
+}
+
 Scope resolve_scope(const Scope& requested, std::unique_ptr<MetricRegistry>& own,
                     std::string_view fallback_prefix) {
   if (requested.attached()) return requested;
@@ -153,6 +157,7 @@ void MetricRegistry::reset() {
     }
   }
   trace_.clear();
+  spans_.clear();
 }
 
 // ------------------------------------------------------------- Snapshot --

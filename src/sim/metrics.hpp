@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
@@ -58,6 +59,12 @@ class Scope {
   /// Tracer writing rows tagged with this scope's prefix as the component
   /// column (see TraceLog).
   [[nodiscard]] Tracer tracer() const;
+
+  /// Span recorder bound to the registry's SpanBuffer under this scope's
+  /// prefix (see span.hpp). Detached scope -> detached (no-op) recorder.
+  /// Safe to call before the buffer is enabled: components intern their
+  /// names at construction, benches arm the flight recorder afterwards.
+  [[nodiscard]] SpanRecorder span_recorder() const;
 
  private:
   [[nodiscard]] std::string full(std::string_view name) const;
@@ -155,6 +162,11 @@ class MetricRegistry {
   [[nodiscard]] TraceLog& trace() { return trace_; }
   [[nodiscard]] const TraceLog& trace() const { return trace_; }
 
+  /// The registry's span flight recorder (disabled until
+  /// spans().enable(capacity); see span.hpp).
+  [[nodiscard]] SpanBuffer& spans() { return spans_; }
+  [[nodiscard]] const SpanBuffer& spans() const { return spans_; }
+
   [[nodiscard]] Snapshot snapshot() const;
 
   void reset();
@@ -164,6 +176,7 @@ class MetricRegistry {
 
   std::map<std::string, Metric, std::less<>> metrics_;
   TraceLog trace_;
+  SpanBuffer spans_;
 };
 
 /// Polls selected metrics every `period` picoseconds of simulated time into

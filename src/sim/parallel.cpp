@@ -3,6 +3,19 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
+#include <string>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
 
 namespace adcp::sim {
 
@@ -52,8 +65,14 @@ ParallelSimulator::ParallelSimulator(unsigned threads)
 ParallelSimulator::~ParallelSimulator() { stop_workers(); }
 
 Simulator& ParallelSimulator::add_shard() {
+  const std::string prefix = "pdes.shard" + std::to_string(shards_.size());
   shards_.push_back(std::make_unique<Shard>());
-  return shards_.back()->sim;
+  Shard& sh = *shards_.back();
+  sh.busy_ns = &metrics_.counter(prefix + ".busy_ns");
+  sh.idle_ns = &metrics_.counter(prefix + ".idle_ns");
+  sh.barrier_wait_ns = &metrics_.counter(prefix + ".barrier_wait_ns");
+  sh.profile = profile_spans_.recorder(prefix);
+  return sh.sim;
 }
 
 Mailbox& ParallelSimulator::add_mailbox(std::size_t src, std::size_t dst, Time latency) {
@@ -77,7 +96,9 @@ std::uint64_t ParallelSimulator::run() {
     start_workers();
   }
   const std::uint64_t before = executed_;
+  const Clock::time_point wall0 = Clock::now();
   for (;;) {
+    const Clock::time_point t0 = Clock::now();
     drain_and_inject();
     Time start = kNoEventTime;
     for (const auto& sh : shards_) {
@@ -90,7 +111,31 @@ std::uint64_t ParallelSimulator::run() {
     if (lookahead_ != kNoEventTime && start < kNoEventTime - lookahead_) {
       end = start + lookahead_;
     }
+    const Clock::time_point t1 = Clock::now();
     run_epoch(end);
+    const Clock::time_point t2 = Clock::now();
+
+    // Self-profile: every shard was idle while the coordinator drained and
+    // planned (t0..t1); inside the epoch (t1..t2) it was busy for its own
+    // run_window wall time and barrier-waiting for the rest. Wall-clock
+    // values never feed determinism-hashed snapshots (see metrics() doc).
+    const std::uint64_t coord_ns = elapsed_ns(t0, t1);
+    const std::uint64_t epoch_wall = elapsed_ns(t1, t2);
+    const Time epoch_origin = static_cast<Time>(elapsed_ns(wall0, t1));
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& sh = *shards_[i];
+      const std::uint64_t busy = std::min(sh.epoch_busy_ns, epoch_wall);
+      sh.busy_ns->add(busy);
+      sh.idle_ns->add(coord_ns);
+      sh.barrier_wait_ns->add(epoch_wall - busy);
+      if (profile_spans_.enabled()) {
+        const Time busy_end = epoch_origin + static_cast<Time>(busy);
+        sh.profile.span(SpanKind::kPdesBusy, i + 1, epoch_origin, busy_end);
+        sh.profile.span(SpanKind::kPdesBarrier, i + 1, busy_end,
+                        epoch_origin + static_cast<Time>(epoch_wall));
+      }
+      sh.epoch_busy_ns = 0;
+    }
     epochs_.add();
   }
   std::uint64_t total = 0;
@@ -101,7 +146,11 @@ std::uint64_t ParallelSimulator::run() {
 
 void ParallelSimulator::run_epoch(Time end) {
   if (workers_.empty()) {
-    for (auto& sh : shards_) sh->executed += sh->sim.run_window(end);
+    for (auto& sh : shards_) {
+      const Clock::time_point b0 = Clock::now();
+      sh->executed += sh->sim.run_window(end);
+      sh->epoch_busy_ns = elapsed_ns(b0, Clock::now());
+    }
     return;
   }
   {
@@ -118,7 +167,11 @@ void ParallelSimulator::run_epoch(Time end) {
 void ParallelSimulator::drain_and_inject() {
   arrivals_.clear();
   for (std::uint32_t b = 0; b < mailboxes_.size(); ++b) {
+    const std::size_t drained_from = arrivals_.size();
     mailboxes_[b]->drain(arrivals_, b);
+    if (arrivals_.size() > drained_from) {
+      mailbox_occ_.record(static_cast<double>(arrivals_.size() - drained_from));
+    }
   }
   if (arrivals_.empty()) return;
   // (time, mailbox, fifo seq) is a strict total order, so plain sort is
@@ -169,8 +222,12 @@ void ParallelSimulator::worker_main(unsigned index) {
     }
     // Static shard -> worker assignment: results never depend on which
     // worker ran what, but a fixed stride keeps cache residency stable.
+    // epoch_busy_ns is written here and read by the coordinator after the
+    // barrier; the mu_ handoff below gives the happens-before edge.
     for (std::size_t s = index; s < shards_.size(); s += pool_size_) {
+      const Clock::time_point b0 = Clock::now();
       shards_[s]->executed += shards_[s]->sim.run_window(end);
+      shards_[s]->epoch_busy_ns = elapsed_ns(b0, Clock::now());
     }
     {
       std::lock_guard<std::mutex> lk(mu_);

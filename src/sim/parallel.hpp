@@ -142,15 +142,38 @@ class ParallelSimulator {
   [[nodiscard]] Time lookahead() const { return lookahead_; }
   [[nodiscard]] std::uint64_t epochs() const { return epochs_.value(); }
 
-  /// The driver's own observability (parallel.epochs, parallel.messages).
-  /// Kept in a private registry so experiment snapshots stay bit-identical
-  /// to the sequential path.
+  /// The driver's own observability: parallel.epochs, parallel.messages,
+  /// plus the PDES self-profile — per-shard wall-clock accounting
+  /// ("pdes.shard<i>.busy_ns" inside run_window, ".idle_ns" while the
+  /// coordinator drains/plans, ".barrier_wait_ns" waiting on the slowest
+  /// shard) and the "pdes.mailbox.occupancy" histogram (messages drained
+  /// per non-empty mailbox per epoch). Wall-clock values are inherently
+  /// nondeterministic, so they are kept in this private registry — never
+  /// merged into experiment snapshots — to keep those bit-identical to the
+  /// sequential path.
   [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+
+  /// Arms the self-profile flight recorder: each epoch records one
+  /// kPdesBusy and one kPdesBarrier span per shard (component
+  /// "pdes.shard<i>", times in wall-clock ns since run() started; export
+  /// with spans_to_perfetto(..., 1e-3)). Off by default — profiling costs
+  /// two clock reads per shard per epoch either way, the spans only
+  /// memory.
+  void enable_profile_spans(std::size_t capacity = 1u << 14) {
+    profile_spans_.enable(capacity);
+  }
+  [[nodiscard]] SpanBuffer& profile_spans() { return profile_spans_; }
+  [[nodiscard]] const SpanBuffer& profile_spans() const { return profile_spans_; }
 
  private:
   struct Shard {
     Simulator sim;
     std::uint64_t executed = 0;
+    std::uint64_t epoch_busy_ns = 0;  ///< run_window wall time, this epoch
+    Counter* busy_ns = nullptr;
+    Counter* idle_ns = nullptr;
+    Counter* barrier_wait_ns = nullptr;
+    SpanRecorder profile;
   };
 
   void run_epoch(Time end);
@@ -169,6 +192,8 @@ class ParallelSimulator {
   MetricRegistry metrics_;
   Counter& epochs_ = metrics_.counter("parallel.epochs");
   Counter& messages_ = metrics_.counter("parallel.messages");
+  Histogram& mailbox_occ_ = metrics_.histogram("pdes.mailbox.occupancy");
+  SpanBuffer profile_spans_;  // declared after metrics_; recorders bind at add_shard
 
   // Worker pool (created lazily on the first multi-threaded run()).
   std::vector<std::thread> workers_;

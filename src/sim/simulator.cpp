@@ -7,7 +7,7 @@ namespace adcp::sim {
 
 std::uint32_t Simulator::alloc_slot_grow() {
   // Default-init, not make_unique: value-initialization would zero every
-  // slot's 104-byte callback buffer (32 KiB per chunk) before the field
+  // slot's 120-byte callback buffer (~32 KiB per chunk) before the field
   // initializers run, which dominates short-lived simulators.
   chunks_.emplace_back(new Slot[kChunkSize]);
   if (heap_.capacity() < used_slots_ + kChunkSize) {

@@ -74,9 +74,10 @@ class Simulator {
  public:
   /// Scheduling callback. The inline budget is sized so that the hot
   /// data-path captures — [this, packet] and friends, roughly a Packet
-  /// (buffer + metadata) plus a couple of scalars — stay allocation-free;
-  /// larger captures (e.g. a full PHV) transparently spill to the heap.
-  using Callback = InlineFunction<void(), 104>;
+  /// (buffer + metadata incl. the trace id/mark) plus a pointer — stay
+  /// allocation-free; larger captures (e.g. a full PHV) transparently
+  /// spill to the heap.
+  using Callback = InlineFunction<void(), 120>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;

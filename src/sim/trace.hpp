@@ -62,6 +62,11 @@ class Tracer {
 /// An append-only CSV trace: fixed columns (time_ps, component, event,
 /// detail). The component column is an interned string table index so rows
 /// stay small and comparisons stay cheap.
+///
+/// Unbounded by default (tests want every row); set_capacity(N) turns the
+/// storage into an N-row ring that overwrites the oldest rows and counts
+/// them in dropped_rows(), so long fabric runs keep a bounded flight
+/// record instead of growing without limit.
 class TraceLog {
  public:
   /// In-memory trace.
@@ -72,7 +77,7 @@ class TraceLog {
   /// Compatibility shim for pre-scoped call sites: records under the
   /// anonymous component.
   void record(Time at, std::string event, std::string detail = {}) {
-    rows_.push_back(Row{at, 0, std::move(event), std::move(detail)});
+    push(Row{at, 0, std::move(event), std::move(detail)});
   }
 
   /// Returns a recording handle stamped with `component`; interns the name.
@@ -82,24 +87,56 @@ class TraceLog {
 
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
 
+  /// Bounds the log to a ring of `capacity` rows (0 restores the unbounded
+  /// default). A full ring overwrites its oldest row on every record and
+  /// counts it in dropped_rows(). Shrinking below the current size keeps
+  /// the newest rows.
+  void set_capacity(std::size_t capacity) {
+    if (capacity != 0 && rows_.size() > capacity) {
+      std::vector<Row> kept;
+      kept.reserve(capacity);
+      for (std::size_t i = rows_.size() - capacity; i < rows_.size(); ++i) {
+        kept.push_back(std::move(row(i)));
+      }
+      dropped_rows_ += rows_.size() - capacity;
+      rows_ = std::move(kept);
+    }
+    capacity_ = capacity;
+    next_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Rows overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped_rows() const { return dropped_rows_; }
+
   struct Row {
     Time at;
     std::uint32_t component;  // index into component_names()
     std::string event;
     std::string detail;
   };
+  /// Physical storage order; only chronological while the log has never
+  /// wrapped. Use row(i) for guaranteed oldest-first order.
   [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  /// Logical indexing, oldest surviving row first (ring-aware).
+  [[nodiscard]] Row& row(std::size_t i) {
+    return rows_[(next_ + i) % rows_.size()];
+  }
+  [[nodiscard]] const Row& row(std::size_t i) const {
+    return rows_[(next_ + i) % rows_.size()];
+  }
   [[nodiscard]] const std::vector<std::string>& component_names() const { return components_; }
   [[nodiscard]] const std::string& component_of(const Row& r) const {
     return components_[r.component];
   }
 
   /// Serializes to CSV ("time_ps,component,event,detail\n" header
-  /// included), RFC-4180 quoting on every text field.
+  /// included), RFC-4180 quoting on every text field, oldest row first.
   [[nodiscard]] std::string to_csv() const {
     std::ostringstream out;
     out << "time_ps,component,event,detail\n";
-    for (const Row& r : rows_) {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = row(i);
       out << r.at << ',' << csv_escape(components_[r.component]) << ','
           << csv_escape(r.event) << ',' << csv_escape(r.detail) << '\n';
     }
@@ -114,10 +151,24 @@ class TraceLog {
     return static_cast<bool>(f);
   }
 
-  void clear() { rows_.clear(); }
+  void clear() {
+    rows_.clear();
+    next_ = 0;
+    dropped_rows_ = 0;
+  }
 
  private:
   friend class Tracer;
+
+  void push(Row row) {
+    if (capacity_ != 0 && rows_.size() == capacity_) {
+      rows_[next_] = std::move(row);
+      next_ = (next_ + 1) % capacity_;
+      ++dropped_rows_;
+      return;
+    }
+    rows_.push_back(std::move(row));
+  }
 
   std::uint32_t intern(std::string_view name) {
     for (std::uint32_t i = 0; i < components_.size(); ++i) {
@@ -129,11 +180,14 @@ class TraceLog {
 
   std::vector<Row> rows_;
   std::vector<std::string> components_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::size_t next_ = 0;      // oldest row when the ring has wrapped
+  std::uint64_t dropped_rows_ = 0;
 };
 
 inline void Tracer::record(Time at, std::string event, std::string detail) const {
   if (log_ == nullptr) return;
-  log_->rows_.push_back(TraceLog::Row{at, component_, std::move(event), std::move(detail)});
+  log_->push(TraceLog::Row{at, component_, std::move(event), std::move(detail)});
 }
 
 }  // namespace adcp::sim

@@ -57,6 +57,8 @@ std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim, SwitchKind k
 }  // namespace
 
 Network::Network(sim::Simulator& sim, const LeafSpineParams& params, sim::Scope scope) {
+  trace_cfg_ = params.trace;
+  sampler_ = sim::TraceSampler(trace_cfg_);
   init(sim, std::move(scope));
   trunk_rng_ = sim::Rng(params.loss_seed ^ 0x7210'6b5eULL);
   build_leaf_spine(params);
@@ -64,6 +66,8 @@ Network::Network(sim::Simulator& sim, const LeafSpineParams& params, sim::Scope 
 }
 
 Network::Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope scope) {
+  trace_cfg_ = params.trace;
+  sampler_ = sim::TraceSampler(trace_cfg_);
   init(sim, std::move(scope));
   trunk_rng_ = sim::Rng(params.loss_seed ^ 0x7210'6b5eULL);
   build_fat_tree(params);
@@ -71,6 +75,8 @@ Network::Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope sc
 }
 
 Network::Network(sim::ParallelSimulator& psim, const LeafSpineParams& params) {
+  trace_cfg_ = params.trace;
+  sampler_ = sim::TraceSampler(trace_cfg_);
   init_parallel(psim);
   loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
   build_leaf_spine(params);
@@ -78,6 +84,8 @@ Network::Network(sim::ParallelSimulator& psim, const LeafSpineParams& params) {
 }
 
 Network::Network(sim::ParallelSimulator& psim, const FatTreeParams& params) {
+  trace_cfg_ = params.trace;
+  sampler_ = sim::TraceSampler(trace_cfg_);
   init_parallel(psim);
   loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
   build_fat_tree(params);
@@ -88,6 +96,9 @@ void Network::init(sim::Simulator& sim, sim::Scope scope) {
   sim_ = &sim;
   scope_ = sim::resolve_scope(scope, own_metrics_, "topo");
   hops_ = &scope_.histogram("hops");
+  // Arm the flight recorder before any component interns a recorder so
+  // everything built below records from the first packet.
+  if (trace_cfg_.enabled()) scope_.registry()->spans().enable(trace_cfg_.ring_capacity);
 }
 
 void Network::init_parallel(sim::ParallelSimulator& psim) {
@@ -108,6 +119,9 @@ Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_cou
   if (psim_ != nullptr) {
     sw_sim = &psim_->add_shard();
     shard_regs_.push_back(std::make_unique<sim::MetricRegistry>());
+    if (trace_cfg_.enabled()) {
+      shard_regs_.back()->spans().enable(trace_cfg_.ring_capacity);
+    }
     parent = shard_regs_.back()->scope("topo");
     // Every shard registers the shared histogram name; merged_snapshot()
     // folds the per-shard sample sets back into one "topo.hops".
@@ -152,6 +166,8 @@ std::size_t Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
     st->ab.packets = &sa.counter("ab.packets");
     st->ab.bytes = &sa.counter("ab.bytes");
     st->ab.drops = &sa.counter("drops.link");
+    st->ab.spans = sa.span_recorder();
+    st->ab.side = 0;
     st->ba.to = a;
     st->ba.link = link;
     st->ba.src_sim = &psim_->shard(bi);
@@ -162,6 +178,8 @@ std::size_t Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
     st->ba.packets = &sb.counter("ba.packets");
     st->ba.bytes = &sb.counter("ba.bytes");
     st->ba.drops = &sb.counter("drops.link");
+    st->ba.spans = sb.span_recorder();
+    st->ba.side = 1;
     strunks_.push_back(std::move(st));
     return i;
   }
@@ -182,9 +200,15 @@ void Network::ShardedHalf::forward(packet::Packet pkt) {
   bytes->add(pkt.size());
   if (link.loss_rate > 0.0 && rng.chance(link.loss_rate)) {
     drops->add();
+    spans.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, src_sim->now(),
+                  static_cast<std::uint64_t>(sim::DropReason::kLink));
     if (drop_pool != nullptr) drop_pool->release(std::move(pkt));
     return;
   }
+  // Wire span in the sending shard's buffer; same [begin, end] and side
+  // annotation as Trunk::forward, so sequential and parallel traces agree.
+  spans.span(sim::SpanKind::kTrunk, pkt.meta.trace_id, src_sim->now(),
+             src_sim->now() + link.propagation, side, pkt.size());
   Trunk::End* dst = &to;
   mailbox->push(src_sim->now() + link.propagation,
                 [dst, pkt = std::move(pkt)]() mutable {
@@ -308,6 +332,9 @@ void Network::build_fat_tree(const FatTreeParams& p) {
 }
 
 void Network::finish_wiring() {
+  if (trace_cfg_.enabled()) {
+    for (SwitchSlot& slot : switches_) slot.fabric->set_trace_sampler(&sampler_);
+  }
   for (SwitchSlot& slot : switches_) {
     if (psim_ != nullptr) {
       std::vector<ShardedHalf*> map(slot.device->port_count(), nullptr);
@@ -391,6 +418,17 @@ sim::Histogram Network::merged_hops() const {
     for (const sim::Histogram* h : shard_hops_) out.merge(*h);
   } else {
     out.merge(*hops_);
+  }
+  return out;
+}
+
+std::vector<const sim::SpanBuffer*> Network::span_buffers() const {
+  std::vector<const sim::SpanBuffer*> out;
+  if (psim_ != nullptr) {
+    out.reserve(shard_regs_.size());
+    for (const auto& reg : shard_regs_) out.push_back(&reg->spans());
+  } else {
+    out.push_back(&scope_.registry()->spans());
   }
   return out;
 }

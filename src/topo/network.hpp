@@ -49,6 +49,10 @@ struct LeafSpineParams {
   net::Link trunk_link{100.0, 1000 * sim::kNanosecond};
   std::uint64_t ecmp_seed = 0x7e1e'c0de;
   std::uint64_t loss_seed = 0xfab21c;
+  /// Span tracing (off by default; see sim/span.hpp). When enabled the
+  /// network arms every registry's SpanBuffer and stamps sampled flows at
+  /// the sending hosts; read the result through span_buffers().
+  sim::TraceConfig trace{};
 };
 
 /// Parameters of the k-ary fat-tree generator (`k` even, >= 2).
@@ -59,6 +63,8 @@ struct FatTreeParams {
   net::Link trunk_link{100.0, 1000 * sim::kNanosecond};
   std::uint64_t ecmp_seed = 0x7e1e'c0de;
   std::uint64_t loss_seed = 0xfab21c;
+  /// Span tracing (off by default; see LeafSpineParams::trace).
+  sim::TraceConfig trace{};
 };
 
 /// A fully wired multi-switch fabric. Construct with one of the parameter
@@ -147,6 +153,16 @@ class Network {
     return *shard_regs_.at(i);
   }
 
+  /// Every SpanBuffer of the fabric in deterministic order, ready for the
+  /// span exporters: the network registry's buffer in sequential mode, the
+  /// per-shard buffers in shard order in parallel mode. Empty buffers are
+  /// included (harmless to the exporters).
+  [[nodiscard]] std::vector<const sim::SpanBuffer*> span_buffers() const;
+  /// The head sampler hosts stamp trace ids with (disabled when the params
+  /// left trace.sample_every == 0).
+  [[nodiscard]] const sim::TraceSampler& trace_sampler() const { return sampler_; }
+  [[nodiscard]] const sim::TraceConfig& trace_config() const { return trace_cfg_; }
+
   // Aggregate accounting for conservation checks (tx == rx + drops).
   [[nodiscard]] std::uint64_t total_host_tx_packets() const;
   [[nodiscard]] std::uint64_t total_host_rx_packets() const;
@@ -182,6 +198,8 @@ class Network {
     sim::Counter* packets = nullptr;
     sim::Counter* bytes = nullptr;
     sim::Counter* drops = nullptr;
+    sim::SpanRecorder spans;     // records into the sending shard's buffer
+    std::uint64_t side = 0;      // 0 = ab, 1 = ba (matches Trunk::forward)
 
     void forward(packet::Packet pkt);
   };
@@ -216,6 +234,8 @@ class Network {
   sim::Simulator* sim_ = nullptr;
   sim::ParallelSimulator* psim_ = nullptr;
   std::uint64_t loss_seed_base_ = 0;  // per-direction RNG streams (parallel)
+  sim::TraceConfig trace_cfg_{};
+  sim::TraceSampler sampler_;  // stable address: hosts keep a pointer
   // Declared before scope_, which may register through it.
   std::unique_ptr<sim::MetricRegistry> own_metrics_;
   sim::Scope scope_;

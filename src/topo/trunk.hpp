@@ -55,7 +55,8 @@ class Trunk {
   Trunk(sim::Simulator& sim, End a, End b, net::Link link, sim::Rng* rng = nullptr,
         packet::Pool* pool = nullptr, sim::Scope scope = {})
       : sim_(&sim), a_(a), b_(b), link_(link), rng_(rng), pool_(pool),
-        metrics_(sim::resolve_scope(scope, own_metrics_, "trunk")) {}
+        scope_(sim::resolve_scope(scope, own_metrics_, "trunk")), metrics_(scope_),
+        spans_(scope_.span_recorder()) {}
 
   /// Hands one just-transmitted packet to the wire. `side` names the
   /// transmitting end (0 = a, 1 = b); the packet is injected into the
@@ -90,7 +91,9 @@ class Trunk {
   sim::Rng* rng_;            // not owned; shared by the topology
   packet::Pool* pool_;       // not owned; shared by the topology
   std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
   TrunkMetrics metrics_;
+  sim::SpanRecorder spans_;
 };
 
 }  // namespace adcp::topo

@@ -198,6 +198,133 @@ TEST(TimeSeriesSampler, UnstartedSamplerSchedulesNothing) {
   EXPECT_TRUE(sampler.times().empty());
 }
 
+// --- TraceLog ring bound ---------------------------------------------------
+
+TEST(TraceLog, UnboundedByDefaultKeepsEveryRow) {
+  TraceLog log;
+  for (int i = 0; i < 100; ++i) log.record(i, "e" + std::to_string(i));
+  EXPECT_EQ(log.capacity(), 0u);
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(log.dropped_rows(), 0u);
+}
+
+TEST(TraceLog, CapacityBoundsToRingAndCountsDrops) {
+  TraceLog log;
+  log.set_capacity(4);
+  Tracer t = log.tracer("tm");
+  for (int i = 0; i < 10; ++i) t.record(i, "e" + std::to_string(i));
+
+  // 10 records into a 4-row ring: the newest 4 survive, 6 were dropped.
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped_rows(), 6u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(log.row(i).at, 6u + i);  // oldest-first logical order
+    EXPECT_EQ(log.row(i).event, "e" + std::to_string(6 + i));
+  }
+  // to_csv walks the ring oldest-first, not physical storage order.
+  const std::string csv = log.to_csv();
+  EXPECT_LT(csv.find("e6"), csv.find("e9"));
+  EXPECT_EQ(csv.find("e5"), std::string::npos);
+}
+
+TEST(TraceLog, ShrinkingCapacityKeepsNewestRows) {
+  TraceLog log;
+  for (int i = 0; i < 8; ++i) log.record(i, "e" + std::to_string(i));
+  log.set_capacity(3);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped_rows(), 5u);
+  EXPECT_EQ(log.row(0).at, 5u);
+  EXPECT_EQ(log.row(2).at, 7u);
+
+  // Growing the bound back keeps the surviving rows and resumes appending.
+  log.set_capacity(5);
+  log.record(100, "late");
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.row(3).event, "late");
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped_rows(), 0u);
+}
+
+// --- Snapshot::merge edge cases -------------------------------------------
+//
+// The parallel driver merges per-shard snapshots where a metric may exist
+// on one shard only, or exist with zero samples — the union-merge must
+// stay byte-identical to a single registry that saw everything.
+
+TEST(SnapshotMerge, EmptyHistogramMergesAsIdentity) {
+  MetricRegistry a, b, seq;
+  a.histogram("h");  // registered, never recorded
+  for (int i = 0; i < 5; ++i) {
+    b.histogram("h").record(10.0 * i);
+    seq.histogram("h").record(10.0 * i);
+  }
+
+  // empty-into-full and full-into-empty must both equal the sequential.
+  Snapshot full = b.snapshot();
+  full.merge(a.snapshot());
+  EXPECT_EQ(full.to_json("m"), seq.snapshot().to_json("m"));
+  Snapshot empty = a.snapshot();
+  empty.merge(b.snapshot());
+  EXPECT_EQ(empty.to_json("m"), seq.snapshot().to_json("m"));
+
+  // Both sides empty: still a well-formed zero-count entry, not NaNs.
+  MetricRegistry c;
+  c.histogram("h");
+  Snapshot both = a.snapshot();
+  both.merge(c.snapshot());
+  const Snapshot::Entry* e = both.find("h");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 0u);
+  EXPECT_EQ(e->value, 0.0);
+}
+
+TEST(SnapshotMerge, SummaryMergeWithOneEmptySide) {
+  MetricRegistry a, b, seq;
+  a.summary("s");  // zero count
+  const double xs[] = {4.0, -1.0, 7.5};
+  for (const double x : xs) {
+    b.summary("s").record(x);
+    seq.summary("s").record(x);
+  }
+
+  Snapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  // The empty side must not drag min/max/mean toward zero.
+  EXPECT_EQ(m.to_json("m"), seq.snapshot().to_json("m"));
+  const Snapshot::Entry* e = m.find("s");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 3u);
+  EXPECT_DOUBLE_EQ(e->min, -1.0);
+  EXPECT_DOUBLE_EQ(e->max, 7.5);
+
+  Snapshot rev = b.snapshot();
+  rev.merge(a.snapshot());
+  EXPECT_EQ(rev.to_json("m"), seq.snapshot().to_json("m"));
+}
+
+TEST(SnapshotMerge, DisjointNameSetsUnionVerbatim) {
+  MetricRegistry a, b, seq;
+  a.counter("shard0.rx").add(11);
+  a.gauge("shard0.depth").set(2.5);
+  b.counter("shard1.rx").add(13);
+  b.histogram("shard1.lat").record(42.0);
+  seq.counter("shard0.rx").add(11);
+  seq.gauge("shard0.depth").set(2.5);
+  seq.counter("shard1.rx").add(13);
+  seq.histogram("shard1.lat").record(42.0);
+
+  // No shared names: every entry is copied verbatim and the result is
+  // sorted-name identical to the one-registry world, in either direction.
+  Snapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  EXPECT_EQ(ab.to_json("m"), seq.snapshot().to_json("m"));
+  Snapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+  EXPECT_EQ(ba.to_json("m"), seq.snapshot().to_json("m"));
+}
+
 TEST(MetricRegistry, ResetZeroesEverything) {
   MetricRegistry reg;
   reg.counter("c").add(5);

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "sim/stats.hpp"
 #include "topo/network.hpp"
 #include "workload/rack_coflow.hpp"
@@ -353,6 +356,110 @@ TEST(ParallelEquivalence, FatTreeAllReduceThreads4MatchesThreads1AndMonolithic) 
   const auto diff = par1.events > mono.events ? par1.events - mono.events
                                               : mono.events - par1.events;
   EXPECT_LE(diff, 8u) << "par=" << par1.events << " mono=" << mono.events;
+}
+
+// --- tracing determinism: the pin extended to span output ------------------
+
+struct TraceRun {
+  std::string perfetto;
+  std::string csv;
+  sim::Snapshot pdes;  ///< the engine's private self-profile registry
+};
+
+/// The pinned fat_tree(4) allreduce with head-sampling armed (1-in-2 by
+/// flow hash, so both the sampled and the unsampled branch execute).
+TraceRun run_fat_tree_allreduce_traced(unsigned threads) {
+  sim::ParallelSimulator psim(threads);
+  topo::FatTreeParams p;
+  p.k = 4;
+  p.trace.sample_every = 2;
+  topo::Network net(psim, p);
+  auto hosts = rack_hosts(net);
+  workload::RackAllReduceParams ap;
+  ap.ps = 0;
+  for (std::uint32_t w = 1; w < hosts.size(); ++w) ap.workers.push_back(w);
+  workload::RackAllReduce ar(ap);
+  ar.attach(hosts, net.sim_of_host(ap.ps));
+  ar.start(0);
+  psim.run();
+  EXPECT_TRUE(ar.complete());
+  net.finalize_metrics();
+  TraceRun t;
+  t.perfetto = sim::spans_to_perfetto(net.span_buffers());
+  t.csv = sim::spans_to_csv(net.span_buffers());
+  t.pdes = psim.metrics().snapshot();
+  return t;
+}
+
+std::set<std::string> trace_ids_of(const std::string& csv) {
+  std::set<std::string> ids;
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    ids.insert(line.substr(0, line.find(',')));
+  }
+  return ids;
+}
+
+TEST(ParallelEquivalence, FatTreeTraceOutputIdenticalAcrossThreads) {
+  const TraceRun par1 = run_fat_tree_allreduce_traced(1);
+  const TraceRun par4 = run_fat_tree_allreduce_traced(4);
+
+  // Sampling decisions and span ids are pure functions of (flow, seq,
+  // seed); recording order within a shard never depends on the worker
+  // count — so both exports must be byte-identical, not just equivalent.
+  ASSERT_FALSE(par1.perfetto.empty());
+  EXPECT_EQ(par1.perfetto, par4.perfetto);
+  EXPECT_EQ(par1.csv, par4.csv);
+  EXPECT_EQ(trace_ids_of(par1.csv), trace_ids_of(par4.csv));
+  EXPECT_GT(trace_ids_of(par1.csv).size(), 1u);  // head-sampling kept some flows
+
+  // The PDES self-profile must be populated for every shard — values are
+  // wall-clock (nondeterministic), so only presence and shape are pinned.
+  for (const TraceRun* t : {&par1, &par4}) {
+    ASSERT_NE(t->pdes.find("pdes.shard0.busy_ns"), nullptr);
+    ASSERT_NE(t->pdes.find("pdes.shard0.idle_ns"), nullptr);
+    ASSERT_NE(t->pdes.find("pdes.shard0.barrier_wait_ns"), nullptr);
+    const sim::Snapshot::Entry* occ = t->pdes.find("pdes.mailbox.occupancy");
+    ASSERT_NE(occ, nullptr);
+    EXPECT_GT(occ->count, 0u);  // cross-shard traffic drained every epoch
+    EXPECT_GT(t->pdes.value("pdes.shard0.busy_ns") +
+                  t->pdes.value("pdes.shard0.barrier_wait_ns"),
+              0.0);
+  }
+}
+
+TEST(ParallelSim, ProfileSpansRecordBusyAndBarrierPerShardPerEpoch) {
+  sim::ParallelSimulator psim(2);
+  sim::Simulator& a = psim.add_shard();
+  psim.add_shard();
+  sim::Mailbox& mbox = psim.add_mailbox(0, 1, 100);
+  psim.enable_profile_spans(1024);
+
+  int delivered = 0;
+  a.at(0, [&] { mbox.push(100, [&delivered] { ++delivered; }); });
+  psim.run();
+  EXPECT_EQ(delivered, 1);
+
+  const sim::SpanBuffer& prof = psim.profile_spans();
+  // One kPdesBusy + one kPdesBarrier per shard per epoch.
+  EXPECT_EQ(prof.recorded(), 2u * 2u * psim.epochs());
+  bool saw_busy = false, saw_barrier = false;
+  for (std::size_t i = 0; i < prof.size(); ++i) {
+    const sim::Span& s = prof.at(i);
+    EXPECT_LE(s.begin, s.end);
+    EXPECT_GE(s.trace_id, 1u);  // shard index + 1
+    EXPECT_LE(s.trace_id, 2u);
+    saw_busy = saw_busy || s.kind == sim::SpanKind::kPdesBusy;
+    saw_barrier = saw_barrier || s.kind == sim::SpanKind::kPdesBarrier;
+  }
+  EXPECT_TRUE(saw_busy);
+  EXPECT_TRUE(saw_barrier);
+  // Both shards' tracks appear in the export, under their own names.
+  const std::string json = sim::spans_to_perfetto({&prof}, 1e-3);
+  EXPECT_NE(json.find("pdes.shard0/pdes.busy"), std::string::npos);
+  EXPECT_NE(json.find("pdes.shard1/pdes.barrier"), std::string::npos);
 }
 
 }  // namespace

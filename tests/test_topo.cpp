@@ -7,9 +7,12 @@
 // every allocation in the process).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -17,6 +20,7 @@
 #include "coflow/tracker.hpp"
 #include "packet/headers.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span.hpp"
 #include "topo/network.hpp"
 #include "topo/programs.hpp"
 #include "topo/routing.hpp"
@@ -464,6 +468,131 @@ TEST(TopoZeroAlloc, SteadyStateTrunkForwardingDoesNotAllocate) {
 
   EXPECT_EQ(net.total_host_rx_packets(), net.total_host_tx_packets());
   EXPECT_EQ(total_reordered(net), 0u);
+}
+
+/// The same steady-state guard with span tracing armed in flight-recorder
+/// mode: every flow sampled into a small ring that wraps during the
+/// measured bursts, so both the record path and the overwrite-oldest path
+/// are proven allocation-free.
+TEST(TopoZeroAlloc, TracingArmedFlightRecorderDoesNotAllocate) {
+  sim::Simulator sim;
+  topo::LeafSpineParams p;
+  p.leaves = 2;
+  p.spines = 2;
+  p.hosts_per_leaf = 2;
+  p.kind = topo::SwitchKind::kRmt;
+  p.trace.sample_every = 1;   // trace every packet
+  p.trace.ring_capacity = 64; // small: the ring must wrap while measured
+  topo::Network net(sim, p);
+  auto hosts = rack_hosts(net);
+
+  std::uint32_t seq = 0;
+  const auto burst = [&] {
+    packet::IncPacketSpec spec;
+    spec.inc.opcode = packet::IncOpcode::kPlain;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      spec.ip_src = hosts[0].ip;
+      spec.ip_dst = hosts[2].ip;
+      spec.inc.flow_id = 1;
+      spec.udp_src = workload::rack_flow_udp_src(1);
+      spec.inc.seq = seq;
+      hosts[0].host->send_inc(spec, 0);
+      spec.ip_src = hosts[2].ip;
+      spec.ip_dst = hosts[0].ip;
+      spec.inc.flow_id = 2;
+      spec.udp_src = workload::rack_flow_udp_src(2);
+      hosts[2].host->send_inc(spec, 0);
+      ++seq;
+    }
+    sim.run();
+  };
+
+  for (int warm = 0; warm < 4; ++warm) burst();
+  net.hops().reserve(net.hops().count() + 256);
+
+  const std::uint64_t before = g_allocations;
+  for (int measured = 0; measured < 4; ++measured) burst();
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "traced trunk forwarding allocated " << (g_allocations - before) << " times";
+
+  ASSERT_EQ(net.span_buffers().size(), 1u);
+  const sim::SpanBuffer& buf = *net.span_buffers()[0];
+  EXPECT_EQ(buf.size(), 64u);        // ring full...
+  EXPECT_GT(buf.dropped(), 0u);      // ...and wrapped (flight recorder)
+  EXPECT_EQ(net.total_host_rx_packets(), net.total_host_tx_packets());
+}
+
+// --- span chains across the fabric ----------------------------------------
+
+/// One sampled cross-rack packet on the 4-leaf/2-spine fabric must leave a
+/// connected span chain host.tx -> leaf -> trunk -> spine -> trunk -> leaf
+/// -> host.rx under a single trace id, with flow arrows in the export.
+TEST(TopoTracing, SampledPacketChainsHostLeafSpineLeafHost) {
+  sim::Simulator sim;
+  topo::LeafSpineParams p;
+  p.leaves = 4;
+  p.spines = 2;
+  p.hosts_per_leaf = 4;
+  p.trace.sample_every = 1;
+  topo::Network net(sim, p);
+  auto hosts = rack_hosts(net);
+
+  packet::IncPacketSpec spec;
+  spec.inc.opcode = packet::IncOpcode::kPlain;
+  spec.ip_src = hosts[0].ip;
+  spec.ip_dst = hosts[p.hosts_per_leaf].ip;  // first host of rack 1
+  spec.inc.flow_id = 77;
+  spec.udp_src = workload::rack_flow_udp_src(77);
+  spec.inc.seq = 0;
+  hosts[0].host->send_inc(spec, 0);
+  sim.run();
+  net.finalize_metrics();
+
+  ASSERT_EQ(net.span_buffers().size(), 1u);
+  const sim::SpanBuffer& buf = *net.span_buffers()[0];
+  const std::uint64_t id = net.trace_sampler().trace_id(77, 0);
+
+  // Collect the packet's spans in begin-time order (recording is already
+  // chronological per component; a stable scan suffices for one packet).
+  std::vector<sim::Span> chain;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf.at(i).trace_id == id) chain.push_back(buf.at(i));
+  }
+  std::stable_sort(chain.begin(), chain.end(),
+                   [](const sim::Span& a, const sim::Span& b) { return a.begin < b.begin; });
+  ASSERT_GE(chain.size(), 7u);  // tx + 3 switch traversals + 2 trunks + rx
+
+  EXPECT_EQ(chain.front().kind, sim::SpanKind::kHostTx);
+  EXPECT_EQ(chain.back().kind, sim::SpanKind::kHostRx);
+  std::size_t trunks = 0;
+  std::set<std::string> switches;
+  for (const sim::Span& s : chain) {
+    trunks += s.kind == sim::SpanKind::kTrunk;
+    const std::string& comp = buf.component_names()[s.component];
+    if (comp.find("host") == std::string::npos && comp.find("trunk") == std::string::npos &&
+        (s.kind == sim::SpanKind::kRx || s.kind == sim::SpanKind::kTx)) {
+      switches.insert(comp);
+    }
+  }
+  EXPECT_EQ(trunks, 2u) << "leaf->spine and spine->leaf hops";
+  EXPECT_EQ(switches.size(), 3u) << "leaf, spine, leaf";
+
+  // Connected: every span starts no earlier than the previous one began,
+  // and the chain is bracketed by the host send/deliver timestamps.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LE(chain[i - 1].begin, chain[i].begin);
+    EXPECT_LE(chain[i].begin, chain[i].end);
+  }
+  EXPECT_LT(chain.front().begin, chain.back().begin);
+
+  // The export draws the arrows: a flow start and finish with this id.
+  char idbuf[32];
+  std::snprintf(idbuf, sizeof(idbuf), "0x%llx", static_cast<unsigned long long>(id));
+  const std::string json = sim::spans_to_perfetto(net.span_buffers());
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":\"" + std::string(idbuf) + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"id\":\"" + std::string(idbuf) + "\""),
+            std::string::npos);
 }
 
 }  // namespace
