@@ -20,8 +20,12 @@
 // --threads serves double duty: it sizes the job fan-out AND is passed
 // through to scenarios, so parallel_fabric runs its sharded engine with
 // that worker count (bench-smoke exercises threads=1 and threads=4). A
-// scenario that detects a broken invariant marks its sample failed, and
-// the runner exits nonzero naming it.
+// comma list (--threads 1,2,4,8) instead selects the sweep mode: the
+// parallel_fabric scenario runs serially once per worker count and one
+// BENCH_parallel.json carries the per-thread-count series
+// (parallel_fabric.t<N>.*) — the CI scaling artifact. A scenario that
+// detects a broken invariant marks its sample failed, and the runner
+// exits nonzero naming it.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -313,6 +317,53 @@ bool write_trace_capture(const std::string& path, bool quick) {
   return ok;
 }
 
+// --- thread sweep ----------------------------------------------------------
+
+/// `--threads 1,2,4,8` sweep mode: runs the parallel_fabric scenario once
+/// per worker count, serially (concurrent samples would contend for the
+/// cores being measured), and emits one BENCH_parallel.json with a
+/// per-thread-count series (parallel_fabric.t<N>.{wall_ms,ns_per_op,
+/// ops_per_sec,speedup,ok}) plus config.hardware_threads so readers can
+/// judge the speedups against the cores that were actually available.
+int run_thread_sweep(const std::vector<unsigned>& thread_counts, bool quick,
+                     unsigned repeat, const std::string& out) {
+  adcp::sim::MetricRegistry report;
+  report.gauge("config.quick").set(quick ? 1.0 : 0.0);
+  report.gauge("config.repeat").set(static_cast<double>(repeat));
+  report.gauge("config.hardware_threads")
+      .set(static_cast<double>(std::thread::hardware_concurrency()));
+
+  bool all_ok = true;
+  double t1_ns_per_op = 0;
+  adcp::sim::Scope sc = report.scope("parallel_fabric");
+  for (const unsigned n : thread_counts) {
+    double ns = 0;
+    std::uint64_t ops = 0;
+    bool ok = true;
+    for (unsigned r = 0; r < repeat; ++r) {
+      const Sample s = run_parallel_fabric(0x5eed0000ull + r, quick, n);
+      ns += s.ns;
+      ops += s.ops;
+      ok = ok && s.ok;
+    }
+    const double ns_per_op = ops > 0 ? ns / static_cast<double>(ops) : 0.0;
+    if (n == thread_counts.front()) t1_ns_per_op = ns_per_op;
+    const double speedup = ns_per_op > 0 ? t1_ns_per_op / ns_per_op : 0.0;
+    std::printf("parallel_fabric t%-2u %10.1f ns/event %8.2f ms  speedup %5.2fx%s\n",
+                n, ns_per_op, ns / 1e6, speedup, ok ? "" : "  FAILED");
+    adcp::sim::Scope ts = sc.scope("t" + std::to_string(n));
+    ts.gauge("wall_ms").set(ns / 1e6);
+    ts.gauge("ns_per_op").set(ns_per_op);
+    ts.gauge("ops_per_sec").set(ns_per_op > 0 ? 1e9 / ns_per_op : 0.0);
+    ts.gauge("speedup").set(speedup);
+    ts.gauge("ok").set(ok ? 1.0 : 0.0);
+    all_ok = all_ok && ok;
+  }
+  const bool wrote = adcp::bench::write_report(report, "parallel", out);
+  if (!all_ok) std::fprintf(stderr, "parallel_fabric reported a failed run\n");
+  return all_ok && wrote ? 0 : 1;
+}
+
 // --- harness --------------------------------------------------------------
 
 using ScenarioFn = Sample (*)(std::uint64_t seed, bool quick, unsigned threads);
@@ -354,6 +405,8 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   Options opt;
+  std::string threads_arg;
+  bool out_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -366,6 +419,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return usage(argv[0]);
+      threads_arg = v;
       opt.threads = std::max(1, std::atoi(v));
     } else if (arg == "--repeat") {
       const char* v = next();
@@ -375,6 +429,7 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opt.out = v;
+      out_set = true;
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -382,6 +437,32 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+
+  // A comma list in --threads selects the parallel_fabric sweep mode
+  // (one BENCH_parallel.json, per-thread-count series) instead of the
+  // scenario × seed fan-out.
+  if (threads_arg.find(',') != std::string::npos) {
+    if (!opt.scenario.empty() && opt.scenario != "parallel_fabric") {
+      std::fprintf(stderr, "--threads with a comma list sweeps parallel_fabric only\n");
+      return 2;
+    }
+    std::vector<unsigned> counts;
+    std::size_t start = 0;
+    while (start <= threads_arg.size()) {
+      const std::size_t comma = threads_arg.find(',', start);
+      const std::string item = threads_arg.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!item.empty()) {
+        const int n = std::atoi(item.c_str());
+        if (n <= 0) return usage(argv[0]);
+        counts.push_back(static_cast<unsigned>(n));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return run_thread_sweep(counts, opt.quick, opt.repeat,
+                            out_set ? opt.out : "BENCH_parallel.json");
   }
 
   // Build the work list: scenario × repeat, each with its own seed.

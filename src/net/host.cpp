@@ -24,6 +24,10 @@ sim::Time Host::send(packet::Packet pkt, sim::Time earliest) {
     if (pool_ != nullptr) pool_->release(std::move(pkt));
     return arrival;
   }
+  if (uplink_) {
+    uplink_(arrival, std::move(pkt));
+    return arrival;
+  }
   sim_->at(arrival, [this, pkt = std::move(pkt)]() mutable {
     device_->inject(port_, std::move(pkt));
   });
@@ -43,6 +47,13 @@ sim::Time Host::send_inc(const packet::IncPacketSpec& spec, sim::Time earliest) 
 }
 
 void Host::deliver_from_switch(packet::Packet pkt) {
+  if (downlink_) {
+    // Sharded fabric: the caller is on the switch's shard. The downlink
+    // owner runs the lottery with its own stream and mails finish_rx to
+    // this host's shard — nothing of the Host may be touched here.
+    downlink_(std::move(pkt));
+    return;
+  }
   if (rng_ != nullptr && link_.loss_rate > 0.0 && rng_->chance(link_.loss_rate)) {
     metrics_.link_drops.add();
     spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
@@ -54,36 +65,40 @@ void Host::deliver_from_switch(packet::Packet pkt) {
   // inline callback budget exactly; one more captured word would spill).
   pkt.meta.trace_mark = sim_->now();
   sim_->after(link_.propagation, [this, pkt = std::move(pkt)]() mutable {
-    metrics_.rx_packets.add();
-    metrics_.rx_bytes.add(pkt.size());
-    last_rx_ = sim_->now();
-    spans_.span(sim::SpanKind::kHostRx, pkt.meta.trace_id, pkt.meta.trace_mark,
-                sim_->now(), port_, pkt.size());
-    if (pkt.size() > packet::kEthernetBytes + 1 &&
-        pkt.data.read(12, 2) == packet::kEtherTypeIpv4 &&
-        (pkt.data.read(packet::kEthernetBytes + 1, 1) & 0x3) == 0x3) {
-      metrics_.rx_ecn_marked.add();
-    }
-
-    packet::IncHeader inc;
-    if (packet::decode_inc(pkt, inc)) {
-      metrics_.rx_goodput_bytes.add(inc.elements.size() * packet::kIncElementBytes);
-      auto& highest = highest_seq_[inc.flow_id];
-      if (inc.seq < highest) {
-        metrics_.rx_reordered.add();
-      } else {
-        highest = inc.seq;
-      }
-      if (tracker_ != nullptr) {
-        tracker_->deliver(inc.coflow_id, inc.flow_id, pkt.size(), sim_->now());
-      }
-    } else if (tracker_ != nullptr && pkt.meta.coflow_id != 0) {
-      tracker_->deliver(pkt.meta.coflow_id, pkt.meta.flow_id, pkt.size(), sim_->now());
-    }
-
-    for (const RxCallback& cb : rx_callbacks_) cb(*this, pkt);
-    if (pool_ != nullptr) pool_->release(std::move(pkt));
+    finish_rx(std::move(pkt));
   });
+}
+
+void Host::finish_rx(packet::Packet pkt) {
+  metrics_.rx_packets.add();
+  metrics_.rx_bytes.add(pkt.size());
+  last_rx_ = sim_->now();
+  spans_.span(sim::SpanKind::kHostRx, pkt.meta.trace_id, pkt.meta.trace_mark,
+              sim_->now(), port_, pkt.size());
+  if (pkt.size() > packet::kEthernetBytes + 1 &&
+      pkt.data.read(12, 2) == packet::kEtherTypeIpv4 &&
+      (pkt.data.read(packet::kEthernetBytes + 1, 1) & 0x3) == 0x3) {
+    metrics_.rx_ecn_marked.add();
+  }
+
+  packet::IncHeader inc;
+  if (packet::decode_inc(pkt, inc)) {
+    metrics_.rx_goodput_bytes.add(inc.elements.size() * packet::kIncElementBytes);
+    auto& highest = highest_seq_[inc.flow_id];
+    if (inc.seq < highest) {
+      metrics_.rx_reordered.add();
+    } else {
+      highest = inc.seq;
+    }
+    if (tracker_ != nullptr) {
+      tracker_->deliver(inc.coflow_id, inc.flow_id, pkt.size(), sim_->now());
+    }
+  } else if (tracker_ != nullptr && pkt.meta.coflow_id != 0) {
+    tracker_->deliver(pkt.meta.coflow_id, pkt.meta.flow_id, pkt.size(), sim_->now());
+  }
+
+  for (const RxCallback& cb : rx_callbacks_) cb(*this, pkt);
+  if (pool_ != nullptr) pool_->release(std::move(pkt));
 }
 
 Fabric::Fabric(sim::Simulator& sim, SwitchDevice& device, Link link, std::uint64_t seed,

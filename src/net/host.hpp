@@ -49,6 +49,11 @@ class Host {
  public:
   /// Optional application hook invoked on every received packet.
   using RxCallback = std::function<void(Host&, const packet::Packet&)>;
+  /// Transport hook for sharded fabrics: carries a paced packet towards the
+  /// switch (first-bit arrival time, packet). See set_uplink().
+  using UplinkFn = std::function<void(sim::Time, packet::Packet)>;
+  /// Transport hook for sharded fabrics: takes over switch->host delivery.
+  using DownlinkFn = std::function<void(packet::Packet)>;
 
   /// `pool`, when given, recycles delivered/lost packets and feeds
   /// send_inc(), making steady-state host traffic allocation-free.
@@ -70,8 +75,24 @@ class Host {
   sim::Time send_inc(const packet::IncPacketSpec& spec, sim::Time earliest = 0);
 
   /// Called by the fabric when the switch finished transmitting to us;
-  /// accounts the packet after propagation delay.
+  /// accounts the packet after propagation delay. With a downlink hook
+  /// installed the packet is handed to it untouched instead (the hook's
+  /// owner runs the loss lottery and schedules finish_rx on this host's
+  /// shard; this call may then run on the switch's thread).
   void deliver_from_switch(packet::Packet pkt);
+
+  /// Receive-side accounting, run at delivery time on this host's own
+  /// simulator (the propagation-delayed tail of deliver_from_switch; the
+  /// span begin rides in pkt.meta.trace_mark). Public so a sharded
+  /// fabric's downlink mailbox can invoke it directly.
+  void finish_rx(packet::Packet pkt);
+
+  /// Reroutes send() handoff: instead of scheduling the switch inject on
+  /// this host's simulator, paced packets go to `fn` (which pushes them
+  /// into a cross-shard mailbox). Pass nullptr to restore direct inject.
+  void set_uplink(UplinkFn fn) { uplink_ = std::move(fn); }
+  /// Reroutes deliver_from_switch() to `fn` (see deliver_from_switch).
+  void set_downlink(DownlinkFn fn) { downlink_ = std::move(fn); }
 
   /// Clears per-run transient state (NIC pacing horizon, last-RX time and
   /// the per-flow highest-sequence map) so repeated runs inside one process
@@ -130,6 +151,8 @@ class Host {
   packet::Pool* pool_ = nullptr;  // not owned; shared by the fabric
   std::vector<RxCallback> rx_callbacks_;
   coflow::CoflowTracker* tracker_ = nullptr;
+  UplinkFn uplink_;      // sharded fabrics: host shard -> switch shard
+  DownlinkFn downlink_;  // sharded fabrics: switch shard -> host shard
 
   sim::Time nic_free_ = 0;
   // Declared before scope_/metrics_ (fallback registry must exist first).

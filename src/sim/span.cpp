@@ -79,7 +79,7 @@ std::string_view span_kind_name(SpanKind kind) {
     case SpanKind::kHostRx: return "host.rx";
     case SpanKind::kDrop: return "drop";
     case SpanKind::kPdesBusy: return "pdes.busy";
-    case SpanKind::kPdesBarrier: return "pdes.barrier";
+    case SpanKind::kPdesWait: return "pdes.horizon_wait";
   }
   return "unknown";
 }

@@ -48,8 +48,8 @@ enum class SpanKind : std::uint8_t {
   kTrunk,       ///< inter-switch wire, TX handoff -> far-end inject
   kHostRx,      ///< switch TX handoff -> host delivery accounting
   kDrop,        ///< instant: packet dropped; a0 = DropReason
-  kPdesBusy,    ///< PDES self-profiling: shard busy inside one epoch (ns)
-  kPdesBarrier, ///< PDES self-profiling: shard waiting at the epoch barrier
+  kPdesBusy,    ///< PDES self-profiling: shard busy inside one round (ns)
+  kPdesWait,    ///< PDES self-profiling: gap between a shard's work bursts
 };
 inline constexpr std::size_t kSpanKindCount = 14;
 

@@ -78,6 +78,8 @@ Network::Network(sim::ParallelSimulator& psim, const LeafSpineParams& params) {
   trace_cfg_ = params.trace;
   sampler_ = sim::TraceSampler(trace_cfg_);
   init_parallel(psim);
+  split_hosts_ =
+      params.host_shards_per_switch > 0 && params.host_link.propagation > 0;
   loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
   build_leaf_spine(params);
   finish_wiring();
@@ -87,6 +89,8 @@ Network::Network(sim::ParallelSimulator& psim, const FatTreeParams& params) {
   trace_cfg_ = params.trace;
   sampler_ = sim::TraceSampler(trace_cfg_);
   init_parallel(psim);
+  split_hosts_ =
+      params.host_shards_per_switch > 0 && params.host_link.propagation > 0;
   loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
   build_fat_tree(params);
   finish_wiring();
@@ -109,29 +113,55 @@ void Network::init_parallel(sim::ParallelSimulator& psim) {
   scope_ = sim::resolve_scope({}, own_metrics_, "topo");
 }
 
+/// Appends one shard with its own registry (spans armed when tracing) and
+/// "topo.hops" histogram; returns the shard's Simulator. Every shard
+/// registers the shared histogram name; merged_snapshot() folds the
+/// per-shard sample sets back into one "topo.hops".
+sim::Simulator& Network::add_shard_registry(sim::Scope& parent_out) {
+  sim::Simulator& shard = psim_->add_shard();
+  shard_regs_.push_back(std::make_unique<sim::MetricRegistry>());
+  if (trace_cfg_.enabled()) {
+    shard_regs_.back()->spans().enable(trace_cfg_.ring_capacity);
+  }
+  parent_out = shard_regs_.back()->scope("topo");
+  shard_hops_.push_back(&parent_out.histogram("hops"));
+  return shard;
+}
+
 Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_count,
                                          std::shared_ptr<ForwardingTable> fib,
                                          std::size_t host_count, net::Link host_link,
                                          std::uint64_t loss_seed) {
   const std::size_t i = switches_.size();
   sim::Simulator* sw_sim = sim_;
+  sim::Simulator* host_sim = sim_;
   sim::Scope parent = scope_;
+  sim::Scope host_parent = scope_;
   if (psim_ != nullptr) {
-    sw_sim = &psim_->add_shard();
-    shard_regs_.push_back(std::make_unique<sim::MetricRegistry>());
-    if (trace_cfg_.enabled()) {
-      shard_regs_.back()->spans().enable(trace_cfg_.ring_capacity);
+    switch_shard_.push_back(psim_->shard_count());
+    sw_sim = &add_shard_registry(parent);
+    if (split_hosts_ && host_count > 0) {
+      // The hosts of this switch get their own shard: their events (NIC
+      // pacing, rx accounting) are the bulk of the work on incast-heavy
+      // scenarios, and splitting them off lets the partitioner balance
+      // workers instead of pinning a whole rack to one thread.
+      host_shard_.push_back(psim_->shard_count());
+      host_sim = &add_shard_registry(host_parent);
+    } else {
+      host_shard_.push_back(switch_shard_.back());
+      host_sim = sw_sim;
+      host_parent = parent;
     }
-    parent = shard_regs_.back()->scope("topo");
-    // Every shard registers the shared histogram name; merged_snapshot()
-    // folds the per-shard sample sets back into one "topo.hops".
-    shard_hops_.push_back(&parent.histogram("hops"));
   }
   sim::Scope sw_scope = parent.scope("sw" + std::to_string(i));
+  sim::Scope host_scope = host_parent.scope("sw" + std::to_string(i));
   SwitchSlot slot;
   slot.device = make_switch(*sw_sim, kind, port_count, fib, sw_scope);
-  slot.fabric = std::make_unique<net::Fabric>(*sw_sim, *slot.device, host_link, loss_seed,
-                                              sw_scope, host_count);
+  // The fabric (hosts + pool) lives on the host shard; its TX dispatch
+  // closure still runs on the switch shard but only routes — per-host
+  // state is reached through the mailbox taps wired in finish_wiring().
+  slot.fabric = std::make_unique<net::Fabric>(*host_sim, *slot.device, host_link,
+                                              loss_seed, host_scope, host_count);
   slot.fib = std::move(fib);
   switches_.push_back(std::move(slot));
   return switches_.back();
@@ -156,13 +186,20 @@ std::size_t Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
     // Mailbox ids follow trunk creation order, a-side first, so the
     // barrier's (time, mailbox, seq) injection order is (time, trunk,
     // direction, fifo) — fixed by the topology, not by thread timing.
+    const std::size_t as = switch_shard_[ai];
+    const std::size_t bs = switch_shard_[bi];
     st->ab.to = b;
     st->ab.link = link;
-    st->ab.src_sim = &psim_->shard(ai);
-    st->ab.mailbox = &psim_->add_mailbox(ai, bi, link.propagation);
+    st->ab.src_sim = &psim_->shard(as);
+    st->ab.mailbox = &psim_->add_mailbox(as, bs, link.propagation);
     st->ab.rng = sim::Rng(tm::placement::mix(loss_seed_base_ ^ (2 * i)));
-    st->ab.drop_pool = &switches_[ai].fabric->pool();
-    sim::Scope sa = shard_regs_[ai]->scope(name);
+    // Dropped packets recycle into the sending switch's fabric pool — but
+    // only when that pool lives on the same shard. With split hosts the
+    // pool belongs to the host shard, and releasing across the cut would
+    // race; dropping the packet on the floor is correct (pools are an
+    // allocation optimization, not an accounting surface).
+    st->ab.drop_pool = host_shard_[ai] == as ? &switches_[ai].fabric->pool() : nullptr;
+    sim::Scope sa = shard_regs_[as]->scope(name);
     st->ab.packets = &sa.counter("ab.packets");
     st->ab.bytes = &sa.counter("ab.bytes");
     st->ab.drops = &sa.counter("drops.link");
@@ -170,11 +207,11 @@ std::size_t Network::add_trunk(Trunk::End a, Trunk::End b, net::Link link) {
     st->ab.side = 0;
     st->ba.to = a;
     st->ba.link = link;
-    st->ba.src_sim = &psim_->shard(bi);
-    st->ba.mailbox = &psim_->add_mailbox(bi, ai, link.propagation);
+    st->ba.src_sim = &psim_->shard(bs);
+    st->ba.mailbox = &psim_->add_mailbox(bs, as, link.propagation);
     st->ba.rng = sim::Rng(tm::placement::mix(loss_seed_base_ ^ (2 * i + 1)));
-    st->ba.drop_pool = &switches_[bi].fabric->pool();
-    sim::Scope sb = shard_regs_[bi]->scope(name);
+    st->ba.drop_pool = host_shard_[bi] == bs ? &switches_[bi].fabric->pool() : nullptr;
+    sim::Scope sb = shard_regs_[bs]->scope(name);
     st->ba.packets = &sb.counter("ba.packets");
     st->ba.bytes = &sb.counter("ba.bytes");
     st->ba.drops = &sb.counter("drops.link");
@@ -214,6 +251,26 @@ void Network::ShardedHalf::forward(packet::Packet pkt) {
                 [dst, pkt = std::move(pkt)]() mutable {
                   dst->device->inject(dst->port, std::move(pkt));
                 });
+}
+
+void Network::HostTap::deliver(packet::Packet pkt) {
+  // Runs on the switch shard (the device's TX completion). Mirrors
+  // Host::deliver_from_switch's lossy tail with a per-host stream; drops
+  // are counted here under the host's metric name so the merged snapshot
+  // still sums host-side and switch-side drops into one "drops.link".
+  if (link.loss_rate > 0.0 && rng.chance(link.loss_rate)) {
+    drops->add();
+    spans.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sw_sim->now(),
+                  static_cast<std::uint64_t>(sim::DropReason::kLink));
+    return;  // no pool release: the fabric pool lives on the host shard
+  }
+  // Span begin rides in the packet; [h, pkt] fills the inline callback
+  // budget exactly (as in Host::deliver_from_switch).
+  pkt.meta.trace_mark = sw_sim->now();
+  net::Host* h = host;
+  down->push(sw_sim->now() + link.propagation, [h, pkt = std::move(pkt)]() mutable {
+    h->finish_rx(std::move(pkt));
+  });
 }
 
 void Network::build_leaf_spine(const LeafSpineParams& p) {
@@ -363,11 +420,60 @@ void Network::finish_wiring() {
     }
   }
 
+  // Split hosts: install the cross-shard taps. Every hosted switch gets
+  // one mailbox pair (up: host shard -> switch shard, down: the reverse)
+  // whose conservative latency is the access link's propagation delay; the
+  // per-host taps share them. The tap RNG streams are seeded by global
+  // host index, fixed by the topology — deterministic for any thread
+  // count (but, like lossy trunks, a different stream than the sequential
+  // fabric's shared one).
+  if (psim_ != nullptr && split_hosts_) {
+    std::size_t g = 0;  // global host index (host_loc_ creation order)
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      std::vector<net::Host>& hosts = switches_[i].fabric->hosts();
+      if (hosts.empty() || host_shard_[i] == switch_shard_[i]) {
+        g += hosts.size();
+        continue;
+      }
+      const net::Link access = hosts.front().link();
+      sim::Mailbox& up =
+          psim_->add_mailbox(host_shard_[i], switch_shard_[i], access.propagation);
+      sim::Mailbox& down =
+          psim_->add_mailbox(switch_shard_[i], host_shard_[i], access.propagation);
+      sim::Scope sw_side = shard_regs_[switch_shard_[i]]->scope("topo").scope(
+          "sw" + std::to_string(i));
+      for (net::Host& h : hosts) {
+        auto tap = std::make_unique<HostTap>();
+        tap->host = &h;
+        tap->device = switches_[i].device.get();
+        tap->port = h.port();
+        tap->link = access;
+        tap->sw_sim = &psim_->shard(switch_shard_[i]);
+        tap->up = &up;
+        tap->down = &down;
+        tap->rng = sim::Rng(
+            tm::placement::mix(loss_seed_base_ ^ (0xd011'0000ULL + g)));
+        sim::Scope hs = sw_side.scope("host" + std::to_string(h.port()));
+        tap->drops = &hs.counter("drops.link");
+        tap->spans = hs.span_recorder();
+        HostTap* t = tap.get();
+        h.set_uplink([t](sim::Time at, packet::Packet pkt) {
+          t->up->push(at, [t, pkt = std::move(pkt)]() mutable {
+            t->device->inject(t->port, std::move(pkt));
+          });
+        });
+        h.set_downlink([t](packet::Packet pkt) { t->deliver(std::move(pkt)); });
+        taps_.push_back(std::move(tap));
+        ++g;
+      }
+    }
+  }
+
   // Hop-count probe: the routing programs decrement the wire TTL once per
   // switch, so a delivered packet's hop count is kIncInitialTtl - ttl.
   // Parallel mode records into the receiving host's shard histogram.
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    sim::Histogram* hist = psim_ != nullptr ? shard_hops_[i] : hops_;
+    sim::Histogram* hist = psim_ != nullptr ? shard_hops_[host_shard_[i]] : hops_;
     for (net::Host& h : switches_[i].fabric->hosts()) {
       h.add_rx_callback([hist](net::Host&, const packet::Packet& pkt) {
         if (pkt.size() >= packet::kEthernetBytes + packet::kIpv4Bytes &&
@@ -380,6 +486,29 @@ void Network::finish_wiring() {
       });
     }
   }
+
+  // Static cost model for the LPT shard packer: a switch shard's weight
+  // grows with its trunk degree (spines and cores relay every flow that
+  // crosses them), a host shard's with its host count (NIC pacing + rx
+  // accounting dominate incast scenarios). Benches refine this with
+  // measured shard_busy_ns() between runs; the packing affects wall-clock
+  // only, never results.
+  if (psim_ != nullptr) {
+    std::vector<std::size_t> degree(switches_.size(), 0);
+    for (const auto& st : strunks_) {
+      ++degree[switch_index_of(st->ab.to.device)];
+      ++degree[switch_index_of(st->ba.to.device)];
+    }
+    std::vector<double> w(psim_->shard_count(), 1.0);
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      w[switch_shard_[i]] = 1.0 + 0.25 * static_cast<double>(degree[i]);
+      if (host_shard_[i] != switch_shard_[i]) {
+        w[host_shard_[i]] =
+            0.5 + 0.25 * static_cast<double>(switches_[i].fabric->size());
+      }
+    }
+    psim_->set_shard_weights(std::move(w));
+  }
 }
 
 net::Host& Network::host(std::size_t i) {
@@ -388,12 +517,13 @@ net::Host& Network::host(std::size_t i) {
 }
 
 sim::Simulator& Network::sim_of_host(std::size_t i) {
-  return sim_of_switch(host_loc_.at(i).first);
+  const std::size_t sw = host_loc_.at(i).first;
+  return psim_ != nullptr ? psim_->shard(host_shard_.at(sw)) : *sim_;
 }
 
 sim::Simulator& Network::sim_of_switch(std::size_t i) {
   assert(i < switches_.size());
-  return psim_ != nullptr ? psim_->shard(i) : *sim_;
+  return psim_ != nullptr ? psim_->shard(switch_shard_.at(i)) : *sim_;
 }
 
 std::uint64_t Network::trunk_packets(std::size_t i, int side) const {
@@ -470,6 +600,9 @@ std::uint64_t Network::total_host_link_drops() const {
   for (const SwitchSlot& slot : switches_) {
     for (net::Host& h : slot.fabric->hosts()) total += h.link_drops();
   }
+  // Split hosts: downlink losses are counted switch-side by the taps
+  // (under the same per-host metric name), not in Host::metrics_.
+  for (const auto& tap : taps_) total += tap->drops->value();
   return total;
 }
 

@@ -53,6 +53,13 @@ struct LeafSpineParams {
   /// network arms every registry's SpanBuffer and stamps sampled flows at
   /// the sending hosts; read the result through span_buffers().
   sim::TraceConfig trace{};
+  /// Parallel mode only: put each hosted switch's servers on their own
+  /// shard (1, the default) instead of riding along with the switch (0).
+  /// Host event load dominates incast scenarios, so splitting it off is
+  /// what lets the partitioner balance workers. Requires host_link
+  /// propagation > 0 (the cross-shard lookahead); falls back to ride-along
+  /// otherwise.
+  std::uint32_t host_shards_per_switch = 1;
 };
 
 /// Parameters of the k-ary fat-tree generator (`k` even, >= 2).
@@ -65,6 +72,8 @@ struct FatTreeParams {
   std::uint64_t loss_seed = 0xfab21c;
   /// Span tracing (off by default; see LeafSpineParams::trace).
   sim::TraceConfig trace{};
+  /// See LeafSpineParams::host_shards_per_switch.
+  std::uint32_t host_shards_per_switch = 1;
 };
 
 /// A fully wired multi-switch fabric. Construct with one of the parameter
@@ -148,7 +157,8 @@ class Network {
   /// network-level gauges — same metric names, and for lossless trunks the
   /// same adcp-metrics-v1 bytes, as the sequential path.
   [[nodiscard]] sim::Snapshot merged_snapshot() const;
-  /// Per-shard registry (parallel mode), indexed by switch.
+  /// Per-shard registry (parallel mode), indexed by shard id (see
+  /// sim_of_switch/sim_of_host for the switch/host -> shard mapping).
   [[nodiscard]] sim::MetricRegistry& shard_metrics(std::size_t i) {
     return *shard_regs_.at(i);
   }
@@ -212,8 +222,34 @@ class Network {
     net::Link link;
   };
 
+  /// The switch-shard side of one host's access link when the hosts live
+  /// on their own shard: runs the downlink loss lottery with a private
+  /// per-host stream (drops counted in the switch shard's registry under
+  /// the host's metric name, so the merged snapshot still sums to one
+  /// "drops.link"), then mails Host::finish_rx across the cut. Also the
+  /// stable {device, port} the uplink mailbox injects through — the pair
+  /// is captured by pointer so the per-packet callback stays inside the
+  /// inline budget.
+  struct HostTap {
+    net::Host* host = nullptr;            // finish_rx target (host shard)
+    net::SwitchDevice* device = nullptr;  // uplink inject target (switch shard)
+    packet::PortId port = 0;
+    net::Link link;
+    sim::Simulator* sw_sim = nullptr;  // downlink producer clock
+    sim::Mailbox* up = nullptr;        // host shard -> switch shard
+    sim::Mailbox* down = nullptr;      // switch shard -> host shard
+    sim::Rng rng{0};                   // downlink loss lottery
+    sim::Counter* drops = nullptr;     // switch-shard registry
+    sim::SpanRecorder spans;           // switch-shard buffer
+
+    void deliver(packet::Packet pkt);
+  };
+
   void init(sim::Simulator& sim, sim::Scope scope);
   void init_parallel(sim::ParallelSimulator& psim);
+  /// Parallel mode: appends one shard + registry + "topo.hops" histogram;
+  /// returns the shard's Simulator and its "topo" scope through parent_out.
+  sim::Simulator& add_shard_registry(sim::Scope& parent_out);
   void build_leaf_spine(const LeafSpineParams& p);
   void build_fat_tree(const FatTreeParams& p);
   /// Creates switch i (device + fabric with `host_count` hosts) and loads
@@ -233,6 +269,7 @@ class Network {
 
   sim::Simulator* sim_ = nullptr;
   sim::ParallelSimulator* psim_ = nullptr;
+  bool split_hosts_ = false;          // hosts on their own shards (parallel)
   std::uint64_t loss_seed_base_ = 0;  // per-direction RNG streams (parallel)
   sim::TraceConfig trace_cfg_{};
   sim::TraceSampler sampler_;  // stable address: hosts keep a pointer
@@ -243,12 +280,15 @@ class Network {
   std::vector<SwitchSlot> switches_;
   std::vector<std::unique_ptr<Trunk>> trunks_;            // sequential mode
   std::vector<std::unique_ptr<ShardedTrunk>> strunks_;    // parallel mode
-  std::vector<std::unique_ptr<sim::MetricRegistry>> shard_regs_;  // parallel mode
+  std::vector<std::unique_ptr<HostTap>> taps_;            // split-host mode
+  std::vector<std::size_t> switch_shard_;  // switch index -> shard (parallel)
+  std::vector<std::size_t> host_shard_;    // switch index -> its hosts' shard
+  std::vector<std::unique_ptr<sim::MetricRegistry>> shard_regs_;  // per shard
   std::vector<std::uint32_t> host_ip_;  // global host index -> address
   std::vector<std::pair<std::uint32_t, std::uint32_t>> host_loc_;  // -> (switch, local)
   std::vector<std::vector<std::size_t>> ecmp_groups_;  // uplink fan-outs (trunk indices)
   sim::Histogram* hops_ = nullptr;       // registry-owned (sequential mode)
-  std::vector<sim::Histogram*> shard_hops_;  // one per shard (parallel mode)
+  std::vector<sim::Histogram*> shard_hops_;  // per shard id (parallel mode)
 };
 
 }  // namespace adcp::topo

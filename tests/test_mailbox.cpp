@@ -1,0 +1,94 @@
+// Cross-shard Mailbox contract: FIFO through the ring/overflow boundary,
+// FIFO across separate drain batches (the cumulative seq), and the
+// zero-latency rejection (a conservative channel must declare lookahead).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace adcp {
+namespace {
+
+TEST(Mailbox, FullRingOverflowPreservesFifo) {
+  // 600 same-tick pushes from one producer event: fills the 256-slot ring,
+  // spills ~344 into the overflow vector, and the consumer must still see
+  // push order — ties at one timestamp are broken by the FIFO seq, so any
+  // ring/overflow interleave would reorder the values.
+  sim::ParallelSimulator psim(1);
+  sim::Simulator& producer = psim.add_shard();
+  psim.add_shard();  // consumer
+  sim::Mailbox& box = psim.add_mailbox(0, 1, 100);
+
+  std::vector<int> order;
+  producer.at(0, [&box, &order] {
+    for (int i = 0; i < 600; ++i) {
+      order.reserve(600);
+      box.push(1000, [&order, i] { order.push_back(i); });
+    }
+  });
+
+  const std::uint64_t events = psim.run();
+  EXPECT_EQ(events, 601u);  // 1 producer event + 600 injected arrivals
+  EXPECT_EQ(box.pushed(), 600u);
+  EXPECT_EQ(box.drained(), 600u);
+  ASSERT_EQ(order.size(), 600u);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_EQ(order[i], i) << "FIFO broke at position " << i;
+  }
+}
+
+TEST(Mailbox, FifoSeqSpansDrainBatches) {
+  // Three producer bursts at t = 0, 600, 1200 all target the same consumer
+  // timestamp (5000). A quiet back-channel throttles the producer's horizon
+  // so the bursts run in separate rounds and reach the consumer in separate
+  // drain batches; the arrivals park in the pending heap and are injected
+  // by (at, mailbox, seq) — the cumulative per-mailbox seq must keep the
+  // cross-batch push order, not just the order within one batch.
+  sim::ParallelSimulator psim(1);
+  sim::Simulator& producer = psim.add_shard();
+  psim.add_shard();  // consumer
+  sim::Mailbox& box = psim.add_mailbox(0, 1, 100);
+  psim.add_mailbox(1, 0, 100);  // never pushed; bounds the producer horizon
+
+  std::vector<int> order;
+  for (int burst = 0; burst < 3; ++burst) {
+    producer.at(static_cast<sim::Time>(600 * burst), [&box, &order, burst] {
+      for (int i = 0; i < 5; ++i) {
+        const int value = 5 * burst + i;
+        box.push(5000, [&order, value] { order.push_back(value); });
+      }
+    });
+  }
+
+  psim.run();
+  EXPECT_EQ(box.pushed(), 15u);
+  EXPECT_EQ(box.drained(), 15u);
+  ASSERT_EQ(order.size(), 15u);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_EQ(order[i], i) << "cross-batch FIFO broke at position " << i;
+  }
+  EXPECT_EQ(psim.now(), 5000u);
+}
+
+using MailboxDeathTest = ::testing::Test;
+
+TEST(MailboxDeathTest, ZeroLatencyChannelAborts) {
+  // A zero-latency channel admits no conservative lookahead: the consumer's
+  // horizon could never pass the producer's clock. Construction must refuse
+  // loudly instead of deadlocking or silently serializing at run time.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::ParallelSimulator psim(1);
+        psim.add_shard();
+        psim.add_shard();
+        psim.add_mailbox(0, 1, 0);
+      },
+      "zero-latency");
+}
+
+}  // namespace
+}  // namespace adcp

@@ -346,16 +346,20 @@ TEST(ParallelEquivalence, FatTreeAllReduceThreads4MatchesThreads1AndMonolithic) 
   EXPECT_EQ(par1.rx, mono.rx);
   EXPECT_EQ(par1.ccts, mono.ccts);
 
-  // Executed-event counts may drift by a handful of idle-wake events:
-  // AdcpSwitch::try_drain_* schedules a same-tick wake only when none is
-  // pending, and whether two same-tick arrivals share one wake depends on
-  // intra-tick tie order — which the sharded run resolves by
-  // (time, trunk, seq) instead of the monolithic global counter. The
-  // leaf_spine test above pins exact equality where no such tie occurs; a
-  // real divergence (lost or duplicated packets) moves this by hundreds.
-  const auto diff = par1.events > mono.events ? par1.events - mono.events
-                                              : mono.events - par1.events;
-  EXPECT_LE(diff, 8u) << "par=" << par1.events << " mono=" << mono.events;
+  // Executed-event counts differ by exactly two idle-wake events on this
+  // scenario: AdcpSwitch::try_drain_* schedules a same-tick wake only when
+  // none is pending, and whether two same-tick arrivals share one wake
+  // depends on intra-tick tie order — which the sharded run resolves by
+  // (time, mailbox, seq) instead of the monolithic global insertion
+  // counter. Both orders are valid schedules of the same packet timeline
+  // (the hash/now/CCT pins above prove it); only the wake bookkeeping
+  // coalesces differently. The skew is a deterministic constant of the
+  // (topology, workload, seed) triple — the leaf_spine test above pins
+  // exact equality where no such tie occurs, and any real divergence
+  // (lost or duplicated packets) moves this by hundreds, so pin it exact.
+  ASSERT_GE(mono.events, par1.events);
+  EXPECT_EQ(mono.events - par1.events, 2u)
+      << "par=" << par1.events << " mono=" << mono.events;
 }
 
 // --- tracing determinism: the pin extended to span output ------------------
@@ -420,17 +424,17 @@ TEST(ParallelEquivalence, FatTreeTraceOutputIdenticalAcrossThreads) {
   for (const TraceRun* t : {&par1, &par4}) {
     ASSERT_NE(t->pdes.find("pdes.shard0.busy_ns"), nullptr);
     ASSERT_NE(t->pdes.find("pdes.shard0.idle_ns"), nullptr);
-    ASSERT_NE(t->pdes.find("pdes.shard0.barrier_wait_ns"), nullptr);
+    ASSERT_NE(t->pdes.find("pdes.shard0.horizon_wait_ns"), nullptr);
     const sim::Snapshot::Entry* occ = t->pdes.find("pdes.mailbox.occupancy");
     ASSERT_NE(occ, nullptr);
-    EXPECT_GT(occ->count, 0u);  // cross-shard traffic drained every epoch
+    EXPECT_GT(occ->count, 0u);  // cross-shard traffic drained in batches
     EXPECT_GT(t->pdes.value("pdes.shard0.busy_ns") +
-                  t->pdes.value("pdes.shard0.barrier_wait_ns"),
+                  t->pdes.value("pdes.shard0.horizon_wait_ns"),
               0.0);
   }
 }
 
-TEST(ParallelSim, ProfileSpansRecordBusyAndBarrierPerShardPerEpoch) {
+TEST(ParallelSim, ProfileSpansRecordWorkBurstsPerShard) {
   sim::ParallelSimulator psim(2);
   sim::Simulator& a = psim.add_shard();
   psim.add_shard();
@@ -442,24 +446,30 @@ TEST(ParallelSim, ProfileSpansRecordBusyAndBarrierPerShardPerEpoch) {
   psim.run();
   EXPECT_EQ(delivered, 1);
 
-  const sim::SpanBuffer& prof = psim.profile_spans();
-  // One kPdesBusy + one kPdesBarrier per shard per epoch.
-  EXPECT_EQ(prof.recorded(), 2u * 2u * psim.epochs());
-  bool saw_busy = false, saw_barrier = false;
-  for (std::size_t i = 0; i < prof.size(); ++i) {
-    const sim::Span& s = prof.at(i);
-    EXPECT_LE(s.begin, s.end);
-    EXPECT_GE(s.trace_id, 1u);  // shard index + 1
-    EXPECT_LE(s.trace_id, 2u);
-    saw_busy = saw_busy || s.kind == sim::SpanKind::kPdesBusy;
-    saw_barrier = saw_barrier || s.kind == sim::SpanKind::kPdesBarrier;
+  // Lookahead rounds only record spans for rounds that did real work, so
+  // the pin is per-shard presence, not a per-epoch count: both shards
+  // executed events, so both buffers must hold at least one kPdesBusy.
+  const std::vector<const sim::SpanBuffer*> bufs = psim.profile_span_buffers();
+  ASSERT_EQ(bufs.size(), 2u);
+  std::uint64_t total = 0;
+  for (std::size_t shard = 0; shard < bufs.size(); ++shard) {
+    const sim::SpanBuffer& prof = *bufs[shard];
+    EXPECT_GE(prof.recorded(), 1u);
+    total += prof.recorded();
+    bool saw_busy = false;
+    for (std::size_t i = 0; i < prof.size(); ++i) {
+      const sim::Span& s = prof.at(i);
+      EXPECT_LE(s.begin, s.end);
+      EXPECT_EQ(s.trace_id, shard + 1);  // shard index + 1
+      saw_busy = saw_busy || s.kind == sim::SpanKind::kPdesBusy;
+    }
+    EXPECT_TRUE(saw_busy);
   }
-  EXPECT_TRUE(saw_busy);
-  EXPECT_TRUE(saw_barrier);
+  EXPECT_GE(total, 2u);
   // Both shards' tracks appear in the export, under their own names.
-  const std::string json = sim::spans_to_perfetto({&prof}, 1e-3);
+  const std::string json = sim::spans_to_perfetto(bufs, 1e-3);
   EXPECT_NE(json.find("pdes.shard0/pdes.busy"), std::string::npos);
-  EXPECT_NE(json.find("pdes.shard1/pdes.barrier"), std::string::npos);
+  EXPECT_NE(json.find("pdes.shard1/pdes.busy"), std::string::npos);
 }
 
 }  // namespace
