@@ -27,15 +27,29 @@
 // the determinism verdict, writes the sharded run's trace, and drops the
 // PDES busy/barrier self-profile next to it as PATH.pdes.json.
 //
+// --tier-profile full|slim selects the construction profile for every
+// fabric built (default slim: first-touch state + shared templates). The
+// parallel bench additionally measures construction itself per scale —
+// both profiles, wall-clock + RSS + byte accounting — as the
+// <scale>.construction.{slim,full}.* / construction.speedup series in
+// BENCH_parallel.json (the full arm is RAM-gated: it costs what the
+// configs declare, ~19 GB for an eager ADCP fat_tree(8)).
+//
 // Usage: bench_leaf_spine [--quick] [--out PATH] [--trace-out PATH]
 //                         [--scale S1,S2,...] [--threads N1,N2,...]
+//                         [--tier-profile full|slim]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "bench_report.hpp"
 #include "coflow/tracker.hpp"
@@ -65,13 +79,15 @@ struct FabricResult {
   std::uint64_t events = 0;
 };
 
-FabricResult run_fabric(topo::SwitchKind kind, bool quick, const std::string& trace_out) {
+FabricResult run_fabric(topo::SwitchKind kind, const topo::TierProfile& profile, bool quick,
+                        const std::string& trace_out) {
   sim::Simulator sim;
   topo::LeafSpineParams p;
   p.leaves = 4;
   p.spines = 2;
   p.hosts_per_leaf = 16;
   p.kind = kind;
+  p.profile = profile;
   if (!trace_out.empty()) p.trace.sample_every = 1;
   topo::Network net(sim, p);
 
@@ -244,12 +260,116 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+// --- construction sweep ----------------------------------------------------
+
+/// Resident set size right now, from /proc/self/statm (0 off Linux).
+/// Register-file backing stores are >128 KB so glibc mmaps them; RSS
+/// deltas around a Network's lifetime are therefore honest in both
+/// directions (freed memory actually leaves the process).
+double rss_bytes_now() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long long total = 0;
+  long long resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  return static_cast<double>(resident) * static_cast<double>(sysconf(_SC_PAGESIZE));
+#else
+  return 0.0;
+#endif
+}
+
+/// MemAvailable from /proc/meminfo (0 when unknown) — gates the eager arm.
+double mem_available_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/meminfo", "r");
+  if (f == nullptr) return 0.0;
+  char key[64];
+  long long kb = 0;
+  char unit[16];
+  double avail = 0.0;
+  while (std::fscanf(f, "%63s %lld %15s", key, &kb, unit) == 3) {
+    if (std::strcmp(key, "MemAvailable:") == 0) {
+      avail = static_cast<double>(kb) * 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return avail;
+#else
+  return 0.0;
+#endif
+}
+
+/// Builds the fabric under both tier profiles (no traffic) and records the
+/// construction cost series: <scope>.{slim,full}.{build_ms, rss_bytes,
+/// bytes_reserved, bytes_touched, templates_built, templates_shared} plus
+/// the headline <scope>.speedup and <scope>.rss_ratio (full / slim). The
+/// slim arm runs first — it leaves almost nothing resident, keeping the
+/// full arm's RSS delta honest — and its bytes_reserved (identical to what
+/// full will touch) RAM-gates the full arm: an eager ADCP fat_tree(8)
+/// wants ~19 GB, which a laptop-class runner cannot provide.
+template <typename Params>
+void bench_construction(sim::Scope scope, Params p) {
+  struct Arm {
+    const char* name;
+    topo::TierProfile profile;
+  };
+  const Arm arms[] = {{"slim", topo::TierProfile::slim()},
+                      {"full", topo::TierProfile::full()}};
+  double slim_ms = 0.0;
+  double slim_rss = 0.0;
+  double reserved_estimate = 0.0;
+  for (const Arm& arm : arms) {
+    sim::Scope as = scope.scope(arm.name);
+    if (arm.profile.eager_state && reserved_estimate > 0.0) {
+      const double avail = mem_available_bytes();
+      if (avail > 0.0 && reserved_estimate * 1.25 + 1e9 > avail) {
+        std::printf("  construction.full: skipped (wants ~%.1f GB, %.1f GB available)\n",
+                    reserved_estimate / 1e9, avail / 1e9);
+        as.gauge("skipped").set(1.0);
+        continue;
+      }
+    }
+    const double rss0 = rss_bytes_now();
+    Params q = p;
+    q.profile = arm.profile;
+    sim::Simulator sim;
+    topo::Network net(sim, q);
+    const double rss = std::max(0.0, rss_bytes_now() - rss0);
+    const auto& c = net.construction();
+    net.export_construction(as);
+    as.gauge("rss_bytes").set(rss);
+    as.gauge("skipped").set(0.0);
+    std::printf("  construction.%s: %8.2f ms  rss %8.1f MB  touched %8.1f MB"
+                "  (reserved %.1f MB, %llu templates, %llu shared)\n",
+                arm.name, c.build_ms, rss / 1e6,
+                static_cast<double>(c.bytes_touched) / 1e6,
+                static_cast<double>(c.bytes_reserved) / 1e6,
+                static_cast<unsigned long long>(c.templates_built),
+                static_cast<unsigned long long>(c.templates_shared));
+    if (!arm.profile.eager_state) {
+      slim_ms = c.build_ms;
+      slim_rss = rss;
+      reserved_estimate = static_cast<double>(c.bytes_reserved);
+    } else if (slim_ms > 0.0) {
+      scope.gauge("speedup").set(c.build_ms / slim_ms);
+      if (slim_rss > 0.0) scope.gauge("rss_ratio").set(rss / slim_rss);
+      std::printf("  construction: slim is %.1fx faster, %.1fx smaller RSS\n",
+                  c.build_ms / slim_ms, slim_rss > 0.0 ? rss / slim_rss : 0.0);
+    }
+  }
+}
+
 /// Mono-vs-sharded executed-event skew beyond this is a real divergence
 /// (lost or duplicated packets move it by hundreds), not wake coalescing.
 constexpr std::uint64_t kMaxEventSkew = 16;
 
 int run_parallel_bench(const std::string& scale_csv, const std::string& threads_csv,
-                       bool quick, const std::string& out, const std::string& trace_out) {
+                       const topo::TierProfile& profile, bool quick, const std::string& out,
+                       const std::string& trace_out) {
   const std::vector<std::string> scales = split_csv(scale_csv);
   std::vector<unsigned> thread_counts;
   for (const std::string& t : split_csv(threads_csv)) {
@@ -269,6 +389,7 @@ int run_parallel_bench(const std::string& scale_csv, const std::string& threads_
   // actually available; CI gates read this before trusting them.
   report.gauge("config.hardware_threads")
       .set(static_cast<double>(std::thread::hardware_concurrency()));
+  report.gauge("config.tier_profile_full").set(profile.eager_state ? 1.0 : 0.0);
 
   bool all_ok = true;
   sim::Snapshot pdes_snap;  // last scale's widest run (single-scale compat)
@@ -279,6 +400,10 @@ int run_parallel_bench(const std::string& scale_csv, const std::string& threads_
   // ParallelSimulator::run()), which per-packet spans expose even though
   // every aggregate metric agrees.
   const auto bench_one = [&](const std::string& scale, auto p) {
+    p.profile = profile;
+    std::printf("construction sweep: %s (%s profile for the runs below)\n", scale.c_str(),
+                profile.name());
+    bench_construction(report.scope(scale).scope("construction"), p);
     const ScaleResult mono = run_scale_monolithic(p, quick, trace);
     // threads=1 first: the par-vs-par reference AND the measured cost
     // model — its per-shard busy_ns feed set_shard_weights for every
@@ -412,15 +537,22 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string scale = "leaf_spine";
   std::string threads;  // empty = legacy two-tier bench, no parallel engine
+  std::string profile_name = "slim";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) trace_out = argv[++i];
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) scale = argv[++i];
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) threads = argv[++i];
+    if (std::strcmp(argv[i], "--tier-profile") == 0 && i + 1 < argc) profile_name = argv[++i];
+  }
+  const std::optional<topo::TierProfile> profile = topo::TierProfile::parse(profile_name);
+  if (!profile) {
+    std::fprintf(stderr, "unknown --tier-profile '%s' (full | slim)\n", profile_name.c_str());
+    return 2;
   }
   if (!threads.empty() && threads != "0") {
-    return run_parallel_bench(scale, threads, quick, out, trace_out);
+    return run_parallel_bench(scale, threads, *profile, quick, out, trace_out);
   }
 
   std::printf("leaf–spine fabric (4 leaves x 16 hosts, 2 spines): cross-rack coflows\n\n");
@@ -437,7 +569,7 @@ int main(int argc, char** argv) {
   for (const auto& tier : tiers) {
     // Only the ADCP tier (the paper's subject) gets traced in legacy mode.
     const bool adcp_tier = tier.kind == topo::SwitchKind::kAdcp;
-    const FabricResult r = run_fabric(tier.kind, quick, adcp_tier ? trace_out : "");
+    const FabricResult r = run_fabric(tier.kind, *profile, quick, adcp_tier ? trace_out : "");
     std::printf("%-6s %-14.2f %-12.2f %-12.2f %-14.2f %-10.1f %-10.3f %-10.3f %-10llu\n",
                 tier.name, r.incast_cct_us, r.reduce_cct_us, r.bcast_cct_us,
                 r.allreduce_total_us, r.hops_p50, r.ecmp_imbalance, r.trunk_max_util,

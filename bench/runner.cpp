@@ -8,7 +8,14 @@
 //
 // Usage:
 //   bench_runner [--quick] [--scenario NAME] [--threads N] [--repeat N]
-//                [--out FILE] [--trace-out FILE]
+//                [--tier-profile full|slim] [--out FILE] [--trace-out FILE]
+//
+// --tier-profile selects the topo::TierProfile used by the fabric
+// scenarios (leaf_spine, parallel_fabric): "slim" (default) builds
+// switches with shared templates + first-touch state, "full" forces the
+// legacy eager build. The sweep mode additionally emits a
+// construction.{build_ms,bytes_reserved,bytes_touched,templates_built,
+// templates_shared,rss_bytes} series in BENCH_parallel.json.
 //
 // --trace-out runs one extra (untimed) leaf-spine incast with packet-span
 // tracing armed on every flow and writes the Chrome trace-event JSON to
@@ -35,6 +42,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "bench_report.hpp"
 #include "core/adcp_switch.hpp"
@@ -64,6 +74,29 @@ struct Options {
   std::string out = "BENCH_kernel.json";
   std::string trace_out;  // empty = no trace capture
 };
+
+/// The tier profile every fabric scenario builds with. Scenario functions
+/// share a fixed signature, so the --tier-profile flag lands here once at
+/// startup (before any worker thread runs) instead of threading through
+/// every ScenarioFn.
+topo::TierProfile g_profile{};
+
+/// Resident set size right now (bytes); 0 where /proc is unavailable.
+std::uint64_t rss_bytes_now() {
+#ifdef __linux__
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long total = 0;
+    unsigned long long resident = 0;
+    const int n = std::fscanf(f, "%llu %llu", &total, &resident);
+    std::fclose(f);
+    if (n == 2) {
+      return static_cast<std::uint64_t>(resident) *
+             static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+    }
+  }
+#endif
+  return 0;
+}
 
 /// One timed run: `ops` operations took `ns` nanoseconds. `ok == false`
 /// flags a scenario-detected failure (lost packets, nondeterminism) that
@@ -228,6 +261,7 @@ Sample run_leaf_spine(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   p.spines = 2;
   p.hosts_per_leaf = 8;
   p.ecmp_seed = seed;
+  p.profile = g_profile;
   topo::Network net(sim, p);
   std::vector<workload::RackHost> hosts;
   for (std::size_t i = 0; i < net.host_count(); ++i) {
@@ -263,6 +297,7 @@ Sample run_parallel_fabric(std::uint64_t seed, bool quick, unsigned threads) {
     p.spines = 2;
     p.hosts_per_leaf = 8;
     p.ecmp_seed = seed;
+    p.profile = g_profile;
     topo::Network net(psim, p);
     std::vector<workload::RackHost> hosts;
     for (std::size_t i = 0; i < net.host_count(); ++i) {
@@ -332,6 +367,27 @@ int run_thread_sweep(const std::vector<unsigned>& thread_counts, bool quick,
   report.gauge("config.repeat").set(static_cast<double>(repeat));
   report.gauge("config.hardware_threads")
       .set(static_cast<double>(std::thread::hardware_concurrency()));
+  report.gauge("config.tier_profile_full").set(g_profile.eager_state ? 1.0 : 0.0);
+
+  // Construction cost of the sweep's fabric under the selected profile —
+  // the construction.* series satellite readers (CI smoke, E22) consume.
+  {
+    const std::uint64_t rss0 = rss_bytes_now();
+    sim::Simulator csim;
+    topo::LeafSpineParams p;
+    p.leaves = 2;
+    p.spines = 2;
+    p.hosts_per_leaf = 8;
+    p.profile = g_profile;
+    topo::Network cnet(csim, p);
+    adcp::sim::Scope cs = report.scope("construction");
+    cnet.export_construction(cs);
+    cs.gauge("rss_bytes").set(static_cast<double>(rss_bytes_now() - rss0));
+    std::printf("construction(%s)  %.2f ms  reserved %llu B  touched %llu B\n",
+                g_profile.name(), cnet.construction().build_ms,
+                static_cast<unsigned long long>(cnet.construction().bytes_reserved),
+                static_cast<unsigned long long>(cnet.construction().bytes_touched));
+  }
 
   bool all_ok = true;
   double t1_ns_per_op = 0;
@@ -396,7 +452,8 @@ struct Result {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--scenario NAME] [--threads N] "
-               "[--repeat N] [--out FILE] [--trace-out FILE]\n",
+               "[--repeat N] [--tier-profile full|slim] [--out FILE] "
+               "[--trace-out FILE]\n",
                argv0);
   return 2;
 }
@@ -434,6 +491,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       opt.trace_out = v;
+    } else if (arg == "--tier-profile") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const auto profile = topo::TierProfile::parse(v);
+      if (!profile) {
+        std::fprintf(stderr, "unknown --tier-profile '%s' (full | slim)\n", v);
+        return 2;
+      }
+      g_profile = *profile;
     } else {
       return usage(argv[0]);
     }
@@ -536,6 +602,7 @@ int main(int argc, char** argv) {
   report.gauge("config.quick").set(opt.quick ? 1.0 : 0.0);
   report.gauge("config.threads").set(static_cast<double>(nthreads));
   report.gauge("config.repeat").set(static_cast<double>(opt.repeat));
+  report.gauge("config.tier_profile_full").set(g_profile.eager_state ? 1.0 : 0.0);
   for (const Result& r : results) {
     std::printf("%-16s %10.1f ns/%s %14.0f %ss/sec (%u runs, %llu ops)\n",
                 r.name.c_str(), r.ns_per_op, r.unit.c_str(), r.ops_per_sec,

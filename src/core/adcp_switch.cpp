@@ -23,7 +23,7 @@ bool is_inc(const packet::Phv& phv) {
 AdcpSwitch::AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config, sim::Scope scope)
     : sim_(&sim),
       config_(config),
-      scope_(sim::resolve_scope(scope, own_metrics_, "core")),
+      scope_(sim::resolve_scope(scope, own_metrics_, "adcp")),
       metrics_(scope_),
       spans_(scope_.span_recorder()),
       pool_(4096, scope_.scope("pool")) {
@@ -56,9 +56,13 @@ AdcpSwitch::AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config, sim::Scope
 
 void AdcpSwitch::load_program(AdcpProgram program) {
   assert(program.placement && "AdcpProgram::placement is mandatory (§3.1)");
-  parse_graph_ = std::move(program.parse);
-  parser_.emplace(&parse_graph_);
-  deparser_.emplace(std::move(program.deparse));
+  parse_graph_ = program.shared_parse
+                     ? std::move(program.shared_parse)
+                     : std::make_shared<const packet::ParseGraph>(std::move(program.parse));
+  parser_.emplace(parse_graph_.get());
+  deparser_ = program.shared_deparse
+                  ? std::move(program.shared_deparse)
+                  : std::make_shared<const packet::Deparser>(std::move(program.deparse));
   placement_ = std::move(program.placement);
   demux_ = std::move(program.demux);
   egress_demux_ = std::move(program.egress_demux);

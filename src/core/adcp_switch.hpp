@@ -67,8 +67,17 @@ class AdcpSwitch final : public net::SwitchDevice {
  public:
   /// `scope` names this switch in a shared MetricRegistry (TM1/TM2 and the
   /// pool register as "<scope>.tm1" / "<scope>.tm2" / "<scope>.pool");
-  /// detached (the default) falls back to a private registry under "core".
+  /// detached (the default) falls back to a private registry under "adcp"
+  /// — the model's own name, matching "rmt"/"rtc" (canonical constructor
+  /// contract: net::SwitchDevice). The pre-redesign fallback was "core";
+  /// kDeprecatedScopeFallback keeps that spelling reachable for one
+  /// release.
   AdcpSwitch(sim::Simulator& sim, const AdcpConfig& config, sim::Scope scope = {});
+
+  /// Deprecated: the old detached-scope prefix. Code that grepped
+  /// snapshots for "core.*" should move to "adcp.*"; construct with
+  /// `sim::Scope` naming kDeprecatedScopeFallback to keep old names.
+  static constexpr const char* kDeprecatedScopeFallback = "core";
 
   /// Installs the program; must be called before traffic. `program.placement`
   /// is mandatory.
@@ -99,6 +108,14 @@ class AdcpSwitch final : public net::SwitchDevice {
   /// The registry this switch (and its TMs and pool) report into.
   [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
   [[nodiscard]] const sim::Scope& metric_scope() const { return scope_; }
+  /// The installed parse graph / deparser. Shared (use_count > 1) when the
+  /// program came from a topo::SwitchTemplate; owned otherwise.
+  [[nodiscard]] const std::shared_ptr<const packet::ParseGraph>& parse_graph() const {
+    return parse_graph_;
+  }
+  [[nodiscard]] const std::shared_ptr<const packet::Deparser>& deparser() const {
+    return deparser_;
+  }
   tm::TrafficManager& tm1() { return *tm1_; }
   tm::TrafficManager& tm2() { return *tm2_; }
   pipeline::Pipeline& central_pipe(std::uint32_t i) { return central_pipes_.at(i); }
@@ -143,8 +160,8 @@ class AdcpSwitch final : public net::SwitchDevice {
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by the re-parse sites
   std::optional<packet::Parser> parser_;
-  packet::ParseGraph parse_graph_;
-  std::optional<packet::Deparser> deparser_;
+  std::shared_ptr<const packet::ParseGraph> parse_graph_;
+  std::shared_ptr<const packet::Deparser> deparser_;
   tm::PlacementFn placement_;
   DemuxFn demux_;
   DemuxFn egress_demux_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "packet/deparser.hpp"
 #include "packet/parser.hpp"
@@ -32,6 +33,11 @@ struct AdcpProgram {
   /// ADCP parsers extract arrays (paper §3.2); 16 lanes by default.
   packet::ParseGraph parse = packet::standard_parse_graph(16);
   packet::Deparser deparse = packet::standard_deparser();
+  /// Template sharing (topo::SwitchTemplate): when set, these override
+  /// `parse`/`deparse` and the switch holds the shared_ptr instead of
+  /// copying — every identical switch in a fabric references one graph.
+  std::shared_ptr<const packet::ParseGraph> shared_parse;
+  std::shared_ptr<const packet::Deparser> shared_deparse;
 
   PipelineSetup setup_ingress;  ///< edge ingress pipelines
   PipelineSetup setup_central;  ///< the global partitioned area

@@ -5,7 +5,8 @@
 namespace adcp::mat {
 
 std::uint64_t RegisterFile::apply(AluOp op, std::size_t index, std::uint64_t operand) {
-  assert(index < cells_.size());
+  assert(index < size_);
+  touch();
   ++transactions_;
   std::uint64_t& cell = cells_[index];
   switch (op) {

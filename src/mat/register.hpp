@@ -4,11 +4,21 @@
 // cells that persist across packets, updated by a read-modify-write ALU as
 // a packet passes the stage. Exactly one RMW per cell per packet — the
 // discipline real RMT stages enforce.
+//
+// The backing store materializes lazily on the first write ("first
+// touch"): a freshly built file only records its size. Cells are
+// zero-initialized either way, so an unmaterialized file is
+// observationally identical to an eager one — `peek` of an untouched file
+// returns 0, exactly what an eager zeroed vector would hold. This is what
+// makes fabric-slim construction (DESIGN.md §11) bit-identical to the
+// eager build.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "mat/state_accounting.hpp"
 
 namespace adcp::mat {
 
@@ -26,34 +36,54 @@ enum class AluOp {
 /// A register array within a stage.
 class RegisterFile {
  public:
-  explicit RegisterFile(std::size_t cells) : cells_(cells, 0) {}
+  /// `eager` forces immediate materialization (the legacy "full" tier
+  /// profile); by default the store appears on first write.
+  explicit RegisterFile(std::size_t cells, bool eager = false) : size_(cells) {
+    StateAccounting::add_reserved(size_ * sizeof(std::uint64_t));
+    if (eager) touch();
+  }
 
   /// Applies `op` to cell `index` with `operand`; returns the op's result.
   std::uint64_t apply(AluOp op, std::size_t index, std::uint64_t operand);
 
   /// Direct read without an ALU transaction (control-plane access).
+  /// Reads do not materialize: untouched cells are zero by definition.
   [[nodiscard]] std::uint64_t peek(std::size_t index) const {
-    assert(index < cells_.size());
-    return cells_[index];
+    assert(index < size_);
+    return cells_.empty() ? 0 : cells_[index];
   }
 
   /// Control-plane write.
   void poke(std::size_t index, std::uint64_t value) {
-    assert(index < cells_.size());
+    assert(index < size_);
+    touch();
     cells_[index] = value;
   }
 
-  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Number of ALU transactions performed (for occupancy accounting).
   [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
 
   void fill(std::uint64_t value) {
+    // Filling with zero is a no-op on an unmaterialized file.
+    if (value == 0 && cells_.empty()) return;
+    touch();
     for (auto& c : cells_) c = value;
   }
 
+  /// Materializes the zeroed backing store now (idempotent).
+  void touch() {
+    if (!cells_.empty() || size_ == 0) return;
+    cells_.assign(size_, 0);
+    StateAccounting::add_touched(size_ * sizeof(std::uint64_t));
+  }
+
+  [[nodiscard]] bool materialized() const { return !cells_.empty() || size_ == 0; }
+
  private:
-  std::vector<std::uint64_t> cells_;
+  std::size_t size_;
+  std::vector<std::uint64_t> cells_;  // empty until first touch
   std::uint64_t transactions_ = 0;
 };
 

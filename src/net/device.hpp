@@ -11,8 +11,30 @@ namespace adcp::net {
 /// Called when the last bit of `pkt` leaves TX `port`.
 using TxHandler = std::function<void(packet::PortId port, packet::Packet pkt)>;
 
-/// A switch as seen from its ports. Implemented by rmt::RmtSwitch and
-/// core::AdcpSwitch.
+/// A switch as seen from its ports. Implemented by rmt::RmtSwitch,
+/// core::AdcpSwitch and rtc::RtcSwitch.
+///
+/// Canonical construction contract (all three models):
+///
+///   <X>Switch(sim::Simulator& sim, const <X>Config& config,
+///             sim::Scope scope = {});
+///
+///  * `config` is taken by const reference and copied; it must pass
+///    `config.validate()`.
+///  * `scope` names the switch in a shared sim::MetricRegistry
+///    (sub-components hang off it: "<scope>.tm", "<scope>.pool", ...). A
+///    detached scope (the default) falls back to a private registry whose
+///    prefix is the model's own lowercase name: "rmt" / "adcp" / "rtc".
+///    (AdcpSwitch used "core" before the tier-profile redesign; see
+///    core::AdcpSwitch::kDeprecatedScopeFallback.)
+///  * Construction is cheap: heavy state (stage register files, array
+///    engines) is reserved, not materialized — it appears on first touch
+///    (mat::RegisterFile), so building a fabric of thousands of switches
+///    costs what the workload touches, not what the configs declare.
+///    `StageConfig::eager_state` restores the legacy eager build.
+///  * `load_program()` must run before traffic. Fabric builders pass
+///    shared parse/deparse templates (topo::SwitchTemplate) so identical
+///    switches share one immutable graph.
 class SwitchDevice {
  public:
   virtual ~SwitchDevice() = default;

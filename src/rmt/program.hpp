@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "packet/deparser.hpp"
 #include "packet/parser.hpp"
@@ -25,6 +26,11 @@ struct RmtProgram {
   /// elements in the payload (the paper's scalar restriction).
   packet::ParseGraph parse = packet::standard_parse_graph(0);
   packet::Deparser deparse = packet::standard_deparser();
+  /// Template sharing (topo::SwitchTemplate): when set, these override
+  /// `parse`/`deparse` and the switch holds the shared_ptr instead of
+  /// copying — every identical switch in a fabric references one graph.
+  std::shared_ptr<const packet::ParseGraph> shared_parse;
+  std::shared_ptr<const packet::Deparser> shared_deparse;
   PipelineSetup setup_ingress;  ///< optional; default leaves stages empty
   PipelineSetup setup_egress;   ///< optional
 };

@@ -55,9 +55,13 @@ RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config, sim::Scope sc
 }
 
 void RmtSwitch::load_program(RmtProgram program) {
-  parse_graph_ = std::move(program.parse);
-  parser_.emplace(&parse_graph_);
-  deparser_.emplace(std::move(program.deparse));
+  parse_graph_ = program.shared_parse
+                     ? std::move(program.shared_parse)
+                     : std::make_shared<const packet::ParseGraph>(std::move(program.parse));
+  parser_.emplace(parse_graph_.get());
+  deparser_ = program.shared_deparse
+                  ? std::move(program.shared_deparse)
+                  : std::make_shared<const packet::Deparser>(std::move(program.deparse));
   for (std::uint32_t i = 0; i < config_.pipeline_count; ++i) {
     if (program.setup_ingress) program.setup_ingress(ingress_pipes_[i], i);
     if (program.setup_egress) program.setup_egress(egress_pipes_[i], i);

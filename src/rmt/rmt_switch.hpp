@@ -106,6 +106,14 @@ class RmtSwitch final : public net::SwitchDevice {
   /// The registry this switch (and its TM and pool) report into.
   [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
   [[nodiscard]] const sim::Scope& metric_scope() const { return scope_; }
+  /// The installed parse graph / deparser. Shared (use_count > 1) when the
+  /// program came from a topo::SwitchTemplate; owned otherwise.
+  [[nodiscard]] const std::shared_ptr<const packet::ParseGraph>& parse_graph() const {
+    return parse_graph_;
+  }
+  [[nodiscard]] const std::shared_ptr<const packet::Deparser>& deparser() const {
+    return deparser_;
+  }
   [[nodiscard]] const tm::TrafficManager& traffic_manager() const { return *tm_; }
   pipeline::Pipeline& ingress_pipe(std::uint32_t i) { return ingress_pipes_.at(i); }
   pipeline::Pipeline& egress_pipe(std::uint32_t i) { return egress_pipes_.at(i); }
@@ -151,8 +159,8 @@ class RmtSwitch final : public net::SwitchDevice {
   std::vector<std::unique_ptr<TransitSlot>> transit_slots_;  ///< owns every slot
   std::vector<TransitSlot*> transit_free_;                   ///< warm free list
   std::optional<packet::Parser> parser_;
-  packet::ParseGraph parse_graph_;
-  std::optional<packet::Deparser> deparser_;
+  std::shared_ptr<const packet::ParseGraph> parse_graph_;
+  std::shared_ptr<const packet::Deparser> deparser_;
   std::vector<pipeline::Pipeline> ingress_pipes_;
   std::vector<pipeline::Pipeline> egress_pipes_;
   std::optional<tm::TrafficManager> tm_;

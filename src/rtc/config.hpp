@@ -29,6 +29,9 @@ struct RtcConfig {
   std::uint32_t memory_access_cycles = 8;
   /// Packets the central dispatch queue may hold before tail-dropping.
   std::size_t dispatch_queue_packets = 16'384;
+  /// Materialize the shared register/array state at construction (legacy
+  /// "full" tier profile); by default it appears on first touch.
+  bool eager_state = false;
 
   /// Peak packet rate of the processor pool for a program costing
   /// `cycles_per_packet` (dispatch included).

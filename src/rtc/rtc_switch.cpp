@@ -20,7 +20,8 @@ RtcSwitch::RtcSwitch(sim::Simulator& sim, const RtcConfig& config, sim::Scope sc
       scope_(sim::resolve_scope(scope, own_metrics_, "rtc")),
       metrics_(scope_),
       spans_(scope_.span_recorder()),
-      pool_(4096, scope_.scope("pool")) {
+      pool_(4096, scope_.scope("pool")),
+      shared_(config.eager_state) {
   rx_free_.assign(config.port_count, 0);
   tx_free_.assign(config.port_count, 0);
   proc_free_.assign(config.processors, 0);
@@ -28,9 +29,13 @@ RtcSwitch::RtcSwitch(sim::Simulator& sim, const RtcConfig& config, sim::Scope sc
 
 void RtcSwitch::load_program(RtcProgram program) {
   assert(program.run && "RtcProgram::run is mandatory");
-  parse_graph_ = std::move(program.parse);
-  parser_.emplace(&parse_graph_);
-  deparser_.emplace(std::move(program.deparse));
+  parse_graph_ = program.shared_parse
+                     ? std::move(program.shared_parse)
+                     : std::make_shared<const packet::ParseGraph>(std::move(program.parse));
+  parser_.emplace(parse_graph_.get());
+  deparser_ = program.shared_deparse
+                  ? std::move(program.shared_deparse)
+                  : std::make_shared<const packet::Deparser>(std::move(program.deparse));
   run_ = std::move(program.run);
 }
 

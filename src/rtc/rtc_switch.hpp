@@ -33,8 +33,11 @@ namespace adcp::rtc {
 /// per-pipeline), any coflow converges here by construction; the cost is
 /// the per-access cycles in RtcConfig.
 struct SharedState {
-  mat::RegisterFile registers{1 << 16};
-  mat::ArrayMatEngine engine{mat::ArrayEngineConfig{}};
+  explicit SharedState(bool eager = false)
+      : registers(1 << 16, eager), engine(mat::ArrayEngineConfig{.eager_state = eager}) {}
+
+  mat::RegisterFile registers;
+  mat::ArrayMatEngine engine;
 };
 
 /// A run-to-completion program: transforms the PHV against the shared
@@ -48,6 +51,11 @@ using RtcProgramFn =
 struct RtcProgram {
   packet::ParseGraph parse = packet::standard_parse_graph(64);
   packet::Deparser deparse = packet::standard_deparser();
+  /// Template sharing (topo::SwitchTemplate): when set, these override
+  /// `parse`/`deparse` and the switch holds the shared_ptr instead of
+  /// copying — every identical switch in a fabric references one graph.
+  std::shared_ptr<const packet::ParseGraph> shared_parse;
+  std::shared_ptr<const packet::Deparser> shared_deparse;
   RtcProgramFn run;  ///< REQUIRED
 };
 
@@ -118,6 +126,14 @@ class RtcSwitch final : public net::SwitchDevice {
   /// The registry this switch (and its pool) report into.
   [[nodiscard]] sim::MetricRegistry& metrics() { return *scope_.registry(); }
   [[nodiscard]] const sim::Scope& metric_scope() const { return scope_; }
+  /// The installed parse graph / deparser. Shared (use_count > 1) when the
+  /// program came from a topo::SwitchTemplate; owned otherwise.
+  [[nodiscard]] const std::shared_ptr<const packet::ParseGraph>& parse_graph() const {
+    return parse_graph_;
+  }
+  [[nodiscard]] const std::shared_ptr<const packet::Deparser>& deparser() const {
+    return deparser_;
+  }
   SharedState& shared() { return shared_; }
   /// Per-packet residence time (RX done -> TX start), picoseconds.
   [[nodiscard]] const sim::Histogram& latency() const { return metrics_.latency; }
@@ -141,8 +157,8 @@ class RtcSwitch final : public net::SwitchDevice {
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by try_dispatch
   std::optional<packet::Parser> parser_;
-  packet::ParseGraph parse_graph_;
-  std::optional<packet::Deparser> deparser_;
+  std::shared_ptr<const packet::ParseGraph> parse_graph_;
+  std::shared_ptr<const packet::Deparser> deparser_;
   RtcProgramFn run_;
   SharedState shared_;
   net::TxHandler tx_handler_;

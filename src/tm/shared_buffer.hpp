@@ -18,6 +18,12 @@ namespace adcp::tm {
 /// Per-queue usage lives in a lazily-grown dense vector (queue ids are small
 /// port×prio indices), so steady-state reserve/release never allocates the
 /// way an unordered_map rehash or node insert would.
+///
+/// Construction-diet note (DESIGN.md §11): `capacity_bytes` is *simulated*
+/// capacity — the accountant never allocates backing store for it, and the
+/// per-queue pool above materializes on first touch. A 32 MB-provisioned
+/// TM therefore costs a fabric build nothing until traffic reserves bytes,
+/// mirroring the lazy register files in the pipeline stages.
 class SharedBuffer {
  public:
   /// `capacity_bytes`: total buffer; `alpha`: dynamic threshold factor

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <string>
 
 #include "core/adcp_switch.hpp"
+#include "mat/state_accounting.hpp"
 #include "packet/headers.hpp"
 #include "rmt/rmt_switch.hpp"
 #include "rtc/rtc_switch.hpp"
@@ -14,40 +16,49 @@ namespace adcp::topo {
 
 namespace {
 
-/// Largest pipeline count in {4, 2, 1} dividing `ports` (RMT requires
-/// port_count % pipeline_count == 0; trunk ports make odd totals common).
-std::uint32_t rmt_pipelines_for(std::uint32_t ports) {
-  for (std::uint32_t d : {4u, 2u}) {
-    if (ports % d == 0) return d;
-  }
-  return 1;
+double wall_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim, SwitchKind kind,
-                                               std::uint32_t port_count,
+/// Instantiates one switch from its tier template. `share` installs the
+/// template's parse graph / deparser by shared_ptr (the slim profile);
+/// otherwise the routing program's own copies are used (legacy full
+/// profile — every switch owns its graphs).
+std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim,
+                                               const SwitchTemplate& tmpl, bool share,
                                                std::shared_ptr<const ForwardingTable> fib,
                                                sim::Scope scope) {
-  switch (kind) {
+  switch (tmpl.kind) {
     case SwitchKind::kRmt: {
-      rmt::RmtConfig cfg;
-      cfg.port_count = port_count;
-      cfg.pipeline_count = rmt_pipelines_for(port_count);
-      auto sw = std::make_unique<rmt::RmtSwitch>(sim, cfg, std::move(scope));
-      sw->load_program(rmt_routing_program(cfg, std::move(fib)));
+      auto sw = std::make_unique<rmt::RmtSwitch>(sim, tmpl.rmt, std::move(scope));
+      rmt::RmtProgram prog = rmt_routing_program(tmpl.rmt, std::move(fib));
+      if (share) {
+        prog.shared_parse = tmpl.parse;
+        prog.shared_deparse = tmpl.deparse;
+      }
+      sw->load_program(std::move(prog));
       return sw;
     }
     case SwitchKind::kAdcp: {
-      core::AdcpConfig cfg;
-      cfg.port_count = port_count;
-      auto sw = std::make_unique<core::AdcpSwitch>(sim, cfg, std::move(scope));
-      sw->load_program(adcp_routing_program(cfg, std::move(fib)));
+      auto sw = std::make_unique<core::AdcpSwitch>(sim, tmpl.adcp, std::move(scope));
+      core::AdcpProgram prog = adcp_routing_program(tmpl.adcp, std::move(fib));
+      if (share) {
+        prog.shared_parse = tmpl.parse;
+        prog.shared_deparse = tmpl.deparse;
+      }
+      sw->load_program(std::move(prog));
       return sw;
     }
     case SwitchKind::kRtc: {
-      rtc::RtcConfig cfg;
-      cfg.port_count = port_count;
-      auto sw = std::make_unique<rtc::RtcSwitch>(sim, cfg, std::move(scope));
-      sw->load_program(rtc_routing_program(cfg, std::move(fib)));
+      auto sw = std::make_unique<rtc::RtcSwitch>(sim, tmpl.rtc, std::move(scope));
+      rtc::RtcProgram prog = rtc_routing_program(tmpl.rtc, std::move(fib));
+      if (share) {
+        prog.shared_parse = tmpl.parse;
+        prog.shared_deparse = tmpl.deparse;
+      }
+      sw->load_program(std::move(prog));
       return sw;
     }
   }
@@ -56,25 +67,33 @@ std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim, SwitchKind k
 
 }  // namespace
 
-Network::Network(sim::Simulator& sim, const LeafSpineParams& params, sim::Scope scope) {
+Network::Network(sim::Simulator& sim, const LeafSpineParams& params, sim::Scope scope)
+    : profile_(params.profile) {
+  begin_build();
   trace_cfg_ = params.trace;
   sampler_ = sim::TraceSampler(trace_cfg_);
   init(sim, std::move(scope));
   trunk_rng_ = sim::Rng(params.loss_seed ^ 0x7210'6b5eULL);
   build_leaf_spine(params);
   finish_wiring();
+  end_build();
 }
 
-Network::Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope scope) {
+Network::Network(sim::Simulator& sim, const FatTreeParams& params, sim::Scope scope)
+    : profile_(params.profile) {
+  begin_build();
   trace_cfg_ = params.trace;
   sampler_ = sim::TraceSampler(trace_cfg_);
   init(sim, std::move(scope));
   trunk_rng_ = sim::Rng(params.loss_seed ^ 0x7210'6b5eULL);
   build_fat_tree(params);
   finish_wiring();
+  end_build();
 }
 
-Network::Network(sim::ParallelSimulator& psim, const LeafSpineParams& params) {
+Network::Network(sim::ParallelSimulator& psim, const LeafSpineParams& params)
+    : profile_(params.profile) {
+  begin_build();
   trace_cfg_ = params.trace;
   sampler_ = sim::TraceSampler(trace_cfg_);
   init_parallel(psim);
@@ -83,9 +102,12 @@ Network::Network(sim::ParallelSimulator& psim, const LeafSpineParams& params) {
   loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
   build_leaf_spine(params);
   finish_wiring();
+  end_build();
 }
 
-Network::Network(sim::ParallelSimulator& psim, const FatTreeParams& params) {
+Network::Network(sim::ParallelSimulator& psim, const FatTreeParams& params)
+    : profile_(params.profile) {
+  begin_build();
   trace_cfg_ = params.trace;
   sampler_ = sim::TraceSampler(trace_cfg_);
   init_parallel(psim);
@@ -94,6 +116,46 @@ Network::Network(sim::ParallelSimulator& psim, const FatTreeParams& params) {
   loss_seed_base_ = params.loss_seed ^ 0x7210'6b5eULL;
   build_fat_tree(params);
   finish_wiring();
+  end_build();
+}
+
+void Network::begin_build() {
+  build_t0_ms_ = wall_ms();
+  build_reserved0_ = mat::StateAccounting::reserved_bytes();
+  build_touched0_ = mat::StateAccounting::touched_bytes();
+}
+
+void Network::end_build() {
+  construction_.build_ms = wall_ms() - build_t0_ms_;
+  construction_.bytes_reserved = mat::StateAccounting::reserved_bytes() - build_reserved0_;
+  construction_.bytes_touched = mat::StateAccounting::touched_bytes() - build_touched0_;
+}
+
+const SwitchTemplate& Network::template_for(SwitchKind kind, std::uint32_t port_count) {
+  const auto key = std::make_pair(static_cast<int>(kind), port_count);
+  const auto it = templates_.find(key);
+  if (it != templates_.end()) {
+    ++construction_.templates_shared;
+    return *it->second;
+  }
+  ++construction_.templates_built;
+  auto tmpl = std::make_shared<const SwitchTemplate>(
+      SwitchTemplate::build(profile_, kind, port_count));
+  return *templates_.emplace(key, std::move(tmpl)).first->second;
+}
+
+std::shared_ptr<const SwitchTemplate> Network::template_of(SwitchKind kind,
+                                                           std::uint32_t port_count) const {
+  const auto it = templates_.find(std::make_pair(static_cast<int>(kind), port_count));
+  return it == templates_.end() ? nullptr : it->second;
+}
+
+void Network::export_construction(sim::Scope scope) const {
+  scope.gauge("build_ms").set(construction_.build_ms);
+  scope.gauge("bytes_reserved").set(static_cast<double>(construction_.bytes_reserved));
+  scope.gauge("bytes_touched").set(static_cast<double>(construction_.bytes_touched));
+  scope.gauge("templates_built").set(static_cast<double>(construction_.templates_built));
+  scope.gauge("templates_shared").set(static_cast<double>(construction_.templates_shared));
 }
 
 void Network::init(sim::Simulator& sim, sim::Scope scope) {
@@ -156,7 +218,8 @@ Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_cou
   sim::Scope sw_scope = parent.scope("sw" + std::to_string(i));
   sim::Scope host_scope = host_parent.scope("sw" + std::to_string(i));
   SwitchSlot slot;
-  slot.device = make_switch(*sw_sim, kind, port_count, fib, sw_scope);
+  const SwitchTemplate& tmpl = template_for(kind, port_count);
+  slot.device = make_switch(*sw_sim, tmpl, profile_.share_templates, fib, sw_scope);
   // The fabric (hosts + pool) lives on the host shard; its TX dispatch
   // closure still runs on the switch shard but only routes — per-host
   // state is reached through the mailbox taps wired in finish_wiring().

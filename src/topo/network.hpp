@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -32,12 +33,10 @@
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "topo/routing.hpp"
+#include "topo/tier_profile.hpp"
 #include "topo/trunk.hpp"
 
 namespace adcp::topo {
-
-/// Which cycle-level switch model fills every position of the fabric.
-enum class SwitchKind { kRmt, kAdcp, kRtc };
 
 /// Parameters of the single-pod leaf–spine generator.
 struct LeafSpineParams {
@@ -45,6 +44,10 @@ struct LeafSpineParams {
   std::uint32_t spines = 2;
   std::uint32_t hosts_per_leaf = 16;
   SwitchKind kind = SwitchKind::kAdcp;
+  /// How every switch is provisioned (TierProfile::slim() by default:
+  /// first-touch state, shared templates; full() restores the legacy
+  /// eager build). Replaces the former raw-config construction paths.
+  TierProfile profile{};
   net::Link host_link{};
   net::Link trunk_link{100.0, 1000 * sim::kNanosecond};
   std::uint64_t ecmp_seed = 0x7e1e'c0de;
@@ -66,6 +69,8 @@ struct LeafSpineParams {
 struct FatTreeParams {
   std::uint32_t k = 4;
   SwitchKind kind = SwitchKind::kAdcp;
+  /// See LeafSpineParams::profile.
+  TierProfile profile{};
   net::Link host_link{};
   net::Link trunk_link{100.0, 1000 * sim::kNanosecond};
   std::uint64_t ecmp_seed = 0x7e1e'c0de;
@@ -186,6 +191,33 @@ class Network {
   /// the run, before snapshotting the registry.
   void finalize_metrics();
 
+  /// What building this fabric cost. Byte figures are deltas of
+  /// mat::StateAccounting over the constructor, so they cover exactly this
+  /// network's switches: `bytes_reserved` is what the configs declared,
+  /// `bytes_touched` what actually materialized (equal on the full
+  /// profile; near zero on slim until traffic runs).
+  struct ConstructionStats {
+    double build_ms = 0.0;
+    std::uint64_t bytes_reserved = 0;
+    std::uint64_t bytes_touched = 0;
+    std::uint64_t templates_built = 0;   ///< distinct (kind, ports) keys
+    std::uint64_t templates_shared = 0;  ///< template-cache hits
+  };
+  [[nodiscard]] const ConstructionStats& construction() const { return construction_; }
+  /// Writes the construction stats as gauges ("build_ms",
+  /// "bytes_reserved", "bytes_touched", "templates_built",
+  /// "templates_shared") under `scope` — pass a scope of a *reporting*
+  /// registry, not this network's own: build wall-clock is host-dependent
+  /// and must stay out of the snapshots the determinism gates compare.
+  void export_construction(sim::Scope scope) const;
+
+  [[nodiscard]] const TierProfile& profile() const { return profile_; }
+  /// The shared template for (kind, port_count), or nullptr if no switch
+  /// of that shape exists. use_count() reflects only cache+caller refs —
+  /// switches share the parse/deparse members, not the template object.
+  [[nodiscard]] std::shared_ptr<const SwitchTemplate> template_of(
+      SwitchKind kind, std::uint32_t port_count) const;
+
  private:
   struct SwitchSlot {
     std::unique_ptr<net::SwitchDevice> device;
@@ -247,6 +279,13 @@ class Network {
 
   void init(sim::Simulator& sim, sim::Scope scope);
   void init_parallel(sim::ParallelSimulator& psim);
+  /// Bracket the constructor body: snapshot the state-accounting counters
+  /// and the wall clock, then fill construction_ with the deltas.
+  void begin_build();
+  void end_build();
+  /// The shared template for this (kind, port_count), building and caching
+  /// it on first request; counts cache hits as templates_shared.
+  const SwitchTemplate& template_for(SwitchKind kind, std::uint32_t port_count);
   /// Parallel mode: appends one shard + registry + "topo.hops" histogram;
   /// returns the shard's Simulator and its "topo" scope through parent_out.
   sim::Simulator& add_shard_registry(sim::Scope& parent_out);
@@ -269,6 +308,12 @@ class Network {
 
   sim::Simulator* sim_ = nullptr;
   sim::ParallelSimulator* psim_ = nullptr;
+  TierProfile profile_{};
+  std::map<std::pair<int, std::uint32_t>, std::shared_ptr<const SwitchTemplate>> templates_;
+  ConstructionStats construction_;
+  double build_t0_ms_ = 0.0;           // begin_build() wall-clock origin
+  std::uint64_t build_reserved0_ = 0;  // StateAccounting at begin_build()
+  std::uint64_t build_touched0_ = 0;
   bool split_hosts_ = false;          // hosts on their own shards (parallel)
   std::uint64_t loss_seed_base_ = 0;  // per-direction RNG streams (parallel)
   sim::TraceConfig trace_cfg_{};

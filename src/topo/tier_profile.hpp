@@ -1,0 +1,103 @@
+// Tier profiles and switch templates — the fabric construction API.
+//
+// Building a fabric used to mean three divergent config-struct paths (one
+// per switch model) each eagerly allocating every stage's register/array
+// memory, so constructing fat_tree(8) cost minutes and gigabytes before a
+// single packet moved — the "provisioned, not consumed" asymmetry the
+// paper criticizes (§3.1), recreated in the simulator's own allocator.
+//
+// The redesign splits construction into:
+//
+//  * TierProfile — one value that derives all three models' configs from a
+//    port count. Presets: `full()` (the legacy eager build: every cell
+//    materialized up front, per-switch parse/deparse copies) and `slim()`
+//    (the default: state appears on first touch, identical switches share
+//    one immutable template). Port-count→pipeline-count derivation
+//    (`rmt_pipelines_for`) lives here and only here.
+//
+//  * SwitchTemplate — the immutable per-(kind, port_count) bundle a
+//    Network builds once and shares by shared_ptr across every identical
+//    switch: resolved model config plus the parse graph / deparser the
+//    routing programs use. Per-instance state (stage registers, TM
+//    accounting, metric scopes) stays per switch and materializes lazily
+//    (mat::RegisterFile), with byte-accurate accounting via
+//    mat::StateAccounting so eager and slim builds snapshot identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "packet/deparser.hpp"
+#include "packet/parser.hpp"
+#include "rmt/config.hpp"
+#include "rtc/config.hpp"
+
+namespace adcp::topo {
+
+/// Which cycle-level switch model fills every position of the fabric.
+enum class SwitchKind { kRmt, kAdcp, kRtc };
+
+/// How every switch of a fabric tier is provisioned. Default-constructed
+/// == slim(): lazy first-touch state, shared templates.
+struct TierProfile {
+  enum class Preset { kFull, kSlim };
+
+  /// Materialize all stage register/array backing stores at construction
+  /// (the legacy build; costs what the configs declare).
+  bool eager_state = false;
+  /// Share one parse graph / deparser across identical switches instead of
+  /// copying them per switch.
+  bool share_templates = true;
+
+  /// Base configs the per-switch derivation starts from. Change these to
+  /// customize geometry fabric-wide (e.g. tests shrink
+  /// `*.stage.register_cells` to make an eager arm cheap); `port_count`
+  /// and pipeline counts are overridden per switch position.
+  rmt::RmtConfig rmt_base;
+  core::AdcpConfig adcp_base;
+  rtc::RtcConfig rtc_base;
+
+  /// The default: first-touch state + shared templates.
+  static TierProfile slim();
+  /// The legacy eager baseline: everything materialized, nothing shared.
+  static TierProfile full();
+  static TierProfile preset(Preset p);
+  /// Parses a CLI spelling ("full" / "slim"); nullopt otherwise.
+  static std::optional<TierProfile> parse(std::string_view name);
+
+  [[nodiscard]] const char* name() const { return eager_state ? "full" : "slim"; }
+
+  /// Largest pipeline count in {4, 2, 1} dividing `ports` (RMT requires
+  /// port_count % pipeline_count == 0; trunk ports make odd totals
+  /// common). The single home of this derivation for all callers — it was
+  /// previously duplicated builder-side in network.cpp.
+  [[nodiscard]] static std::uint32_t rmt_pipelines_for(std::uint32_t ports);
+
+  /// Resolved per-model configs for a switch with `port_count` ports.
+  [[nodiscard]] rmt::RmtConfig rmt(std::uint32_t port_count) const;
+  [[nodiscard]] core::AdcpConfig adcp(std::uint32_t port_count) const;
+  [[nodiscard]] rtc::RtcConfig rtc(std::uint32_t port_count) const;
+};
+
+/// The immutable part of a switch, built once per (kind, port_count) key
+/// and shared across every identical switch of the fabric. The config
+/// member matching `kind` is the resolved one; `parse`/`deparse` are what
+/// the tier routing programs install (shared_ptr into every switch when
+/// the profile shares templates).
+struct SwitchTemplate {
+  SwitchKind kind = SwitchKind::kAdcp;
+  std::uint32_t port_count = 0;
+  rmt::RmtConfig rmt;
+  core::AdcpConfig adcp;
+  rtc::RtcConfig rtc;
+  std::shared_ptr<const packet::ParseGraph> parse;
+  std::shared_ptr<const packet::Deparser> deparse;
+
+  static SwitchTemplate build(const TierProfile& profile, SwitchKind kind,
+                              std::uint32_t port_count);
+};
+
+}  // namespace adcp::topo
