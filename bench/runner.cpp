@@ -22,7 +22,7 @@
 // FILE (open in ui.perfetto.dev).
 //
 // Scenarios: event_kernel, rmt_all_to_all, adcp_all_to_all, parser_loop,
-// tm_loop, leaf_spine, parallel_fabric (default: all).
+// tm_loop, leaf_spine, control_churn, parallel_fabric (default: all).
 //
 // --threads serves double duty: it sizes the job fan-out AND is passed
 // through to scenarios, so parallel_fabric runs its sharded engine with
@@ -58,7 +58,10 @@
 #include "sim/simulator.hpp"
 #include "sim/span.hpp"
 #include "tm/traffic_manager.hpp"
+#include "ctrl/agent.hpp"
+#include "ctrl/control_plane.hpp"
 #include "topo/network.hpp"
+#include "workload/churn.hpp"
 #include "workload/rack_coflow.hpp"
 
 namespace {
@@ -282,6 +285,61 @@ Sample run_leaf_spine(std::uint64_t seed, bool quick, unsigned /*threads*/) {
   return {now_ns(t0), executed};
 }
 
+/// Control-plane churn end-to-end: in-band kCtrlUpdate batches from a
+/// ControlAgent cross the fabric to every edge switch's VersionedStore
+/// while clients issue shifting Zipf queries. Checks that every query was
+/// answered and that the warmed-up stores produced hits, so a broken
+/// control channel, handoff, or churn program fails the runner. ops =
+/// events.
+Sample run_control_churn(std::uint64_t seed, bool quick, unsigned /*threads*/) {
+  sim::Simulator sim;
+  topo::LeafSpineParams p;
+  p.leaves = 2;
+  p.spines = 2;
+  p.hosts_per_leaf = 5;  // hosts + spines + mgmt = 8 ports -> 4 RMT pipelines
+  p.kind = topo::SwitchKind::kAdcp;
+  p.ecmp_seed = seed;
+  p.profile = g_profile;
+  p.control_channel = true;
+  topo::Network net(sim, p);
+
+  const std::size_t backing = net.host_count() - 1;
+  ctrl::ControlPlane cp({}, net);
+  cp.attach_all();
+  ctrl::ControlAgentConfig acfg;
+  acfg.period = 25 * sim::kMicrosecond;
+  ctrl::ControlAgent agent(acfg, net, backing);
+  agent.add_all_targets();
+  agent.start();
+
+  workload::ChurnParams wp;
+  wp.backing_host = backing;
+  wp.key_space = 512;
+  wp.queries_per_client = quick ? 150 : 500;
+  wp.shift_period = 200 * sim::kMicrosecond;
+  wp.shift_step = 64;
+  wp.seed = seed;
+  workload::ChurnQuery churn(wp, net);
+  churn.start(0);
+
+  const sim::Time t_stop =
+      wp.interval * wp.queries_per_client + 100 * sim::kMicrosecond;
+  sim.at(t_stop, [&agent] { agent.stop(); });
+
+  const auto t0 = Clock::now();
+  Sample out;
+  out.ops = sim.run();
+  out.ns = now_ns(t0);
+  if (churn.outstanding() != 0 || churn.hits() == 0) {
+    std::fprintf(stderr,
+                 "control_churn: outstanding=%llu hits=%llu (want 0 / >0)\n",
+                 static_cast<unsigned long long>(churn.outstanding()),
+                 static_cast<unsigned long long>(churn.hits()));
+    out.ok = false;
+  }
+  return out;
+}
+
 /// The sharded engine on a 2-leaf/2-spine fabric: one cross-rack incast
 /// per round, run with ParallelSimulator(threads). Checks packet
 /// conservation and completion, so a silently broken barrier or mailbox
@@ -437,6 +495,7 @@ constexpr Scenario kScenarios[] = {
     {"parser_loop", run_parser_loop, "packet"},
     {"tm_loop", run_tm_loop, "packet"},
     {"leaf_spine", run_leaf_spine, "event"},
+    {"control_churn", run_control_churn, "event"},
     {"parallel_fabric", run_parallel_fabric, "event"},
 };
 

@@ -1,0 +1,142 @@
+#include "ctrl/agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "packet/control.hpp"
+#include "packet/headers.hpp"
+
+namespace adcp::ctrl {
+
+ControlAgent::ControlAgent(ControlAgentConfig config, topo::Network& net,
+                           std::size_t backing_host, sim::Scope scope)
+    : config_(std::move(config)),
+      net_(&net),
+      backing_host_(backing_host),
+      backing_ip_(net.ip_of(backing_host)),
+      sim_(&net.sim_of_host(backing_host)),
+      scope_(sim::resolve_scope(scope, own_metrics_, "ctrl.agent")),
+      polls_(scope_.counter("polls")),
+      batches_(scope_.counter("batches")),
+      packets_(scope_.counter("packets")),
+      entries_(scope_.counter("entries")),
+      served_(scope_.counter("queries_served")) {
+  assert(net.control_channel() &&
+         "build the fabric with params.control_channel = true");
+  net_->host(backing_host_).add_rx_callback(
+      [this](net::Host& h, const packet::Packet& pkt) {
+        packet::IncHeader hdr;
+        if (!packet::decode_inc(pkt, hdr)) return;
+        if (hdr.opcode != packet::IncOpcode::kChurnQuery) return;
+        const std::uint32_t key = hdr.worker_id;
+        ++freq_[key];
+        served_.add();
+        // Answer the miss after the backing-store service time; the
+        // requester address is the query's wire source.
+        const auto requester = static_cast<std::uint32_t>(
+            pkt.data.read(packet::kEthernetBytes + 12, 4));
+        packet::IncPacketSpec spec;
+        spec.ip_src = backing_ip_;
+        spec.ip_dst = requester;
+        spec.inc.opcode = packet::IncOpcode::kChurnMiss;
+        spec.inc.flow_id = hdr.flow_id;
+        spec.inc.seq = hdr.seq;
+        spec.inc.worker_id = key;
+        spec.inc.elements = {
+            {key, config_.store ? config_.store(key) : key + 1}};
+        h.send_inc(spec, sim_->now() + config_.miss_service_time);
+      });
+}
+
+void ControlAgent::add_target(std::size_t switch_index) {
+  assert(net_->mgmt_port_of(switch_index) != packet::kInvalidPort &&
+         "target switch has no management port");
+  Target t;
+  t.switch_index = switch_index;
+  t.ctrl_ip = net_->ctrl_ip_of(switch_index);
+  targets_.push_back(std::move(t));
+}
+
+void ControlAgent::add_all_targets() {
+  for (std::size_t i = 0; i < net_->switch_count(); ++i) {
+    if (net_->mgmt_port_of(i) != packet::kInvalidPort) add_target(i);
+  }
+}
+
+void ControlAgent::start() {
+  handle_ = sim_->every(config_.period, [this] { poll(); });
+}
+
+void ControlAgent::poll() {
+  polls_.add();
+
+  // Exponential decay so the estimate tracks the workload's popularity
+  // shifts instead of its history.
+  for (auto it = freq_.begin(); it != freq_.end();) {
+    it->second /= 2;
+    it = it->second == 0 ? freq_.erase(it) : std::next(it);
+  }
+
+  // Current top-k by decayed count; ties break by key so the selection is
+  // identical for any container iteration order.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked(freq_.begin(), freq_.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (ranked.size() > config_.hot_set) ranked.resize(config_.hot_set);
+  std::unordered_set<std::uint32_t> desired;
+  desired.reserve(ranked.size());
+  for (const auto& [key, count] : ranked) desired.insert(key);
+
+  for (Target& t : targets_) {
+    // Evicts first (they free table capacity before the installs land),
+    // then installs hottest-first, all under the per-poll budget.
+    std::vector<packet::CtrlEntry> entries;
+    std::vector<std::uint32_t> evicts;
+    for (const std::uint32_t key : t.mirror) {
+      if (!desired.contains(key)) evicts.push_back(key);
+    }
+    std::sort(evicts.begin(), evicts.end());
+    for (const std::uint32_t key : evicts) {
+      if (entries.size() >= config_.update_budget) break;
+      entries.push_back({packet::CtrlOp::kEvict, key, 0});
+      t.mirror.erase(key);
+    }
+    for (const auto& [key, count] : ranked) {
+      if (entries.size() >= config_.update_budget) break;
+      if (t.mirror.contains(key)) continue;
+      entries.push_back(
+          {packet::CtrlOp::kInstall, key, config_.store ? config_.store(key) : key + 1});
+      t.mirror.insert(key);
+    }
+    if (entries.empty()) continue;
+    ++epoch_;
+    send_batch(t, entries);
+  }
+}
+
+void ControlAgent::send_batch(Target& target,
+                              const std::vector<packet::CtrlEntry>& entries) {
+  net::Host& h = net_->host(backing_host_);
+  batches_.add();
+  entries_.add(entries.size());
+  for (std::size_t off = 0; off < entries.size();
+       off += packet::kCtrlMaxEntriesPerPacket) {
+    const std::size_t n =
+        std::min(packet::kCtrlMaxEntriesPerPacket, entries.size() - off);
+    packet::ControlUpdate update;
+    update.epoch = epoch_;
+    update.seq = target.seq++;
+    update.commit = off + n == entries.size();
+    update.entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(off),
+                          entries.begin() + static_cast<std::ptrdiff_t>(off + n));
+    packet::IncPacketSpec spec;
+    packet::encode_ctrl(update, spec);
+    spec.ip_src = backing_ip_;
+    spec.ip_dst = target.ctrl_ip;
+    h.send_inc(spec);
+    packets_.add();
+  }
+}
+
+}  // namespace adcp::ctrl

@@ -6,18 +6,22 @@ namespace adcp::ctrl {
 
 HotKeyController::HotKeyController(HotKeyControllerConfig config,
                                    std::shared_ptr<core::KvTelemetry> telemetry,
-                                   core::AdcpSwitch& sw, StoreLookup store)
+                                   core::AdcpSwitch& sw, StoreLookup store,
+                                   sim::Scope scope)
     : config_(config),
       telemetry_(std::move(telemetry)),
       switch_(&sw),
-      store_(std::move(store)) {}
+      store_(std::move(store)),
+      scope_(sim::resolve_scope(scope, own_metrics_, "ctrl.hotkey")),
+      installs_(scope_.counter("installs")),
+      polls_(scope_.counter("polls")) {}
 
 void HotKeyController::start(sim::Simulator& sim) {
   handle_ = sim.every(config_.period, [this] { poll(); });
 }
 
 void HotKeyController::poll() {
-  ++polls_;
+  polls_.add();
   const auto& ring = telemetry_->recent();
   const std::size_t filled =
       std::min<std::size_t>(ring.size(), static_cast<std::size_t>(telemetry_->misses()));
@@ -39,7 +43,7 @@ void HotKeyController::poll() {
     if (!engine->insert(key, cell)) continue;  // cache full
     engine->registers().poke(static_cast<std::size_t>(cell), store_(key));
     installed_.insert(key);
-    ++installs_;
+    installs_.add();
     --budget;
   }
 }

@@ -12,6 +12,7 @@
 
 #include "core/adcp_switch.hpp"
 #include "core/programs.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace adcp::ctrl {
@@ -36,8 +37,12 @@ struct HotKeyControllerConfig {
 /// ends or stop() is called.
 class HotKeyController {
  public:
+  /// Counters live in `scope`'s registry ("installs" / "polls"); pass the
+  /// owning registry's "ctrl.hotkey" scope so control-plane activity shows
+  /// up in snapshots like every other component. A detached scope (the
+  /// default) falls back to a private registry under "ctrl.hotkey".
   HotKeyController(HotKeyControllerConfig config, std::shared_ptr<core::KvTelemetry> telemetry,
-                   core::AdcpSwitch& sw, StoreLookup store);
+                   core::AdcpSwitch& sw, StoreLookup store, sim::Scope scope = {});
 
   /// Begins periodic polling on `sim`.
   void start(sim::Simulator& sim);
@@ -46,8 +51,8 @@ class HotKeyController {
   /// One poll pass (also callable directly from tests).
   void poll();
 
-  [[nodiscard]] std::uint64_t installs() const { return installs_; }
-  [[nodiscard]] std::uint64_t polls() const { return polls_; }
+  [[nodiscard]] std::uint64_t installs() const { return installs_.value(); }
+  [[nodiscard]] std::uint64_t polls() const { return polls_.value(); }
   [[nodiscard]] bool installed(std::uint64_t key) const {
     return installed_.contains(key);
   }
@@ -59,8 +64,11 @@ class HotKeyController {
   StoreLookup store_;
   sim::EventHandle handle_;
   std::unordered_set<std::uint64_t> installed_;
-  std::uint64_t installs_ = 0;
-  std::uint64_t polls_ = 0;
+  // Declared before scope_ (fallback registry must exist first).
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  sim::Counter& installs_;
+  sim::Counter& polls_;
 };
 
 }  // namespace adcp::ctrl

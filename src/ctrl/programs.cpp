@@ -1,0 +1,99 @@
+#include "ctrl/programs.hpp"
+
+#include "packet/fields.hpp"
+#include "packet/headers.hpp"
+#include "tm/placement.hpp"
+
+namespace adcp::ctrl {
+
+namespace {
+
+using packet::Phv;
+using packet::fields::kIncOpcode;
+using packet::fields::kIncWorkerId;
+using packet::fields::kIpDst;
+using packet::fields::kIpSrc;
+using packet::fields::kIpTtl;
+using packet::fields::kMetaDrop;
+using packet::fields::kMetaEgressPort;
+using packet::fields::kUdpDst;
+using packet::fields::kUdpSrc;
+using topo::ForwardingTable;
+
+/// Same action as the builder's routing programs: TTL check + decrement,
+/// then FIB lookup on the flow fields (local copy — the original lives in
+/// topo/programs.cpp's anonymous namespace).
+void route_and_decrement(Phv& phv, const ForwardingTable& fib) {
+  const std::uint64_t ttl = phv.get_or(kIpTtl, 0);
+  if (ttl <= 1) {
+    phv.set(kMetaDrop, 1);
+    return;
+  }
+  phv.set(kIpTtl, ttl - 1);
+  const packet::PortId port = fib.lookup(
+      static_cast<std::uint32_t>(phv.get_or(kIpDst, 0)),
+      static_cast<std::uint32_t>(phv.get_or(kIpSrc, 0)),
+      static_cast<std::uint16_t>(phv.get_or(kUdpSrc, 0)),
+      static_cast<std::uint16_t>(phv.get_or(kUdpDst, 0)));
+  if (port == ForwardingTable::kNoRoute) {
+    phv.set(kMetaDrop, 1);
+    return;
+  }
+  phv.set(kMetaEgressPort, port);
+}
+
+/// The shared churn action; returns the stage cycle cost (1 for pure
+/// routing, 2 when the versioned store was consulted — one extra table
+/// access).
+std::uint64_t run_churn(Phv& phv, const ForwardingTable& fib,
+                        mat::VersionedStore& store) {
+  const auto opcode = static_cast<packet::IncOpcode>(phv.get_or(kIncOpcode, 0));
+  if (opcode != packet::IncOpcode::kChurnQuery) {
+    route_and_decrement(phv, fib);
+    return 1;
+  }
+  const auto key = static_cast<std::uint32_t>(phv.get_or(kIncWorkerId, 0));
+  std::uint32_t value = 0;
+  if (store.lookup(key, value) == mat::VersionedStore::Lookup::kHit) {
+    // Answer from the switch: turn the query around. The reply's flow_id
+    // and seq are untouched, which is what the requester matches on.
+    phv.set(kIncOpcode, static_cast<std::uint64_t>(packet::IncOpcode::kChurnHit));
+    const std::uint64_t src = phv.get_or(kIpSrc, 0);
+    const std::uint64_t dst = phv.get_or(kIpDst, 0);
+    phv.set(kIpDst, src);
+    phv.set(kIpSrc, dst);
+  }
+  // Miss (or staged-but-uncommitted): the query continues unchanged to the
+  // backing store. Either way the packet takes the normal routing tail.
+  route_and_decrement(phv, fib);
+  return 2;
+}
+
+}  // namespace
+
+rmt::RmtProgram rmt_churn_program(const rmt::RmtConfig& /*config*/,
+                                  std::shared_ptr<const topo::ForwardingTable> fib,
+                                  mat::VersionedStore* store) {
+  rmt::RmtProgram prog;
+  prog.setup_ingress = [fib, store](pipeline::Pipeline& pipe, std::uint32_t) {
+    pipe.set_stage_program(0, [fib, store](Phv& phv, pipeline::Stage&) -> std::uint64_t {
+      return run_churn(phv, *fib, *store);
+    });
+  };
+  return prog;
+}
+
+core::AdcpProgram adcp_churn_program(const core::AdcpConfig& config,
+                                     std::shared_ptr<const topo::ForwardingTable> fib,
+                                     mat::VersionedStore* store) {
+  core::AdcpProgram prog;
+  prog.placement = tm::placement::by_flow_hash(config.central_pipeline_count);
+  prog.setup_central = [fib, store](pipeline::Pipeline& pipe, std::uint32_t) {
+    pipe.set_stage_program(0, [fib, store](Phv& phv, pipeline::Stage&) -> std::uint64_t {
+      return run_churn(phv, *fib, *store);
+    });
+  };
+  return prog;
+}
+
+}  // namespace adcp::ctrl

@@ -1,0 +1,78 @@
+#include "mat/versioned.hpp"
+
+#include <cassert>
+
+namespace adcp::mat {
+
+VersionedStore::VersionedStore(std::size_t capacity, sim::Scope scope)
+    : capacity_(capacity),
+      scope_(sim::resolve_scope(scope, own_metrics_, "ctrl")),
+      metrics_(scope_) {
+  assert(capacity_ > 0 && "a zero-capacity store can never hit");
+}
+
+VersionedStore::Lookup VersionedStore::lookup(std::uint32_t key,
+                                              std::uint32_t& value_out) {
+  if (auto it = active_.find(key); it != active_.end()) {
+    value_out = it->second;
+    metrics_.hits.add();
+    return Lookup::kHit;
+  }
+  if (pending_keys_.contains(key)) {
+    metrics_.staleness_misses.add();
+    return Lookup::kMissPending;
+  }
+  metrics_.misses.add();
+  return Lookup::kMiss;
+}
+
+void VersionedStore::stage(const packet::ControlUpdate& update, sim::Time now) {
+  if (pending_entries_.empty()) batch_started_ = now;
+  metrics_.update_packets.add();
+  for (const packet::CtrlEntry& e : update.entries) {
+    pending_entries_.push_back({e, now});
+    if (e.op == packet::CtrlOp::kInstall) {
+      pending_keys_.insert(e.key);
+    } else {
+      // A staged evict means the key is on its way out: stop charging
+      // misses on it to the staleness window.
+      pending_keys_.erase(e.key);
+    }
+  }
+}
+
+void VersionedStore::commit(sim::Time now) {
+  if (pending_entries_.empty()) return;
+  for (const Staged& s : pending_entries_) {
+    switch (s.entry.op) {
+      case packet::CtrlOp::kInstall: {
+        auto it = active_.find(s.entry.key);
+        if (it != active_.end()) {
+          it->second = s.entry.value;
+          metrics_.installs.add();
+        } else if (active_.size() < capacity_) {
+          active_.emplace(s.entry.key, s.entry.value);
+          metrics_.installs.add();
+        } else {
+          metrics_.rejected.add();
+        }
+        break;
+      }
+      case packet::CtrlOp::kEvict:
+        if (active_.erase(s.entry.key) != 0) metrics_.evicts.add();
+        break;
+    }
+    metrics_.staleness_window_ns.record(
+        static_cast<double>(now - s.at) / sim::kNanosecond);
+  }
+  pending_entries_.clear();
+  pending_keys_.clear();
+  ++epoch_;
+  metrics_.batches.add();
+  metrics_.batch_latency_ns.record(
+      static_cast<double>(now - batch_started_) / sim::kNanosecond);
+  metrics_.epoch.set(static_cast<double>(epoch_));
+  metrics_.size.set(static_cast<double>(active_.size()));
+}
+
+}  // namespace adcp::mat

@@ -1,0 +1,127 @@
+// Versioned key/value state with epoch-tagged two-slot handoff.
+//
+// The data plane reads only the *active* slot; control-plane updates
+// (packet::ControlUpdate batches arriving over the in-band channel) are
+// staged into a *pending* delta list that becomes visible in one shot when
+// the batch's commit is applied at a tick boundary. Readers therefore
+// never observe a torn batch: between the first packet of a batch and its
+// commit flip, lookups behave exactly as before the batch — a miss on a
+// staged-but-uncommitted key is counted separately as a *staleness miss*,
+// the quantity the churn experiments (EXPERIMENTS.md E23) measure.
+//
+// The store is deliberately not a mat::RegisterFile: it models the
+// match-table half of runtime churn (which keys are resident), while the
+// register files keep modeling the value memory. Capacity is bounded like
+// every other mat:: table; installs beyond capacity are rejected and
+// counted, mirroring a full hardware table.
+//
+// Threading: one store belongs to one switch and is only touched from
+// that switch's shard (stage programs, the control sink, and the commit
+// event all run there), so no synchronization is needed and results are
+// bit-identical for any PDES worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "packet/control.hpp"
+#include "sim/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::mat {
+
+/// Registry-backed control-plane metrics, resolved once at construction.
+/// Canonical names (under the switch's scope): ctrl.installs, ctrl.evicts,
+/// ctrl.rejected, ctrl.batches, ctrl.update_packets, ctrl.hits,
+/// ctrl.misses, ctrl.staleness_misses, ctrl.batch_latency_ns,
+/// ctrl.staleness_window_ns, ctrl.epoch, ctrl.size.
+struct VersionedStoreMetrics {
+  explicit VersionedStoreMetrics(const sim::Scope& s)
+      : installs(s.counter("installs")),
+        evicts(s.counter("evicts")),
+        rejected(s.counter("rejected")),
+        batches(s.counter("batches")),
+        update_packets(s.counter("update_packets")),
+        hits(s.counter("hits")),
+        misses(s.counter("misses")),
+        staleness_misses(s.counter("staleness_misses")),
+        batch_latency_ns(s.summary("batch_latency_ns")),
+        staleness_window_ns(s.summary("staleness_window_ns")),
+        epoch(s.gauge("epoch")),
+        size(s.gauge("size")) {}
+
+  sim::Counter& installs;
+  sim::Counter& evicts;
+  sim::Counter& rejected;
+  sim::Counter& batches;
+  sim::Counter& update_packets;
+  sim::Counter& hits;
+  sim::Counter& misses;
+  sim::Counter& staleness_misses;
+  sim::Summary& batch_latency_ns;
+  sim::Summary& staleness_window_ns;
+  sim::Gauge& epoch;
+  sim::Gauge& size;
+};
+
+class VersionedStore {
+ public:
+  /// Outcome of one data-plane lookup. (Nested: mat::LookupResult is
+  /// already taken by the exact-match table in table.hpp.)
+  enum class Lookup {
+    kHit,          ///< key resident in the active slot
+    kMiss,         ///< key unknown to both slots
+    kMissPending,  ///< staged but not yet committed — a staleness miss
+  };
+
+  /// `capacity` bounds the active slot (a full install is rejected).
+  /// `scope` names the store in the owning switch's registry; pass the
+  /// switch scope's "ctrl" child so metrics land under "….ctrl.*". A
+  /// detached scope falls back to a private registry under "ctrl".
+  VersionedStore(std::size_t capacity, sim::Scope scope = {});
+
+  /// Data-plane read of the active slot. On kHit, `value_out` receives the
+  /// committed value. Counts hits / misses / staleness misses.
+  Lookup lookup(std::uint32_t key, std::uint32_t& value_out);
+
+  /// Stages one update packet's entries at time `now` (the control sink
+  /// calls this as each packet arrives). Nothing becomes visible to
+  /// lookup() until commit().
+  void stage(const packet::ControlUpdate& update, sim::Time now);
+
+  /// Applies everything staged, in arrival order, as of time `now` — the
+  /// pending -> active flip the sink schedules at the next tick boundary.
+  /// No-op (not counted as a batch) when nothing is pending.
+  void commit(sim::Time now);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return active_.size(); }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] bool pending() const { return !pending_entries_.empty(); }
+  [[nodiscard]] bool resident(std::uint32_t key) const {
+    return active_.contains(key);
+  }
+  [[nodiscard]] const VersionedStoreMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Staged {
+    packet::CtrlEntry entry;
+    sim::Time at = 0;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint32_t, std::uint32_t> active_;
+  std::vector<Staged> pending_entries_;
+  std::unordered_set<std::uint32_t> pending_keys_;  // staleness membership
+  std::uint32_t epoch_ = 0;
+  sim::Time batch_started_ = 0;  // first stage() of the open batch
+  // Declared before scope_/metrics_ (fallback registry must exist first).
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  VersionedStoreMetrics metrics_;
+};
+
+}  // namespace adcp::mat

@@ -1,0 +1,35 @@
+#include "packet/control.hpp"
+
+#include <cassert>
+
+namespace adcp::packet {
+
+void encode_ctrl(const ControlUpdate& update, IncPacketSpec& spec) {
+  assert(update.entries.size() <= kCtrlMaxEntriesPerPacket &&
+         "one kCtrlUpdate packet carries at most 16 entries (ADCP lane cap)");
+  spec.inc.opcode = IncOpcode::kCtrlUpdate;
+  spec.inc.flow_id = update.epoch;
+  spec.inc.seq = update.seq;
+  spec.inc.worker_id = update.commit ? 1u : 0u;
+  spec.inc.elements.clear();
+  for (const CtrlEntry& e : update.entries) {
+    assert((e.key & ~kCtrlKeyMask) == 0 && "control keys are 24-bit");
+    spec.inc.elements.push_back(
+        {(static_cast<std::uint32_t>(e.op) << 24) | (e.key & kCtrlKeyMask), e.value});
+  }
+}
+
+bool decode_ctrl(const IncHeader& inc, ControlUpdate& out) {
+  if (inc.opcode != IncOpcode::kCtrlUpdate) return false;
+  out.epoch = inc.flow_id;
+  out.seq = inc.seq;
+  out.commit = (inc.worker_id & 1u) != 0;
+  out.entries.clear();
+  out.entries.reserve(inc.elements.size());
+  for (const IncElement& e : inc.elements) {
+    out.entries.push_back({static_cast<CtrlOp>(e.key >> 24), e.key & kCtrlKeyMask, e.value});
+  }
+  return true;
+}
+
+}  // namespace adcp::packet

@@ -1,0 +1,76 @@
+// In-band control-plane update format.
+//
+// A control-plane agent (ctrl::ControlAgent) updates switch state by
+// sending *real packets* through the fabric — the same links, trunks and
+// queues data traffic uses — so install latency, batching, and
+// control/data contention are simulated, not assumed. An update batch is
+// one or more kCtrlUpdate INC packets addressed to the target switch's
+// management address (topo::Network's control channel); the last packet
+// of a batch carries a commit flag that arms the epoch flip in the
+// receiving switch's mat::VersionedStore.
+//
+// Mapping onto the INC header (no new wire header — control updates must
+// traverse unmodified switches, and the INC layout already survives every
+// parse/deparse path in the repo):
+//
+//   opcode     kCtrlUpdate
+//   flow_id    epoch the batch installs (also keeps the batch on one ECMP
+//              path: all packets of one agent->switch stream share it)
+//   seq        per-target monotonic packet sequence
+//   worker_id  flags (bit 0: commit — last packet of the batch)
+//   elements   up to kCtrlMaxEntriesPerPacket entries; element.key packs
+//              the CtrlOp in its top byte (keys are 24-bit), element.value
+//              is the value to install
+//
+// The 16-entry cap is the ADCP parse-lane budget: an ADCP switch on the
+// path re-parses/deparses at most 16 array lanes, so a longer element list
+// would be truncated in transit. Batches larger than 16 entries simply
+// span several packets of one epoch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/headers.hpp"
+
+namespace adcp::packet {
+
+/// Most entries one kCtrlUpdate packet can carry (ADCP 16-lane parse cap).
+inline constexpr std::size_t kCtrlMaxEntriesPerPacket = 16;
+
+/// Control keys are 24-bit: the top byte of element.key carries the op.
+inline constexpr std::uint32_t kCtrlKeyMask = 0x00ff'ffff;
+
+/// What one control entry does to the target's versioned store.
+enum class CtrlOp : std::uint8_t {
+  kInstall = 0,  ///< insert or overwrite key -> value
+  kEvict = 1,    ///< remove key (value ignored)
+};
+
+/// One staged table mutation.
+struct CtrlEntry {
+  CtrlOp op = CtrlOp::kInstall;
+  std::uint32_t key = 0;  ///< 24-bit (kCtrlKeyMask)
+  std::uint32_t value = 0;
+  bool operator==(const CtrlEntry&) const = default;
+};
+
+/// Decoded view of one kCtrlUpdate packet.
+struct ControlUpdate {
+  std::uint32_t epoch = 0;
+  std::uint32_t seq = 0;
+  bool commit = false;  ///< last packet of the batch: flip at next tick
+  std::vector<CtrlEntry> entries;
+  bool operator==(const ControlUpdate&) const = default;
+};
+
+/// Serializes `update` into the INC fields of `spec` (opcode, flow_id,
+/// seq, worker_id, elements). Addressing (ip_dst = the switch's control
+/// address, ip_src, ports) is the caller's job. Asserts the entry count
+/// fits one packet.
+void encode_ctrl(const ControlUpdate& update, IncPacketSpec& spec);
+
+/// Decodes a kCtrlUpdate INC header; returns false for any other opcode.
+bool decode_ctrl(const IncHeader& inc, ControlUpdate& out);
+
+}  // namespace adcp::packet

@@ -55,6 +55,12 @@ enum class IncOpcode : std::uint8_t {
   kAck = 13,         ///< transfer ack; element {seq, ce_echo}
   kPropose = 14,     ///< client request to be sequenced (consensus class)
   kOrdered = 15,     ///< sequenced request, kIncSeq = global order number
+  /// In-band control-plane update batch (see packet/control.hpp): flow_id
+  /// carries the epoch, worker_id the batch flags, elements the entries.
+  kCtrlUpdate = 16,
+  kChurnQuery = 17,  ///< cacheable read; kIncWorkerId carries the key
+  kChurnHit = 18,    ///< switch reply: the key was cached (versioned store)
+  kChurnMiss = 19,   ///< backing-store reply: the key was not cached
 };
 
 /// One key/value data element.

@@ -19,7 +19,8 @@ Zipf::Zipf(std::size_t n, double skew) {
 std::size_t Zipf::sample(Rng& rng) const {
   const double u = rng.uniform01();
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<std::size_t>(it - cdf_.begin());
+  const auto rank = static_cast<std::size_t>(it - cdf_.begin());
+  return (rank + offset_) % cdf_.size();
 }
 
 }  // namespace adcp::sim

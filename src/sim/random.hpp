@@ -61,13 +61,24 @@ class Zipf {
  public:
   Zipf(std::size_t n, double skew);
 
-  /// Draws one rank in [0, n).
+  /// Draws one rank in [0, n), rotated by the current popularity offset:
+  /// the returned value is (zipf_rank + offset) % n, so the *identity* of
+  /// the hot keys shifts while the popularity *shape* stays fixed.
   std::size_t sample(Rng& rng) const;
+
+  /// Rotates which keys are popular (churn workloads move this at runtime
+  /// to model shifting popularity; see workload::ChurnQuery). Each client
+  /// owns its own Zipf copy, so a mid-run shift is shard-local and
+  /// deterministic under PDES. Reduced modulo size().
+  void set_offset(std::size_t offset) { offset_ = offset % cdf_.size(); }
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
 
   [[nodiscard]] std::size_t size() const { return cdf_.size(); }
 
  private:
   std::vector<double> cdf_;
+  std::size_t offset_ = 0;
 };
 
 }  // namespace adcp::sim

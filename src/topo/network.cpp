@@ -215,6 +215,9 @@ Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_cou
       host_parent = parent;
     }
   }
+  kind_.push_back(kind);
+  ctrl_ip_.push_back(0);
+  mgmt_port_.push_back(packet::kInvalidPort);
   sim::Scope sw_scope = parent.scope("sw" + std::to_string(i));
   sim::Scope host_scope = host_parent.scope("sw" + std::to_string(i));
   SwitchSlot slot;
@@ -339,18 +342,30 @@ void Network::HostTap::deliver(packet::Packet pkt) {
 void Network::build_leaf_spine(const LeafSpineParams& p) {
   assert(p.leaves > 0 && p.spines > 0 && p.hosts_per_leaf > 0);
   assert(p.leaves <= 256 && p.hosts_per_leaf <= 256);
+  assert(!(p.control_channel && p.hosts_per_leaf > 255) &&
+         "host address 255 is the control address");
+  control_channel_ = p.control_channel;
   const std::uint32_t L = p.leaves;
   const std::uint32_t S = p.spines;
   const std::uint32_t H = p.hosts_per_leaf;
+  // Control channel: one extra management port past the uplinks. The
+  // spines' /24 leaf prefixes already cover the control address, so only
+  // the target leaf needs the exact route.
+  const std::uint32_t mgmt = p.control_channel ? 1 : 0;
 
   // Leaves: ports [0, H) hosts, [H, H+S) spine uplinks.
   for (std::uint32_t l = 0; l < L; ++l) {
     auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
     for (std::uint32_t h = 0; h < H; ++h) fib->add_exact(make_ip(0, l, h), h);
+    if (p.control_channel) fib->add_exact(make_ip(0, l, 255), H + S);
     EcmpGroup up;
     for (std::uint32_t s = 0; s < S; ++s) up.ports.push_back(H + s);
     fib->add_prefix(kAddressBase, 8, std::move(up));
-    add_switch(p.kind, H + S, std::move(fib), H, p.host_link, p.loss_seed + l);
+    add_switch(p.kind, H + S + mgmt, std::move(fib), H, p.host_link, p.loss_seed + l);
+    if (p.control_channel) {
+      ctrl_ip_.back() = make_ip(0, l, 255);
+      mgmt_port_.back() = H + S;
+    }
     for (std::uint32_t h = 0; h < H; ++h) {
       host_ip_.push_back(make_ip(0, l, h));
       host_loc_.emplace_back(l, h);
@@ -389,16 +404,25 @@ void Network::build_fat_tree(const FatTreeParams& p) {
     return 2 * edges + i * half + j;
   };
   std::uint64_t seed = p.loss_seed;
+  control_channel_ = p.control_channel;
+  // Control channel: management port k on every edge; the aggregation /24
+  // and core /16 prefixes already route the control address down.
+  const std::uint32_t mgmt = p.control_channel ? 1 : 0;
 
   // Edge switches: ports [0, half) hosts, [half, k) aggregation uplinks.
   for (std::uint32_t pod = 0; pod < k; ++pod) {
     for (std::uint32_t e = 0; e < half; ++e) {
       auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
       for (std::uint32_t h = 0; h < half; ++h) fib->add_exact(make_ip(pod, e, h), h);
+      if (p.control_channel) fib->add_exact(make_ip(pod, e, 255), k);
       EcmpGroup up;
       for (std::uint32_t a = 0; a < half; ++a) up.ports.push_back(half + a);
       fib->add_prefix(kAddressBase, 8, std::move(up));
-      add_switch(p.kind, k, std::move(fib), half, p.host_link, seed++);
+      add_switch(p.kind, k + mgmt, std::move(fib), half, p.host_link, seed++);
+      if (p.control_channel) {
+        ctrl_ip_.back() = make_ip(pod, e, 255);
+        mgmt_port_.back() = k;
+      }
       for (std::uint32_t h = 0; h < half; ++h) {
         host_ip_.push_back(make_ip(pod, e, h));
         host_loc_.emplace_back(edge_index(pod, e), h);
@@ -455,15 +479,32 @@ void Network::finish_wiring() {
   if (trace_cfg_.enabled()) {
     for (SwitchSlot& slot : switches_) slot.fabric->set_trace_sampler(&sampler_);
   }
-  for (SwitchSlot& slot : switches_) {
+  // The control sink slots must be at their final addresses before the TX
+  // closures capture pointers into them (set_control_sink fills the slots
+  // later, after ctrl:: attaches).
+  ctrl_sinks_.resize(switches_.size());
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    SwitchSlot& slot = switches_[i];
+    // Management-port TX runs on the switch's shard, so a sink stages
+    // control updates into switch-owned state without crossing the cut.
+    // The packet is dropped on the floor after the sink: with split hosts
+    // the fabric pool lives on the host shard, and pools are an allocation
+    // optimization, not an accounting surface.
+    const packet::PortId mgmt = mgmt_port_[i];
+    std::function<void(const packet::Packet&)>* sink =
+        mgmt != packet::kInvalidPort ? &ctrl_sinks_[i] : nullptr;
     if (psim_ != nullptr) {
       std::vector<ShardedHalf*> map(slot.device->port_count(), nullptr);
       for (const auto& st : strunks_) {
         if (st->ba.to.device == slot.device.get()) map[st->ba.to.port] = &st->ab;
         if (st->ab.to.device == slot.device.get()) map[st->ab.to.port] = &st->ba;
       }
-      slot.fabric->set_default_tx([map = std::move(map)](packet::PortId port,
-                                                         packet::Packet pkt) {
+      slot.fabric->set_default_tx([map = std::move(map), mgmt, sink](
+                                      packet::PortId port, packet::Packet pkt) {
+        if (port == mgmt && sink != nullptr) {
+          if (*sink) (*sink)(pkt);
+          return;
+        }
         if (port < map.size() && map[port] != nullptr) {
           map[port]->forward(std::move(pkt));
         }
@@ -474,8 +515,12 @@ void Network::finish_wiring() {
         if (t->a().device == slot.device.get()) map[t->a().port] = {t.get(), 0};
         if (t->b().device == slot.device.get()) map[t->b().port] = {t.get(), 1};
       }
-      slot.fabric->set_default_tx([map = std::move(map)](packet::PortId port,
-                                                         packet::Packet pkt) {
+      slot.fabric->set_default_tx([map = std::move(map), mgmt, sink](
+                                      packet::PortId port, packet::Packet pkt) {
+        if (port == mgmt && sink != nullptr) {
+          if (*sink) (*sink)(pkt);
+          return;
+        }
         if (port < map.size() && map[port].first != nullptr) {
           map[port].first->forward(map[port].second, std::move(pkt));
         }
@@ -577,6 +622,27 @@ void Network::finish_wiring() {
 net::Host& Network::host(std::size_t i) {
   const auto [sw, local] = host_loc_.at(i);
   return switches_[sw].fabric->host(local);
+}
+
+void Network::set_control_sink(std::size_t i,
+                               std::function<void(const packet::Packet&)> sink) {
+  assert(mgmt_port_.at(i) != packet::kInvalidPort &&
+         "switch has no management port (control_channel off or non-edge tier)");
+  ctrl_sinks_.at(i) = std::move(sink);
+}
+
+sim::Scope Network::switch_scope(std::size_t i) {
+  assert(i < switches_.size());
+  if (psim_ != nullptr) {
+    return shard_regs_[switch_shard_[i]]->scope("topo").scope("sw" + std::to_string(i));
+  }
+  return scope_.scope("sw" + std::to_string(i));
+}
+
+sim::Scope Network::host_shard_scope(std::size_t i) {
+  const std::size_t sw = host_loc_.at(i).first;
+  if (psim_ != nullptr) return shard_regs_[host_shard_[sw]]->scope("topo");
+  return scope_;
 }
 
 sim::Simulator& Network::sim_of_host(std::size_t i) {

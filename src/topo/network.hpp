@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -63,6 +64,13 @@ struct LeafSpineParams {
   /// propagation > 0 (the cross-shard lookahead); falls back to ride-along
   /// otherwise.
   std::uint32_t host_shards_per_switch = 1;
+  /// Gives every *hosted* switch an in-band control channel: one extra
+  /// management port (id = the switch's old port count) and a control
+  /// address make_ip(pod, tor, 255) routed to it by an exact FIB entry, so
+  /// a ctrl::ControlAgent can reach any edge switch through the ordinary
+  /// fabric (see ctrl_ip_of/mgmt_port_of/set_control_sink). Requires
+  /// hosts_per_leaf <= 255 (host address 255 becomes the control address).
+  bool control_channel = false;
 };
 
 /// Parameters of the k-ary fat-tree generator (`k` even, >= 2).
@@ -79,6 +87,8 @@ struct FatTreeParams {
   sim::TraceConfig trace{};
   /// See LeafSpineParams::host_shards_per_switch.
   std::uint32_t host_shards_per_switch = 1;
+  /// See LeafSpineParams::control_channel (edge switches only).
+  bool control_channel = false;
 };
 
 /// A fully wired multi-switch fabric. Construct with one of the parameter
@@ -211,6 +221,45 @@ class Network {
   /// and must stay out of the snapshots the determinism gates compare.
   void export_construction(sim::Scope scope) const;
 
+  // --- In-band control channel (params.control_channel = true) ---------
+  //
+  // Hosted switches gain a management port reachable at a per-switch
+  // control address; anything the switch routes out that port (i.e. every
+  // packet addressed to ctrl_ip_of) is handed to the switch's control
+  // sink on the switch's own shard — the hook ctrl::ControlPlane uses to
+  // receive update batches that traveled the fabric as real packets.
+
+  /// True when the fabric was built with the control channel.
+  [[nodiscard]] bool control_channel() const { return control_channel_; }
+  /// Control address of switch `i` (0 when it has none — non-edge tiers
+  /// and fabrics built without the channel).
+  [[nodiscard]] std::uint32_t ctrl_ip_of(std::size_t i) const { return ctrl_ip_.at(i); }
+  /// Management port of switch `i` (packet::kInvalidPort when none).
+  [[nodiscard]] packet::PortId mgmt_port_of(std::size_t i) const {
+    return mgmt_port_.at(i);
+  }
+  /// Installs the consumer of switch `i`'s management-port traffic. The
+  /// sink runs on the switch's shard at TX time; the packet is recycled
+  /// (or destroyed) by the network afterwards, so sinks must copy what
+  /// they keep. Install before the run starts.
+  void set_control_sink(std::size_t i, std::function<void(const packet::Packet&)> sink);
+  /// Switch `i`'s forwarding table (programs capture it by shared_ptr,
+  /// exactly like the builder's own routing programs).
+  [[nodiscard]] std::shared_ptr<ForwardingTable> fib_of(std::size_t i) {
+    return switches_.at(i).fib;
+  }
+  /// The tier kind switch `i` was built as.
+  [[nodiscard]] SwitchKind kind_of(std::size_t i) const { return kind_.at(i); }
+  /// The "topo.sw<i>" scope on the registry that owns switch `i` (the
+  /// shard registry in parallel mode) — extra per-switch components (e.g.
+  /// a versioned control store) register here so metric names match the
+  /// sequential build byte-for-byte in merged_snapshot().
+  [[nodiscard]] sim::Scope switch_scope(std::size_t i);
+  /// The "topo" scope on the registry that owns host `i`'s shard (the
+  /// network scope in sequential mode) — for components that ride a host,
+  /// like ctrl::ControlAgent.
+  [[nodiscard]] sim::Scope host_shard_scope(std::size_t i);
+
   [[nodiscard]] const TierProfile& profile() const { return profile_; }
   /// The shared template for (kind, port_count), or nullptr if no switch
   /// of that shape exists. use_count() reflects only cache+caller refs —
@@ -329,6 +378,12 @@ class Network {
   std::vector<std::size_t> switch_shard_;  // switch index -> shard (parallel)
   std::vector<std::size_t> host_shard_;    // switch index -> its hosts' shard
   std::vector<std::unique_ptr<sim::MetricRegistry>> shard_regs_;  // per shard
+  bool control_channel_ = false;
+  std::vector<SwitchKind> kind_;             // switch index -> tier kind
+  std::vector<std::uint32_t> ctrl_ip_;       // switch index -> control addr (0 = none)
+  std::vector<packet::PortId> mgmt_port_;    // switch index -> mgmt port
+  /// Stable slots the TX closures point into; set_control_sink fills them.
+  std::vector<std::function<void(const packet::Packet&)>> ctrl_sinks_;
   std::vector<std::uint32_t> host_ip_;  // global host index -> address
   std::vector<std::pair<std::uint32_t, std::uint32_t>> host_loc_;  // -> (switch, local)
   std::vector<std::vector<std::size_t>> ecmp_groups_;  // uplink fan-outs (trunk indices)

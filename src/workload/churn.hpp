@@ -1,0 +1,100 @@
+// Cacheable-read traffic with runtime popularity shifts — the client side
+// of the control-plane churn experiments (EXPERIMENTS.md E23).
+//
+// Each client host issues kChurnQuery packets for Zipf-distributed keys
+// towards a backing-store host. Any on-path switch that ctrl::ControlPlane
+// equipped may answer from its versioned store (kChurnHit); otherwise the
+// query reaches the backing store, whose ctrl::ControlAgent replies with
+// kChurnMiss (and learns the key's popularity). Clients time every reply,
+// so hit rate and hit/miss latency fall out per client.
+//
+// The popularity shift is a pure function of simulated time: every
+// `shift_period` the Zipf rank-to-key mapping rotates by `shift_step`
+// (sim::Zipf::set_offset), so the hot set moves while the skew stays
+// fixed. Each client owns a private Zipf + Rng and computes the offset
+// from its own shard clock before every sample — no shared mutable state,
+// bit-identical under any PDES worker count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "topo/network.hpp"
+
+namespace adcp::workload {
+
+struct ChurnParams {
+  /// Hosts that issue queries. Empty = every host except `backing_host`.
+  std::vector<std::size_t> client_hosts;
+  /// The backing-store host (where the ControlAgent rides).
+  std::size_t backing_host = 0;
+  /// Keys drawn from [0, key_space); must stay below 2^24 (control keys
+  /// are 24-bit on the wire).
+  std::uint32_t key_space = 1024;
+  double zipf_skew = 0.99;
+  /// Per-client gap between queries.
+  sim::Time interval = 2 * sim::kMicrosecond;
+  /// Queries each client issues; the run drains naturally afterwards.
+  std::uint32_t queries_per_client = 1000;
+  /// Popularity rotation period (0 = static popularity).
+  sim::Time shift_period = 0;
+  /// Ranks rotated per period.
+  std::uint32_t shift_step = 0;
+  std::uint64_t seed = 11;
+  /// Flow ids are flow_base + client index (kept clear of coflow flows).
+  std::uint32_t flow_base = 0x4000'0000;
+};
+
+class ChurnQuery {
+ public:
+  /// Builds per-client state and registers reply sinks. Construct after
+  /// the fabric (and ControlPlane/ControlAgent) are wired.
+  ChurnQuery(ChurnParams params, topo::Network& net);
+
+  /// Schedules each client's first send at `when` plus a per-client phase
+  /// stagger, on the client's own shard.
+  void start(sim::Time when = 0);
+
+  // Aggregates over all clients (read after the run).
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t sent() const;
+  /// Replies still in flight (nonzero after a run only on lossy links).
+  [[nodiscard]] std::uint64_t outstanding() const;
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits() + misses();
+    return total == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(total);
+  }
+  /// Client-observed reply latencies in nanoseconds.
+  [[nodiscard]] sim::Summary hit_latency_ns() const;
+  [[nodiscard]] sim::Summary miss_latency_ns() const;
+
+ private:
+  struct Client {
+    std::size_t host = 0;
+    std::uint32_t ip = 0;
+    std::uint32_t flow = 0;
+    sim::Simulator* sim = nullptr;
+    sim::Rng rng{0};
+    sim::Zipf zipf{1, 0.0};
+    std::uint32_t sent = 0;
+    std::unordered_map<std::uint32_t, sim::Time> outstanding;  // seq -> issue
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    sim::Summary hit_latency_ns;
+    sim::Summary miss_latency_ns;
+  };
+
+  void send_next(Client& c);
+
+  ChurnParams params_;
+  topo::Network* net_;
+  std::uint32_t backing_ip_;
+  std::vector<Client> clients_;  // sized once; callbacks hold stable refs
+};
+
+}  // namespace adcp::workload
