@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "sim/metrics.hpp"
 
@@ -30,9 +31,14 @@ inline bool write_report(const sim::Snapshot& snap, const std::string& name,
   return ok;
 }
 
-/// Snapshots `registry` and writes it via the overload above.
-inline bool write_report(const sim::MetricRegistry& registry, const std::string& name,
+/// Snapshots `registry` and writes it via the overload above. Every report
+/// that funnels through here records config.hardware_threads, so ns/op and
+/// speedup figures can be judged against the cores the run actually had
+/// (callers assembling a merged Snapshot set the gauge themselves).
+inline bool write_report(sim::MetricRegistry& registry, const std::string& name,
                          std::string path = {}) {
+  registry.gauge("config.hardware_threads")
+      .set(static_cast<double>(std::thread::hardware_concurrency()));
   return write_report(registry.snapshot(), name, std::move(path));
 }
 

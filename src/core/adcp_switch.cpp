@@ -91,6 +91,33 @@ void AdcpSwitch::load_program(AdcpProgram program) {
   tm2_.emplace(std::move(t2), scope_.scope("tm2"));
   tm1_->set_pool(&pool_);
   tm2_->set_pool(&pool_);
+
+  // Re-arm the fast path from scratch: load_program may be called again
+  // over an already-programmed switch (ControlPlane::attach does), and any
+  // previously memoized verdict belongs to the replaced program.
+  contract_ = std::move(program.fastpath);
+  fast_.reset();
+  ingress_site_ = {};
+  egress_site_ = {};
+  if (config_.fastpath_entries > 0 && contract_.valid()) {
+    fast_.emplace(config_.fastpath_entries);
+  }
+}
+
+AdcpSwitch::FastSlot* AdcpSwitch::fast_acquire() {
+  if (fast_free_.empty()) {
+    fast_slots_.push_back(std::make_unique<FastSlot>());
+    return fast_slots_.back().get();
+  }
+  FastSlot* slot = fast_free_.back();
+  fast_free_.pop_back();
+  return slot;
+}
+
+void AdcpSwitch::fast_release(FastSlot* slot) {
+  slot->egress = packet::kInvalidPort;
+  slot->pipe = 0;
+  fast_free_.push_back(slot);
 }
 
 void AdcpSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports) {
@@ -122,12 +149,170 @@ void AdcpSwitch::inject(packet::PortId port, packet::Packet pkt) {
   }
   const std::uint32_t edge_pipe = config_.edge_pipe_index(port, sub);
   spans_.span(sim::SpanKind::kRx, pkt.meta.trace_id, start, free, port, pkt.size());
-  sim_->at(free, [this, pkt = std::move(pkt), edge_pipe]() mutable {
-    enter_ingress(std::move(pkt), edge_pipe);
+  // [this, pkt, edge_pipe] is one word over the inline-closure budget and
+  // would heap-spill per packet; park the packet in a pooled slot instead.
+  FastSlot* f = fast_acquire();
+  f->pkt = std::move(pkt);
+  f->pipe = edge_pipe;
+  sim_->at(free, [this, f] {
+    packet::Packet p = std::move(f->pkt);
+    const std::uint32_t pipe = f->pipe;
+    fast_release(f);
+    enter_ingress(std::move(p), pipe);
   });
 }
 
+bool AdcpSwitch::try_fast_ingress(packet::Packet& pkt, std::uint32_t edge_pipe) {
+  fastpath::WireView w;
+  if (!fastpath::inspect(pkt, contract_.parse_max_elems, w)) return false;
+  pipeline::Pipeline& ingress = ingress_pipes_[edge_pipe];
+  const pipeline::Transit tr =
+      ingress.advance(sim_->now(), ingress_site_.timing.cycles,
+                      ingress_site_.timing.max_service, ingress_site_.timing.stall_cycles);
+  spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), tr.exit, edge_pipe);
+  FastSlot* f = fast_acquire();
+  f->pkt = std::move(pkt);
+  f->wire = w;
+  sim_->at(tr.exit, [this, f] { after_ingress_fast(f); });
+  return true;
+}
+
+void AdcpSwitch::after_ingress_fast(FastSlot* f) {
+  packet::Packet out = fastpath::copy_patch(pool_, std::move(f->pkt), f->wire,
+                                            fastpath::Patch::kPassthrough);
+  fast_release(f);
+  const std::uint32_t cp = placement_(out) % config_.central_pipeline_count;
+  const std::uint64_t trace_id = out.meta.trace_id;
+  out.meta.trace_mark = sim_->now();  // TM1 residency span begins here
+  if (!tm1_->enqueue(cp, 0, std::move(out))) {
+    spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kAdmission), cp);
+  } else {
+    spans_.instant(sim::SpanKind::kTmEnqueue, trace_id, sim_->now(),
+                   tm1_->output_packets(cp), cp);
+  }
+  try_drain_central(cp);
+}
+
+bool AdcpSwitch::try_fast_central(packet::Packet& pkt, std::uint32_t cp) {
+  fast_->sync(contract_);
+  fastpath::WireView w;
+  if (!fastpath::inspect(pkt, contract_.parse_max_elems, w)) return false;
+  if (w.ttl < 2) return false;  // the slow path owns the TTL-expiry drop
+  const bool query =
+      contract_.store != nullptr &&
+      w.opcode == static_cast<std::uint8_t>(packet::IncOpcode::kChurnQuery);
+  fastpath::FlowCache::Entry* e = fast_->probe(w, pkt.meta.ingress_port, query);
+  if (e == nullptr) {
+    if (config_.fastpath_miss_spans) {
+      spans_.instant(sim::SpanKind::kFastpathMiss, pkt.meta.trace_id, sim_->now(), cp);
+    }
+    return false;
+  }
+  // Store-dependent behavior runs live, at the same event the slow path
+  // would have run it in (ctrl.* counters stay identical cache-on/off).
+  fastpath::Patch patch = fastpath::Patch::kForward;
+  packet::PortId egress = e->forward_port;
+  if (query) {
+    std::uint32_t value = 0;
+    if (contract_.store->lookup(w.worker_id, value) ==
+        mat::VersionedStore::Lookup::kHit) {
+      patch = fastpath::Patch::kServed;
+      egress = e->served_port;
+    }
+  }
+  pipeline::Pipeline& central = central_pipes_[cp];
+  const pipeline::Transit tr = central.advance(
+      sim_->now(), e->timing.cycles, e->timing.max_service, e->timing.stall_cycles);
+  spans_.span(sim::SpanKind::kCentral, pkt.meta.trace_id, sim_->now(), tr.exit, cp);
+  FastSlot* f = fast_acquire();
+  f->pkt = std::move(pkt);
+  f->wire = w;
+  f->egress = egress;
+  f->patch = patch;
+  sim_->at(tr.exit, [this, f] { after_central_fast(f); });
+  return true;
+}
+
+void AdcpSwitch::after_central_fast(FastSlot* f) {
+  packet::Packet out =
+      fastpath::copy_patch(pool_, std::move(f->pkt), f->wire, f->patch);
+  const packet::PortId egress = f->egress;
+  fast_release(f);
+  out.meta.egress_port = egress;
+  route_to_egress(std::move(out));
+}
+
+bool AdcpSwitch::try_fast_egress(packet::Packet& pkt, std::uint32_t edge_pipe) {
+  fastpath::WireView w;
+  if (!fastpath::inspect(pkt, contract_.parse_max_elems, w)) return false;
+  const std::uint32_t port = config_.port_of_edge_pipe(edge_pipe);
+  pipeline::Pipeline& egress = egress_pipes_[edge_pipe];
+  const pipeline::Transit tr =
+      egress.advance(sim_->now(), egress_site_.timing.cycles,
+                     egress_site_.timing.max_service, egress_site_.timing.stall_cycles);
+  spans_.span(sim::SpanKind::kEgress, pkt.meta.trace_id, sim_->now(), tr.exit, edge_pipe,
+              port);
+  FastSlot* f = fast_acquire();
+  f->pkt = std::move(pkt);
+  f->wire = w;
+  f->pipe = edge_pipe;
+  sim_->at(tr.exit, [this, f] { after_egress_fast(f); });
+  return true;
+}
+
+void AdcpSwitch::after_egress_fast(FastSlot* f) {
+  const std::uint32_t port = config_.port_of_edge_pipe(f->pipe);
+  packet::Packet out = fastpath::copy_patch(pool_, std::move(f->pkt), f->wire,
+                                            fastpath::Patch::kPassthrough);
+  fast_release(f);
+
+  // m:1 mux back onto the port, exactly as after_egress does. The port
+  // rides in the packet metadata: {this, Packet} fills the inline callback
+  // capacity exactly, so one more captured word would heap-spill.
+  ++in_flight_[port];
+  sim::Time& free = tx_free_[port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(out.size(), config_.port_gbps);
+  spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
+  sim_->at(free, [this, out = std::move(out)]() mutable {
+    const packet::PortId port = out.meta.egress_port;
+    metrics_.tx_packets.add();
+    metrics_.tx_bytes.add(out.size());
+    if (first_tx_ == 0) first_tx_ = sim_->now();
+    last_tx_ = sim_->now();
+    --in_flight_[port];
+    if (tx_handler_) tx_handler_(port, std::move(out));
+    kick_port_egress(port);
+  });
+}
+
+void AdcpSwitch::fill_fastpath(const packet::Packet& original, const packet::Phv& phv,
+                               const pipeline::Transit& tr, packet::PortId egress) {
+  fastpath::WireView w;
+  if (!fastpath::inspect(original, contract_.parse_max_elems, w)) return;
+  if (w.ttl < 2) return;
+  const bool query =
+      contract_.store != nullptr &&
+      w.opcode == static_cast<std::uint8_t>(packet::IncOpcode::kChurnQuery);
+  // Precompute both churn branches; memoize only if the contract's route
+  // reproduces the verdict the program actually emitted for this packet.
+  const packet::PortId forward =
+      contract_.route(w.ip_dst, w.ip_src, w.udp_src, w.udp_dst);
+  packet::PortId served = forward;
+  bool served_branch = false;
+  if (query) {
+    served = contract_.route(w.ip_src, w.ip_dst, w.udp_src, w.udp_dst);
+    served_branch = phv.get_or(packet::fields::kIncOpcode, 0) ==
+                    static_cast<std::uint64_t>(packet::IncOpcode::kChurnHit);
+  }
+  if ((served_branch ? served : forward) != egress) return;
+  fast_->fill(w, original.meta.ingress_port, query, forward, served,
+              {tr.cycles, tr.max_service, tr.stall_cycles, 0});
+}
+
 void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
+  if (fast_ && ingress_site_.valid && try_fast_ingress(pkt, edge_pipe)) return;
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(pkt, pr);
   if (!pr.accepted) {
@@ -139,6 +324,11 @@ void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
   }
   pipeline::Pipeline& ingress = ingress_pipes_[edge_pipe];
   const pipeline::Transit tr = ingress.process(sim_->now(), pr.phv);
+  // Edge stages carry no program under the passthrough contract; one
+  // measured transit is the timing template for every later packet.
+  if (fast_ && contract_.passthrough_edges && !ingress_site_.valid) {
+    ingress_site_ = {true, {tr.cycles, tr.max_service, tr.stall_cycles, 0}};
+  }
   spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), tr.exit, edge_pipe);
   sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
                      consumed = pr.consumed]() mutable {
@@ -193,6 +383,16 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
   spans_.span(sim::SpanKind::kTmQueue, pkt->meta.trace_id, pkt->meta.trace_mark,
               sim_->now(), cp);
 
+  if (fast_ && try_fast_central(*pkt, cp)) {
+    // Keep the central pipe fed, exactly as the slow path below does.
+    if (tm1_->output_packets(cp) > 0) {
+      central_pending_[cp] = true;
+      sim_->at(std::max(central_pipes_[cp].next_free(), sim_->now()),
+               [this, cp] { drain_central(cp); });
+    }
+    return;
+  }
+
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
@@ -209,8 +409,8 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
   const pipeline::Transit tr = central.process(sim_->now(), pr.phv);
   spans_.span(sim::SpanKind::kCentral, pkt->meta.trace_id, sim_->now(), tr.exit, cp);
   sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),
-                     consumed = pr.consumed, cp]() mutable {
-    after_central(std::move(phv), std::move(pkt), consumed, cp);
+                     consumed = pr.consumed, cp, tr]() mutable {
+    after_central(std::move(phv), std::move(pkt), consumed, cp, tr);
   });
 
   if (tm1_->output_packets(cp) > 0) {
@@ -220,7 +420,7 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
 }
 
 void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::size_t consumed,
-                               std::uint32_t cp) {
+                               std::uint32_t cp, pipeline::Transit tr) {
   (void)cp;
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
@@ -229,9 +429,15 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
     pool_.release(std::move(original));
     return;
   }
+  const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
+  const std::uint64_t egress_field = phv.get_or(packet::fields::kMetaEgressPort,
+                                                packet::kInvalidPort);
+  // Memoize unicast forward verdicts while the original bytes are intact.
+  if (fast_ && group == 0 && egress_field < config_.port_count) {
+    fill_fastpath(original, phv, tr, static_cast<packet::PortId>(egress_field));
+  }
   packet::Packet out = finalize(phv, std::move(original), consumed);
 
-  const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
   if (group != 0) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
@@ -252,16 +458,14 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
     return;
   }
 
-  const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
-                                          packet::kInvalidPort);
-  if (egress >= config_.port_count) {
+  if (egress_field >= config_.port_count) {
     metrics_.no_route_drops.add();
     spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
     pool_.release(std::move(out));
     return;
   }
-  out.meta.egress_port = static_cast<packet::PortId>(egress);
+  out.meta.egress_port = static_cast<packet::PortId>(egress_field);
   route_to_egress(std::move(out));
 }
 
@@ -316,6 +520,16 @@ void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
   spans_.span(sim::SpanKind::kTmQueue, pkt->meta.trace_id, pkt->meta.trace_mark,
               sim_->now(), edge_pipe);
 
+  if (fast_ && egress_site_.valid && try_fast_egress(*pkt, edge_pipe)) {
+    // Keep the egress pipe fed, exactly as the slow path below does.
+    if (tm2_->output_packets(edge_pipe) > 0) {
+      egress_pending_[edge_pipe] = true;
+      sim_->at(std::max(egress_pipes_[edge_pipe].next_free(), sim_->now()),
+               [this, edge_pipe] { drain_egress(edge_pipe); });
+    }
+    return;
+  }
+
   packet::ParseResult& pr = scratch_parse_;
   parser_->parse_into(*pkt, pr);
   if (!pr.accepted) {
@@ -330,6 +544,9 @@ void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
 
   pipeline::Pipeline& egress = egress_pipes_[edge_pipe];
   const pipeline::Transit tr = egress.process(sim_->now(), pr.phv);
+  if (fast_ && contract_.passthrough_edges && !egress_site_.valid) {
+    egress_site_ = {true, {tr.cycles, tr.max_service, tr.stall_cycles, 0}};
+  }
   spans_.span(sim::SpanKind::kEgress, pkt->meta.trace_id, sim_->now(), tr.exit, edge_pipe,
               port);
   sim_->at(tr.exit, [this, phv = std::move(pr.phv), pkt = std::move(*pkt),

@@ -18,6 +18,7 @@
 
 #include "core/config.hpp"
 #include "core/program.hpp"
+#include "fastpath/fastpath.hpp"
 #include "net/device.hpp"
 #include "packet/pool.hpp"
 #include "sim/metrics.hpp"
@@ -132,7 +133,41 @@ class AdcpSwitch final : public net::SwitchDevice {
   /// retired originals and drops all flow through it).
   packet::Pool& pool() { return pool_; }
 
+  /// Flow fast-path counters (empty stats when the fast path is off).
+  /// Deliberately not registry-backed: snapshots must be byte-identical
+  /// cache-on vs cache-off (topo::Network::export_fastpath reports them).
+  [[nodiscard]] fastpath::FlowCacheStats fastpath_stats() const {
+    return fast_ ? fast_->stats() : fastpath::FlowCacheStats{};
+  }
+
  private:
+  /// Fast-path continuation state, pooled ({this, Packet} alone fills the
+  /// inline callback capacity, so the wire view and verdict ride here).
+  struct FastSlot {
+    packet::Packet pkt;
+    fastpath::WireView wire;
+    packet::PortId egress = packet::kInvalidPort;
+    std::uint32_t pipe = 0;  ///< central pipe or edge pipe, site-dependent
+    fastpath::Patch patch = fastpath::Patch::kForward;
+  };
+  FastSlot* fast_acquire();
+  void fast_release(FastSlot* slot);
+
+  /// Static edge-ingress passthrough (contract.passthrough_edges).
+  bool try_fast_ingress(packet::Packet& pkt, std::uint32_t edge_pipe);
+  void after_ingress_fast(FastSlot* f);
+  /// Probes the verdict cache at the central pipeline — the ADCP verdict
+  /// site; on a hit, advances the pipe and schedules copy-and-patch.
+  bool try_fast_central(packet::Packet& pkt, std::uint32_t cp);
+  void after_central_fast(FastSlot* f);
+  /// Static edge-egress passthrough.
+  bool try_fast_egress(packet::Packet& pkt, std::uint32_t edge_pipe);
+  void after_egress_fast(FastSlot* f);
+  /// Memoizes a slow-path central verdict (called before finalize so the
+  /// original wire bytes are still available).
+  void fill_fastpath(const packet::Packet& original, const packet::Phv& phv,
+                     const pipeline::Transit& tr, packet::PortId egress);
+
   void enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe);
   /// Deparse-or-passthrough: INC packets are rebuilt from the PHV into a
   /// pooled packet and the original is retired; others pass through.
@@ -142,7 +177,7 @@ class AdcpSwitch final : public net::SwitchDevice {
   void try_drain_central(std::uint32_t cp);
   void drain_central(std::uint32_t cp);
   void after_central(packet::Phv phv, packet::Packet original, std::size_t consumed,
-                     std::uint32_t cp);
+                     std::uint32_t cp, pipeline::Transit tr);
   void route_to_egress(packet::Packet pkt);
   void kick_port_egress(std::uint32_t port);
   void try_drain_egress(std::uint32_t edge_pipe);
@@ -159,6 +194,12 @@ class AdcpSwitch final : public net::SwitchDevice {
   sim::SpanRecorder spans_;
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by the re-parse sites
+  std::vector<std::unique_ptr<FastSlot>> fast_slots_;  ///< owns every slot
+  std::vector<FastSlot*> fast_free_;                   ///< warm free list
+  fastpath::FastpathContract contract_;
+  std::optional<fastpath::FlowCache> fast_;  ///< armed by load_program
+  fastpath::StaticSite ingress_site_;        ///< measured edge passthrough
+  fastpath::StaticSite egress_site_;
   std::optional<packet::Parser> parser_;
   std::shared_ptr<const packet::ParseGraph> parse_graph_;
   std::shared_ptr<const packet::Deparser> deparser_;

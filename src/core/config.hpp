@@ -39,6 +39,13 @@ struct AdcpConfig {
   double tm2_alpha = 8.0;
   /// ECN CE-mark threshold per TM2 egress queue (0 disables).
   std::uint64_t ecn_threshold_bytes = 0;
+  /// Flow fast-path verdict cache entries (0 disables; rounded up to a
+  /// power of two). Armed only when the installed program also provides a
+  /// fastpath contract (DESIGN.md §13).
+  std::uint32_t fastpath_entries = 0;
+  /// Emit an instant span per fast-path miss (attribution aid). Off by
+  /// default: miss spans would break the cache-on/off trace-equality gate.
+  bool fastpath_miss_spans = false;
 
   AdcpConfig() {
     // Central stages default to an array engine (§3.2); edge stages do not.

@@ -28,6 +28,7 @@ VersionedStore::Lookup VersionedStore::lookup(std::uint32_t key,
 
 void VersionedStore::stage(const packet::ControlUpdate& update, sim::Time now) {
   if (pending_entries_.empty()) batch_started_ = now;
+  ++mutations_;
   metrics_.update_packets.add();
   for (const packet::CtrlEntry& e : update.entries) {
     pending_entries_.push_back({e, now});
@@ -43,6 +44,7 @@ void VersionedStore::stage(const packet::ControlUpdate& update, sim::Time now) {
 
 void VersionedStore::commit(sim::Time now) {
   if (pending_entries_.empty()) return;
+  ++mutations_;
   for (const Staged& s : pending_entries_) {
     switch (s.entry.op) {
       case packet::CtrlOp::kInstall: {

@@ -106,6 +106,12 @@ class VersionedStore {
   }
   [[nodiscard]] const VersionedStoreMetrics& metrics() const { return metrics_; }
 
+  /// Bumped by every stage() (kCtrlUpdate install/evict arrival) and every
+  /// commit() flip. The datapath fast path pulls this before each probe
+  /// and bulk-invalidates cached verdicts when it moved — the epoch-safe
+  /// invalidation contract (DESIGN.md §13).
+  [[nodiscard]] std::uint64_t mutations() const { return mutations_; }
+
  private:
   struct Staged {
     packet::CtrlEntry entry;
@@ -117,6 +123,7 @@ class VersionedStore {
   std::vector<Staged> pending_entries_;
   std::unordered_set<std::uint32_t> pending_keys_;  // staleness membership
   std::uint32_t epoch_ = 0;
+  std::uint64_t mutations_ = 0;
   sim::Time batch_started_ = 0;  // first stage() of the open batch
   // Declared before scope_/metrics_ (fallback registry must exist first).
   std::unique_ptr<sim::MetricRegistry> own_metrics_;

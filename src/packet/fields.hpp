@@ -59,6 +59,11 @@ inline constexpr FieldId kMetaRecirc = 29;
 /// How many recirculation passes this packet has already made (read-only
 /// for programs; lets them terminate multi-pass algorithms).
 inline constexpr FieldId kMetaRecircPass = 30;
+/// Cached seeded ECMP hash of the 5-tuple (see packet::Metadata::flow_hash);
+/// 0 = not yet computed. Routing programs pass it to
+/// topo::ForwardingTable::lookup_cached and write back the result so the
+/// deparser can carry it to the next hop.
+inline constexpr FieldId kMetaFlowHash = 31;
 // Application scratch: 32 slots, ids 32..63.
 inline constexpr FieldId kUser0 = 32;
 inline constexpr FieldId kUser1 = 33;

@@ -67,6 +67,7 @@ void make_inc_packet_into(const IncPacketSpec& spec, Packet& pkt) {
 
   pkt.meta.flow_id = spec.inc.flow_id;
   pkt.meta.coflow_id = spec.inc.coflow_id;
+  pkt.meta.flow_hash = 0;  // new flow identity: any cached ECMP hash is stale
 }
 
 bool decode_inc(const Packet& pkt, IncHeader& out) {

@@ -27,6 +27,7 @@ struct Metadata {
   /// Ingress program requested a recirculation pass; honored after the
   /// egress pipeline (the recirculation port hangs off the egress side).
   bool recirc_request = false;
+  bool drop = false;
   std::uint64_t flow_id = 0;
   std::uint64_t coflow_id = 0;
   /// Span-tracing id (see sim/span.hpp); 0 = unsampled. Assigned once at
@@ -37,7 +38,12 @@ struct Metadata {
   /// (TM residency: stamped at enqueue, read at dequeue; host RX: stamped
   /// at handoff, read at delivery). Only meaningful while trace_id != 0.
   sim::Time trace_mark = 0;
-  bool drop = false;
+  /// Seeded ECMP hash of the 5-tuple, computed lazily by the first
+  /// multi-port FIB lookup and carried across hops so later switches skip
+  /// the recompute (valid fabric-wide because every FIB shares one
+  /// ecmp_seed; 0 = not yet computed). Cleared whenever the 5-tuple
+  /// changes (e.g. the churn program's src/dst swap).
+  std::uint64_t flow_hash = 0;
 
   /// Back to defaults; any spilled egress_ports capacity is kept so pooled
   /// packets recycle it.
@@ -48,11 +54,12 @@ struct Metadata {
     arrival = 0;
     recirculations = 0;
     recirc_request = false;
+    drop = false;
     flow_id = 0;
     coflow_id = 0;
     trace_id = 0;
     trace_mark = 0;
-    drop = false;
+    flow_hash = 0;
   }
 };
 

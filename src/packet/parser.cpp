@@ -60,6 +60,7 @@ void Parser::parse_into(const Packet& pkt, ParseResult& res) const {
   if (res.accepted) {
     res.phv.set(fields::kMetaIngressPort, pkt.meta.ingress_port);
     res.phv.set(fields::kMetaDrop, 0);
+    res.phv.set(fields::kMetaFlowHash, pkt.meta.flow_hash);
   }
 }
 

@@ -37,12 +37,29 @@ Transit Pipeline::process(sim::Time now, packet::Phv& phv) {
   }
 
   t.cycles = latency_cycles;
+  t.max_service = max_service;
   t.exit = t.enter + latency_cycles * period_;
   // The next PHV can enter once the slowest stage has drained one slot.
   next_free_ = t.enter + max_service * period_;
   busy_ += max_service * period_;
   ++packets_;
   total_stalls_ += t.stall_cycles;
+  return t;
+}
+
+Transit Pipeline::advance(sim::Time now, std::uint64_t latency_cycles,
+                          std::uint64_t max_service,
+                          std::uint64_t stall_cycles) {
+  Transit t;
+  t.enter = std::max(now, next_free_);
+  t.cycles = latency_cycles;
+  t.max_service = max_service;
+  t.stall_cycles = stall_cycles;
+  t.exit = t.enter + latency_cycles * period_;
+  next_free_ = t.enter + max_service * period_;
+  busy_ += max_service * period_;
+  ++packets_;
+  total_stalls_ += stall_cycles;
   return t;
 }
 

@@ -32,6 +32,7 @@ struct Transit {
   sim::Time exit = 0;   ///< when the PHV leaves the last stage
   std::uint64_t cycles = 0;  ///< total latency in pipe cycles
   std::uint64_t stall_cycles = 0;  ///< cycles beyond 1 across all stages
+  std::uint64_t max_service = 1;   ///< widest stage service (admission gap)
 };
 
 /// A pipeline instance with its occupancy state.
@@ -49,6 +50,13 @@ class Pipeline {
   /// respecting the pipeline's admission capacity (1 PHV per max-service
   /// cycles). Mutates the PHV and returns the transit timing.
   Transit process(sim::Time now, packet::Phv& phv);
+
+  /// Replays a previously measured transit (datapath fast path): charges
+  /// the same occupancy/latency bookkeeping as process() without running
+  /// any stage program. The caller vouches that the skipped programs would
+  /// have produced exactly this timing.
+  Transit advance(sim::Time now, std::uint64_t latency_cycles,
+                  std::uint64_t max_service, std::uint64_t stall_cycles);
 
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
   [[nodiscard]] sim::Time period() const { return period_; }

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "fastpath/fastpath.hpp"
 #include "packet/deparser.hpp"
 #include "packet/parser.hpp"
 #include "pipeline/pipeline.hpp"
@@ -33,6 +34,9 @@ struct RmtProgram {
   std::shared_ptr<const packet::Deparser> shared_deparse;
   PipelineSetup setup_ingress;  ///< optional; default leaves stages empty
   PipelineSetup setup_egress;   ///< optional
+  /// What this program vouches for the datapath fast path (DESIGN.md §13).
+  /// Default (no route fn) keeps the fast path disarmed.
+  fastpath::FastpathContract fastpath;
 };
 
 }  // namespace adcp::rmt

@@ -66,6 +66,15 @@ void RmtSwitch::load_program(RmtProgram program) {
     if (program.setup_ingress) program.setup_ingress(ingress_pipes_[i], i);
     if (program.setup_egress) program.setup_egress(egress_pipes_[i], i);
   }
+  // Re-arm the fast path from scratch: load_program may be called again
+  // over an already-programmed switch (ControlPlane::attach does), and any
+  // previously memoized verdict belongs to the replaced program.
+  contract_ = std::move(program.fastpath);
+  fast_.reset();
+  egress_site_ = {};
+  if (config_.fastpath_entries > 0 && contract_.valid()) {
+    fast_.emplace(config_.fastpath_entries);
+  }
 }
 
 void RmtSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports) {
@@ -104,7 +113,151 @@ void RmtSwitch::transit_release(TransitSlot* slot) {
   transit_free_.push_back(slot);
 }
 
+RmtSwitch::FastSlot* RmtSwitch::fast_acquire() {
+  if (fast_free_.empty()) {
+    fast_slots_.push_back(std::make_unique<FastSlot>());
+    return fast_slots_.back().get();
+  }
+  FastSlot* slot = fast_free_.back();
+  fast_free_.pop_back();
+  return slot;
+}
+
+void RmtSwitch::fast_release(FastSlot* slot) {
+  slot->egress = packet::kInvalidPort;
+  slot->port = packet::kInvalidPort;
+  fast_free_.push_back(slot);
+}
+
+bool RmtSwitch::try_fast_ingress(packet::Packet& pkt) {
+  fast_->sync(contract_);
+  fastpath::WireView w;
+  if (!fastpath::inspect(pkt, contract_.parse_max_elems, w)) return false;
+  if (w.ttl < 2) return false;  // the slow path owns the TTL-expiry drop
+  if (pkt.meta.recirc_request) return false;
+  const bool query =
+      contract_.store != nullptr &&
+      w.opcode == static_cast<std::uint8_t>(packet::IncOpcode::kChurnQuery);
+  fastpath::FlowCache::Entry* e = fast_->probe(w, pkt.meta.ingress_port, query);
+  if (e == nullptr) {
+    if (config_.fastpath_miss_spans) {
+      spans_.instant(sim::SpanKind::kFastpathMiss, pkt.meta.trace_id,
+                     sim_->now(), pkt.meta.ingress_port);
+    }
+    return false;
+  }
+  // Store-dependent behavior runs live, at the same event the slow path
+  // would have run it in (ctrl.* counters stay identical cache-on/off).
+  fastpath::Patch patch = fastpath::Patch::kForward;
+  packet::PortId egress = e->forward_port;
+  if (query) {
+    std::uint32_t value = 0;
+    if (contract_.store->lookup(w.worker_id, value) ==
+        mat::VersionedStore::Lookup::kHit) {
+      patch = fastpath::Patch::kServed;
+      egress = e->served_port;
+    }
+  }
+  const std::uint32_t pipe = config_.pipeline_of_port(pkt.meta.ingress_port);
+  const pipeline::Transit tr = ingress_pipes_[pipe].advance(
+      sim_->now(), e->timing.cycles, e->timing.max_service,
+      e->timing.stall_cycles);
+  spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), tr.exit,
+              pipe, pkt.meta.ingress_port);
+  FastSlot* f = fast_acquire();
+  f->pkt = std::move(pkt);
+  f->wire = w;
+  f->egress = egress;
+  f->patch = patch;
+  sim_->at(tr.exit, [this, f] { after_ingress_fast(f); });
+  return true;
+}
+
+void RmtSwitch::after_ingress_fast(FastSlot* f) {
+  packet::Packet out =
+      fastpath::copy_patch(pool_, std::move(f->pkt), f->wire, f->patch);
+  const packet::PortId egress = f->egress;
+  fast_release(f);
+  out.meta.egress_port = egress;
+  const std::uint64_t trace_id = out.meta.trace_id;
+  out.meta.trace_mark = sim_->now();  // TM residency span begins here
+  if (!tm_->enqueue(egress, 0, std::move(out))) {
+    spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
+                   static_cast<std::uint64_t>(sim::DropReason::kAdmission), egress);
+  } else {
+    spans_.instant(sim::SpanKind::kTmEnqueue, trace_id, sim_->now(),
+                   tm_->output_packets(egress), egress);
+  }
+  try_drain(egress);
+}
+
+bool RmtSwitch::try_fast_egress(packet::Packet& pkt, packet::PortId port) {
+  if (pkt.meta.recirc_request) return false;
+  fastpath::WireView w;
+  if (!fastpath::inspect(pkt, contract_.parse_max_elems, w)) return false;
+  const std::uint32_t pipe = config_.pipeline_of_port(port);
+  const pipeline::Transit tr = egress_pipes_[pipe].advance(
+      sim_->now(), egress_site_.timing.cycles, egress_site_.timing.max_service,
+      egress_site_.timing.stall_cycles);
+  spans_.span(sim::SpanKind::kEgress, pkt.meta.trace_id, sim_->now(), tr.exit,
+              pipe, port);
+  FastSlot* f = fast_acquire();
+  f->pkt = std::move(pkt);
+  f->wire = w;
+  f->port = port;
+  sim_->at(tr.exit, [this, f] { after_egress_fast(f); });
+  return true;
+}
+
+void RmtSwitch::after_egress_fast(FastSlot* f) {
+  const packet::PortId port = f->port;
+  packet::Packet out = fastpath::copy_patch(pool_, std::move(f->pkt), f->wire,
+                                            fastpath::Patch::kPassthrough);
+  fast_release(f);
+  ++in_flight_[port];
+  out.meta.egress_port = port;
+  sim::Time& free = tx_free_[port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(out.size(), config_.port_gbps);
+  spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
+  sim_->at(free, [this, out = std::move(out)]() mutable {
+    const packet::PortId port = out.meta.egress_port;
+    metrics_.tx_packets.add();
+    metrics_.tx_bytes.add(out.size());
+    if (first_tx_ == 0) first_tx_ = sim_->now();
+    last_tx_ = sim_->now();
+    --in_flight_[port];
+    if (tx_handler_) tx_handler_(port, std::move(out));
+    try_drain(port);
+  });
+}
+
+void RmtSwitch::fill_fastpath(const TransitSlot* t, packet::PortId egress) {
+  fastpath::WireView w;
+  if (!fastpath::inspect(t->pkt, contract_.parse_max_elems, w)) return;
+  if (w.ttl < 2) return;
+  const bool query =
+      contract_.store != nullptr &&
+      w.opcode == static_cast<std::uint8_t>(packet::IncOpcode::kChurnQuery);
+  // Precompute both churn branches; memoize only if the contract's route
+  // reproduces the verdict the program actually emitted for this packet.
+  const packet::PortId forward =
+      contract_.route(w.ip_dst, w.ip_src, w.udp_src, w.udp_dst);
+  packet::PortId served = forward;
+  bool served_branch = false;
+  if (query) {
+    served = contract_.route(w.ip_src, w.ip_dst, w.udp_src, w.udp_dst);
+    served_branch =
+        t->pr.phv.get_or(packet::fields::kIncOpcode, 0) ==
+        static_cast<std::uint64_t>(packet::IncOpcode::kChurnHit);
+  }
+  if ((served_branch ? served : forward) != egress) return;
+  fast_->fill(w, t->pkt.meta.ingress_port, query, forward, served,
+              {t->tr.cycles, t->tr.max_service, t->tr.stall_cycles, 0});
+}
+
 void RmtSwitch::enter_ingress(packet::Packet pkt) {
+  if (fast_ && try_fast_ingress(pkt)) return;
   TransitSlot* t = transit_acquire();
   parser_->parse_into(pkt, t->pr);
   if (!t->pr.accepted) {
@@ -123,6 +276,7 @@ void RmtSwitch::enter_ingress(packet::Packet pkt) {
   spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), tr.exit, pipe,
               pkt.meta.ingress_port);
   t->pkt = std::move(pkt);
+  t->tr = tr;
   sim_->at(tr.exit, [this, t] { after_ingress(t); });
 }
 
@@ -145,14 +299,19 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
     transit_release(t);
     return;
   }
-  // Deparsing preserves metadata (recirculation count included).
-  packet::Packet out = finalize(phv, std::move(t->pkt), t->pr.consumed);
-  out.meta.drop = false;
-
   const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
   const std::uint64_t egress = phv.get_or(packet::fields::kMetaEgressPort,
                                           packet::kInvalidPort);
   const bool recirc_flag = phv.get_or(packet::fields::kMetaRecirc, 0) != 0;
+  // Memoize unicast forward verdicts while the original bytes are intact.
+  if (fast_ && group == 0 && !recirc_flag && !t->pkt.meta.recirc_request &&
+      egress < config_.port_count) {
+    fill_fastpath(t, static_cast<packet::PortId>(egress));
+  }
+
+  // Deparsing preserves metadata (recirculation count included).
+  packet::Packet out = finalize(phv, std::move(t->pkt), t->pr.consumed);
+  out.meta.drop = false;
   transit_release(t);
 
   if (group != 0) {
@@ -210,6 +369,16 @@ void RmtSwitch::drain(packet::PortId port) {
   spans_.span(sim::SpanKind::kTmQueue, pkt->meta.trace_id, pkt->meta.trace_mark,
               sim_->now(), port);
 
+  if (fast_ && egress_site_.valid && try_fast_egress(*pkt, port)) {
+    // Keep the egress pipe fed, exactly as the slow path below does.
+    if (tm_->output_packets(port) > 0) {
+      drain_pending_[port] = true;
+      pipeline::Pipeline& egress = egress_pipes_[config_.pipeline_of_port(port)];
+      sim_->at(std::max(egress.next_free(), sim_->now()), [this, port] { drain(port); });
+    }
+    return;
+  }
+
   TransitSlot* t = transit_acquire();
   parser_->parse_into(*pkt, t->pr);
   if (!t->pr.accepted) {
@@ -227,6 +396,11 @@ void RmtSwitch::drain(packet::PortId port) {
   const std::uint32_t pipe = config_.pipeline_of_port(port);
   pipeline::Pipeline& egress = egress_pipes_[pipe];
   const pipeline::Transit tr = egress.process(sim_->now(), t->pr.phv);
+  // Egress stages carry no per-flow program under this contract; one
+  // measured transit is the timing template for every later packet.
+  if (fast_ && contract_.passthrough_edges && !egress_site_.valid) {
+    egress_site_ = {true, {tr.cycles, tr.max_service, tr.stall_cycles, 0}};
+  }
   spans_.span(sim::SpanKind::kEgress, pkt->meta.trace_id, sim_->now(), tr.exit, pipe, port);
   t->pkt = std::move(*pkt);
   t->port = port;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fastpath/fastpath.hpp"
 #include "net/device.hpp"
 #include "packet/deparser.hpp"
 #include "packet/parser.hpp"
@@ -125,6 +126,13 @@ class RmtSwitch final : public net::SwitchDevice {
   /// retired originals and drops all flow through it).
   packet::Pool& pool() { return pool_; }
 
+  /// Flow fast-path counters (empty stats when the fast path is off).
+  /// Deliberately not registry-backed: snapshots must be byte-identical
+  /// cache-on vs cache-off (topo::Network::export_fastpath reports them).
+  [[nodiscard]] fastpath::FlowCacheStats fastpath_stats() const {
+    return fast_ ? fast_->stats() : fastpath::FlowCacheStats{};
+  }
+
  private:
   /// Per-packet pipeline-transit state, pooled and handed to scheduler
   /// continuations by pointer: a Phv is far larger than the inline callback
@@ -133,9 +141,34 @@ class RmtSwitch final : public net::SwitchDevice {
     packet::ParseResult pr;
     packet::Packet pkt;
     packet::PortId port = packet::kInvalidPort;
+    pipeline::Transit tr;  ///< ingress transit, kept for fast-path fills
   };
   TransitSlot* transit_acquire();
   void transit_release(TransitSlot* slot);
+
+  /// Fast-path continuation state, pooled like TransitSlot ({this, Packet}
+  /// alone fills the inline callback capacity, so the wire view and the
+  /// verdict ride in the slot).
+  struct FastSlot {
+    packet::Packet pkt;
+    fastpath::WireView wire;
+    packet::PortId egress = packet::kInvalidPort;
+    packet::PortId port = packet::kInvalidPort;
+    fastpath::Patch patch = fastpath::Patch::kForward;
+  };
+  FastSlot* fast_acquire();
+  void fast_release(FastSlot* slot);
+
+  /// Probes the verdict cache; on a hit, advances the ingress pipeline and
+  /// schedules the copy-and-patch continuation (consuming `pkt`).
+  bool try_fast_ingress(packet::Packet& pkt);
+  void after_ingress_fast(FastSlot* f);
+  /// Static egress passthrough (contract.passthrough_edges).
+  bool try_fast_egress(packet::Packet& pkt, packet::PortId port);
+  void after_egress_fast(FastSlot* f);
+  /// Memoizes a slow-path ingress verdict (called before finalize so the
+  /// original wire bytes are still available).
+  void fill_fastpath(const TransitSlot* t, packet::PortId egress);
 
   void enter_ingress(packet::Packet pkt);
   /// Deparse-or-passthrough: INC packets are rebuilt from the PHV into a
@@ -158,6 +191,11 @@ class RmtSwitch final : public net::SwitchDevice {
   packet::Pool pool_;
   std::vector<std::unique_ptr<TransitSlot>> transit_slots_;  ///< owns every slot
   std::vector<TransitSlot*> transit_free_;                   ///< warm free list
+  std::vector<std::unique_ptr<FastSlot>> fast_slots_;
+  std::vector<FastSlot*> fast_free_;
+  fastpath::FastpathContract contract_;
+  std::optional<fastpath::FlowCache> fast_;  ///< armed by load_program
+  fastpath::StaticSite egress_site_;         ///< measured passthrough timing
   std::optional<packet::Parser> parser_;
   std::shared_ptr<const packet::ParseGraph> parse_graph_;
   std::shared_ptr<const packet::Deparser> deparser_;

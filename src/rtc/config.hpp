@@ -32,6 +32,13 @@ struct RtcConfig {
   /// Materialize the shared register/array state at construction (legacy
   /// "full" tier profile); by default it appears on first touch.
   bool eager_state = false;
+  /// Flow fast-path verdict cache entries (0 disables; rounded up to a
+  /// power of two). Armed only when the installed program also provides a
+  /// fastpath contract (DESIGN.md §13).
+  std::uint32_t fastpath_entries = 0;
+  /// Emit an instant span per fast-path miss (attribution aid). Off by
+  /// default: miss spans would break the cache-on/off trace-equality gate.
+  bool fastpath_miss_spans = false;
 
   /// Peak packet rate of the processor pool for a program costing
   /// `cycles_per_packet` (dispatch included).

@@ -37,6 +37,31 @@ void RtcSwitch::load_program(RtcProgram program) {
                   ? std::move(program.shared_deparse)
                   : std::make_shared<const packet::Deparser>(std::move(program.deparse));
   run_ = std::move(program.run);
+
+  // Re-arm the fast path from scratch: load_program may be called again
+  // over an already-programmed switch, and any previously memoized verdict
+  // belongs to the replaced program.
+  contract_ = std::move(program.fastpath);
+  fast_.reset();
+  if (config_.fastpath_entries > 0 && contract_.valid()) {
+    fast_.emplace(config_.fastpath_entries);
+  }
+}
+
+RtcSwitch::FastSlot* RtcSwitch::fast_acquire() {
+  if (fast_free_.empty()) {
+    fast_slots_.push_back(std::make_unique<FastSlot>());
+    return fast_slots_.back().get();
+  }
+  FastSlot* slot = fast_free_.back();
+  fast_free_.pop_back();
+  return slot;
+}
+
+void RtcSwitch::fast_release(FastSlot* slot) {
+  slot->egress = packet::kInvalidPort;
+  slot->queued_at = 0;
+  fast_free_.push_back(slot);
 }
 
 void RtcSwitch::set_multicast_group(std::uint32_t group, std::vector<packet::PortId> ports) {
@@ -70,6 +95,100 @@ void RtcSwitch::inject(packet::PortId port, packet::Packet pkt) {
   });
 }
 
+bool RtcSwitch::try_fast_dispatch(packet::Packet& pkt, std::size_t proc,
+                                  sim::Time queued_at) {
+  fast_->sync(contract_);
+  fastpath::WireView w;
+  if (!fastpath::inspect(pkt, contract_.parse_max_elems, w)) return false;
+  if (w.ttl < 2) return false;  // the slow path owns the TTL-expiry drop
+  const bool query =
+      contract_.store != nullptr &&
+      w.opcode == static_cast<std::uint8_t>(packet::IncOpcode::kChurnQuery);
+  fastpath::FlowCache::Entry* e = fast_->probe(w, pkt.meta.ingress_port, query);
+  if (e == nullptr) {
+    if (config_.fastpath_miss_spans) {
+      spans_.instant(sim::SpanKind::kFastpathMiss, pkt.meta.trace_id, sim_->now(),
+                     proc);
+    }
+    return false;
+  }
+  // Store-dependent behavior runs live, at the same event the slow path
+  // would have run it in.
+  fastpath::Patch patch = fastpath::Patch::kForward;
+  packet::PortId egress = e->forward_port;
+  if (query) {
+    std::uint32_t value = 0;
+    if (contract_.store->lookup(w.worker_id, value) ==
+        mat::VersionedStore::Lookup::kHit) {
+      patch = fastpath::Patch::kServed;
+      egress = e->served_port;
+    }
+  }
+  const sim::Time busy = (e->timing.work + config_.dispatch_cycles) *
+                         sim::period_from_ghz(config_.clock_ghz);
+  proc_free_[proc] = sim_->now() + busy;
+  spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), proc_free_[proc],
+              proc, e->timing.work);
+  FastSlot* f = fast_acquire();
+  f->pkt = std::move(pkt);
+  f->wire = w;
+  f->egress = egress;
+  f->patch = patch;
+  f->queued_at = queued_at;
+  sim_->at(proc_free_[proc], [this, f] {
+    finish_fast(f);
+    try_dispatch();
+  });
+  return true;
+}
+
+void RtcSwitch::finish_fast(FastSlot* f) {
+  metrics_.latency.record(static_cast<double>(sim_->now() - f->queued_at));
+  packet::Packet out = fastpath::copy_patch(pool_, std::move(f->pkt), f->wire, f->patch);
+  out.meta.egress_port = f->egress;
+  fast_release(f);
+
+  // TX serialization, exactly as finish() does for the unicast case. The
+  // port rides in the packet metadata: {this, Packet} fills the inline
+  // callback capacity exactly, so one more captured word would heap-spill.
+  sim::Time& free = tx_free_[out.meta.egress_port];
+  const sim::Time start = std::max(sim_->now(), free);
+  free = start + sim::serialization_time(out.size(), config_.port_gbps);
+  spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, out.meta.egress_port,
+              out.size());
+  sim_->at(free, [this, out = std::move(out)]() mutable {
+    const packet::PortId port = out.meta.egress_port;
+    metrics_.tx_packets.add();
+    metrics_.tx_bytes.add(out.size());
+    if (first_tx_ == 0) first_tx_ = sim_->now();
+    last_tx_ = sim_->now();
+    if (tx_handler_) tx_handler_(port, std::move(out));
+  });
+}
+
+void RtcSwitch::fill_fastpath(const packet::Packet& original, const packet::Phv& phv,
+                              std::uint64_t work, packet::PortId egress) {
+  fastpath::WireView w;
+  if (!fastpath::inspect(original, contract_.parse_max_elems, w)) return;
+  if (w.ttl < 2) return;
+  const bool query =
+      contract_.store != nullptr &&
+      w.opcode == static_cast<std::uint8_t>(packet::IncOpcode::kChurnQuery);
+  // Precompute both churn branches; memoize only if the contract's route
+  // reproduces the verdict the program actually emitted for this packet.
+  const packet::PortId forward =
+      contract_.route(w.ip_dst, w.ip_src, w.udp_src, w.udp_dst);
+  packet::PortId served = forward;
+  bool served_branch = false;
+  if (query) {
+    served = contract_.route(w.ip_src, w.ip_dst, w.udp_src, w.udp_dst);
+    served_branch = phv.get_or(packet::fields::kIncOpcode, 0) ==
+                    static_cast<std::uint64_t>(packet::IncOpcode::kChurnHit);
+  }
+  if ((served_branch ? served : forward) != egress) return;
+  fast_->fill(w, original.meta.ingress_port, query, forward, served, {0, 1, 0, work});
+}
+
 void RtcSwitch::try_dispatch() {
   while (!dispatch_queue_.empty()) {
     const auto it = std::min_element(proc_free_.begin(), proc_free_.end());
@@ -88,6 +207,10 @@ void RtcSwitch::try_dispatch() {
     packet::Packet pkt = *dispatch_queue_.pop();
     const sim::Time queued_at = pkt.meta.arrival;
     spans_.span(sim::SpanKind::kTmQueue, pkt.meta.trace_id, queued_at, sim_->now());
+    if (fast_ && try_fast_dispatch(
+                     pkt, static_cast<std::size_t>(it - proc_free_.begin()), queued_at)) {
+      continue;
+    }
     packet::ParseResult& pr = scratch_parse_;
     parser_->parse_into(pkt, pr);
     if (!pr.accepted) {
@@ -105,15 +228,15 @@ void RtcSwitch::try_dispatch() {
     spans_.span(sim::SpanKind::kIngress, pkt.meta.trace_id, sim_->now(), *it,
                 static_cast<std::uint64_t>(it - proc_free_.begin()), work);
     sim_->at(*it, [this, phv = std::move(pr.phv), pkt = std::move(pkt),
-                   consumed = pr.consumed, queued_at]() mutable {
-      finish(std::move(phv), std::move(pkt), consumed, queued_at);
+                   consumed = pr.consumed, queued_at, work]() mutable {
+      finish(std::move(phv), std::move(pkt), consumed, queued_at, work);
       try_dispatch();
     });
   }
 }
 
 void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t consumed,
-                       sim::Time queued_at) {
+                       sim::Time queued_at, std::uint64_t work) {
   metrics_.latency.record(static_cast<double>(sim_->now() - queued_at));
   if (phv.get_or(packet::fields::kMetaDrop, 0) != 0) {
     metrics_.program_drops.add();
@@ -121,6 +244,13 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
                    static_cast<std::uint64_t>(sim::DropReason::kProgram));
     pool_.release(std::move(original));
     return;
+  }
+  const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
+  const std::uint64_t egress_field =
+      phv.get_or(packet::fields::kMetaEgressPort, packet::kInvalidPort);
+  // Memoize unicast forward verdicts while the original bytes are intact.
+  if (fast_ && group == 0 && egress_field < config_.port_count) {
+    fill_fastpath(original, phv, work, static_cast<packet::PortId>(egress_field));
   }
   packet::Packet out;
   if (is_inc(phv)) {
@@ -132,8 +262,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
   }
 
   std::vector<packet::PortId> dests;
-  if (const std::uint64_t group = phv.get_or(packet::fields::kMetaMulticastGroup, 0);
-      group != 0) {
+  if (group != 0) {
     const auto it = multicast_.find(static_cast<std::uint32_t>(group));
     if (it == multicast_.end() || it->second.empty()) {
       metrics_.no_route_drops.add();
@@ -144,16 +273,14 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     }
     dests = it->second;
   } else {
-    const std::uint64_t egress =
-        phv.get_or(packet::fields::kMetaEgressPort, packet::kInvalidPort);
-    if (egress >= config_.port_count) {
+    if (egress_field >= config_.port_count) {
       metrics_.no_route_drops.add();
       spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                      static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
       pool_.release(std::move(out));
       return;
     }
-    dests.push_back(static_cast<packet::PortId>(egress));
+    dests.push_back(static_cast<packet::PortId>(egress_field));
   }
 
   for (const packet::PortId port : dests) {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fastpath/fastpath.hpp"
 #include "mat/array_engine.hpp"
 #include "mat/register.hpp"
 #include "net/device.hpp"
@@ -27,6 +28,11 @@
 #include "tm/queue.hpp"
 
 namespace adcp::rtc {
+
+/// Lane width of the default RTC parse graph (and of the rtc tier template
+/// in topo::TierProfile — keep the two in sync: fast-path admission
+/// mirrors the parser's lane-budget rejection with it).
+inline constexpr std::size_t kRtcParseLanes = 64;
 
 /// The memory every processor shares — registers for stateful programs and
 /// an array engine for batch operations. Because it is one pool (not
@@ -49,7 +55,7 @@ using RtcProgramFn =
 
 /// A complete RTC program.
 struct RtcProgram {
-  packet::ParseGraph parse = packet::standard_parse_graph(64);
+  packet::ParseGraph parse = packet::standard_parse_graph(kRtcParseLanes);
   packet::Deparser deparse = packet::standard_deparser();
   /// Template sharing (topo::SwitchTemplate): when set, these override
   /// `parse`/`deparse` and the switch holds the shared_ptr instead of
@@ -57,6 +63,10 @@ struct RtcProgram {
   std::shared_ptr<const packet::ParseGraph> shared_parse;
   std::shared_ptr<const packet::Deparser> shared_deparse;
   RtcProgramFn run;  ///< REQUIRED
+  /// What this program vouches for the flow fast path (DESIGN.md §13).
+  /// Provide it only when `run`'s verdict AND cycle cost are functions of
+  /// the flow signature alone; a default contract keeps the path disarmed.
+  fastpath::FastpathContract fastpath;
 };
 
 /// Snapshot view of the switch counters (registry metrics are the source
@@ -142,10 +152,39 @@ class RtcSwitch final : public net::SwitchDevice {
   /// The switch-internal recycling pool.
   packet::Pool& pool() { return pool_; }
 
+  /// Flow fast-path counters (empty stats when the fast path is off).
+  /// Deliberately not registry-backed: snapshots must be byte-identical
+  /// cache-on vs cache-off (topo::Network::export_fastpath reports them).
+  [[nodiscard]] fastpath::FlowCacheStats fastpath_stats() const {
+    return fast_ ? fast_->stats() : fastpath::FlowCacheStats{};
+  }
+
  private:
+  /// Fast-path continuation state, pooled ({this, Packet} alone fills the
+  /// inline callback capacity, so the wire view and verdict ride here).
+  struct FastSlot {
+    packet::Packet pkt;
+    fastpath::WireView wire;
+    packet::PortId egress = packet::kInvalidPort;
+    fastpath::Patch patch = fastpath::Patch::kForward;
+    sim::Time queued_at = 0;
+  };
+  FastSlot* fast_acquire();
+  void fast_release(FastSlot* slot);
+
+  /// Probes the verdict cache for the packet a free processor is about to
+  /// take; on a hit, charges the memoized cycle count and schedules the
+  /// copy-and-patch completion.
+  bool try_fast_dispatch(packet::Packet& pkt, std::size_t proc, sim::Time queued_at);
+  void finish_fast(FastSlot* f);
+  /// Memoizes a slow-path verdict (called before deparse so the original
+  /// wire bytes are still available).
+  void fill_fastpath(const packet::Packet& original, const packet::Phv& phv,
+                     std::uint64_t work, packet::PortId egress);
+
   void try_dispatch();
   void finish(packet::Phv phv, packet::Packet original, std::size_t consumed,
-              sim::Time queued_at);
+              sim::Time queued_at, std::uint64_t work);
 
   sim::Simulator* sim_;
   RtcConfig config_;
@@ -156,6 +195,10 @@ class RtcSwitch final : public net::SwitchDevice {
   sim::SpanRecorder spans_;
   packet::Pool pool_;
   packet::ParseResult scratch_parse_;  ///< reused by try_dispatch
+  std::vector<std::unique_ptr<FastSlot>> fast_slots_;  ///< owns every slot
+  std::vector<FastSlot*> fast_free_;                   ///< warm free list
+  fastpath::FastpathContract contract_;
+  std::optional<fastpath::FlowCache> fast_;  ///< armed by load_program
   std::optional<packet::Parser> parser_;
   std::shared_ptr<const packet::ParseGraph> parse_graph_;
   std::shared_ptr<const packet::Deparser> deparser_;

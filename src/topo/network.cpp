@@ -158,6 +158,45 @@ void Network::export_construction(sim::Scope scope) const {
   scope.gauge("templates_shared").set(static_cast<double>(construction_.templates_shared));
 }
 
+fastpath::FlowCacheStats Network::fastpath_stats_of(std::size_t i) const {
+  const net::SwitchDevice* device = switches_.at(i).device.get();
+  switch (kind_.at(i)) {
+    case SwitchKind::kRmt:
+      return static_cast<const rmt::RmtSwitch*>(device)->fastpath_stats();
+    case SwitchKind::kAdcp:
+      return static_cast<const core::AdcpSwitch*>(device)->fastpath_stats();
+    case SwitchKind::kRtc:
+      return static_cast<const rtc::RtcSwitch*>(device)->fastpath_stats();
+  }
+  return {};
+}
+
+fastpath::FlowCacheStats Network::fastpath_totals() const {
+  fastpath::FlowCacheStats total;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    const fastpath::FlowCacheStats s = fastpath_stats_of(i);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.invalidations += s.invalidations;
+    total.evictions += s.evictions;
+    total.occupancy += s.occupancy;
+  }
+  return total;
+}
+
+void Network::export_fastpath(sim::Scope scope) const {
+  const fastpath::FlowCacheStats t = fastpath_totals();
+  const std::uint64_t probes = t.hits + t.misses;
+  scope.gauge("fastpath.hits").set(static_cast<double>(t.hits));
+  scope.gauge("fastpath.misses").set(static_cast<double>(t.misses));
+  scope.gauge("fastpath.invalidations").set(static_cast<double>(t.invalidations));
+  scope.gauge("fastpath.evictions").set(static_cast<double>(t.evictions));
+  scope.gauge("fastpath.occupancy").set(static_cast<double>(t.occupancy));
+  scope.gauge("fastpath.hit_rate_pct")
+      .set(probes == 0 ? 0.0 : 100.0 * static_cast<double>(t.hits) /
+                                   static_cast<double>(probes));
+}
+
 void Network::init(sim::Simulator& sim, sim::Scope scope) {
   sim_ = &sim;
   scope_ = sim::resolve_scope(scope, own_metrics_, "topo");

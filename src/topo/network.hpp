@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "fastpath/fastpath.hpp"
 #include "net/host.hpp"
 #include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
@@ -220,6 +221,18 @@ class Network {
   /// registry, not this network's own: build wall-clock is host-dependent
   /// and must stay out of the snapshots the determinism gates compare.
   void export_construction(sim::Scope scope) const;
+
+  /// Flow fast-path counters of switch `i` (all-zero when the cache is off
+  /// — the stats deliberately live outside the switch registries so the
+  /// determinism gates can compare snapshots cache-on vs cache-off).
+  [[nodiscard]] fastpath::FlowCacheStats fastpath_stats_of(std::size_t i) const;
+  /// fastpath_stats_of summed over every switch of the fabric.
+  [[nodiscard]] fastpath::FlowCacheStats fastpath_totals() const;
+  /// Writes the totals as gauges ("fastpath.{hits,misses,invalidations,
+  /// evictions,occupancy,hit_rate_pct}") under `scope` — pass a scope of a
+  /// *reporting* registry, not this network's own (see export_construction
+  /// for the same rule and reason).
+  void export_fastpath(sim::Scope scope) const;
 
   // --- In-band control channel (params.control_channel = true) ---------
   //

@@ -14,13 +14,16 @@ using packet::fields::kIpSrc;
 using packet::fields::kIpTtl;
 using packet::fields::kMetaDrop;
 using packet::fields::kMetaEgressPort;
+using packet::fields::kMetaFlowHash;
 using packet::fields::kUdpDst;
 using packet::fields::kUdpSrc;
 
 /// The one routing action all three tiers share: TTL check + decrement,
 /// then FIB lookup on the flow fields. Expired TTL or a missing route
 /// drops the packet in the pipe (kMetaDrop), which the switch accounts as
-/// a no-route drop.
+/// a no-route drop. The ECMP hash carried in kMetaFlowHash (if any) is
+/// reused and the first computation is written back, so later hops skip
+/// the recompute (all FIBs in a fabric share one seed).
 void route_and_decrement(Phv& phv, const ForwardingTable& fib) {
   const std::uint64_t ttl = phv.get_or(kIpTtl, 0);
   if (ttl <= 1) {
@@ -28,16 +31,35 @@ void route_and_decrement(Phv& phv, const ForwardingTable& fib) {
     return;
   }
   phv.set(kIpTtl, ttl - 1);
-  const packet::PortId port = fib.lookup(
+  std::uint64_t flow_hash = phv.get_or(kMetaFlowHash, 0);
+  const packet::PortId port = fib.lookup_cached(
       static_cast<std::uint32_t>(phv.get_or(kIpDst, 0)),
       static_cast<std::uint32_t>(phv.get_or(kIpSrc, 0)),
       static_cast<std::uint16_t>(phv.get_or(kUdpSrc, 0)),
-      static_cast<std::uint16_t>(phv.get_or(kUdpDst, 0)));
+      static_cast<std::uint16_t>(phv.get_or(kUdpDst, 0)), flow_hash);
+  if (flow_hash != 0) phv.set(kMetaFlowHash, flow_hash);
   if (port == ForwardingTable::kNoRoute) {
     phv.set(kMetaDrop, 1);
     return;
   }
   phv.set(kMetaEgressPort, port);
+}
+
+/// The fast-path contract every pure routing program can vouch for: the
+/// verdict is a function of the 5-tuple alone, edge pipelines stay empty,
+/// and the FIB version counter gates invalidation.
+fastpath::FastpathContract routing_contract(
+    const std::shared_ptr<const ForwardingTable>& fib,
+    std::size_t parse_max_elems) {
+  fastpath::FastpathContract c;
+  c.route = [fib](std::uint32_t ip_dst, std::uint32_t ip_src,
+                  std::uint16_t udp_src, std::uint16_t udp_dst) {
+    return fib->lookup(ip_dst, ip_src, udp_src, udp_dst);
+  };
+  c.fib_version = fib->version_ptr();
+  c.passthrough_edges = true;
+  c.parse_max_elems = parse_max_elems;
+  return c;
 }
 
 }  // namespace
@@ -51,6 +73,7 @@ rmt::RmtProgram rmt_routing_program(const rmt::RmtConfig& /*config*/,
       return 1;
     });
   };
+  prog.fastpath = routing_contract(fib, 0);
   return prog;
 }
 
@@ -64,6 +87,7 @@ core::AdcpProgram adcp_routing_program(const core::AdcpConfig& config,
       return 1;
     });
   };
+  prog.fastpath = routing_contract(fib, core::kAdcpParseLanes);
   return prog;
 }
 
@@ -74,6 +98,7 @@ rtc::RtcProgram rtc_routing_program(const rtc::RtcConfig& /*config*/,
     route_and_decrement(phv, *fib);
     return rtc::kForwardBaseCycles + cfg.memory_access_cycles;  // one FIB access
   };
+  prog.fastpath = routing_contract(fib, rtc::kRtcParseLanes);
   return prog;
 }
 

@@ -24,16 +24,28 @@ void ForwardingTable::add_prefix(std::uint32_t prefix, std::uint32_t prefix_len,
       prefixes_.begin(), prefixes_.end(),
       [prefix_len](const PrefixRoute& r) { return r.len < prefix_len; });
   prefixes_.insert(at, {prefix & mask, mask, prefix_len, std::move(group)});
+  ++version_;
 }
 
 packet::PortId ForwardingTable::lookup(std::uint32_t ip_dst, std::uint32_t ip_src,
                                        std::uint16_t udp_src, std::uint16_t udp_dst) const {
+  std::uint64_t scratch = 0;
+  return lookup_cached(ip_dst, ip_src, udp_src, udp_dst, scratch);
+}
+
+packet::PortId ForwardingTable::lookup_cached(std::uint32_t ip_dst,
+                                              std::uint32_t ip_src,
+                                              std::uint16_t udp_src,
+                                              std::uint16_t udp_dst,
+                                              std::uint64_t& flow_hash) const {
   if (const auto it = exact_.find(ip_dst); it != exact_.end()) return it->second;
   for (const PrefixRoute& r : prefixes_) {
     if ((ip_dst & r.mask) != r.prefix) continue;
     if (r.group.ports.size() == 1) return r.group.ports.front();
-    const std::uint64_t h = ecmp_hash(seed_, ip_src, ip_dst, udp_src, udp_dst);
-    return r.group.ports[h % r.group.ports.size()];
+    if (flow_hash == 0) {
+      flow_hash = ecmp_hash(seed_, ip_src, ip_dst, udp_src, udp_dst);
+    }
+    return r.group.ports[flow_hash % r.group.ports.size()];
   }
   return kNoRoute;
 }

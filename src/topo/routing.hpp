@@ -55,7 +55,10 @@ class ForwardingTable {
   explicit ForwardingTable(std::uint64_t seed) : seed_(seed) {}
 
   /// Host route: one /32 destination, one port.
-  void add_exact(std::uint32_t ip, packet::PortId port) { exact_[ip] = port; }
+  void add_exact(std::uint32_t ip, packet::PortId port) {
+    exact_[ip] = port;
+    ++version_;
+  }
 
   /// Prefix route (`prefix_len` leading bits of `prefix`); ties between
   /// overlapping prefixes go to the longest one.
@@ -67,9 +70,26 @@ class ForwardingTable {
   [[nodiscard]] packet::PortId lookup(std::uint32_t ip_dst, std::uint32_t ip_src,
                                       std::uint16_t udp_src, std::uint16_t udp_dst) const;
 
+  /// lookup() with a carried flow hash: `flow_hash` of 0 means "not yet
+  /// computed" — the first multi-port resolution computes the seeded hash
+  /// and writes it back so later hops (and later hops' tables, which share
+  /// the fabric-wide seed) skip the recompute. Exact and single-port
+  /// routes never touch the hash.
+  [[nodiscard]] packet::PortId lookup_cached(std::uint32_t ip_dst,
+                                             std::uint32_t ip_src,
+                                             std::uint16_t udp_src,
+                                             std::uint16_t udp_dst,
+                                             std::uint64_t& flow_hash) const;
+
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] std::size_t exact_size() const { return exact_.size(); }
   [[nodiscard]] std::size_t prefix_size() const { return prefixes_.size(); }
+
+  /// Bumped by every route mutation; the datapath fast path invalidates
+  /// cached verdicts when this moves.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  /// Stable address of the version counter, for pull-based invalidation.
+  [[nodiscard]] const std::uint64_t* version_ptr() const { return &version_; }
 
  private:
   struct PrefixRoute {
@@ -80,6 +100,7 @@ class ForwardingTable {
   };
 
   std::uint64_t seed_;
+  std::uint64_t version_ = 0;
   std::unordered_map<std::uint32_t, packet::PortId> exact_;
   std::vector<PrefixRoute> prefixes_;  // sorted by descending prefix length
 };

@@ -34,6 +34,7 @@ rmt::RmtConfig TierProfile::rmt(std::uint32_t port_count) const {
   cfg.pipeline_count = rmt_pipelines_for(port_count);
   cfg.stage.eager_state = eager_state;
   if (cfg.stage.array) cfg.stage.array->eager_state = eager_state;
+  cfg.fastpath_entries = fastpath_entries;
   return cfg;
 }
 
@@ -44,6 +45,7 @@ core::AdcpConfig TierProfile::adcp(std::uint32_t port_count) const {
   if (cfg.edge_stage.array) cfg.edge_stage.array->eager_state = eager_state;
   cfg.central_stage.eager_state = eager_state;
   if (cfg.central_stage.array) cfg.central_stage.array->eager_state = eager_state;
+  cfg.fastpath_entries = fastpath_entries;
   return cfg;
 }
 
@@ -51,6 +53,7 @@ rtc::RtcConfig TierProfile::rtc(std::uint32_t port_count) const {
   rtc::RtcConfig cfg = rtc_base;
   cfg.port_count = port_count;
   cfg.eager_state = eager_state;
+  cfg.fastpath_entries = fastpath_entries;
   return cfg;
 }
 

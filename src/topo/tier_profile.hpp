@@ -51,6 +51,11 @@ struct TierProfile {
   /// Share one parse graph / deparser across identical switches instead of
   /// copying them per switch.
   bool share_templates = true;
+  /// Per-switch flow fast-path verdict cache entries (DESIGN.md §13).
+  /// 0 disables; a positive value arms the cache on every switch whose
+  /// installed program provides a fastpath contract. Applied to all three
+  /// model configs by the rmt()/adcp()/rtc() resolutions.
+  std::uint32_t fastpath_entries = 0;
 
   /// Base configs the per-switch derivation starts from. Change these to
   /// customize geometry fabric-wide (e.g. tests shrink

@@ -220,12 +220,15 @@ struct ChurnRun {
   std::uint64_t misses = 0;
   std::uint64_t update_packets = 0;
   std::string perfetto;
+  fastpath::FlowCacheStats fp;
 };
 
 /// The full co-simulation with tracing armed, sharded `threads` wide:
 /// control batches and query replies cross shard mailboxes, commits flip
 /// on switch shards, clients shift popularity on their own clocks.
-ChurnRun run_churn_parallel(unsigned threads) {
+/// `fastpath_entries` arms the per-switch flow cache (0 = off); everything
+/// in the returned pin except `fp` must be independent of it.
+ChurnRun run_churn_parallel(unsigned threads, std::uint32_t fastpath_entries = 0) {
   sim::ParallelSimulator psim(threads);
   topo::LeafSpineParams p;
   p.leaves = 2;
@@ -233,6 +236,7 @@ ChurnRun run_churn_parallel(unsigned threads) {
   p.hosts_per_leaf = 4;
   p.control_channel = true;
   p.trace.sample_every = 2;
+  p.profile.fastpath_entries = fastpath_entries;
   topo::Network net(psim, p);
 
   const std::size_t backing = net.host_count() - 1;
@@ -266,6 +270,7 @@ ChurnRun run_churn_parallel(unsigned threads) {
   r.misses = churn.misses();
   r.update_packets = agent.update_packets();
   r.perfetto = sim::spans_to_perfetto(net.span_buffers());
+  r.fp = net.fastpath_totals();
   EXPECT_EQ(churn.outstanding(), 0u) << "threads=" << threads;
   return r;
 }
@@ -285,6 +290,42 @@ TEST(ControlChurn, DeterministicAcrossWorkerCounts) {
     EXPECT_EQ(r.misses, pin.misses) << "threads=" << threads;
     EXPECT_EQ(r.update_packets, pin.update_packets) << "threads=" << threads;
     EXPECT_EQ(r.perfetto, pin.perfetto) << "threads=" << threads;
+  }
+}
+
+/// The same pin with the datapath fast path armed: churn traffic under
+/// live kCtrlUpdate install/evict batches and VersionedStore commit flips
+/// must observe byte-identical snapshots AND span traces with the cache on
+/// — at every worker count — and the epoch machinery must actually have
+/// exercised both sides (hits before flips, bulk invalidations at flips,
+/// refills after). A stale post-commit verdict would split churn.hits vs
+/// the cache-off pin and fail the hash/trace equality.
+TEST(ControlChurn, FastpathPreservesChurnSemanticsAcrossWorkerCounts) {
+  const ChurnRun pin = run_churn_parallel(1, 0);  // cache off: the truth
+  ASSERT_GT(pin.hits, 0u);
+  ASSERT_EQ(pin.fp.hits + pin.fp.misses, 0u);  // off really means off
+
+  // Attribution on the single-worker armed run: the cache worked (hits),
+  // churn invalidated it (every stage/commit bulk-drops live entries), and
+  // it refilled after flips.
+  const ChurnRun armed = run_churn_parallel(1, 512);
+  EXPECT_GT(armed.fp.hits, 0u);
+  EXPECT_GT(armed.fp.invalidations, 0u);
+  EXPECT_GT(armed.fp.misses, 0u);
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const ChurnRun r = threads == 1 ? armed : run_churn_parallel(threads, 512);
+    EXPECT_EQ(r.events, pin.events) << "threads=" << threads;
+    EXPECT_EQ(r.now, pin.now) << "threads=" << threads;
+    EXPECT_EQ(r.hash, pin.hash) << "threads=" << threads;
+    EXPECT_EQ(r.hits, pin.hits) << "threads=" << threads;
+    EXPECT_EQ(r.misses, pin.misses) << "threads=" << threads;
+    EXPECT_EQ(r.update_packets, pin.update_packets) << "threads=" << threads;
+    EXPECT_EQ(r.perfetto, pin.perfetto) << "threads=" << threads;
+    // The cache counters are part of the determinism surface too.
+    EXPECT_EQ(r.fp.hits, armed.fp.hits) << "threads=" << threads;
+    EXPECT_EQ(r.fp.misses, armed.fp.misses) << "threads=" << threads;
+    EXPECT_EQ(r.fp.invalidations, armed.fp.invalidations) << "threads=" << threads;
   }
 }
 
