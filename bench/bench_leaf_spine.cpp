@@ -390,6 +390,7 @@ int run_parallel_bench(const std::string& scale_csv, const std::string& threads_
   report.gauge("config.hardware_threads")
       .set(static_cast<double>(std::thread::hardware_concurrency()));
   report.gauge("config.tier_profile_full").set(profile.eager_state ? 1.0 : 0.0);
+  report.gauge("config.git_sha").set(adcp::bench::git_sha());
 
   bool all_ok = true;
   sim::Snapshot pdes_snap;  // last scale's widest run (single-scale compat)

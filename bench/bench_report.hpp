@@ -7,12 +7,27 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
 #include "sim/metrics.hpp"
 
+// First 8 hex digits of the commit the build was configured from, injected
+// by bench/CMakeLists.txt (absent in ad-hoc compiles of this header).
+#ifndef ADCP_GIT_SHA
+#define ADCP_GIT_SHA "0"
+#endif
+
 namespace adcp::bench {
+
+/// The build's abbreviated commit hash as a double-representable integer
+/// (8 hex digits fit 32 bits exactly; 0 when built outside a git
+/// checkout). Configure-time value, so it names the commit CMake last saw
+/// — CI reconfigures every run, local incremental builds may lag by one.
+inline double git_sha() {
+  return static_cast<double>(std::strtoul(ADCP_GIT_SHA, nullptr, 16));
+}
 
 /// Writes an already-assembled snapshot as BENCH_<name>.json (or `path`
 /// when given) tagged with the bench name. Returns false (and says so) if
@@ -39,6 +54,7 @@ inline bool write_report(sim::MetricRegistry& registry, const std::string& name,
                          std::string path = {}) {
   registry.gauge("config.hardware_threads")
       .set(static_cast<double>(std::thread::hardware_concurrency()));
+  registry.gauge("config.git_sha").set(git_sha());
   return write_report(registry.snapshot(), name, std::move(path));
 }
 

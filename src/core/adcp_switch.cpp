@@ -6,6 +6,7 @@
 
 #include "packet/fields.hpp"
 #include "packet/headers.hpp"
+#include "telem/tap.hpp"
 #include "tm/placement.hpp"
 
 namespace adcp::core {
@@ -80,6 +81,7 @@ void AdcpSwitch::load_program(AdcpProgram program) {
   t1.buffer_bytes = config_.tm1_buffer_bytes;
   t1.alpha = config_.tm1_alpha;
   t1.make_scheduler = std::move(program.tm1_scheduler);
+  t1.track_watermark = config_.tm_track_watermark;
   tm1_.emplace(std::move(t1), scope_.scope("tm1"));
 
   tm::TmConfig t2;
@@ -88,6 +90,7 @@ void AdcpSwitch::load_program(AdcpProgram program) {
   t2.alpha = config_.tm2_alpha;
   t2.ecn_threshold_bytes = config_.ecn_threshold_bytes;
   t2.make_scheduler = std::move(program.tm2_scheduler);
+  t2.track_watermark = config_.tm_track_watermark;
   tm2_.emplace(std::move(t2), scope_.scope("tm2"));
   tm1_->set_pool(&pool_);
   tm2_->set_pool(&pool_);
@@ -184,6 +187,9 @@ void AdcpSwitch::after_ingress_fast(FastSlot* f) {
   const std::uint32_t cp = placement_(out) % config_.central_pipeline_count;
   const std::uint64_t trace_id = out.meta.trace_id;
   out.meta.trace_mark = sim_->now();  // TM1 residency span begins here
+  if (tap_ != nullptr && !tm1_->buffer().admits(cp, out.size())) {
+    tap_->on_drop(out, sim::DropReason::kAdmission, sim_->now());
+  }
   if (!tm1_->enqueue(cp, 0, std::move(out))) {
     spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kAdmission), cp);
@@ -273,6 +279,8 @@ void AdcpSwitch::after_egress_fast(FastSlot* f) {
   ++in_flight_[port];
   sim::Time& free = tx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
+  // Tap before sizing the TX window (it may append INT trailer bytes).
+  if (tap_ != nullptr) tap_->at_tx(out, start, port);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
   spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
   sim_->at(free, [this, out = std::move(out)]() mutable {
@@ -319,6 +327,7 @@ void AdcpSwitch::enter_ingress(packet::Packet pkt, std::uint32_t edge_pipe) {
     metrics_.parse_drops.add();
     spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kParse));
+    if (tap_ != nullptr) tap_->on_drop(pkt, sim::DropReason::kParse, sim_->now());
     pool_.release(std::move(pkt));
     return;
   }
@@ -350,6 +359,7 @@ void AdcpSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::si
     metrics_.program_drops.add();
     spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kProgram));
+    if (tap_ != nullptr) tap_->on_drop(original, sim::DropReason::kProgram, sim_->now());
     pool_.release(std::move(original));
     return;
   }
@@ -359,6 +369,9 @@ void AdcpSwitch::after_ingress(packet::Phv phv, packet::Packet original, std::si
   const std::uint32_t cp = placement_(out) % config_.central_pipeline_count;
   const std::uint64_t trace_id = out.meta.trace_id;
   out.meta.trace_mark = sim_->now();  // TM1 residency span begins here
+  if (tap_ != nullptr && !tm1_->buffer().admits(cp, out.size())) {
+    tap_->on_drop(out, sim::DropReason::kAdmission, sim_->now());
+  }
   if (!tm1_->enqueue(cp, 0, std::move(out))) {
     spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kAdmission), cp);
@@ -399,6 +412,7 @@ void AdcpSwitch::drain_central(std::uint32_t cp) {
     metrics_.parse_drops.add();
     spans_.instant(sim::SpanKind::kDrop, pkt->meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kParse));
+    if (tap_ != nullptr) tap_->on_drop(*pkt, sim::DropReason::kParse, sim_->now());
     pool_.release(std::move(*pkt));
     try_drain_central(cp);
     return;
@@ -426,6 +440,7 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
     metrics_.program_drops.add();
     spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kProgram));
+    if (tap_ != nullptr) tap_->on_drop(original, sim::DropReason::kProgram, sim_->now());
     pool_.release(std::move(original));
     return;
   }
@@ -444,6 +459,7 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
       metrics_.no_route_drops.add();
       spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                      static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
+      if (tap_ != nullptr) tap_->on_drop(out, sim::DropReason::kNoRoute, sim_->now());
       pool_.release(std::move(out));
       return;
     }
@@ -462,6 +478,7 @@ void AdcpSwitch::after_central(packet::Phv phv, packet::Packet original, std::si
     metrics_.no_route_drops.add();
     spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
+    if (tap_ != nullptr) tap_->on_drop(out, sim::DropReason::kNoRoute, sim_->now());
     pool_.release(std::move(out));
     return;
   }
@@ -484,6 +501,12 @@ void AdcpSwitch::route_to_egress(packet::Packet pkt) {
   const std::uint32_t edge_pipe = config_.edge_pipe_index(port, sub);
   const std::uint64_t trace_id = pkt.meta.trace_id;
   pkt.meta.trace_mark = sim_->now();  // TM2 residency span begins here
+  if (tap_ != nullptr) {
+    pkt.meta.set_telem_depth(tm2_->output_packets(edge_pipe));
+    if (!tm2_->buffer().admits(edge_pipe, pkt.size())) {
+      tap_->on_drop(pkt, sim::DropReason::kAdmission, sim_->now());
+    }
+  }
   if (!tm2_->enqueue(edge_pipe, 0, std::move(pkt))) {
     spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kAdmission), edge_pipe);
@@ -536,6 +559,7 @@ void AdcpSwitch::drain_egress(std::uint32_t edge_pipe) {
     metrics_.parse_drops.add();
     spans_.instant(sim::SpanKind::kDrop, pkt->meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kParse));
+    if (tap_ != nullptr) tap_->on_drop(*pkt, sim::DropReason::kParse, sim_->now());
     pool_.release(std::move(*pkt));
     try_drain_egress(edge_pipe);
     return;
@@ -568,6 +592,7 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
     metrics_.program_drops.add();
     spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kProgram));
+    if (tap_ != nullptr) tap_->on_drop(original, sim::DropReason::kProgram, sim_->now());
     pool_.release(std::move(original));
     kick_port_egress(port);
     return;
@@ -579,6 +604,8 @@ void AdcpSwitch::after_egress(packet::Phv phv, packet::Packet original, std::siz
   ++in_flight_[port];
   sim::Time& free = tx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
+  // Tap before sizing the TX window (it may append INT trailer bytes).
+  if (tap_ != nullptr) tap_->at_tx(out, start, port);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
   spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
   sim_->at(free, [this, out = std::move(out), port, edge_pipe]() mutable {

@@ -97,6 +97,7 @@ class AdcpSwitch final : public net::SwitchDevice {
   void set_tx_handler(net::TxHandler handler) override { tx_handler_ = std::move(handler); }
   [[nodiscard]] std::uint32_t port_count() const override { return config_.port_count; }
   [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
+  void set_telemetry_tap(telem::TelemetryTap* tap) override { tap_ = tap; }
 
   [[nodiscard]] const AdcpConfig& config() const { return config_; }
   [[nodiscard]] AdcpStats stats() const {
@@ -213,6 +214,7 @@ class AdcpSwitch final : public net::SwitchDevice {
   std::optional<tm::TrafficManager> tm1_;          // outputs = central pipes
   std::optional<tm::TrafficManager> tm2_;          // outputs = egress pipes
   net::TxHandler tx_handler_;
+  telem::TelemetryTap* tap_ = nullptr;  ///< not owned; null = disarmed
   std::unordered_map<std::uint32_t, std::vector<packet::PortId>> multicast_;
 
   std::vector<sim::Time> rx_free_;            // per port

@@ -39,6 +39,10 @@ struct AdcpConfig {
   double tm2_alpha = 8.0;
   /// ECN CE-mark threshold per TM2 egress queue (0 disables).
   std::uint64_t ecn_threshold_bytes = 0;
+  /// Mirror both TMs' peak buffer occupancy into "buffer.watermark_bytes"
+  /// watermark gauges (telemetry); off by default so snapshots stay
+  /// byte-identical to pre-telemetry builds.
+  bool tm_track_watermark = false;
   /// Flow fast-path verdict cache entries (0 disables; rounded up to a
   /// power of two). Armed only when the installed program also provides a
   /// fastpath contract (DESIGN.md §13).

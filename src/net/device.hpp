@@ -6,6 +6,10 @@
 
 #include "packet/packet.hpp"
 
+namespace adcp::telem {
+class TelemetryTap;
+}  // namespace adcp::telem
+
 namespace adcp::net {
 
 /// Called when the last bit of `pkt` leaves TX `port`.
@@ -48,6 +52,14 @@ class SwitchDevice {
 
   [[nodiscard]] virtual std::uint32_t port_count() const = 0;
   [[nodiscard]] virtual double port_gbps() const = 0;
+
+  /// Arms (or, with nullptr, disarms) the switch's telemetry tap: the model
+  /// stamps TM queue depths into packet metadata, calls the tap at every TX
+  /// and drop site, and the tap may append INT trailer bytes before the TX
+  /// serialization window is computed (see telem/tap.hpp). The tap must
+  /// outlive the device. Default no-op so devices without telemetry support
+  /// need no changes.
+  virtual void set_telemetry_tap(telem::TelemetryTap* /*tap*/) {}
 };
 
 }  // namespace adcp::net

@@ -61,6 +61,13 @@ enum class IncOpcode : std::uint8_t {
   kChurnQuery = 17,  ///< cacheable read; kIncWorkerId carries the key
   kChurnHit = 18,    ///< switch reply: the key was cached (versioned store)
   kChurnMiss = 19,   ///< backing-store reply: the key was not cached
+  /// In-band telemetry report forwarded by a sink host to the collector
+  /// (see telem/int_format.hpp): element 0 names the observed flow, one
+  /// element per INT hop record follows.
+  kTelemReport = 20,
+  /// Switch-originated drop/ECN postcard addressed to the collector; two
+  /// elements carry (switch, event kind, reason) and (ports, hop, depth).
+  kTelemPostcard = 21,
 };
 
 /// One key/value data element.

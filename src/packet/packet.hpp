@@ -28,6 +28,15 @@ struct Metadata {
   /// egress pipeline (the recirculation port hangs off the egress side).
   bool recirc_request = false;
   bool drop = false;
+  /// TM queue depth (packets already queued on the chosen output) observed
+  /// when this packet was enqueued, saturating at 0xFFFF. Stamped by the
+  /// switch models only while a telemetry tap is armed (see telem/tap.hpp);
+  /// read back at TX to fill the INT hop record. Not serialized, never
+  /// affects forwarding. 16-bit so it fits the alignment hole here and
+  /// sizeof(Metadata) stays at its pre-telemetry value — Packet must keep
+  /// fitting (with a pointer to spare) in the simulator's inline callback
+  /// budget, or every steady-state event would heap-allocate.
+  std::uint16_t telem_depth = 0;
   std::uint64_t flow_id = 0;
   std::uint64_t coflow_id = 0;
   /// Span-tracing id (see sim/span.hpp); 0 = unsampled. Assigned once at
@@ -45,6 +54,13 @@ struct Metadata {
   /// changes (e.g. the churn program's src/dst swap).
   std::uint64_t flow_hash = 0;
 
+  /// Saturating store for telem_depth (a pathological config could queue
+  /// more than 0xFFFF packets; the INT report field saturates earlier).
+  void set_telem_depth(std::size_t packets) {
+    telem_depth = packets > 0xFFFF ? std::uint16_t{0xFFFF}
+                                   : static_cast<std::uint16_t>(packets);
+  }
+
   /// Back to defaults; any spilled egress_ports capacity is kept so pooled
   /// packets recycle it.
   void reset() {
@@ -55,6 +71,7 @@ struct Metadata {
     recirculations = 0;
     recirc_request = false;
     drop = false;
+    telem_depth = 0;
     flow_id = 0;
     coflow_id = 0;
     trace_id = 0;

@@ -35,6 +35,10 @@ struct RmtConfig {
   double tm_alpha = 8.0;
   /// ECN CE-mark threshold per egress queue (0 disables).
   std::uint64_t ecn_threshold_bytes = 0;
+  /// Mirror the TM buffer's peak occupancy into a "buffer.watermark_bytes"
+  /// watermark gauge (telemetry); off by default so snapshots stay
+  /// byte-identical to pre-telemetry builds.
+  bool tm_track_watermark = false;
   /// Recirculation bandwidth per pipeline, as a fraction of one port.
   double recirc_gbps = 100.0;
   /// Safety bound on recirculation passes before the switch drops.

@@ -6,6 +6,7 @@
 
 #include "packet/fields.hpp"
 #include "packet/headers.hpp"
+#include "telem/tap.hpp"
 
 namespace adcp::rmt {
 
@@ -44,6 +45,7 @@ RmtSwitch::RmtSwitch(sim::Simulator& sim, const RmtConfig& config, sim::Scope sc
   tc.buffer_bytes = config.tm_buffer_bytes;
   tc.alpha = config.tm_alpha;
   tc.ecn_threshold_bytes = config.ecn_threshold_bytes;
+  tc.track_watermark = config.tm_track_watermark;
   tm_.emplace(std::move(tc), scope_.scope("tm"));
   tm_->set_pool(&pool_);
 
@@ -181,6 +183,12 @@ void RmtSwitch::after_ingress_fast(FastSlot* f) {
   out.meta.egress_port = egress;
   const std::uint64_t trace_id = out.meta.trace_id;
   out.meta.trace_mark = sim_->now();  // TM residency span begins here
+  if (tap_ != nullptr) {
+    out.meta.set_telem_depth(tm_->output_packets(egress));
+    if (!tm_->buffer().admits(egress, out.size())) {
+      tap_->on_drop(out, sim::DropReason::kAdmission, sim_->now());
+    }
+  }
   if (!tm_->enqueue(egress, 0, std::move(out))) {
     spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kAdmission), egress);
@@ -218,6 +226,9 @@ void RmtSwitch::after_egress_fast(FastSlot* f) {
   out.meta.egress_port = port;
   sim::Time& free = tx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
+  // The tap may append INT trailer bytes, so it must run before the TX
+  // serialization window is sized — the telemetry byte tax is simulated.
+  if (tap_ != nullptr) tap_->at_tx(out, start, port);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
   spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
   sim_->at(free, [this, out = std::move(out)]() mutable {
@@ -264,6 +275,7 @@ void RmtSwitch::enter_ingress(packet::Packet pkt) {
     metrics_.parse_drops.add();
     spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kParse));
+    if (tap_ != nullptr) tap_->on_drop(pkt, sim::DropReason::kParse, sim_->now());
     pool_.release(std::move(pkt));
     transit_release(t);
     return;
@@ -295,6 +307,7 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
     metrics_.program_drops.add();
     spans_.instant(sim::SpanKind::kDrop, t->pkt.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kProgram));
+    if (tap_ != nullptr) tap_->on_drop(t->pkt, sim::DropReason::kProgram, sim_->now());
     pool_.release(std::move(t->pkt));
     transit_release(t);
     return;
@@ -320,6 +333,7 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
       metrics_.no_route_drops.add();
       spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                      static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
+      if (tap_ != nullptr) tap_->on_drop(out, sim::DropReason::kNoRoute, sim_->now());
       pool_.release(std::move(out));
       return;
     }
@@ -336,6 +350,7 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
     metrics_.no_route_drops.add();
     spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
+    if (tap_ != nullptr) tap_->on_drop(out, sim::DropReason::kNoRoute, sim_->now());
     pool_.release(std::move(out));
     return;
   }
@@ -343,6 +358,12 @@ void RmtSwitch::after_ingress(TransitSlot* t) {
   if (recirc_flag) out.meta.recirc_request = true;
   const std::uint64_t trace_id = out.meta.trace_id;
   out.meta.trace_mark = sim_->now();  // TM residency span begins here
+  if (tap_ != nullptr) {
+    out.meta.set_telem_depth(tm_->output_packets(static_cast<std::uint32_t>(egress)));
+    if (!tm_->buffer().admits(static_cast<std::uint32_t>(egress), out.size())) {
+      tap_->on_drop(out, sim::DropReason::kAdmission, sim_->now());
+    }
+  }
   if (!tm_->enqueue(static_cast<std::uint32_t>(egress), 0, std::move(out))) {
     spans_.instant(sim::SpanKind::kDrop, trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kAdmission), egress);
@@ -385,6 +406,7 @@ void RmtSwitch::drain(packet::PortId port) {
     metrics_.parse_drops.add();
     spans_.instant(sim::SpanKind::kDrop, pkt->meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kParse));
+    if (tap_ != nullptr) tap_->on_drop(*pkt, sim::DropReason::kParse, sim_->now());
     pool_.release(std::move(*pkt));
     transit_release(t);
     try_drain(port);
@@ -420,6 +442,7 @@ void RmtSwitch::after_egress(TransitSlot* t) {
     metrics_.program_drops.add();
     spans_.instant(sim::SpanKind::kDrop, t->pkt.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kProgram));
+    if (tap_ != nullptr) tap_->on_drop(t->pkt, sim::DropReason::kProgram, sim_->now());
     pool_.release(std::move(t->pkt));
     transit_release(t);
     try_drain(port);
@@ -444,6 +467,8 @@ void RmtSwitch::after_egress(TransitSlot* t) {
   out.meta.egress_port = port;
   sim::Time& free = tx_free_[port];
   const sim::Time start = std::max(sim_->now(), free);
+  // Tap before sizing the TX window (it may append INT trailer bytes).
+  if (tap_ != nullptr) tap_->at_tx(out, start, port);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
   spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, port, out.size());
   sim_->at(free, [this, out = std::move(out)]() mutable {
@@ -465,6 +490,7 @@ void RmtSwitch::recirculate(packet::Packet pkt, std::uint32_t pipe) {
     metrics_.recirc_limit_drops.add();
     spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kRecircLimit));
+    if (tap_ != nullptr) tap_->on_drop(pkt, sim::DropReason::kRecircLimit, sim_->now());
     pool_.release(std::move(pkt));
     return;
   }

@@ -94,6 +94,7 @@ class RmtSwitch final : public net::SwitchDevice {
   void set_tx_handler(net::TxHandler handler) override { tx_handler_ = std::move(handler); }
   [[nodiscard]] std::uint32_t port_count() const override { return config_.port_count; }
   [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
+  void set_telemetry_tap(telem::TelemetryTap* tap) override { tap_ = tap; }
 
   [[nodiscard]] const RmtConfig& config() const { return config_; }
   [[nodiscard]] RmtStats stats() const {
@@ -203,6 +204,7 @@ class RmtSwitch final : public net::SwitchDevice {
   std::vector<pipeline::Pipeline> egress_pipes_;
   std::optional<tm::TrafficManager> tm_;
   net::TxHandler tx_handler_;
+  telem::TelemetryTap* tap_ = nullptr;  ///< not owned; null = disarmed
   std::unordered_map<std::uint32_t, std::vector<packet::PortId>> multicast_;
 
   std::vector<sim::Time> rx_free_;      // per port

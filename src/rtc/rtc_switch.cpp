@@ -5,6 +5,7 @@
 
 #include "packet/fields.hpp"
 #include "packet/headers.hpp"
+#include "telem/tap.hpp"
 
 namespace adcp::rtc {
 
@@ -85,8 +86,13 @@ void RtcSwitch::inject(packet::PortId port, packet::Packet pkt) {
       metrics_.queue_drops.add();
       spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
                      static_cast<std::uint64_t>(sim::DropReason::kAdmission));
+      if (tap_ != nullptr) tap_->on_drop(pkt, sim::DropReason::kAdmission, sim_->now());
       pool_.release(std::move(pkt));
       return;
+    }
+    // The dispatch queue plays the TM role here: stamp its depth for INT.
+    if (tap_ != nullptr) {
+      pkt.meta.set_telem_depth(dispatch_queue_.packets());
     }
     spans_.instant(sim::SpanKind::kTmEnqueue, pkt.meta.trace_id, sim_->now(),
                    dispatch_queue_.packets() + 1);
@@ -153,6 +159,8 @@ void RtcSwitch::finish_fast(FastSlot* f) {
   // callback capacity exactly, so one more captured word would heap-spill.
   sim::Time& free = tx_free_[out.meta.egress_port];
   const sim::Time start = std::max(sim_->now(), free);
+  // Tap before sizing the TX window (it may append INT trailer bytes).
+  if (tap_ != nullptr) tap_->at_tx(out, start, out.meta.egress_port);
   free = start + sim::serialization_time(out.size(), config_.port_gbps);
   spans_.span(sim::SpanKind::kTx, out.meta.trace_id, start, free, out.meta.egress_port,
               out.size());
@@ -217,6 +225,7 @@ void RtcSwitch::try_dispatch() {
       metrics_.parse_drops.add();
       spans_.instant(sim::SpanKind::kDrop, pkt.meta.trace_id, sim_->now(),
                      static_cast<std::uint64_t>(sim::DropReason::kParse));
+      if (tap_ != nullptr) tap_->on_drop(pkt, sim::DropReason::kParse, sim_->now());
       pool_.release(std::move(pkt));
       continue;
     }
@@ -242,6 +251,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     metrics_.program_drops.add();
     spans_.instant(sim::SpanKind::kDrop, original.meta.trace_id, sim_->now(),
                    static_cast<std::uint64_t>(sim::DropReason::kProgram));
+    if (tap_ != nullptr) tap_->on_drop(original, sim::DropReason::kProgram, sim_->now());
     pool_.release(std::move(original));
     return;
   }
@@ -268,6 +278,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
       metrics_.no_route_drops.add();
       spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                      static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
+      if (tap_ != nullptr) tap_->on_drop(out, sim::DropReason::kNoRoute, sim_->now());
       pool_.release(std::move(out));
       return;
     }
@@ -277,6 +288,7 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
       metrics_.no_route_drops.add();
       spans_.instant(sim::SpanKind::kDrop, out.meta.trace_id, sim_->now(),
                      static_cast<std::uint64_t>(sim::DropReason::kNoRoute));
+      if (tap_ != nullptr) tap_->on_drop(out, sim::DropReason::kNoRoute, sim_->now());
       pool_.release(std::move(out));
       return;
     }
@@ -288,6 +300,8 @@ void RtcSwitch::finish(packet::Phv phv, packet::Packet original, std::size_t con
     copy.meta.egress_port = port;
     sim::Time& free = tx_free_[port];
     const sim::Time start = std::max(sim_->now(), free);
+    // Tap before sizing the TX window (it may append INT trailer bytes).
+    if (tap_ != nullptr) tap_->at_tx(copy, start, port);
     free = start + sim::serialization_time(copy.size(), config_.port_gbps);
     spans_.span(sim::SpanKind::kTx, copy.meta.trace_id, start, free, port, copy.size());
     sim_->at(free, [this, copy = std::move(copy), port]() mutable {

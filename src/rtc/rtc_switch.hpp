@@ -124,6 +124,7 @@ class RtcSwitch final : public net::SwitchDevice {
   void set_tx_handler(net::TxHandler handler) override { tx_handler_ = std::move(handler); }
   [[nodiscard]] std::uint32_t port_count() const override { return config_.port_count; }
   [[nodiscard]] double port_gbps() const override { return config_.port_gbps; }
+  void set_telemetry_tap(telem::TelemetryTap* tap) override { tap_ = tap; }
 
   [[nodiscard]] const RtcConfig& config() const { return config_; }
   [[nodiscard]] RtcStats stats() const {
@@ -205,6 +206,7 @@ class RtcSwitch final : public net::SwitchDevice {
   RtcProgramFn run_;
   SharedState shared_;
   net::TxHandler tx_handler_;
+  telem::TelemetryTap* tap_ = nullptr;  ///< not owned; null = disarmed
   std::unordered_map<std::uint32_t, std::vector<packet::PortId>> multicast_;
 
   std::vector<sim::Time> rx_free_;    // per port

@@ -45,6 +45,7 @@ std::string_view metric_kind_name(MetricKind kind) {
     case MetricKind::kGauge: return "gauge";
     case MetricKind::kSummary: return "summary";
     case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kWatermark: return "watermark";
   }
   return "unknown";
 }
@@ -65,6 +66,7 @@ Scope Scope::scope(std::string_view name) const { return Scope{registry_, full(n
 
 Counter& Scope::counter(std::string_view name) const { return registry_->counter(full(name)); }
 Gauge& Scope::gauge(std::string_view name) const { return registry_->gauge(full(name)); }
+Gauge& Scope::watermark(std::string_view name) const { return registry_->watermark(full(name)); }
 Summary& Scope::summary(std::string_view name) const { return registry_->summary(full(name)); }
 Histogram& Scope::histogram(std::string_view name) const {
   return registry_->histogram(full(name));
@@ -96,6 +98,7 @@ Metric& MetricRegistry::slot(std::string_view name, MetricKind kind) {
     switch (kind) {
       case MetricKind::kCounter: m.counter = std::make_unique<Counter>(); break;
       case MetricKind::kGauge: m.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kWatermark: m.gauge = std::make_unique<Gauge>(); break;
       case MetricKind::kSummary: m.summary = std::make_unique<Summary>(); break;
       case MetricKind::kHistogram: m.histogram = std::make_unique<Histogram>(); break;
     }
@@ -125,6 +128,7 @@ Snapshot MetricRegistry::snapshot() const {
         e.count = m.counter->value();
         break;
       case MetricKind::kGauge:
+      case MetricKind::kWatermark:
         e.value = m.gauge->value();
         e.count = 1;
         break;
@@ -152,6 +156,7 @@ void MetricRegistry::reset() {
     switch (m.kind) {
       case MetricKind::kCounter: m.counter->reset(); break;
       case MetricKind::kGauge: m.gauge->reset(); break;
+      case MetricKind::kWatermark: m.gauge->reset(); break;
       case MetricKind::kSummary: m.summary->reset(); break;
       case MetricKind::kHistogram: m.histogram->reset(); break;
     }
@@ -195,6 +200,12 @@ void Snapshot::merge(const Snapshot& other) {
         break;
       case MetricKind::kGauge:
         e.value += o.value;
+        e.count = 1;
+        break;
+      case MetricKind::kWatermark:
+        // Both sides watched the same physical peak; the fabric-wide high
+        // water mark is the larger observation, not the sum.
+        e.value = std::max(e.value, o.value);
         e.count = 1;
         break;
       case MetricKind::kSummary: {

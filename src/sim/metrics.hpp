@@ -26,7 +26,11 @@
 
 namespace adcp::sim {
 
-enum class MetricKind : std::uint8_t { kCounter, kGauge, kSummary, kHistogram };
+/// kWatermark is a gauge whose cross-shard merge takes the max instead of
+/// the sum — the right fold for peak-occupancy style measurements (e.g. TM
+/// buffer high-water marks), where each shard observed the same physical
+/// quantity at different moments rather than disjoint contributions.
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kSummary, kHistogram, kWatermark };
 
 class MetricRegistry;
 
@@ -55,6 +59,8 @@ class Scope {
   [[nodiscard]] Gauge& gauge(std::string_view name) const;
   [[nodiscard]] Summary& summary(std::string_view name) const;
   [[nodiscard]] Histogram& histogram(std::string_view name) const;
+  /// Gauge payload with max-merge snapshot semantics (MetricKind::kWatermark).
+  [[nodiscard]] Gauge& watermark(std::string_view name) const;
 
   /// Tracer writing rows tagged with this scope's prefix as the component
   /// column (see TraceLog).
@@ -74,8 +80,9 @@ class Scope {
 };
 
 /// One registered metric: exactly one of the payload pointers is set,
-/// according to `kind`. Metrics live behind unique_ptr so references handed
-/// to components stay valid as the registry map grows.
+/// according to `kind` (kWatermark reuses the gauge payload). Metrics live
+/// behind unique_ptr so references handed to components stay valid as the
+/// registry map grows.
 struct Metric {
   MetricKind kind = MetricKind::kCounter;
   std::unique_ptr<Counter> counter;
@@ -119,6 +126,7 @@ class Snapshot {
   /// stable); when both sides carry the name the kinds must agree and:
   ///   - counters sum exactly (uint64 arithmetic),
   ///   - gauges add,
+  ///   - watermarks take the max (each side saw a peak of the same quantity),
   ///   - summaries combine count-weighted (mean/min/max/count),
   ///   - histograms concatenate their retained samples via Histogram::merge
   ///     and recompute mean/p50/p99 from the merged sample set, so the
@@ -145,6 +153,7 @@ class MetricRegistry {
 
   Counter& counter(std::string_view name) { return *slot(name, MetricKind::kCounter).counter; }
   Gauge& gauge(std::string_view name) { return *slot(name, MetricKind::kGauge).gauge; }
+  Gauge& watermark(std::string_view name) { return *slot(name, MetricKind::kWatermark).gauge; }
   Summary& summary(std::string_view name) { return *slot(name, MetricKind::kSummary).summary; }
   Histogram& histogram(std::string_view name) {
     return *slot(name, MetricKind::kHistogram).histogram;

@@ -87,6 +87,12 @@ std::string_view span_kind_name(SpanKind kind) {
 
 std::string spans_to_perfetto(const std::vector<const SpanBuffer*>& buffers,
                               double ts_to_us) {
+  return spans_to_perfetto(buffers, {}, ts_to_us);
+}
+
+std::string spans_to_perfetto(const std::vector<const SpanBuffer*>& buffers,
+                              const std::vector<CounterSeries>& counters,
+                              double ts_to_us) {
   const std::vector<Collected> spans = collect_sorted(buffers);
 
   // Stable track numbering: sorted unique track names -> tid 1..N, so the
@@ -175,6 +181,23 @@ std::string spans_to_perfetto(const std::vector<const SpanBuffer*>& buffers,
       out += "}";
     }
     g = end;
+  }
+
+  // Counter tracks ("C" events): Perfetto keys the track on (pid, name),
+  // so each series just replays its samples in time order. Emitted after
+  // the span/flow events; with no series the output bytes are untouched.
+  for (const CounterSeries& c : counters) {
+    for (std::size_t i = 0; i < c.times.size() && i < c.values.size(); ++i) {
+      out += ",\n{\"name\":\"";
+      out += c.track;  // track names are dotted identifiers; no escaping needed
+      out += "\",\"ph\":\"C\",\"ts\":";
+      out += fmt_us(static_cast<double>(c.times[i]) * ts_to_us);
+      out += ",\"pid\":1,\"args\":{\"value\":";
+      char vbuf[64];
+      std::snprintf(vbuf, sizeof(vbuf), "%.17g", c.values[i]);
+      out += vbuf;
+      out += "}}";
+    }
   }
 
   out += "],\"displayTimeUnit\":\"ns\"}\n";

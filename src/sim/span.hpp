@@ -252,6 +252,15 @@ inline void SpanRecorder::span(SpanKind kind, std::uint64_t trace_id, Time begin
 
 // ------------------------------------------------------------- exporters --
 
+/// One Perfetto counter track: a named value sampled over simulated time
+/// (e.g. a TM buffer high-water mark polled by TimeSeriesSampler). times
+/// and values are parallel arrays; times use the same unit as Span times.
+struct CounterSeries {
+  std::string track;
+  std::vector<Time> times;
+  std::vector<double> values;
+};
+
 /// Chrome trace-event JSON (load in ui.perfetto.dev or chrome://tracing).
 /// One pid ("adcp-fabric"), one tid per (component, kind) track, complete
 /// ("X") events in deterministically sorted order, flow arrows ("s"/"t"/
@@ -262,6 +271,13 @@ inline void SpanRecorder::span(SpanKind kind, std::uint64_t trace_id, Time begin
 /// output bytes depend only on the recorded spans, not the worker count.
 [[nodiscard]] std::string spans_to_perfetto(const std::vector<const SpanBuffer*>& buffers,
                                             double ts_to_us = 1e-6);
+
+/// Same, plus "C" (counter) events — one Perfetto counter track per
+/// CounterSeries, rendered alongside the span tracks. With `counters`
+/// empty the output is byte-identical to the overload above.
+[[nodiscard]] std::string spans_to_perfetto(const std::vector<const SpanBuffer*>& buffers,
+                                            const std::vector<CounterSeries>& counters,
+                                            double ts_to_us);
 
 /// Compact CSV: "trace_id,component,kind,begin_ps,end_ps,a0,a1\n" rows in
 /// the same deterministic order as the Perfetto export.

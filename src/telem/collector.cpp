@@ -1,0 +1,123 @@
+#include "telem/collector.hpp"
+
+#include <string>
+
+#include "sim/span.hpp"  // DropReason
+
+namespace adcp::telem {
+
+namespace {
+
+std::string_view reason_name(std::uint8_t code) {
+  switch (static_cast<sim::DropReason>(code)) {
+    case sim::DropReason::kParse: return "parse";
+    case sim::DropReason::kProgram: return "program";
+    case sim::DropReason::kAdmission: return "admission";
+    case sim::DropReason::kRecircLimit: return "recirc_limit";
+    case sim::DropReason::kLink: return "link";
+    case sim::DropReason::kNoRoute: return "no_route";
+  }
+  return "other";
+}
+
+}  // namespace
+
+Collector::Collector(net::Host& host, sim::Scope scope)
+    : scope_(sim::resolve_scope(scope, own_metrics_, "telem.collector")),
+      reports_(scope_.counter("reports")),
+      report_hops_(scope_.counter("report_hops")),
+      report_bytes_(scope_.counter("report_bytes")),
+      postcards_(scope_.counter("postcards")),
+      truncated_(scope_.counter("reports_truncated")),
+      undecodable_(scope_.counter("undecodable")) {
+  hop_latency_.reserve(kIntMaxHops);
+  for (std::size_t k = 0; k < kIntMaxHops; ++k) {
+    hop_latency_.push_back(
+        &scope_.summary("hop" + std::to_string(k) + ".latency_ns"));
+  }
+  host.add_rx_callback(
+      [this](net::Host&, const packet::Packet& pkt) { on_rx(pkt); });
+}
+
+void Collector::on_rx(const packet::Packet& pkt) {
+  packet::IncHeader inc;
+  if (!packet::decode_inc(pkt, inc)) return;
+  if (inc.opcode == packet::IncOpcode::kTelemReport) {
+    Report report;
+    if (!decode_report(inc, report)) {
+      undecodable_.add();
+      return;
+    }
+    report_bytes_.add(pkt.size());
+    on_report(report);
+  } else if (inc.opcode == packet::IncOpcode::kTelemPostcard) {
+    Postcard pc;
+    if (!decode_postcard(inc, pc)) {
+      undecodable_.add();
+      return;
+    }
+    on_postcard(pc);
+  }
+}
+
+void Collector::on_report(const Report& report) {
+  reports_.add();
+  report_hops_.add(report.hops.size());
+  if (report.truncated) truncated_.add();
+
+  std::vector<std::uint16_t> path;
+  path.reserve(report.hops.size());
+  for (std::size_t k = 0; k < report.hops.size(); ++k) {
+    const ReportHop& hop = report.hops[k];
+    SwitchView& view = switches_[hop.switch_id];
+    view.depth.record(static_cast<double>(hop.queue_depth));
+    view.latency_ns.record(static_cast<double>(hop.hop_latency_ns));
+    if (hop.ce) ++view.ce_marks;
+    depth_histogram(hop.switch_id).record(static_cast<double>(hop.queue_depth));
+    if (k < hop_latency_.size()) {
+      hop_latency_[k]->record(static_cast<double>(hop.hop_latency_ns));
+    }
+    path.push_back(hop.switch_id);
+  }
+  if (!path.empty()) ++paths_[path];
+}
+
+void Collector::on_postcard(const Postcard& pc) {
+  postcards_.add();
+  if (pc.kind == PostcardKind::kDrop) {
+    ++drop_ledger_[{pc.reason, pc.hop}];
+    std::string name = "drops.";
+    name += reason_name(pc.reason);
+    name += ".hop" + std::to_string(pc.hop);
+    scope_.counter(name).add();
+  } else {
+    ++switches_[pc.switch_id].ce_marks;
+    scope_.counter("ecn.sw" + std::to_string(pc.switch_id)).add();
+  }
+}
+
+sim::Histogram& Collector::depth_histogram(std::uint16_t switch_id) {
+  auto it = depth_hist_.find(switch_id);
+  if (it == depth_hist_.end()) {
+    it = depth_hist_
+             .emplace(switch_id,
+                      &scope_.histogram("sw" + std::to_string(switch_id) +
+                                        ".queue_depth"))
+             .first;
+  }
+  return *it->second;
+}
+
+double Collector::depth_estimate(std::uint16_t switch_id) const {
+  auto it = switches_.find(switch_id);
+  if (it == switches_.end() || it->second.depth.count() == 0) return 0.0;
+  return it->second.depth.mean();
+}
+
+std::uint64_t Collector::drops_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : drop_ledger_) total += n;
+  return total;
+}
+
+}  // namespace adcp::telem

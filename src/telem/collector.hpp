@@ -1,0 +1,100 @@
+// Collector: the analysis half of the INT observatory.
+//
+// A Collector rides a sink host (the ctrl::ControlAgent pattern): it
+// registers an RX callback on that host and decodes every telemetry packet
+// the fabric delivers there — kTelemReport packets forwarded by sink hosts
+// and kTelemPostcard packets injected by switch management ports. Nothing
+// is read out-of-band; if congestion delays or drops a report, the
+// collector's view degrades exactly the way a real one's would.
+//
+// What it reconstructs, all into the MetricRegistry (so it merges and
+// exports like every other component) plus exact accessor views for
+// accuracy scoring:
+//
+//   * per-switch queue-depth histograms ("sw<id>.queue_depth") — scored
+//     against the taps' exact depth summaries in bench_telemetry;
+//   * per-hop-index latency summaries ("hop<k>.latency_ns") — where in the
+//     path time is spent;
+//   * ECMP path frequencies ("path.<a>_<b>_...") — which routes flows
+//     actually took;
+//   * a drop-attribution ledger ("drops.<reason>.hop<h>") and ECN-mark
+//     attribution ("ecn.sw<id>") from postcards.
+//
+// Determinism: the collector runs on the sink host's shard; every map it
+// keeps is folded into exports in sorted-key order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/metrics.hpp"
+#include "telem/int_format.hpp"
+
+namespace adcp::telem {
+
+class Collector {
+ public:
+  /// Attaches to `host` (adds an RX callback; other sinks keep working).
+  explicit Collector(net::Host& host, sim::Scope scope = {});
+
+  /// Per-switch view rebuilt from report hop records.
+  struct SwitchView {
+    sim::Summary depth;       ///< reported queue depths (lossy: 15-bit)
+    sim::Summary latency_ns;  ///< reported hop latencies (16 ns units)
+    std::uint64_t ce_marks = 0;
+  };
+
+  [[nodiscard]] std::uint64_t reports() const { return reports_.value(); }
+  [[nodiscard]] std::uint64_t report_hops() const { return report_hops_.value(); }
+  [[nodiscard]] std::uint64_t postcards() const { return postcards_.value(); }
+  [[nodiscard]] std::uint64_t truncated() const { return truncated_.value(); }
+
+  [[nodiscard]] const std::map<std::uint16_t, SwitchView>& switches() const {
+    return switches_;
+  }
+  /// Mean reported queue depth at one switch (0 when never reported).
+  [[nodiscard]] double depth_estimate(std::uint16_t switch_id) const;
+
+  /// (path = switch-id sequence) -> packets reported along it.
+  [[nodiscard]] const std::map<std::vector<std::uint16_t>, std::uint64_t>& paths() const {
+    return paths_;
+  }
+
+  /// (DropReason code, hop index) -> drop postcards.
+  [[nodiscard]] const std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t>&
+  drop_ledger() const {
+    return drop_ledger_;
+  }
+  [[nodiscard]] std::uint64_t drops_total() const;
+
+ private:
+  void on_rx(const packet::Packet& pkt);
+  void on_report(const Report& report);
+  void on_postcard(const Postcard& pc);
+
+  /// Lazily registered per-switch depth histogram ("sw<id>.queue_depth").
+  sim::Histogram& depth_histogram(std::uint16_t switch_id);
+
+  // Declared before scope_ (fallback registry must exist first).
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  sim::Counter& reports_;
+  sim::Counter& report_hops_;
+  sim::Counter& report_bytes_;
+  sim::Counter& postcards_;
+  sim::Counter& truncated_;
+  sim::Counter& undecodable_;
+  std::vector<sim::Summary*> hop_latency_;  // index = hop position, size kIntMaxHops
+
+  std::map<std::uint16_t, SwitchView> switches_;
+  std::map<std::uint16_t, sim::Histogram*> depth_hist_;
+  std::map<std::vector<std::uint16_t>, std::uint64_t> paths_;
+  std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t> drop_ledger_;
+};
+
+}  // namespace adcp::telem

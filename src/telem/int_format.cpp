@@ -1,0 +1,204 @@
+#include "telem/int_format.hpp"
+
+#include <algorithm>
+
+namespace adcp::telem {
+
+namespace {
+
+constexpr std::size_t kIpOffset = packet::kEthernetBytes;
+constexpr std::size_t kTosOffset = kIpOffset + 1;
+constexpr std::size_t kMinFramedBytes =
+    packet::kEthernetBytes + packet::kIpv4Bytes + packet::kUdpBytes + packet::kIncFixedBytes;
+
+std::uint32_t saturate(std::uint64_t v, std::uint64_t cap) {
+  return static_cast<std::uint32_t>(std::min(v, cap));
+}
+
+/// Validated record count, or 0 when the packet carries no trailer.
+std::size_t trailer_count(const packet::Buffer& b) {
+  if (b.size() < kMinFramedBytes + kIntRecordBytes + kIntFooterBytes) return 0;
+  if ((b.read(kTosOffset, 1) & kIntTosFlag) == 0) return 0;
+  if (b.read(b.size() - 2, 2) != kIntMagic) return 0;
+  const std::size_t count = b.read(b.size() - kIntFooterBytes, 1);
+  const std::size_t max = b.read(b.size() - 3, 1);
+  if (count == 0 || count > max || max > kIntMaxHops) return 0;
+  if (b.size() < kMinFramedBytes + count * kIntRecordBytes + kIntFooterBytes) return 0;
+  return count;
+}
+
+void write_record(packet::Buffer& b, std::size_t at, const IntRecord& rec) {
+  b.write(at, 2, rec.switch_id);
+  b.write(at + 2, 1, rec.ingress_port);
+  b.write(at + 3, 1, rec.egress_port);
+  b.write(at + 4, 4, rec.queue_depth);
+  b.write(at + 8, 4, rec.hop_latency_ns);
+  b.write(at + 12, 1, rec.ecn);
+  b.write(at + 13, 1, rec.flags);
+  b.write(at + 14, 2, 0);  // reserved
+}
+
+IntRecord read_record(const packet::Buffer& b, std::size_t at) {
+  IntRecord rec;
+  rec.switch_id = static_cast<std::uint16_t>(b.read(at, 2));
+  rec.ingress_port = static_cast<std::uint8_t>(b.read(at + 2, 1));
+  rec.egress_port = static_cast<std::uint8_t>(b.read(at + 3, 1));
+  rec.queue_depth = static_cast<std::uint32_t>(b.read(at + 4, 4));
+  rec.hop_latency_ns = static_cast<std::uint32_t>(b.read(at + 8, 4));
+  rec.ecn = static_cast<std::uint8_t>(b.read(at + 12, 1));
+  rec.flags = static_cast<std::uint8_t>(b.read(at + 13, 1));
+  return rec;
+}
+
+void write_footer(packet::Buffer& b, std::size_t count, std::size_t max) {
+  b.write(b.size() - kIntFooterBytes, 1, count);
+  b.write(b.size() - 3, 1, max);
+  b.write(b.size() - 2, 2, kIntMagic);
+}
+
+}  // namespace
+
+bool has_int_trailer(const packet::Packet& pkt) { return trailer_count(pkt.data) != 0; }
+
+std::size_t int_trailer_bytes(const packet::Packet& pkt) {
+  const std::size_t count = trailer_count(pkt.data);
+  return count == 0 ? 0 : count * kIntRecordBytes + kIntFooterBytes;
+}
+
+bool int_stamp(packet::Packet& pkt, const IntRecord& rec, std::uint8_t max_hops) {
+  packet::Buffer& b = pkt.data;
+  if (b.size() < kMinFramedBytes) return false;  // not a framed INC packet
+  const std::size_t count = trailer_count(b);
+  const std::size_t budget = std::min<std::size_t>(max_hops, kIntMaxHops);
+  if (count == 0) {
+    if (budget == 0) return false;
+    b.resize(b.size() + kIntRecordBytes + kIntFooterBytes);
+    write_record(b, b.size() - kIntFooterBytes - kIntRecordBytes, rec);
+    write_footer(b, 1, budget);
+    b.write(kTosOffset, 1, b.read(kTosOffset, 1) | kIntTosFlag);
+    return true;
+  }
+  const std::size_t max = b.read(b.size() - 3, 1);
+  if (count >= max) {
+    // Budget exhausted: mark truncation on the newest resident record so
+    // the collector can tell a short path from a clipped one.
+    const std::size_t last = b.size() - kIntFooterBytes - kIntRecordBytes;
+    b.write(last + 13, 1, b.read(last + 13, 1) | kIntFlagTruncated);
+    return false;
+  }
+  // Grow by one record: the new record overwrites the old footer bytes and
+  // a fresh footer lands at the new tail.
+  b.resize(b.size() + kIntRecordBytes);
+  write_record(b, b.size() - kIntFooterBytes - kIntRecordBytes, rec);
+  write_footer(b, count + 1, max);
+  return true;
+}
+
+std::size_t int_decode(const packet::Packet& pkt, std::vector<IntRecord>& out) {
+  out.clear();
+  const packet::Buffer& b = pkt.data;
+  const std::size_t count = trailer_count(b);
+  if (count == 0) return 0;
+  out.reserve(count);
+  const std::size_t first = b.size() - kIntFooterBytes - count * kIntRecordBytes;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(read_record(b, first + i * kIntRecordBytes));
+  }
+  return count;
+}
+
+// ----------------------------------------------------------------- reports --
+
+packet::IncHeader make_report(std::uint32_t flow_id, std::uint16_t coflow_id,
+                              std::uint32_t seq, const std::vector<IntRecord>& hops) {
+  packet::IncHeader inc;
+  inc.opcode = packet::IncOpcode::kTelemReport;
+  inc.flow_id = flow_id;
+  inc.coflow_id = coflow_id;
+  inc.seq = seq;
+  inc.worker_id = static_cast<std::uint32_t>(hops.size());
+  inc.elements.reserve(hops.size() + 1);
+  std::uint32_t count_field = saturate(hops.size(), 0x7fff);
+  if (!hops.empty() && (hops.back().flags & kIntFlagTruncated) != 0) {
+    count_field |= 0x8000;  // the trailer was clipped before the sink
+  }
+  inc.elements.push_back(packet::IncElement{
+      flow_id, (static_cast<std::uint32_t>(coflow_id) << 16) | count_field});
+  for (const IntRecord& h : hops) {
+    const std::uint32_t key = h.switch_id |
+                              (static_cast<std::uint32_t>(h.ingress_port) << 16) |
+                              (static_cast<std::uint32_t>(h.egress_port) << 24);
+    const std::uint32_t depth = saturate(h.queue_depth, 0x7fff);
+    const std::uint32_t ce = (h.ecn & 0x3) == 0x3 ? 1u : 0u;
+    const std::uint32_t lat = saturate(h.hop_latency_ns / kReportLatencyUnitNs, 0xffff);
+    inc.elements.push_back(packet::IncElement{key, (depth << 17) | (ce << 16) | lat});
+  }
+  return inc;
+}
+
+bool decode_report(const packet::IncHeader& inc, Report& out) {
+  if (inc.opcode != packet::IncOpcode::kTelemReport) return false;
+  if (inc.elements.empty()) return false;
+  const std::size_t hops = inc.elements[0].value & 0x7fff;
+  if (inc.elements.size() != hops + 1) return false;
+  out.flow_id = inc.elements[0].key;
+  out.coflow_id = static_cast<std::uint16_t>(inc.elements[0].value >> 16);
+  out.truncated = (inc.elements[0].value & 0x8000) != 0;
+  out.hops.clear();
+  out.hops.reserve(hops);
+  for (std::size_t i = 1; i <= hops; ++i) {
+    const packet::IncElement& e = inc.elements[i];
+    ReportHop h;
+    h.switch_id = static_cast<std::uint16_t>(e.key & 0xffff);
+    h.ingress_port = static_cast<std::uint8_t>((e.key >> 16) & 0xff);
+    h.egress_port = static_cast<std::uint8_t>((e.key >> 24) & 0xff);
+    h.queue_depth = (e.value >> 17) & 0x7fff;
+    h.ce = ((e.value >> 16) & 1) != 0;
+    h.hop_latency_ns = (e.value & 0xffff) * kReportLatencyUnitNs;
+    out.hops.push_back(h);
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- postcards --
+
+packet::IncHeader make_postcard(const Postcard& pc) {
+  packet::IncHeader inc;
+  inc.opcode = packet::IncOpcode::kTelemPostcard;
+  inc.flow_id = pc.flow_id;
+  inc.coflow_id = pc.coflow_id;
+  inc.worker_id = pc.switch_id;
+  inc.elements = {
+      packet::IncElement{
+          static_cast<std::uint32_t>(pc.switch_id) |
+              (static_cast<std::uint32_t>(pc.kind) << 16) |
+              (static_cast<std::uint32_t>(pc.reason) << 24),
+          pc.flow_id},
+      packet::IncElement{
+          static_cast<std::uint32_t>(pc.ingress_port) |
+              (static_cast<std::uint32_t>(pc.egress_port) << 8) |
+              (static_cast<std::uint32_t>(pc.hop) << 16) |
+              (static_cast<std::uint32_t>(pc.coflow_id & 0xff) << 24),
+          pc.queue_depth},
+  };
+  return inc;
+}
+
+bool decode_postcard(const packet::IncHeader& inc, Postcard& out) {
+  if (inc.opcode != packet::IncOpcode::kTelemPostcard) return false;
+  if (inc.elements.size() != 2) return false;
+  const packet::IncElement& e0 = inc.elements[0];
+  const packet::IncElement& e1 = inc.elements[1];
+  out.switch_id = static_cast<std::uint16_t>(e0.key & 0xffff);
+  out.kind = static_cast<PostcardKind>((e0.key >> 16) & 0xff);
+  out.reason = static_cast<std::uint8_t>((e0.key >> 24) & 0xff);
+  out.flow_id = e0.value;
+  out.ingress_port = static_cast<std::uint8_t>(e1.key & 0xff);
+  out.egress_port = static_cast<std::uint8_t>((e1.key >> 8) & 0xff);
+  out.hop = static_cast<std::uint8_t>((e1.key >> 16) & 0xff);
+  out.coflow_id = static_cast<std::uint16_t>(inc.coflow_id);
+  out.queue_depth = e1.value;
+  return true;
+}
+
+}  // namespace adcp::telem

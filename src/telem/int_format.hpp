@@ -1,0 +1,175 @@
+// In-band network telemetry (INT) wire format for the INC stack.
+//
+// Three in-band record types (see DESIGN.md §14):
+//
+//  * INT hop trailer — a bounded per-hop record appended to *data* packets
+//    at every switch TX while telemetry is armed. The trailer lives past
+//    the declared IPv4/UDP lengths (switch programs rewrite the INC
+//    element area and the length fields, never the tail), so it survives
+//    every deparse untouched; DSCP bit kIntTosFlag marks its presence so
+//    a payload can never be mistaken for a trailer. Layout, back to front:
+//
+//        [record 0][record 1]...[record n-1][count:1][max:1][magic:2]
+//
+//    Each 16-byte record: switch id (2), ingress port (1), egress port
+//    (1), TM queue depth at enqueue (4), hop latency ns (4), wire ECN
+//    bits at TX (1), flags (1), reserved (2).
+//
+//  * Telemetry report (IncOpcode::kTelemReport) — the trailer re-packed
+//    into INC elements by the receiving host and forwarded to the
+//    collector for a deterministically head-sampled subset of flows.
+//    Element 0 names the flow; one element per hop follows, so a full
+//    8-hop report needs 9 elements and clears the 16-lane ADCP parser.
+//
+//  * Postcard (IncOpcode::kTelemPostcard) — a switch-originated drop/ECN
+//    event notice injected at the management port and routed in-band to
+//    the collector (the PR 8 control-channel pattern, reversed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/headers.hpp"
+#include "packet/packet.hpp"
+#include "sim/time.hpp"
+
+namespace adcp::telem {
+
+/// Trailer end-marker ("1E7E" ~ "tele"); validated together with the TOS
+/// presence flag, so the check never false-positives on payload bytes.
+inline constexpr std::uint16_t kIntMagic = 0x1E7E;
+inline constexpr std::size_t kIntRecordBytes = 16;
+inline constexpr std::size_t kIntFooterBytes = 4;
+/// DSCP bit in the IPv4 TOS byte marking "INT trailer present". Disjoint
+/// from the two ECN bits (0x3), which the TMs own.
+inline constexpr std::uint8_t kIntTosFlag = 0x04;
+/// Hard hop ceiling (the "bounded" in bounded INT): 8 hops cover any path
+/// in the fat-tree topologies here with room for one recirculation.
+inline constexpr std::uint8_t kIntMaxHops = 8;
+/// Record flag: the hop budget was exhausted before this packet reached
+/// its sink — set on the *last* record by the hop that could not stamp.
+inline constexpr std::uint8_t kIntFlagTruncated = 0x01;
+/// Hop-latency unit used when a record is re-packed into a 16-bit report
+/// element field: 16 ns granularity, ~1 ms range.
+inline constexpr std::uint32_t kReportLatencyUnitNs = 16;
+
+/// One INT hop record, host-order view of the 16 wire bytes above.
+struct IntRecord {
+  std::uint16_t switch_id = 0;
+  std::uint8_t ingress_port = 0;
+  std::uint8_t egress_port = 0;
+  std::uint32_t queue_depth = 0;    ///< packets queued ahead at TM enqueue
+  std::uint32_t hop_latency_ns = 0; ///< RX (port arrival) -> TX first bit
+  std::uint8_t ecn = 0;             ///< wire ECN bits at TX (0b11 = CE)
+  std::uint8_t flags = 0;
+
+  bool operator==(const IntRecord&) const = default;
+};
+
+/// True when `pkt` carries a valid INT trailer (TOS flag + magic + sane
+/// record count).
+[[nodiscard]] bool has_int_trailer(const packet::Packet& pkt);
+
+/// Appends `rec` to the packet's trailer (creating it on first stamp).
+/// Returns false — and sets kIntFlagTruncated on the newest resident
+/// record — when the trailer already holds `max_hops` records.
+bool int_stamp(packet::Packet& pkt, const IntRecord& rec,
+               std::uint8_t max_hops = kIntMaxHops);
+
+/// Decodes the trailer into `out` (front = first hop stamped). Returns the
+/// record count; 0 when no valid trailer is present.
+std::size_t int_decode(const packet::Packet& pkt, std::vector<IntRecord>& out);
+
+/// Wire bytes the trailer currently occupies on `pkt` (0 without one).
+[[nodiscard]] std::size_t int_trailer_bytes(const packet::Packet& pkt);
+
+// --------------------------------------------------------------- reports --
+
+/// Packs a decoded trailer into a kTelemReport INC header addressed from a
+/// sink host to the collector. flow/coflow name the *observed* flow;
+/// element 0 = {flow_id, coflow<<16 | hop count}; element 1+i packs hop i
+/// as key = switch_id | ingress<<16 | egress<<24 and value =
+/// depth<<17 | ce<<16 | latency/16ns (each field saturating).
+[[nodiscard]] packet::IncHeader make_report(std::uint32_t flow_id, std::uint16_t coflow_id,
+                                            std::uint32_t seq,
+                                            const std::vector<IntRecord>& hops);
+
+/// One hop as recovered from a report element (lossy: queue depth
+/// saturates at 15 bits, latency at 16 x 16 ns bits, ECN collapses to CE).
+struct ReportHop {
+  std::uint16_t switch_id = 0;
+  std::uint8_t ingress_port = 0;
+  std::uint8_t egress_port = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t hop_latency_ns = 0;
+  bool ce = false;
+
+  bool operator==(const ReportHop&) const = default;
+};
+
+struct Report {
+  std::uint32_t flow_id = 0;
+  std::uint16_t coflow_id = 0;
+  /// The trailer's hop budget ran out before the sink (kIntFlagTruncated on
+  /// the last record): the path shown here is a prefix, not the whole path.
+  bool truncated = false;
+  std::vector<ReportHop> hops;
+};
+
+/// Inverse of make_report; false when `inc` is not a well-formed report.
+bool decode_report(const packet::IncHeader& inc, Report& out);
+
+// ------------------------------------------------------------- postcards --
+
+enum class PostcardKind : std::uint8_t { kDrop = 0, kEcn = 1 };
+
+/// A drop/ECN event notice. `reason` carries the sim::DropReason code for
+/// kDrop postcards and 0 for kEcn. `hop` is the event's hop index
+/// recovered from the wire TTL (kIncInitialTtl - ttl).
+struct Postcard {
+  std::uint16_t switch_id = 0;
+  PostcardKind kind = PostcardKind::kDrop;
+  std::uint8_t reason = 0;
+  std::uint8_t ingress_port = 0;
+  std::uint8_t egress_port = 0;
+  std::uint8_t hop = 0;
+  std::uint32_t flow_id = 0;
+  std::uint16_t coflow_id = 0;
+  std::uint32_t queue_depth = 0;
+
+  bool operator==(const Postcard&) const = default;
+};
+
+/// Two-element kTelemPostcard INC header encoding `pc`.
+[[nodiscard]] packet::IncHeader make_postcard(const Postcard& pc);
+
+/// Inverse of make_postcard; false when `inc` is not a postcard.
+bool decode_postcard(const packet::IncHeader& inc, Postcard& out);
+
+// --------------------------------------------------------------- profile --
+
+/// Fabric-wide telemetry arming, carried inside topo::TierProfile. All
+/// defaults keep telemetry off; with armed == false the Network builds
+/// byte-identically to a profile that predates this struct (no management
+/// ports, no taps, no extra metrics).
+struct TelemetryProfile {
+  bool armed = false;
+  /// INT hop budget per packet (<= kIntMaxHops).
+  std::uint8_t max_hops = kIntMaxHops;
+  /// Sink hosts forward a report for 1-in-N flows (deterministic hash
+  /// sampling; 1 = every flow, 0 = no reports).
+  std::uint32_t report_sample_every = 1;
+  /// Per-switch minimum simulated gap between postcards (rate limit).
+  sim::Time postcard_min_gap = sim::Time{1000} * 1000;  // 1 us in ps
+  /// Arm the PRECISION-style heavy-hitter sketch program (recirculating
+  /// claims on RMT, single-pass on ADCP/RTC).
+  bool sketch = false;
+  std::uint32_t sketch_ways = 2;
+  std::uint32_t sketch_slots = 8;
+  /// Seed for report sampling and the sketch claim lottery.
+  std::uint64_t seed = 0x7e1e'ca57'0b5e'0001ULL;
+
+  [[nodiscard]] bool reports_enabled() const { return armed && report_sample_every != 0; }
+};
+
+}  // namespace adcp::telem

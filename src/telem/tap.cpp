@@ -1,0 +1,118 @@
+#include "telem/tap.hpp"
+
+#include <algorithm>
+
+namespace adcp::telem {
+
+namespace {
+
+constexpr std::size_t kIpOffset = packet::kEthernetBytes;
+constexpr std::size_t kTosOffset = kIpOffset + 1;
+constexpr std::size_t kTtlOffset = kIpOffset + 8;
+constexpr std::size_t kUdpOffset = kIpOffset + packet::kIpv4Bytes;
+constexpr std::size_t kIncOffset = kUdpOffset + packet::kUdpBytes;
+
+std::uint8_t clamp_port(packet::PortId port) {
+  return port == packet::kInvalidPort ? 0xff
+                                      : static_cast<std::uint8_t>(std::min<packet::PortId>(port, 0xfe));
+}
+
+}  // namespace
+
+TelemetryTap::TelemetryTap(TapConfig config, sim::Scope scope)
+    : config_(std::move(config)),
+      scope_(sim::resolve_scope(scope, own_metrics_, "telem")),
+      stamps_(scope_.counter("stamps")),
+      stamp_bytes_(scope_.counter("stamp_bytes")),
+      stamp_overflow_(scope_.counter("stamp_overflow")),
+      postcards_(scope_.counter("postcards")),
+      postcards_suppressed_(scope_.counter("postcards_suppressed")),
+      drops_seen_(scope_.counter("drops_seen")),
+      ecn_seen_(scope_.counter("ecn_marks")) {}
+
+bool TelemetryTap::eligible(const packet::Packet& pkt) {
+  const packet::Buffer& b = pkt.data;
+  if (b.size() < kIncOffset + packet::kIncFixedBytes) return false;
+  if (b.read(12, 2) != packet::kEtherTypeIpv4) return false;
+  if (b.read(kIpOffset + 9, 1) != packet::kIpProtoUdp) return false;
+  if (b.read(kUdpOffset + 2, 2) != packet::kIncUdpPort) return false;
+  const std::uint64_t opcode = b.read(kIncOffset, 1);
+  return opcode != 0 && opcode < static_cast<std::uint64_t>(packet::IncOpcode::kCtrlUpdate);
+}
+
+void TelemetryTap::at_tx(packet::Packet& pkt, sim::Time now, packet::PortId egress) {
+  if (!config_.profile.armed || !eligible(pkt)) return;
+
+  ++truth_[pkt.meta.flow_id];
+  depth_.record(static_cast<double>(pkt.meta.telem_depth));
+
+  IntRecord rec;
+  rec.switch_id = config_.switch_id;
+  rec.ingress_port = clamp_port(pkt.meta.ingress_port);
+  rec.egress_port = clamp_port(egress);
+  rec.queue_depth = pkt.meta.telem_depth;
+  const sim::Time dwell = now > pkt.meta.arrival ? now - pkt.meta.arrival : 0;
+  rec.hop_latency_ns = static_cast<std::uint32_t>(
+      std::min<sim::Time>(dwell / 1000, 0xffff'ffff));  // ps -> ns
+  rec.ecn = static_cast<std::uint8_t>(pkt.data.read(kTosOffset, 1) & 0x3);
+
+  const std::size_t before = pkt.data.size();
+  if (int_stamp(pkt, rec, config_.profile.max_hops)) {
+    stamps_.add();
+    stamp_bytes_.add(pkt.data.size() - before);
+  } else {
+    stamp_overflow_.add();
+  }
+
+  if (rec.ecn == 0x3) {
+    ecn_seen_.add();
+    postcard(pkt, PostcardKind::kEcn, 0, egress, now);
+  }
+}
+
+void TelemetryTap::on_drop(const packet::Packet& pkt, sim::DropReason reason, sim::Time now) {
+  if (!config_.profile.armed || !eligible(pkt)) return;
+  drops_seen_.add();
+  ++truth_[pkt.meta.flow_id];  // the flow did transit this switch
+  postcard(pkt, PostcardKind::kDrop, static_cast<std::uint8_t>(reason),
+           pkt.meta.egress_port, now);
+}
+
+void TelemetryTap::postcard(const packet::Packet& pkt, PostcardKind kind,
+                            std::uint8_t reason, packet::PortId egress, sim::Time now) {
+  if (config_.collector_ip == 0 || !config_.emit) return;
+  if (now < next_postcard_) {
+    postcards_suppressed_.add();
+    return;
+  }
+  next_postcard_ = now + config_.profile.postcard_min_gap;
+
+  Postcard pc;
+  pc.switch_id = config_.switch_id;
+  pc.kind = kind;
+  pc.reason = reason;
+  pc.ingress_port = clamp_port(pkt.meta.ingress_port);
+  pc.egress_port = clamp_port(egress);
+  const std::uint64_t ttl = pkt.data.read(kTtlOffset, 1);
+  pc.hop = static_cast<std::uint8_t>(
+      ttl <= packet::kIncInitialTtl ? packet::kIncInitialTtl - ttl : 0);
+  pc.flow_id = static_cast<std::uint32_t>(pkt.meta.flow_id);
+  pc.coflow_id = static_cast<std::uint16_t>(pkt.meta.coflow_id);
+  pc.queue_depth = pkt.meta.telem_depth;
+
+  packet::IncPacketSpec spec;
+  spec.ip_src = config_.source_ip;
+  spec.ip_dst = config_.collector_ip;
+  spec.udp_src = static_cast<std::uint16_t>(50'000 + config_.switch_id);
+  spec.inc = make_postcard(pc);
+  config_.emit(packet::make_inc_packet(spec));
+  postcards_.add();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> TelemetryTap::flow_truth() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out(truth_.begin(), truth_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace adcp::telem

@@ -1,0 +1,98 @@
+// Per-switch telemetry tap: the stamping half of the INT observatory.
+//
+// A TelemetryTap is owned by the topology (one per switch, living on the
+// switch's shard) and called by the switch model at exactly two kinds of
+// site:
+//
+//   * at_tx — after deparse/finalize, before the TX serialization window
+//     is computed, so the appended trailer bytes lengthen the wire time
+//     (the INT byte overhead is simulated, not just counted). Stamps one
+//     IntRecord (ports, TM queue depth from meta.telem_depth, hop latency
+//     = now - meta.arrival, wire ECN bits) and emits a rate-limited ECN
+//     postcard when the packet leaves CE-marked.
+//
+//   * on_drop — at every drop accounting site; emits a rate-limited drop
+//     postcard carrying the DropReason and the hop index.
+//
+// Postcards leave through `emit` (the Network points it at the switch's
+// management port inject), traveling in-band to the collector across the
+// ordinary fabric. Everything here is shard-local and a pure function of
+// simulator state, so armed runs stay bit-identical across PDES worker
+// counts; a switch with no tap (telemetry disarmed) takes a single
+// well-predicted branch per site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "sim/metrics.hpp"
+#include "sim/span.hpp"
+#include "telem/int_format.hpp"
+
+namespace adcp::telem {
+
+struct TapConfig {
+  std::uint16_t switch_id = 0;
+  TelemetryProfile profile;
+  /// Routed address postcards are sent to; 0 disables postcards.
+  std::uint32_t collector_ip = 0;
+  /// Source address stamped on postcards (any value; feeds the ECMP hash).
+  std::uint32_t source_ip = 0;
+  /// Hands a postcard packet to the switch's management port.
+  std::function<void(packet::Packet)> emit;
+};
+
+class TelemetryTap {
+ public:
+  TelemetryTap(TapConfig config, sim::Scope scope);
+
+  /// TX-site hook; may append trailer bytes to `pkt` (call before
+  /// computing the serialization window) and emit an ECN postcard.
+  void at_tx(packet::Packet& pkt, sim::Time now, packet::PortId egress);
+
+  /// Drop-site hook; may emit a drop postcard.
+  void on_drop(const packet::Packet& pkt, sim::DropReason reason, sim::Time now);
+
+  /// Exact per-flow packet counts observed at this switch (TX + drops of
+  /// eligible data packets) — the heavy-hitter ground truth, sorted
+  /// deterministically by the scorer.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> flow_truth() const;
+
+  /// Exact queue-depth statistics stamped at this switch; the collector's
+  /// reconstruction is scored against these.
+  [[nodiscard]] const sim::Summary& exact_depth() const { return depth_; }
+
+  [[nodiscard]] std::uint64_t stamps() const { return stamps_.value(); }
+  [[nodiscard]] std::uint64_t stamp_bytes() const { return stamp_bytes_.value(); }
+  [[nodiscard]] std::uint64_t postcards() const { return postcards_.value(); }
+
+ private:
+  /// Framed INC carrying a data opcode (everything below kCtrlUpdate):
+  /// control, churn, and telemetry packets are never stamped or reported,
+  /// which is also what breaks the postcard-about-postcard loop.
+  [[nodiscard]] static bool eligible(const packet::Packet& pkt);
+
+  void postcard(const packet::Packet& pkt, PostcardKind kind, std::uint8_t reason,
+                packet::PortId egress, sim::Time now);
+
+  TapConfig config_;
+  sim::Time next_postcard_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> truth_;
+  sim::Summary depth_;  // exact, shard-local; not a registry metric
+  // Declared before scope_ (fallback registry must exist first).
+  std::unique_ptr<sim::MetricRegistry> own_metrics_;
+  sim::Scope scope_;
+  sim::Counter& stamps_;
+  sim::Counter& stamp_bytes_;
+  sim::Counter& stamp_overflow_;
+  sim::Counter& postcards_;
+  sim::Counter& postcards_suppressed_;
+  sim::Counter& drops_seen_;
+  sim::Counter& ecn_seen_;
+};
+
+}  // namespace adcp::telem

@@ -13,6 +13,10 @@ TrafficManager::TrafficManager(TmConfig config, sim::Scope scope)
     : buffer_(config.buffer_bytes, config.alpha),
       ecn_threshold_(config.ecn_threshold_bytes),
       metrics_(sim::resolve_scope(scope, own_metrics_, "tm")) {
+  if (config.track_watermark) {
+    watermark_ = &sim::resolve_scope(scope, own_metrics_, "tm")
+                      .watermark("buffer.watermark_bytes");
+  }
   SchedulerFactory factory = std::move(config.make_scheduler);
   if (!factory) {
     factory = [](std::uint32_t) { return std::make_unique<FifoScheduler>(); };
@@ -41,6 +45,7 @@ bool TrafficManager::enqueue(std::uint32_t output, std::uint32_t klass, packet::
   maybe_mark_ecn(output, pkt);
   schedulers_.at(output)->enqueue(klass, std::move(pkt));
   metrics_.enqueued.add();
+  if (watermark_ != nullptr) watermark_->set(static_cast<double>(buffer_.peak()));
   return true;
 }
 

@@ -35,6 +35,11 @@ struct TmConfig {
   /// this many bytes get their IP ECN field marked CE (congestion
   /// experienced) — standard switch AQM signaling.
   std::uint64_t ecn_threshold_bytes = 0;
+  /// Mirror the shared buffer's peak occupancy into a registry watermark
+  /// gauge ("buffer.watermark_bytes", max-merge across shards). Off by
+  /// default so the registry footprint is unchanged unless telemetry arms
+  /// it.
+  bool track_watermark = false;
 };
 
 /// Snapshot view of a TM's counters (the registry metrics are the source
@@ -118,6 +123,7 @@ class TrafficManager {
 
   SharedBuffer buffer_;
   std::uint64_t ecn_threshold_;
+  sim::Gauge* watermark_ = nullptr;  ///< null unless config.track_watermark
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   packet::Pool* pool_ = nullptr;  // not owned
   // Declared before metrics_: the fallback registry must exist when the

@@ -25,15 +25,17 @@ double wall_ms() {
 /// Instantiates one switch from its tier template. `share` installs the
 /// template's parse graph / deparser by shared_ptr (the slim profile);
 /// otherwise the routing program's own copies are used (legacy full
-/// profile — every switch owns its graphs).
+/// profile — every switch owns its graphs). A non-null `sketch` arms the
+/// PRECISION heavy-hitter program alongside routing (telemetry.sketch).
 std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim,
                                                const SwitchTemplate& tmpl, bool share,
                                                std::shared_ptr<const ForwardingTable> fib,
-                                               sim::Scope scope) {
+                                               sim::Scope scope,
+                                               telem::HeavyHitterSketch* sketch) {
   switch (tmpl.kind) {
     case SwitchKind::kRmt: {
       auto sw = std::make_unique<rmt::RmtSwitch>(sim, tmpl.rmt, std::move(scope));
-      rmt::RmtProgram prog = rmt_routing_program(tmpl.rmt, std::move(fib));
+      rmt::RmtProgram prog = rmt_routing_program(tmpl.rmt, std::move(fib), sketch);
       if (share) {
         prog.shared_parse = tmpl.parse;
         prog.shared_deparse = tmpl.deparse;
@@ -43,7 +45,7 @@ std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim,
     }
     case SwitchKind::kAdcp: {
       auto sw = std::make_unique<core::AdcpSwitch>(sim, tmpl.adcp, std::move(scope));
-      core::AdcpProgram prog = adcp_routing_program(tmpl.adcp, std::move(fib));
+      core::AdcpProgram prog = adcp_routing_program(tmpl.adcp, std::move(fib), sketch);
       if (share) {
         prog.shared_parse = tmpl.parse;
         prog.shared_deparse = tmpl.deparse;
@@ -53,7 +55,7 @@ std::unique_ptr<net::SwitchDevice> make_switch(sim::Simulator& sim,
     }
     case SwitchKind::kRtc: {
       auto sw = std::make_unique<rtc::RtcSwitch>(sim, tmpl.rtc, std::move(scope));
-      rtc::RtcProgram prog = rtc_routing_program(tmpl.rtc, std::move(fib));
+      rtc::RtcProgram prog = rtc_routing_program(tmpl.rtc, std::move(fib), sketch);
       if (share) {
         prog.shared_parse = tmpl.parse;
         prog.shared_deparse = tmpl.deparse;
@@ -259,9 +261,23 @@ Network::SwitchSlot& Network::add_switch(SwitchKind kind, std::uint32_t port_cou
   mgmt_port_.push_back(packet::kInvalidPort);
   sim::Scope sw_scope = parent.scope("sw" + std::to_string(i));
   sim::Scope host_scope = host_parent.scope("sw" + std::to_string(i));
+  // The heavy-hitter sketch is per switch (one stage memory) with a
+  // per-switch lottery stream; the routing program shares the object.
+  telem::HeavyHitterSketch* sketch = nullptr;
+  if (profile_.telemetry.armed && profile_.telemetry.sketch) {
+    telem::SketchConfig sc;
+    sc.ways = profile_.telemetry.sketch_ways;
+    sc.slots = profile_.telemetry.sketch_slots;
+    sc.seed = profile_.telemetry.seed ^ (0x5ce7'c400ULL + i);
+    sketches_.push_back(std::make_unique<telem::HeavyHitterSketch>(sc));
+    sketch = sketches_.back().get();
+  } else if (profile_.telemetry.armed) {
+    sketches_.push_back(nullptr);  // keep switch-index alignment
+  }
   SwitchSlot slot;
   const SwitchTemplate& tmpl = template_for(kind, port_count);
-  slot.device = make_switch(*sw_sim, tmpl, profile_.share_templates, fib, sw_scope);
+  slot.device =
+      make_switch(*sw_sim, tmpl, profile_.share_templates, fib, sw_scope, sketch);
   // The fabric (hosts + pool) lives on the host shard; its TX dispatch
   // closure still runs on the switch shard but only routes — per-host
   // state is reached through the mailbox taps wired in finish_wiring().
@@ -389,10 +405,14 @@ void Network::build_leaf_spine(const LeafSpineParams& p) {
   const std::uint32_t H = p.hosts_per_leaf;
   // Control channel: one extra management port past the uplinks. The
   // spines' /24 leaf prefixes already cover the control address, so only
-  // the target leaf needs the exact route.
+  // the target leaf needs the exact route. Telemetry arms a management
+  // port on EVERY switch (postcard injection; shared with control on the
+  // leaves), padded by telem_ports so RMT keeps its pipeline count.
+  const bool armed = profile_.telemetry.armed;
   const std::uint32_t mgmt = p.control_channel ? 1 : 0;
 
   // Leaves: ports [0, H) hosts, [H, H+S) spine uplinks.
+  const std::uint32_t leaf_ports = armed ? telem_ports(H + S) : H + S + mgmt;
   for (std::uint32_t l = 0; l < L; ++l) {
     auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
     for (std::uint32_t h = 0; h < H; ++h) fib->add_exact(make_ip(0, l, h), h);
@@ -400,11 +420,9 @@ void Network::build_leaf_spine(const LeafSpineParams& p) {
     EcmpGroup up;
     for (std::uint32_t s = 0; s < S; ++s) up.ports.push_back(H + s);
     fib->add_prefix(kAddressBase, 8, std::move(up));
-    add_switch(p.kind, H + S + mgmt, std::move(fib), H, p.host_link, p.loss_seed + l);
-    if (p.control_channel) {
-      ctrl_ip_.back() = make_ip(0, l, 255);
-      mgmt_port_.back() = H + S;
-    }
+    add_switch(p.kind, leaf_ports, std::move(fib), H, p.host_link, p.loss_seed + l);
+    if (p.control_channel) ctrl_ip_.back() = make_ip(0, l, 255);
+    if (p.control_channel || armed) mgmt_port_.back() = H + S;
     for (std::uint32_t h = 0; h < H; ++h) {
       host_ip_.push_back(make_ip(0, l, h));
       host_loc_.emplace_back(l, h);
@@ -412,10 +430,12 @@ void Network::build_leaf_spine(const LeafSpineParams& p) {
   }
 
   // Spines: port l faces leaf l.
+  const std::uint32_t spine_ports = armed ? telem_ports(L) : L;
   for (std::uint32_t s = 0; s < S; ++s) {
     auto fib = std::make_shared<ForwardingTable>(p.ecmp_seed);
     for (std::uint32_t l = 0; l < L; ++l) fib->add_prefix(make_ip(0, l, 0), 24, {{l}});
-    add_switch(p.kind, L, std::move(fib), 0, p.host_link, p.loss_seed + L + s);
+    add_switch(p.kind, spine_ports, std::move(fib), 0, p.host_link, p.loss_seed + L + s);
+    if (armed) mgmt_port_.back() = L;
   }
 
   // Full bipartite leaf<->spine wiring; trunk l*S+s joins leaf l, spine s.
@@ -446,7 +466,11 @@ void Network::build_fat_tree(const FatTreeParams& p) {
   control_channel_ = p.control_channel;
   // Control channel: management port k on every edge; the aggregation /24
   // and core /16 prefixes already route the control address down.
+  // Telemetry arms a management port on every tier (see build_leaf_spine).
+  const bool armed = profile_.telemetry.armed;
   const std::uint32_t mgmt = p.control_channel ? 1 : 0;
+  const std::uint32_t tier_ports = armed ? telem_ports(k) : k;
+  const std::uint32_t edge_ports = armed ? tier_ports : k + mgmt;
 
   // Edge switches: ports [0, half) hosts, [half, k) aggregation uplinks.
   for (std::uint32_t pod = 0; pod < k; ++pod) {
@@ -457,11 +481,9 @@ void Network::build_fat_tree(const FatTreeParams& p) {
       EcmpGroup up;
       for (std::uint32_t a = 0; a < half; ++a) up.ports.push_back(half + a);
       fib->add_prefix(kAddressBase, 8, std::move(up));
-      add_switch(p.kind, k + mgmt, std::move(fib), half, p.host_link, seed++);
-      if (p.control_channel) {
-        ctrl_ip_.back() = make_ip(pod, e, 255);
-        mgmt_port_.back() = k;
-      }
+      add_switch(p.kind, edge_ports, std::move(fib), half, p.host_link, seed++);
+      if (p.control_channel) ctrl_ip_.back() = make_ip(pod, e, 255);
+      if (p.control_channel || armed) mgmt_port_.back() = k;
       for (std::uint32_t h = 0; h < half; ++h) {
         host_ip_.push_back(make_ip(pod, e, h));
         host_loc_.emplace_back(edge_index(pod, e), h);
@@ -477,7 +499,8 @@ void Network::build_fat_tree(const FatTreeParams& p) {
       EcmpGroup up;
       for (std::uint32_t j = 0; j < half; ++j) up.ports.push_back(half + j);
       fib->add_prefix(kAddressBase, 8, std::move(up));
-      add_switch(p.kind, k, std::move(fib), 0, p.host_link, seed++);
+      add_switch(p.kind, tier_ports, std::move(fib), 0, p.host_link, seed++);
+      if (armed) mgmt_port_.back() = k;
     }
   }
 
@@ -488,7 +511,8 @@ void Network::build_fat_tree(const FatTreeParams& p) {
       for (std::uint32_t pod = 0; pod < k; ++pod) {
         fib->add_prefix(make_ip(pod, 0, 0), 16, {{pod}});
       }
-      add_switch(p.kind, k, std::move(fib), 0, p.host_link, seed++);
+      add_switch(p.kind, tier_ports, std::move(fib), 0, p.host_link, seed++);
+      if (armed) mgmt_port_.back() = k;
     }
   }
   (void)cores;
@@ -655,6 +679,71 @@ void Network::finish_wiring() {
       }
     }
     psim_->set_shard_weights(std::move(w));
+  }
+
+  arm_telemetry();
+}
+
+std::uint32_t Network::telem_ports(std::uint32_t data_ports) {
+  std::uint32_t total = data_ports + 1;  // + the management port
+  const std::uint32_t pipes = TierProfile::rmt_pipelines_for(data_ports);
+  while (TierProfile::rmt_pipelines_for(total) != pipes) ++total;
+  return total;
+}
+
+void Network::arm_telemetry() {
+  const telem::TelemetryProfile& tp = profile_.telemetry;
+  if (!tp.armed || host_loc_.empty()) return;
+  const std::size_t collector = host_loc_.size() - 1;
+  collector_ip_ = host_ip_[collector];
+
+  // One tap per switch, on the switch's shard; postcards are injected at
+  // the management port and travel the fabric like any other packet. The
+  // source address only feeds the ECMP hash (nothing replies to a tap).
+  telem_taps_.reserve(switches_.size());
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    telem::TapConfig tc;
+    tc.switch_id = static_cast<std::uint16_t>(i);
+    tc.profile = tp;
+    tc.collector_ip = collector_ip_;
+    tc.source_ip = 0xac10'0000u + static_cast<std::uint32_t>(i);
+    net::SwitchDevice* dev = switches_[i].device.get();
+    const packet::PortId mgmt = mgmt_port_[i];
+    tc.emit = [dev, mgmt](packet::Packet pkt) { dev->inject(mgmt, std::move(pkt)); };
+    telem_taps_.push_back(std::make_unique<telem::TelemetryTap>(
+        std::move(tc), switch_scope(i).scope("telem")));
+    dev->set_telemetry_tap(telem_taps_.back().get());
+  }
+
+  // The collector rides the last host ("topo.collector" on its shard).
+  collector_ = std::make_unique<telem::Collector>(
+      host(collector), host_shard_scope(collector).scope("collector"));
+
+  // Every other host re-packs delivered INT trailers into reports for a
+  // deterministically sampled subset of flows and forwards them in-band.
+  if (!tp.reports_enabled()) return;
+  for (std::size_t g = 0; g < collector; ++g) {
+    auto seq = std::make_shared<std::uint32_t>(0);
+    const std::uint32_t src_ip = host_ip_[g];
+    const std::uint32_t dst_ip = collector_ip_;
+    const std::uint32_t sample = tp.report_sample_every;
+    const std::uint64_t seed = tp.seed;
+    const std::uint16_t udp_src = static_cast<std::uint16_t>(51'000 + (g % 1000));
+    host(g).add_rx_callback([seq, src_ip, dst_ip, sample, seed, udp_src](
+                                net::Host& h, const packet::Packet& pkt) {
+      std::vector<telem::IntRecord> hops;
+      if (telem::int_decode(pkt, hops) == 0) return;
+      const std::uint64_t flow = pkt.meta.flow_id;
+      if (sample > 1 && sim::TraceSampler::mix(flow ^ seed) % sample != 0) return;
+      packet::IncPacketSpec spec;
+      spec.ip_src = src_ip;
+      spec.ip_dst = dst_ip;
+      spec.udp_src = udp_src;
+      spec.inc = telem::make_report(static_cast<std::uint32_t>(flow),
+                                    static_cast<std::uint16_t>(pkt.meta.coflow_id),
+                                    (*seq)++, hops);
+      h.send_inc(spec);
+    });
   }
 }
 

@@ -34,6 +34,9 @@
 #include "sim/metrics.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
+#include "telem/collector.hpp"
+#include "telem/sketch.hpp"
+#include "telem/tap.hpp"
 #include "topo/routing.hpp"
 #include "topo/tier_profile.hpp"
 #include "topo/trunk.hpp"
@@ -234,6 +237,31 @@ class Network {
   /// for the same rule and reason).
   void export_fastpath(sim::Scope scope) const;
 
+  // --- In-band telemetry (profile.telemetry.armed) ---------------------
+  //
+  // Arming telemetry in the TierProfile gives every switch a management
+  // port and a TelemetryTap (INT stamping + postcards injected in-band),
+  // puts a telem::Collector on the last host, and makes every other host
+  // forward sampled trailer reports to it (DESIGN.md §14). Disarmed
+  // fabrics build byte-identically to pre-telemetry ones.
+
+  /// True when the fabric was built with telemetry armed.
+  [[nodiscard]] bool telemetry_armed() const { return profile_.telemetry.armed; }
+  /// The collector riding the last host (nullptr when disarmed).
+  [[nodiscard]] telem::Collector* collector() { return collector_.get(); }
+  /// Global index of the collector host (the last host when armed).
+  [[nodiscard]] std::size_t collector_host() const { return host_loc_.size() - 1; }
+  /// The address postcards and reports are sent to (0 when disarmed).
+  [[nodiscard]] std::uint32_t collector_ip() const { return collector_ip_; }
+  /// Switch `i`'s telemetry tap (nullptr when disarmed).
+  [[nodiscard]] telem::TelemetryTap* telemetry_tap_of(std::size_t i) {
+    return telem_taps_.empty() ? nullptr : telem_taps_.at(i).get();
+  }
+  /// Switch `i`'s heavy-hitter sketch (nullptr unless telemetry.sketch).
+  [[nodiscard]] telem::HeavyHitterSketch* sketch_of(std::size_t i) {
+    return sketches_.empty() ? nullptr : sketches_.at(i).get();
+  }
+
   // --- In-band control channel (params.control_channel = true) ---------
   //
   // Hosted switches gain a management port reachable at a per-switch
@@ -366,6 +394,13 @@ class Network {
   /// After all switches and trunks exist: point every switch's hostless
   /// TX ports at its trunks and hook the hop-count probe on every host.
   void finish_wiring();
+  /// Telemetry-armed port count for a switch with `data_ports` real ports:
+  /// +1 management port, padded so rmt_pipelines_for keeps the data-port
+  /// pipeline count (armed vs disarmed RMT switches stay comparable).
+  [[nodiscard]] static std::uint32_t telem_ports(std::uint32_t data_ports);
+  /// profile_.telemetry.armed: builds the taps, the collector, and the
+  /// sink-host report forwarding (no-op when disarmed).
+  void arm_telemetry();
   [[nodiscard]] std::size_t switch_index_of(const net::SwitchDevice* device) const;
 
   sim::Simulator* sim_ = nullptr;
@@ -397,6 +432,11 @@ class Network {
   std::vector<packet::PortId> mgmt_port_;    // switch index -> mgmt port
   /// Stable slots the TX closures point into; set_control_sink fills them.
   std::vector<std::function<void(const packet::Packet&)>> ctrl_sinks_;
+  /// Telemetry (armed profiles only; all empty/null when disarmed).
+  std::vector<std::unique_ptr<telem::HeavyHitterSketch>> sketches_;  // per switch
+  std::vector<std::unique_ptr<telem::TelemetryTap>> telem_taps_;     // per switch
+  std::unique_ptr<telem::Collector> collector_;
+  std::uint32_t collector_ip_ = 0;
   std::vector<std::uint32_t> host_ip_;  // global host index -> address
   std::vector<std::pair<std::uint32_t, std::uint32_t>> host_loc_;  // -> (switch, local)
   std::vector<std::vector<std::size_t>> ecmp_groups_;  // uplink fan-outs (trunk indices)

@@ -1,6 +1,9 @@
 #include "topo/programs.hpp"
 
+#include <memory>
+
 #include "packet/fields.hpp"
+#include "packet/headers.hpp"
 #include "rtc/programs.hpp"
 #include "tm/placement.hpp"
 
@@ -9,12 +12,16 @@ namespace adcp::topo {
 namespace {
 
 using packet::Phv;
+using packet::fields::kIncFlowId;
+using packet::fields::kIncOpcode;
 using packet::fields::kIpDst;
 using packet::fields::kIpSrc;
 using packet::fields::kIpTtl;
 using packet::fields::kMetaDrop;
 using packet::fields::kMetaEgressPort;
 using packet::fields::kMetaFlowHash;
+using packet::fields::kMetaRecirc;
+using packet::fields::kMetaRecircPass;
 using packet::fields::kUdpDst;
 using packet::fields::kUdpSrc;
 
@@ -23,14 +30,18 @@ using packet::fields::kUdpSrc;
 /// drops the packet in the pipe (kMetaDrop), which the switch accounts as
 /// a no-route drop. The ECMP hash carried in kMetaFlowHash (if any) is
 /// reused and the first computation is written back, so later hops skip
-/// the recompute (all FIBs in a fabric share one seed).
-void route_and_decrement(Phv& phv, const ForwardingTable& fib) {
-  const std::uint64_t ttl = phv.get_or(kIpTtl, 0);
-  if (ttl <= 1) {
-    phv.set(kMetaDrop, 1);
-    return;
+/// the recompute (all FIBs in a fabric share one seed). `decrement` is
+/// false on an RMT recirculation pass: the first pass already charged the
+/// hop, and a second decrement would corrupt the hop-count probe.
+void route_and_decrement(Phv& phv, const ForwardingTable& fib, bool decrement = true) {
+  if (decrement) {
+    const std::uint64_t ttl = phv.get_or(kIpTtl, 0);
+    if (ttl <= 1) {
+      phv.set(kMetaDrop, 1);
+      return;
+    }
+    phv.set(kIpTtl, ttl - 1);
   }
-  phv.set(kIpTtl, ttl - 1);
   std::uint64_t flow_hash = phv.get_or(kMetaFlowHash, 0);
   const packet::PortId port = fib.lookup_cached(
       static_cast<std::uint32_t>(phv.get_or(kIpDst, 0)),
@@ -43,6 +54,14 @@ void route_and_decrement(Phv& phv, const ForwardingTable& fib) {
     return;
   }
   phv.set(kMetaEgressPort, port);
+}
+
+/// Only data INC packets feed the heavy-hitter sketch — the same opcode
+/// window the telemetry taps stamp, so the sketch's ground truth (the
+/// taps' flow ledgers) counts exactly the sketched population.
+bool sketchable(const Phv& phv) {
+  const std::uint64_t op = phv.get_or(kIncOpcode, 0);
+  return op != 0 && op < static_cast<std::uint64_t>(packet::IncOpcode::kCtrlUpdate);
 }
 
 /// The fast-path contract every pure routing program can vouch for: the
@@ -65,40 +84,104 @@ fastpath::FastpathContract routing_contract(
 }  // namespace
 
 rmt::RmtProgram rmt_routing_program(const rmt::RmtConfig& /*config*/,
-                                    std::shared_ptr<const ForwardingTable> fib) {
+                                    std::shared_ptr<const ForwardingTable> fib,
+                                    telem::HeavyHitterSketch* sketch) {
   rmt::RmtProgram prog;
-  prog.setup_ingress = [fib](pipeline::Pipeline& pipe, std::uint32_t) {
-    pipe.set_stage_program(0, [fib](Phv& phv, pipeline::Stage&) -> std::uint64_t {
-      route_and_decrement(phv, *fib);
-      return 1;
+  if (sketch == nullptr) {
+    prog.setup_ingress = [fib](pipeline::Pipeline& pipe, std::uint32_t) {
+      pipe.set_stage_program(0, [fib](Phv& phv, pipeline::Stage&) -> std::uint64_t {
+        route_and_decrement(phv, *fib);
+        return 1;
+      });
+    };
+    prog.fastpath = routing_contract(fib, 0);
+    return prog;
+  }
+  // PRECISION on RMT (DESIGN.md §14): pass 0 can only touch an entry its
+  // flow owns; a lottery win marks the packet for recirculation and the
+  // recirculated pass performs the claim. The lottery sequence counter is
+  // shared across the switch's pipelines (one stage memory), exactly like
+  // the sketch itself.
+  auto seq = std::make_shared<std::uint64_t>(0);
+  prog.setup_ingress = [fib, sketch, seq](pipeline::Pipeline& pipe, std::uint32_t) {
+    pipe.set_stage_program(0, [fib, sketch, seq](Phv& phv,
+                                                 pipeline::Stage&) -> std::uint64_t {
+      const bool recirc_pass = phv.get_or(kMetaRecircPass, 0) != 0;
+      route_and_decrement(phv, *fib, /*decrement=*/!recirc_pass);
+      if (phv.get_or(kMetaDrop, 0) != 0 || !sketchable(phv)) return 1;
+      const std::uint64_t key = phv.get_or(kIncFlowId, 0);
+      if (recirc_pass) {
+        sketch->claim(key);  // counts as an increment if the flow self-raced
+        return 2;
+      }
+      const telem::HeavyHitterSketch::Probe p = sketch->probe(key);
+      if (p.owner) {
+        sketch->increment(key);
+      } else if (sketch->should_claim(key, (*seq)++)) {
+        phv.set(kMetaRecirc, 1);
+      }
+      return 2;
     });
   };
-  prog.fastpath = routing_contract(fib, 0);
+  // No fastpath contract: the verdict cost depends on sketch state.
   return prog;
 }
 
 core::AdcpProgram adcp_routing_program(const core::AdcpConfig& config,
-                                       std::shared_ptr<const ForwardingTable> fib) {
+                                       std::shared_ptr<const ForwardingTable> fib,
+                                       telem::HeavyHitterSketch* sketch) {
   core::AdcpProgram prog;
   prog.placement = tm::placement::by_flow_hash(config.central_pipeline_count);
-  prog.setup_central = [fib](pipeline::Pipeline& pipe, std::uint32_t) {
-    pipe.set_stage_program(0, [fib](Phv& phv, pipeline::Stage&) -> std::uint64_t {
+  if (sketch == nullptr) {
+    prog.setup_central = [fib](pipeline::Pipeline& pipe, std::uint32_t) {
+      pipe.set_stage_program(0, [fib](Phv& phv, pipeline::Stage&) -> std::uint64_t {
+        route_and_decrement(phv, *fib);
+        return 1;
+      });
+    };
+    prog.fastpath = routing_contract(fib, core::kAdcpParseLanes);
+    return prog;
+  }
+  // Single-pass update: the central stage's array engine probes the d
+  // candidate rows and writes the winner in one transit (charged as two
+  // extra cycles on top of routing).
+  auto seq = std::make_shared<std::uint64_t>(0);
+  prog.setup_central = [fib, sketch, seq](pipeline::Pipeline& pipe, std::uint32_t) {
+    pipe.set_stage_program(0, [fib, sketch, seq](Phv& phv,
+                                                 pipeline::Stage&) -> std::uint64_t {
       route_and_decrement(phv, *fib);
-      return 1;
+      if (phv.get_or(kMetaDrop, 0) != 0 || !sketchable(phv)) return 1;
+      sketch->update(phv.get_or(kIncFlowId, 0), (*seq)++);
+      return 3;
     });
   };
-  prog.fastpath = routing_contract(fib, core::kAdcpParseLanes);
   return prog;
 }
 
 rtc::RtcProgram rtc_routing_program(const rtc::RtcConfig& /*config*/,
-                                    std::shared_ptr<const ForwardingTable> fib) {
+                                    std::shared_ptr<const ForwardingTable> fib,
+                                    telem::HeavyHitterSketch* sketch) {
   rtc::RtcProgram prog;
-  prog.run = [fib](Phv& phv, rtc::SharedState&, const rtc::RtcConfig& cfg) -> std::uint64_t {
+  if (sketch == nullptr) {
+    prog.run = [fib](Phv& phv, rtc::SharedState&, const rtc::RtcConfig& cfg) -> std::uint64_t {
+      route_and_decrement(phv, *fib);
+      return rtc::kForwardBaseCycles + cfg.memory_access_cycles;  // one FIB access
+    };
+    prog.fastpath = routing_contract(fib, rtc::kRtcParseLanes);
+    return prog;
+  }
+  // Shared-memory single-pass update: probe + write cost two more accesses.
+  auto seq = std::make_shared<std::uint64_t>(0);
+  prog.run = [fib, sketch, seq](Phv& phv, rtc::SharedState&,
+                                const rtc::RtcConfig& cfg) -> std::uint64_t {
     route_and_decrement(phv, *fib);
-    return rtc::kForwardBaseCycles + cfg.memory_access_cycles;  // one FIB access
+    std::uint64_t cycles = rtc::kForwardBaseCycles + cfg.memory_access_cycles;
+    if (phv.get_or(kMetaDrop, 0) == 0 && sketchable(phv)) {
+      sketch->update(phv.get_or(kIncFlowId, 0), (*seq)++);
+      cycles += 2 * cfg.memory_access_cycles;
+    }
+    return cycles;
   };
-  prog.fastpath = routing_contract(fib, rtc::kRtcParseLanes);
   return prog;
 }
 

@@ -16,22 +16,38 @@
 #include "rmt/program.hpp"
 #include "rtc/config.hpp"
 #include "rtc/rtc_switch.hpp"
+#include "telem/sketch.hpp"
 #include "topo/routing.hpp"
 
 namespace adcp::topo {
 
-/// RMT: route + TTL decrement in ingress stage 0 of every pipeline.
+// Passing a telem::HeavyHitterSketch arms the PRECISION-style heavy-hitter
+// program alongside routing (DESIGN.md §14): every data INC packet updates
+// the sketch keyed by flow id. The update is model-shaped — RMT cannot
+// read-modify-write a non-owned entry in one pipeline pass, so a claim
+// costs a recirculation (the instrumented recirc path); ADCP and RTC claim
+// in a single pass against their shared memories. A sketch-armed program
+// never vouches a fastpath contract (its cycle cost is state-dependent).
+
+/// RMT: route + TTL decrement in ingress stage 0 of every pipeline. With a
+/// sketch, a claim-lottery win requests kMetaRecirc and the recirculated
+/// pass performs the claim (routing again, but without a second decrement).
 rmt::RmtProgram rmt_routing_program(const rmt::RmtConfig& config,
-                                    std::shared_ptr<const ForwardingTable> fib);
+                                    std::shared_ptr<const ForwardingTable> fib,
+                                    telem::HeavyHitterSketch* sketch = nullptr);
 
 /// ADCP: route + TTL decrement in central stage 0; flows spread over the
 /// central pipelines by flow-id hash (same placement as forward_program).
+/// With a sketch, central stage 0 also runs the single-pass update.
 core::AdcpProgram adcp_routing_program(const core::AdcpConfig& config,
-                                       std::shared_ptr<const ForwardingTable> fib);
+                                       std::shared_ptr<const ForwardingTable> fib,
+                                       telem::HeavyHitterSketch* sketch = nullptr);
 
 /// RTC: route + TTL decrement; costs the forwarding base plus one
-/// shared-memory FIB access.
+/// shared-memory FIB access. With a sketch, the update charges two more
+/// shared-memory accesses (probe + write).
 rtc::RtcProgram rtc_routing_program(const rtc::RtcConfig& config,
-                                    std::shared_ptr<const ForwardingTable> fib);
+                                    std::shared_ptr<const ForwardingTable> fib,
+                                    telem::HeavyHitterSketch* sketch = nullptr);
 
 }  // namespace adcp::topo

@@ -35,6 +35,7 @@ rmt::RmtConfig TierProfile::rmt(std::uint32_t port_count) const {
   cfg.stage.eager_state = eager_state;
   if (cfg.stage.array) cfg.stage.array->eager_state = eager_state;
   cfg.fastpath_entries = fastpath_entries;
+  cfg.tm_track_watermark = telemetry.armed;
   return cfg;
 }
 
@@ -46,6 +47,7 @@ core::AdcpConfig TierProfile::adcp(std::uint32_t port_count) const {
   cfg.central_stage.eager_state = eager_state;
   if (cfg.central_stage.array) cfg.central_stage.array->eager_state = eager_state;
   cfg.fastpath_entries = fastpath_entries;
+  cfg.tm_track_watermark = telemetry.armed;
   return cfg;
 }
 

@@ -34,6 +34,7 @@
 #include "packet/parser.hpp"
 #include "rmt/config.hpp"
 #include "rtc/config.hpp"
+#include "telem/int_format.hpp"
 
 namespace adcp::topo {
 
@@ -56,6 +57,10 @@ struct TierProfile {
   /// installed program provides a fastpath contract. Applied to all three
   /// model configs by the rmt()/adcp()/rtc() resolutions.
   std::uint32_t fastpath_entries = 0;
+  /// Fabric-wide in-band telemetry (DESIGN.md §14). Disarmed by default;
+  /// arming adds a management port per switch, INT stamping taps, TM
+  /// watermark gauges, and a Collector on the last host.
+  telem::TelemetryProfile telemetry;
 
   /// Base configs the per-switch derivation starts from. Change these to
   /// customize geometry fabric-wide (e.g. tests shrink
